@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (table/figure), asserts the
+published values, and reports the rows/series the paper shows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.selection import SelectionMatrix
+from repro.data.icsc import icsc_ecosystem
+
+
+def report(title: str, lines: list[str]) -> None:
+    """Print a regenerated artifact block (visible with ``pytest -s``)."""
+    banner = "=" * max(len(title), 20)
+    print(f"\n{banner}\n{title}\n{banner}")
+    for line in lines:
+        print(line)
+
+
+@pytest.fixture(scope="session")
+def ecosystem():
+    return icsc_ecosystem()
+
+
+@pytest.fixture(scope="session")
+def tools(ecosystem):
+    return ecosystem[1]
+
+
+@pytest.fixture(scope="session")
+def applications(ecosystem):
+    return ecosystem[2]
+
+
+@pytest.fixture(scope="session")
+def scheme(ecosystem):
+    return ecosystem[3]
+
+
+@pytest.fixture(scope="session")
+def selection(tools, applications, scheme):
+    return SelectionMatrix.from_catalogs(tools, applications, scheme)

@@ -1,0 +1,101 @@
+"""Sec. 4 (Discussion) benchmark: the quantitative claims behind Q2 and Q3.
+
+Regenerates every number the discussion quotes — the 12%/28% supply shares,
+the "balanced" supply vs "much more unbalanced" demand contrast, the
+<3.6% / >39% demand shares, and the critical-need directions — and adds the
+statistical depth a reproduction should report: evenness indices, bootstrap
+confidence intervals, and a permutation test on supply vs demand.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.analysis import compare_supply_demand
+from repro.core.questions import answer_q2, answer_q3
+from repro.stats.inference import bootstrap_share_ci
+
+
+def test_bench_q2_analysis(benchmark, tools, scheme):
+    """Benchmark the Q2 analysis; verify the paper's Sec. 4 Q2 claims."""
+    q2 = benchmark(answer_q2, tools, scheme)
+    assert q2.shares["interactive-computing"] == 0.12
+    assert q2.shares["orchestration"] == 0.28
+    assert q2.balanced
+    assert q2.majority_single_topic
+    assert q2.full_coverage_institutions == 0
+    report(
+        "Q2 — how widespread each direction is",
+        [
+            f"shares: { {k: round(v, 2) for k, v in q2.shares.items()} }",
+            f"Shannon evenness: {q2.evenness['shannon_evenness']:.3f} (balanced)",
+            f"single-topic institutions: {q2.single_topic_institutions}/{q2.n_institutions}",
+        ],
+    )
+
+
+def test_bench_q3_analysis(benchmark, tools, applications, scheme):
+    """Benchmark the Q3 analysis; verify the paper's Sec. 4 Q3 claims."""
+    q3 = benchmark(
+        answer_q3, tools, applications, scheme, seed=2023
+    )
+    assert q3.top_direction == "orchestration"
+    assert q3.bottom_direction == "energy-efficiency"
+    assert q3.shares["energy-efficiency"] < 0.036
+    assert q3.shares["orchestration"] > 0.39
+    assert set(q3.critical_directions) == {
+        "interactive-computing", "orchestration",
+        "performance-portability", "big-data-management",
+    }
+    report(
+        "Q3 — critical needs of applications",
+        [
+            f"shares: { {k: round(v, 3) for k, v in q3.shares.items()} }",
+            f"critical (>=3 apps): {q3.critical_directions}",
+            f"supply-demand TVD: {q3.comparison.tvd:.3f} "
+            f"(permutation p={q3.comparison.permutation.p_value:.3f})",
+        ],
+    )
+
+
+def test_bench_supply_demand_comparison(benchmark, tools, applications, scheme):
+    """Benchmark the full supply-vs-demand statistical comparison."""
+    comparison = benchmark(
+        compare_supply_demand,
+        tools, applications, scheme,
+        seed=2023, n_permutations=5000,
+    )
+    # Paper orientation: demand much more unbalanced than supply.
+    assert (
+        comparison.demand_evenness["shannon_evenness"]
+        < comparison.supply_evenness["shannon_evenness"]
+    )
+    assert comparison.demand_supply_ratio["orchestration"] > 1.0
+    assert comparison.demand_supply_ratio["energy-efficiency"] < 0.5
+    report(
+        "Supply (Fig. 2) vs demand (Fig. 4)",
+        [
+            f"supply evenness: {comparison.supply_evenness['shannon_evenness']:.3f}",
+            f"demand evenness: {comparison.demand_evenness['shannon_evenness']:.3f}",
+            f"demand/supply ratios: "
+            f"{ {k: round(v, 2) for k, v in comparison.demand_supply_ratio.items()} }",
+        ],
+    )
+
+
+def test_bench_bootstrap_ci(benchmark, selection, tools, scheme):
+    """Benchmark bootstrap CIs for the orchestration demand share (Fig. 4)."""
+    votes = selection.votes_per_direction(tools, scheme)
+    index = list(votes.labels).index("orchestration")
+
+    low, high = benchmark(
+        bootstrap_share_ci,
+        votes, index, seed=2023, n_resamples=10_000,
+    )
+    point = votes.share("orchestration")
+    assert low <= point <= high
+    report(
+        "Bootstrap 95% CI — orchestration demand share",
+        [f"point {point:.3f}, CI [{low:.3f}, {high:.3f}] "
+         "(28 votes: wide by construction)"],
+    )

@@ -1,0 +1,59 @@
+"""Energy-substrate benchmark: power traces and figure-of-merit accounting.
+
+The paper flags energy efficiency as the immature-but-promising direction;
+this bench exercises the reproduction's energy substrate — platform power
+traces (peak, average, EDP) and the scheduler's energy figures — and
+cross-validates the trace integral against the independent per-task
+accounting on every run.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import report
+
+from repro.continuum.energy import energy_report, power_trace
+from repro.continuum.resources import default_continuum
+from repro.continuum.scheduling import EnergyAwareScheduler, HeftScheduler
+from repro.continuum.workflow import random_workflow
+
+CONTINUUM = default_continuum(n_hpc=2, n_cloud=4, n_edge=8, seed=77)
+WORKFLOW = random_workflow(150, seed=77, edge_probability=0.06)
+
+
+def test_bench_power_trace(benchmark):
+    """Build the power trace of a 150-task schedule; verify the integral."""
+    schedule = HeftScheduler().schedule(WORKFLOW, CONTINUUM)
+
+    trace = benchmark(power_trace, schedule)
+    assert trace.energy() == pytest.approx(schedule.total_energy(), rel=1e-9)
+    report(
+        "Energy — platform power trace (HEFT, 150 tasks)",
+        [f"peak={trace.peak_power():.0f}W avg={trace.average_power():.0f}W "
+         f"energy={trace.energy():.0f}J over {trace.makespan:.2f}s"],
+    )
+
+
+@pytest.mark.parametrize("scheduler_name", ["heft", "energy-aware"])
+def test_bench_energy_report(benchmark, scheduler_name):
+    """Full figure-of-merit report for each scheduler."""
+    scheduler = (
+        HeftScheduler()
+        if scheduler_name == "heft"
+        else EnergyAwareScheduler(slack=2.0)
+    )
+    schedule = scheduler.schedule(WORKFLOW, CONTINUUM)
+
+    metrics = benchmark(energy_report, schedule)
+    assert metrics["peak_power"] >= metrics["average_power"]
+    tier_sum = sum(v for k, v in metrics.items() if k.startswith("energy_"))
+    assert tier_sum == pytest.approx(schedule.busy_energy(), rel=1e-9)
+    report(
+        f"Energy — figures of merit ({scheduler_name})",
+        [f"makespan={metrics['makespan']:.2f}s "
+         f"energy={metrics['energy']:.0f}J "
+         f"EDP={metrics['edp']:.0f} peak={metrics['peak_power']:.0f}W",
+         f"tier split: hpc={metrics.get('energy_hpc', 0):.0f}J "
+         f"cloud={metrics.get('energy_cloud', 0):.0f}J "
+         f"edge={metrics.get('energy_edge', 0):.0f}J"],
+    )

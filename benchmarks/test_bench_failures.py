@@ -1,0 +1,71 @@
+"""Fault-tolerance benchmark: plans on unreliable resources.
+
+The paper's Sec. 4 flags fault tolerance as an uncovered direction of the
+surveyed ecosystem; this bench exercises the reproduction's substrate for
+it — failure injection with restart vs migration recovery — sweeping the
+failure rate and reporting the makespan inflation each policy pays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import report
+
+from repro.continuum.failures import simulate_with_failures
+from repro.continuum.resources import default_continuum
+from repro.continuum.scheduling import HeftScheduler
+from repro.continuum.workflow import random_workflow
+
+WORKFLOW = random_workflow(80, seed=55, output_range=(0.0, 0.2))
+CONTINUUM = default_continuum(n_hpc=2, n_cloud=4, n_edge=6, seed=55)
+SCHEDULE = HeftScheduler().schedule(WORKFLOW, CONTINUUM)
+
+
+@pytest.mark.parametrize("policy", ["restart", "migrate"])
+def test_bench_failure_recovery(benchmark, policy):
+    """One failure-laden execution per round (mtbf = 3 s, repair = 1 s)."""
+
+    def run():
+        return simulate_with_failures(
+            SCHEDULE, mtbf=3.0, repair_time=1.0, policy=policy, seed=11
+        )
+
+    trace = benchmark(run)
+    assert len(trace.placements) == len(WORKFLOW)
+    report(
+        f"Fault tolerance — {policy} (mtbf=3s, repair=1s)",
+        [f"slowdown={trace.slowdown:.3f} failures={trace.n_failures} "
+         f"migrations={trace.n_migrations} lost={trace.lost_work:.2f}s"],
+    )
+
+
+def test_bench_failure_rate_sweep(benchmark):
+    """Mean slowdown of both policies across failure rates (10 seeds each)."""
+
+    def sweep():
+        rows = []
+        for mtbf in (20.0, 5.0, 2.0):
+            means = {}
+            for policy in ("restart", "migrate"):
+                makespans = [
+                    simulate_with_failures(
+                        SCHEDULE, mtbf=mtbf, repair_time=1.5,
+                        policy=policy, seed=seed,
+                    ).slowdown
+                    for seed in range(10)
+                ]
+                means[policy] = float(np.mean(makespans))
+            rows.append((mtbf, means))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    # Slowdown grows as failures become more frequent.
+    restart_series = [means["restart"] for _, means in rows]
+    assert restart_series == sorted(restart_series)
+    report(
+        "Fault tolerance — failure-rate sweep (mean slowdown, 10 seeds)",
+        [f"mtbf={mtbf:>5}: restart={means['restart']:.3f} "
+         f"migrate={means['migrate']:.3f}"
+         for mtbf, means in rows],
+    )

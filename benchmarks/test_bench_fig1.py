@@ -1,0 +1,42 @@
+"""Figure 1 benchmark: the Spoke 1 organizational structure diagram.
+
+Regenerates the Fig. 1 big-picture diagram from the encoded structure data,
+asserts the published facts (5 flagships, 2 living labs, 21.5M€ envelope,
+FL3 coordinated by UNIPI), and benchmarks the SVG render.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.data.icsc import spoke1_structure
+from repro.reporting.figures import render_spoke1_figure
+
+
+def test_bench_fig1_structure(benchmark):
+    """Benchmark the Fig. 1 render and verify the structure facts."""
+    structure = spoke1_structure()
+    assert len(structure["flagships"]) == 5
+    assert len(structure["living_labs"]) == 2
+    assert structure["financial_envelope_meur"] == 21.5
+    fl3 = next(f for f in structure["flagships"] if f["key"] == "fl3")
+    assert fl3["coordinator"] == "unipi"
+    assert len(structure["industries"]) == 10
+
+    svg = benchmark(lambda: render_spoke1_figure(structure).render())
+    assert svg.startswith("<svg")
+    for flagship in structure["flagships"]:
+        assert flagship["key"].upper() in svg
+    report(
+        "Figure 1 — Spoke 1 structure",
+        [
+            f"{f['key'].upper()}: {f['title']} (coord. "
+            f"{f['coordinator'].upper()})"
+            for f in structure["flagships"]
+        ]
+        + [
+            f"Living lab {l['key'].upper()}: {l['title']} "
+            f"(leader {l['leader'].upper()})"
+            for l in structure["living_labs"]
+        ],
+    )

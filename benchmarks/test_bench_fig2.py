@@ -1,0 +1,45 @@
+"""Figure 2 benchmark: tool distribution over the five research directions.
+
+Regenerates the Fig. 2 pie data from the raw catalogue, asserts the
+published counts (3, 7, 3, 6, 6) and the quoted 12% / 28% shares (Q2), and
+benchmarks the full figure pipeline (analysis + SVG render).
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.analysis import supply_distribution
+from repro.data.expected import FIG2_COUNTS, Q2_SHARES
+from repro.viz.ascii import ascii_distribution
+from repro.viz.pie import pie_chart
+
+
+def test_bench_fig2_distribution(benchmark, tools, scheme):
+    """Benchmark the Fig. 2 analysis and verify every published number."""
+    table = benchmark(supply_distribution, tools, scheme)
+    assert table.to_dict() == FIG2_COUNTS
+    assert table.share("interactive-computing") == Q2_SHARES["interactive-computing"]
+    assert table.share("orchestration") == Q2_SHARES["orchestration"]
+    names = dict(zip(scheme.keys, scheme.names))
+    report(
+        "Figure 2 — tool distribution (paper: 3, 7, 3, 6, 6)",
+        ascii_distribution(table, label_names=names).splitlines(),
+    )
+
+
+def test_bench_fig2_render(benchmark, tools, scheme):
+    """Benchmark rendering the Fig. 2 pie to SVG."""
+    table = supply_distribution(tools, scheme)
+    names = dict(zip(scheme.keys, scheme.names))
+
+    def render() -> str:
+        return pie_chart(
+            table,
+            title="Tool distribution over the five research directions",
+            label_names=names,
+        ).render()
+
+    svg = benchmark(render)
+    assert svg.startswith("<svg")
+    assert svg.count("<path") == 5  # one slice per direction

@@ -1,0 +1,50 @@
+"""Figure 3 benchmark: research directions covered per institution.
+
+Regenerates the Fig. 3 histogram from the raw catalogue, asserts the
+reconstruction constraints from the paper (9 institutions, more than half
+covering a single direction, none covering all five) and the reconstructed
+bars (5, 2, 1, 1, 0), and benchmarks the analysis + SVG render.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.analysis import coverage_histogram
+from repro.data.expected import FIG3_HISTOGRAM, N_TOOL_INSTITUTIONS
+from repro.viz.ascii import ascii_histogram
+from repro.viz.bars import bar_chart
+
+
+def test_bench_fig3_histogram(benchmark, tools, scheme):
+    """Benchmark the Fig. 3 analysis and verify the published constraints."""
+    table = benchmark(coverage_histogram, tools, scheme)
+    assert table.to_dict() == FIG3_HISTOGRAM
+    assert table.total == N_TOOL_INSTITUTIONS
+    assert table[1] * 2 > table.total          # "more than half ... single topic"
+    assert table[len(scheme)] == 0             # "no institutions span the whole set"
+    report(
+        "Figure 3 — directions covered per institution (bars 5,2,1,1,0)",
+        ascii_histogram(
+            table,
+            x_label="# covered research directions",
+            y_label="# research institutions",
+        ).splitlines(),
+    )
+
+
+def test_bench_fig3_render(benchmark, tools, scheme):
+    """Benchmark rendering the Fig. 3 histogram to SVG."""
+    table = coverage_histogram(tools, scheme)
+
+    def render() -> str:
+        return bar_chart(
+            table,
+            title="Research directions covered per institution",
+            x_label="# covered research directions",
+            y_label="# research institutions",
+        ).render()
+
+    svg = benchmark(render)
+    assert svg.startswith("<svg")
+    assert svg.count("<rect") >= 4  # one bar per non-zero bin + background

@@ -1,0 +1,63 @@
+"""Figure 4 benchmark: tool-selection votes per research direction.
+
+Replays the Sec. 3 survey end to end (questionnaire → validated responses →
+selection matrix → per-direction votes), asserts the published counts
+(4, 11, 1, 6, 6), the quoted share bounds ("below 3.6%" for energy, "above
+39%" for orchestration), and benchmarks both the survey pipeline and the
+SVG render.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.analysis import demand_distribution
+from repro.data.expected import FIG4_VOTES, Q3_SHARES, TABLE2_TOTAL_SELECTIONS
+from repro.survey.aggregate import (
+    run_tool_selection_survey,
+    selection_matrix_from_responses,
+)
+from repro.viz.ascii import ascii_distribution
+from repro.viz.pie import pie_chart
+
+
+def test_bench_fig4_survey_pipeline(benchmark, tools, applications, scheme):
+    """Benchmark the full survey → matrix → votes pipeline; verify Fig. 4."""
+
+    def pipeline():
+        _, responses = run_tool_selection_survey(tools, applications)
+        ordered = [
+            t.key for d in scheme.keys for t in tools.by_direction(d)
+        ]
+        matrix = selection_matrix_from_responses(
+            responses, ordered,
+            name_to_key={t.name: t.key for t in tools},
+        )
+        return matrix.votes_per_direction(tools, scheme)
+
+    votes = benchmark(pipeline)
+    assert votes.to_dict() == FIG4_VOTES
+    assert votes.total == TABLE2_TOTAL_SELECTIONS
+    assert votes.share("energy-efficiency") < Q3_SHARES["energy-efficiency-max"]
+    assert votes.share("orchestration") > Q3_SHARES["orchestration-min"]
+    names = dict(zip(scheme.keys, scheme.names))
+    report(
+        "Figure 4 — selection votes (paper: 4, 11, 1, 6, 6; 28 total)",
+        ascii_distribution(votes, label_names=names).splitlines(),
+    )
+
+
+def test_bench_fig4_render(benchmark, selection, tools, scheme):
+    """Benchmark rendering the Fig. 4 pie to SVG."""
+    votes = demand_distribution(selection, tools, scheme)
+    names = dict(zip(scheme.keys, scheme.names))
+
+    def render() -> str:
+        return pie_chart(
+            votes,
+            title="Tools selected for integration, by research direction",
+            label_names=names,
+        ).render()
+
+    svg = benchmark(render)
+    assert svg.startswith("<svg")

@@ -1,0 +1,92 @@
+"""Continuum-substrate benchmark: scheduling across the HPC+Cloud+Edge tiers.
+
+Exercises the workflow substrate the paper's orchestration and energy
+directions motivate: HEFT, the energy-aware scheduler, and the round-robin
+baseline on representative workloads, reporting makespan/energy/carbon
+series, plus the energy-vs-makespan ablation over the slack knob and the
+robustness of plans under execution jitter.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import report
+
+from repro.continuum.resources import default_continuum
+from repro.continuum.scheduling import (
+    EnergyAwareScheduler,
+    HeftScheduler,
+    RoundRobinScheduler,
+)
+from repro.continuum.simulate import simulate_schedule
+from repro.continuum.workflow import layered_workflow, random_workflow
+
+CONTINUUM = default_continuum(n_hpc=2, n_cloud=4, n_edge=8, seed=2023)
+WORKFLOW = random_workflow(120, seed=2023, edge_probability=0.08)
+SCHEDULERS = {
+    "heft": HeftScheduler(),
+    "energy-aware": EnergyAwareScheduler(slack=2.0),
+    "round-robin": RoundRobinScheduler(),
+}
+
+
+@pytest.mark.parametrize("name", list(SCHEDULERS))
+def test_bench_scheduler_random_dag(benchmark, name):
+    """Schedule a 120-task random DAG on the 14-node continuum."""
+    scheduler = SCHEDULERS[name]
+    schedule = benchmark(scheduler.schedule, WORKFLOW, CONTINUUM)
+    schedule.validate()
+    report(
+        f"Scheduling — {name} on random-120",
+        [f"makespan={schedule.makespan:.3f}s "
+         f"busy={schedule.busy_energy():.0f}J "
+         f"total={schedule.total_energy():.0f}J "
+         f"carbon={schedule.carbon():.0f}"],
+    )
+
+
+def test_bench_scheduler_ranking_low_comm(benchmark):
+    """With light communication, HEFT must beat round-robin on makespan."""
+    wf = random_workflow(100, seed=7, output_range=(0.0, 0.1))
+
+    def run_all():
+        return {
+            name: scheduler.schedule(wf, CONTINUUM)
+            for name, scheduler in SCHEDULERS.items()
+        }
+
+    schedules = benchmark(run_all)
+    assert schedules["heft"].makespan < schedules["round-robin"].makespan
+    report(
+        "Scheduling — makespan ranking (communication-light random-100)",
+        [f"{name}: makespan={s.makespan:.3f}s busy={s.busy_energy():.0f}J"
+         for name, s in schedules.items()],
+    )
+
+
+@pytest.mark.parametrize("slack", [1.0, 1.5, 2.0, 4.0])
+def test_bench_energy_slack_ablation(benchmark, slack):
+    """Energy-vs-makespan trade-off over the slack knob (DESIGN.md ablation)."""
+    wf = layered_workflow(6, 8, work=20.0, output_size=0.5)
+    scheduler = EnergyAwareScheduler(slack=slack)
+
+    schedule = benchmark(scheduler.schedule, wf, CONTINUUM)
+    schedule.validate()
+    report(
+        f"Energy ablation — slack={slack}",
+        [f"makespan={schedule.makespan:.3f}s busy={schedule.busy_energy():.0f}J "
+         f"total={schedule.total_energy():.0f}J"],
+    )
+
+
+def test_bench_plan_robustness(benchmark):
+    """Execute the HEFT plan under 30% duration jitter; slowdown stays sane."""
+    schedule = HeftScheduler().schedule(WORKFLOW, CONTINUUM)
+
+    trace = benchmark(simulate_schedule, schedule, jitter=0.3, seed=99)
+    assert 0.5 < trace.slowdown < 3.0
+    report(
+        "Robustness — HEFT plan under lognormal(0.3) jitter",
+        [f"planned={trace.planned_makespan:.3f}s realized={trace.makespan:.3f}s "
+         f"slowdown={trace.slowdown:.3f}"],
+    )

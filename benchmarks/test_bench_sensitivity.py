@@ -1,0 +1,80 @@
+"""Robustness benchmark: do the paper's findings survive perturbation?
+
+Leave-one-out analyses over the dataset (an extension beyond the paper's
+own evaluation): the Fig. 4 demand ranking must survive the removal of any
+single application, and the analysis must surface the one genuine fragility
+— the Fig. 2 supply minimum is a tie between interactive computing and
+energy efficiency that any energy-tool removal breaks.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.keywording import adjusted_rand_index, induce_scheme
+from repro.core.sensitivity import (
+    jackknife_shares,
+    leave_one_application_out,
+    leave_one_tool_out,
+)
+
+
+def test_bench_loo_applications(benchmark, tools, applications, scheme):
+    """Leave-one-application-out: the demand ranking is fully robust."""
+    loo = benchmark(leave_one_application_out, tools, applications, scheme)
+    assert loo.top_stable and loo.bottom_stable
+    assert loo.breaking_cases == ()
+    report(
+        "Sensitivity — leave-one-application-out (Fig. 4)",
+        [f"top/bottom stable under all {len(loo.perturbed)} removals; "
+         f"max share swing {loo.max_share_swing:.3f}"],
+    )
+
+
+def test_bench_loo_tools(benchmark, tools, scheme):
+    """Leave-one-tool-out: surfaces the IC/EE supply tie."""
+    loo = benchmark(leave_one_tool_out, tools, scheme)
+    assert loo.top_stable
+    assert not loo.bottom_stable  # the 3-3 tie breaks
+    assert len(loo.breaking_cases) == 3
+    report(
+        "Sensitivity — leave-one-tool-out (Fig. 2)",
+        [f"top stable; bottom tie broken by {sorted(loo.breaking_cases)}"],
+    )
+
+
+def test_bench_jackknife(benchmark, tools, applications, scheme):
+    """Jackknife standard errors of the demand shares."""
+    jk = benchmark(jackknife_shares, tools, applications, scheme)
+    orch_share, orch_se = jk["orchestration"]
+    energy_share, energy_se = jk["energy-efficiency"]
+    assert orch_share - orch_se > energy_share + energy_se
+    report(
+        "Sensitivity — jackknife demand shares",
+        [f"{key}: {share:.3f} ± {se:.3f}" for key, (share, se) in jk.items()],
+    )
+
+
+def test_bench_scheme_induction(benchmark, tools, scheme):
+    """Unsupervised scheme induction on the 25 real descriptions.
+
+    The weak agreement (ARI ≈ 0.1-0.3 vs the published taxonomy) is itself
+    the finding: 25 short descriptions carry too little signal for
+    clustering, empirically justifying the paper's manual classification.
+    """
+    documents = [t.description for t in tools]
+    gold = [scheme.index(t.primary_direction) for t in tools]
+
+    def induce():
+        _, labels = induce_scheme(documents, 5, seed=0)
+        return labels
+
+    labels = benchmark(induce)
+    ari = adjusted_rand_index(gold, labels)
+    assert 0.0 < ari < 0.6
+    report(
+        "Keywording — unsupervised scheme induction (25 real tools)",
+        [f"ARI vs published taxonomy: {ari:.3f} "
+         "(weak → manual classification justified; "
+         "0.85 on 100 synthetic tools, see tests)"],
+    )

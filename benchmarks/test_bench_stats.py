@@ -1,0 +1,73 @@
+"""Statistics-substrate benchmark: agreement and inference at scale.
+
+The screening stage of a full-size SMS computes inter-rater agreement over
+thousands of double-screened records and the analysis stage runs seeded
+resampling; these benches keep those kernels honest (vectorized paths, no
+quadratic blowups).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import report
+
+from repro.data.synthetic import synthetic_ratings
+from repro.screening.agreement import cohen_kappa, fleiss_kappa, krippendorff_alpha
+from repro.stats.inference import bootstrap_share_ci, permutation_tvd_test
+
+
+@pytest.mark.parametrize("n_items", [1000, 10_000])
+def test_bench_cohen_kappa_scaling(benchmark, n_items):
+    """Cohen's kappa over two raters and many items."""
+    ratings = synthetic_ratings(n_items, 2, 5, agreement=0.8, seed=3)
+
+    kappa = benchmark(cohen_kappa, ratings[0], ratings[1])
+    assert 0.5 < kappa < 1.0
+    report(f"Agreement — Cohen kappa, {n_items} items", [f"kappa={kappa:.3f}"])
+
+
+def test_bench_fleiss_kappa(benchmark):
+    """Fleiss' kappa over five raters and 5000 items."""
+    ratings = synthetic_ratings(5000, 5, 4, agreement=0.75, seed=4)
+    rows = np.zeros((5000, 4), dtype=np.float64)
+    for rater in ratings:
+        rows[np.arange(5000), rater] += 1
+
+    kappa = benchmark(fleiss_kappa, rows)
+    assert 0.3 < kappa < 1.0
+
+
+def test_bench_krippendorff(benchmark):
+    """Krippendorff's alpha with 10% missing data, 2000 items, 3 raters."""
+    rng = np.random.default_rng(6)
+    ratings = synthetic_ratings(2000, 3, 4, agreement=0.8, seed=6)
+    with_missing = [
+        [None if rng.random() < 0.1 else value for value in rater]
+        for rater in ratings
+    ]
+
+    alpha = benchmark(krippendorff_alpha, with_missing)
+    assert 0.4 < alpha < 1.0
+
+
+def test_bench_permutation_test(benchmark):
+    """Vectorized permutation TVD test at 100k permutations."""
+    result = benchmark(
+        permutation_tvd_test,
+        [3, 7, 3, 6, 6], [4, 11, 1, 6, 6],
+        seed=2023, n_permutations=100_000,
+    )
+    assert 0.0 < result.p_value <= 1.0
+    report("Inference — permutation test (100k permutations)",
+           [f"TVD={result.statistic:.3f} p={result.p_value:.4f}"])
+
+
+def test_bench_bootstrap_vectorized(benchmark):
+    """Vectorized multinomial bootstrap at 200k resamples."""
+    low, high = benchmark(
+        bootstrap_share_ci,
+        [4, 11, 1, 6, 6], 1,
+        seed=2023, n_resamples=200_000,
+    )
+    assert low < 11 / 28 < high

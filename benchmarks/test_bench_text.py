@@ -1,0 +1,66 @@
+"""Text-substrate benchmark: the NLP kernels under every simulated step.
+
+TF-IDF model construction and batch similarity, Porter stemming throughput,
+and the vectorized Levenshtein — the hot paths behind the classifiers, the
+matcher, and deduplication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import report
+
+from repro.data.synthetic import synthetic_corpus
+from repro.text.similarity import levenshtein
+from repro.text.stem import porter_stem
+from repro.text.tokenize import tokenize
+from repro.text.vectorize import TfidfModel
+
+_CORPUS = [p.searchable_text() for p in synthetic_corpus(2000, seed=21)]
+
+
+def test_bench_tfidf_fit(benchmark):
+    """Fit TF-IDF over 2000 synthetic abstracts."""
+    model = benchmark(TfidfModel, _CORPUS)
+    assert model.n_documents == 2000
+    assert model.matrix.shape[1] > 50
+
+
+def test_bench_tfidf_similarity(benchmark):
+    """Batch cosine similarity of 100 queries against 2000 documents."""
+    model = TfidfModel(_CORPUS)
+    queries = _CORPUS[:100]
+
+    sims = benchmark(model.similarity, queries)
+    assert sims.shape == (100, 2000)
+    # Self-similarity dominates each row.
+    assert np.allclose(sims[np.arange(100), np.arange(100)],
+                       sims.max(axis=1))
+
+
+def test_bench_porter_stemmer(benchmark):
+    """Stem the full vocabulary of the 2000-document corpus."""
+    vocabulary = sorted({
+        token for text in _CORPUS for token in tokenize(text)
+    })
+
+    def stem_all():
+        return [porter_stem(word) for word in vocabulary]
+
+    stems = benchmark(stem_all)
+    assert len(stems) == len(vocabulary)
+    report("Text — stemmer throughput",
+           [f"{len(vocabulary)} distinct tokens per round"])
+
+
+@pytest.mark.parametrize("length", [30, 300])
+def test_bench_levenshtein(benchmark, length):
+    """Vectorized edit distance on strings of increasing length."""
+    rng = np.random.default_rng(5)
+    alphabet = np.array(list("abcdefgh"))
+    a = "".join(rng.choice(alphabet, size=length))
+    b = "".join(rng.choice(alphabet, size=length))
+
+    distance = benchmark(levenshtein, a, b)
+    assert 0 < distance <= length

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: replay the paper's full mapping study in one call.
+
+Runs the pipeline (collect → classify → survey → analyze) on the encoded
+ICSC dataset, prints every regenerated table/figure to the terminal, and
+writes the SVG/CSV artifact set to ``./output/quickstart``.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import run_icsc_study, workflow_directions
+from repro.core.analysis import coverage_histogram, supply_distribution
+from repro.data import icsc_ecosystem, spoke1_structure
+from repro.reporting import render_all_artifacts, study_report
+from repro.viz import ascii_distribution, ascii_histogram, ascii_matrix
+
+
+def main() -> None:
+    # 1. Run the whole study: one call, deterministic under the seed.
+    results = run_icsc_study(seed=2023)
+    scheme = workflow_directions()
+    names = dict(zip(scheme.keys, scheme.names))
+
+    print("=" * 72)
+    print("Q1 — research directions:", ", ".join(results.q1.direction_names))
+    print("=" * 72)
+
+    # 2. Figure 2: how the 25 tools distribute over the directions.
+    print("\nFigure 2 — tool distribution")
+    print(ascii_distribution(results.q2.distribution, label_names=names))
+
+    # 3. Figure 3: institutional coverage.
+    print("\nFigure 3 — directions covered per institution")
+    print(
+        ascii_histogram(
+            results.q2.coverage,
+            x_label="# covered research directions",
+            y_label="# research institutions",
+        )
+    )
+
+    # 4. Figure 4: what applications actually ask for.
+    print("\nFigure 4 — selection votes")
+    print(ascii_distribution(results.q3.votes, label_names=names))
+    print(
+        f"\nMost demanded: {names[results.q3.top_direction]}; "
+        f"least demanded: {names[results.q3.bottom_direction]}"
+    )
+
+    # 5. Table 2 as a terminal grid.
+    _, tools, applications, _ = icsc_ecosystem()
+    print("\nTable 2 — selections")
+    print(
+        ascii_matrix(
+            results.selection,
+            row_names={t.key: t.name for t in tools},
+            col_names={a.key: a.section for a in applications.ordered()},
+        )
+    )
+
+    # 6. Full markdown report + SVG artifacts on disk.
+    output = Path("output/quickstart")
+    output.mkdir(parents=True, exist_ok=True)
+    (output / "report.md").write_text(
+        study_report(results, scheme), encoding="utf-8"
+    )
+    artifacts = render_all_artifacts(
+        tools, applications, scheme, output, spoke1=spoke1_structure()
+    )
+    print(f"\nWrote {len(artifacts)} artifacts to {output}/")
+    for name in sorted(artifacts):
+        print(f"  {name}: {artifacts[name].name}")
+
+
+if __name__ == "__main__":
+    main()

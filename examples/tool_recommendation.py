@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Recommend ICSC tools for a *new* application, the Sec. 3 survey inverted.
+
+The paper asked providers which tools they deem valuable.  A downstream use
+of this library is the reverse: given a new application's description, rank
+the catalogue's 25 tools by fit.  This example:
+
+1. builds the requirement↔capability match model on the ICSC dataset;
+2. validates it against the published Table 2 (cell-level agreement);
+3. embeds two *new* applications — a climate digital twin and a federated
+   ML pipeline — and prints their top-5 tool recommendations with the
+   per-direction requirement profile the extractor inferred.
+
+Run with::
+
+    python examples/tool_recommendation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.continuum.matching import MatchModel
+from repro.continuum.requirements import requirement_vector
+from repro.core.entities import Application
+from repro.data import icsc_ecosystem
+from repro.text.vectorize import TfidfModel
+
+NEW_APPLICATIONS = [
+    Application(
+        "climate-twin",
+        "Digital twin of regional climate",
+        "4.1",
+        domain="earth science",
+        description=(
+            "A digital twin coupling a regional climate simulation with "
+            "real-time sensor ingestion at the edge.  Needs orchestration "
+            "of hybrid cloud and HPC workflows, live migration of ingestion "
+            "micro-services following weather events, transparent I/O "
+            "streaming between the simulation and the assimilation stages, "
+            "and interactive notebooks for scientists to steer scenarios."
+        ),
+    ),
+    Application(
+        "federated-ml",
+        "Cross-hospital federated learning pipeline",
+        "4.2",
+        domain="in-silico medicine",
+        description=(
+            "Training diagnostic models across hospitals without moving "
+            "patient data.  Needs deployment of containerised training "
+            "jobs over multiple Kubernetes clusters, parallel data mining "
+            "of local records, autoML hyperparameter tuning of the global "
+            "model, and stream processing of monitoring metrics on "
+            "multi-core aggregation nodes."
+        ),
+    ),
+]
+
+
+def main() -> None:
+    _, tools, applications, scheme = icsc_ecosystem()
+    names = dict(zip(scheme.keys, scheme.names))
+
+    # 1-2. Fit and validate on the published survey.
+    model = MatchModel(tools, applications, scheme)
+    validation = model.evaluate(mode="cardinality")
+    print("Validation against the published Table 2:")
+    print(f"  cell F1 = {validation.agreement['f1']:.3f}, "
+          f"top demanded direction matches: {validation.rank_match_top}")
+
+    # 3. Score the new applications: direction affinity + text similarity,
+    #    the same blend the model uses internally.
+    tool_keys = model.tool_keys
+    tfidf = TfidfModel([tools[k].description for k in tool_keys])
+    from repro.continuum.capabilities import capability_matrix
+
+    capabilities, _ = capability_matrix(tools, scheme)
+    cap_norm = capabilities / np.linalg.norm(capabilities, axis=1, keepdims=True)
+
+    for app in NEW_APPLICATIONS:
+        requirements = requirement_vector(app, scheme)
+        profile = ", ".join(
+            f"{names[key]}={requirements[i]:.2f}"
+            for i, key in enumerate(scheme.keys)
+        )
+        direction_scores = (requirements / np.linalg.norm(requirements)) @ cap_norm.T
+        text_scores = tfidf.similarity([app.description])[0]
+        scores = 0.7 * direction_scores + 0.3 * text_scores
+
+        print(f"\n{app.title} ({app.domain})")
+        print(f"  inferred requirements: {profile}")
+        print("  top-5 recommended tools:")
+        for rank, index in enumerate(np.argsort(-scores)[:5], start=1):
+            tool = tools[tool_keys[index]]
+            print(f"   {rank}. {tool.name:<16} "
+                  f"[{names[tool.primary_direction]}]  "
+                  f"score={scores[index]:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — a systematic-mapping-study toolkit.
+
+A complete, executable reproduction of *"A Systematic Mapping Study of
+Italian Research on Workflows"* (Aldinucci et al., SC-W 2023), built as a
+reusable library for running systematic mapping studies end to end:
+
+* an entity model and taxonomy for tools, applications, and institutions
+  (:mod:`repro.core`);
+* a bibliographic corpus substrate with a from-scratch BibTeX parser,
+  boolean queries, and near-duplicate detection (:mod:`repro.corpus`);
+* screening with inclusion/exclusion criteria and inter-rater agreement
+  (:mod:`repro.screening`);
+* survey instruments with validated responses (:mod:`repro.survey`);
+* statistics — frequency tables, diversity indices, inference
+  (:mod:`repro.stats`) — and text processing (:mod:`repro.text`);
+* a Computing-Continuum simulator with workflow DAG scheduling and a
+  requirement↔capability matcher (:mod:`repro.continuum`);
+* SVG/ASCII figure rendering (:mod:`repro.viz`), tables
+  (:mod:`repro.tables`), and reporting (:mod:`repro.reporting`);
+* the encoded ICSC ground-truth dataset (:mod:`repro.data`).
+
+Quickstart
+----------
+>>> from repro import run_icsc_study
+>>> results = run_icsc_study()
+>>> results.q3.top_direction
+'orchestration'
+"""
+
+from repro.core.protocol import StudyProtocol, icsc_protocol
+from repro.core.study import (
+    MappingStudy,
+    StudyResults,
+    StudyStage,
+    run_icsc_study,
+)
+from repro.core.taxonomy import ClassificationScheme, workflow_directions
+from repro.data.icsc import icsc_ecosystem
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClassificationScheme",
+    "MappingStudy",
+    "ReproError",
+    "StudyProtocol",
+    "StudyResults",
+    "StudyStage",
+    "__version__",
+    "icsc_ecosystem",
+    "icsc_protocol",
+    "run_icsc_study",
+    "workflow_directions",
+]

@@ -1,0 +1,257 @@
+"""Command-line interface.
+
+Installed as ``python -m repro``; every subcommand is a thin wrapper over
+the library API and returns a process exit code (0 = success), so the CLI
+is unit-testable by calling :func:`main` with an argv list.
+
+Subcommands
+-----------
+``replicate``
+    Run the full ICSC study, print the key findings, and (optionally)
+    write the report and all figure/table artifacts to a directory.
+``report``
+    Print the full markdown study report to stdout.
+``figures --output DIR``
+    Regenerate every paper figure/table artifact into a directory.
+``validate``
+    Load and cross-validate the dataset; print the headline counts.
+``classify TEXT``
+    Classify a tool description into the five research directions.
+``recommend TEXT``
+    Rank the 25 catalogue tools for a new application description.
+``export (--json PATH | --bibtex PATH)``
+    Dump the dataset as JSON, or the paper bibliography as BibTeX.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Systematic mapping study toolkit (SC-W 2023 reproduction).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    replicate = sub.add_parser(
+        "replicate", help="run the full ICSC mapping study"
+    )
+    replicate.add_argument("--seed", type=int, default=2023)
+    replicate.add_argument(
+        "--output", type=Path, default=None,
+        help="directory for the report and figure artifacts",
+    )
+
+    sub.add_parser("report", help="print the markdown study report")
+
+    figures = sub.add_parser(
+        "figures", help="regenerate every figure/table artifact"
+    )
+    figures.add_argument("--output", type=Path, required=True)
+
+    sub.add_parser("validate", help="validate the encoded dataset")
+
+    classify = sub.add_parser(
+        "classify", help="classify a tool description"
+    )
+    classify.add_argument("text", help="the description to classify")
+
+    recommend = sub.add_parser(
+        "recommend", help="rank catalogue tools for an application description"
+    )
+    recommend.add_argument("text", help="the application description")
+    recommend.add_argument("-k", type=int, default=5, help="tools to list")
+
+    export = sub.add_parser("export", help="dump datasets to disk")
+    group = export.add_mutually_exclusive_group(required=True)
+    group.add_argument("--json", type=Path, help="write the ecosystem as JSON")
+    group.add_argument(
+        "--bibtex", type=Path, help="write the paper bibliography as BibTeX"
+    )
+    return parser
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    from repro import run_icsc_study, workflow_directions
+    from repro.data import icsc_ecosystem, spoke1_structure
+    from repro.reporting import render_all_artifacts, study_report
+    from repro.viz import ascii_distribution
+
+    results = run_icsc_study(seed=args.seed)
+    scheme = workflow_directions()
+    names = dict(zip(scheme.keys, scheme.names))
+    print("Fig. 2 — tool distribution")
+    print(ascii_distribution(results.q2.distribution, label_names=names))
+    print("\nFig. 4 — selection votes")
+    print(ascii_distribution(results.q3.votes, label_names=names))
+    print(
+        f"\nmost demanded: {names[results.q3.top_direction]}; "
+        f"least demanded: {names[results.q3.bottom_direction]}"
+    )
+    if results.classifier_evaluation is not None:
+        print(
+            "classifier check: accuracy "
+            f"{results.classifier_evaluation.accuracy:.2f}"
+        )
+    if args.output is not None:
+        args.output.mkdir(parents=True, exist_ok=True)
+        (args.output / "report.md").write_text(
+            study_report(results, scheme), encoding="utf-8"
+        )
+        _, tools, applications, _ = icsc_ecosystem()
+        artifacts = render_all_artifacts(
+            tools, applications, scheme, args.output,
+            spoke1=spoke1_structure(),
+        )
+        print(f"wrote report.md and {len(artifacts)} artifacts to {args.output}")
+    return 0
+
+
+def _cmd_report(_: argparse.Namespace) -> int:
+    from repro import run_icsc_study, workflow_directions
+    from repro.reporting import study_report
+
+    print(study_report(run_icsc_study(), workflow_directions()))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.data import icsc_ecosystem, spoke1_structure
+    from repro.reporting import render_all_artifacts
+
+    _, tools, applications, scheme = icsc_ecosystem()
+    artifacts = render_all_artifacts(
+        tools, applications, scheme, args.output, spoke1=spoke1_structure()
+    )
+    for name in sorted(artifacts):
+        print(f"{name}: {artifacts[name]}")
+    return 0
+
+
+def _cmd_validate(_: argparse.Namespace) -> int:
+    from repro.data import icsc_ecosystem
+    from repro.errors import ReproError
+
+    try:
+        _, tools, applications, scheme = icsc_ecosystem()
+    except ReproError as exc:
+        print(f"dataset INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"dataset OK: {len(tools)} tools, {len(applications)} applications, "
+        f"{len(tools.institutions())} tool institutions, "
+        f"{len(applications.providers())} application providers, "
+        f"{len(scheme)} directions"
+    )
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro import workflow_directions
+    from repro.core.classification import KeywordClassifier
+    from repro.errors import ReproError
+
+    scheme = workflow_directions()
+    try:
+        result = KeywordClassifier(scheme).classify(args.text)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    names = dict(zip(scheme.keys, scheme.names))
+    print(f"direction: {names[result.label]} "
+          f"(confidence {result.confidence:.2f})")
+    for key, score in result.top(len(scheme)):
+        print(f"  {names[key]}: {score:g}")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.continuum.capabilities import capability_matrix
+    from repro.core.entities import Application
+    from repro.continuum.requirements import requirement_vector
+    from repro.data import icsc_ecosystem
+    from repro.errors import ReproError
+    from repro.text.vectorize import TfidfModel
+
+    if args.k < 1:
+        print("error: -k must be >= 1", file=sys.stderr)
+        return 1
+    _, tools, _, scheme = icsc_ecosystem()
+    try:
+        application = Application(
+            "cli-query", "CLI query", "9.9", description=args.text
+        )
+        requirements = requirement_vector(application, scheme)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    capabilities, keys = capability_matrix(tools, scheme)
+    cap_norm = capabilities / np.linalg.norm(capabilities, axis=1, keepdims=True)
+    direction_scores = (requirements / np.linalg.norm(requirements)) @ cap_norm.T
+    tfidf = TfidfModel([tools[k].description for k in keys])
+    text_scores = tfidf.similarity([args.text])[0]
+    scores = 0.7 * direction_scores + 0.3 * text_scores
+    names = dict(zip(scheme.keys, scheme.names))
+    for rank, index in enumerate(np.argsort(-scores)[: args.k], start=1):
+        tool = tools[keys[index]]
+        print(f"{rank}. {tool.name} [{names[tool.primary_direction]}] "
+              f"score={scores[index]:.3f}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    if args.json is not None:
+        from repro.data import icsc_ecosystem
+        from repro.io.jsonio import save_ecosystem
+
+        save_ecosystem(args.json, *icsc_ecosystem())
+        print(f"wrote {args.json}")
+        return 0
+    from repro.data.bibliography import bibliography_bibtex
+
+    args.bibtex.write_text(bibliography_bibtex(), encoding="utf-8")
+    print(f"wrote {args.bibtex}")
+    return 0
+
+
+_COMMANDS = {
+    "replicate": _cmd_replicate,
+    "report": _cmd_report,
+    "figures": _cmd_figures,
+    "validate": _cmd_validate,
+    "classify": _cmd_classify,
+    "recommend": _cmd_recommend,
+    "export": _cmd_export,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: conventional silent exit.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""Computing-Continuum substrate: resources, workflows, scheduling, matching."""
+
+from repro.continuum.capabilities import capability_matrix, capability_vector
+from repro.continuum.energy import PowerTrace, energy_report, power_trace
+from repro.continuum.failures import FailureTrace, simulate_with_failures
+from repro.continuum.matching import MatchModel, MatchReport
+from repro.continuum.requirements import requirement_matrix, requirement_vector
+from repro.continuum.resources import (
+    Continuum,
+    Resource,
+    ResourceKind,
+    default_continuum,
+)
+from repro.continuum.scheduling import (
+    EnergyAwareScheduler,
+    HeftScheduler,
+    RoundRobinScheduler,
+    Schedule,
+    TaskPlacement,
+)
+from repro.continuum.serialize import (
+    load_workflow,
+    save_workflow,
+    schedule_to_dot,
+    workflow_from_dict,
+    workflow_to_dict,
+    workflow_to_dot,
+)
+from repro.continuum.simulate import ExecutionTrace, simulate_schedule
+from repro.continuum.workflow import (
+    Task,
+    Workflow,
+    layered_workflow,
+    random_workflow,
+)
+
+__all__ = [
+    "Continuum",
+    "EnergyAwareScheduler",
+    "ExecutionTrace",
+    "FailureTrace",
+    "HeftScheduler",
+    "MatchModel",
+    "MatchReport",
+    "PowerTrace",
+    "energy_report",
+    "power_trace",
+    "Resource",
+    "ResourceKind",
+    "RoundRobinScheduler",
+    "Schedule",
+    "Task",
+    "TaskPlacement",
+    "Workflow",
+    "capability_matrix",
+    "capability_vector",
+    "default_continuum",
+    "layered_workflow",
+    "random_workflow",
+    "requirement_matrix",
+    "requirement_vector",
+    "simulate_schedule",
+    "simulate_with_failures",
+    "load_workflow",
+    "save_workflow",
+    "schedule_to_dot",
+    "workflow_from_dict",
+    "workflow_to_dict",
+    "workflow_to_dot",
+]

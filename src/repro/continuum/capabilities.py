@@ -1,0 +1,83 @@
+"""Tool capability vectors over the research-direction space.
+
+Every tool is embedded in the 5-dimensional research-direction space of the
+taxonomy.  The vector combines:
+
+* **structure** — the published classification: 1.0 on the primary
+  direction, ``secondary_weight`` on each secondary direction;
+* **text** — the keyword-classifier score profile of the tool's
+  description, L1-normalized, blended in with weight ``text_weight``.
+
+The blend keeps the vector faithful to Table 1 while letting the free-text
+description add nuance (e.g. CAPIO's streaming vocabulary bleeds a little
+into Big Data management, exactly as a human reviewer would perceive).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.catalog import ToolCatalog
+from repro.core.classification import KeywordClassifier
+from repro.core.entities import Tool
+from repro.core.taxonomy import ClassificationScheme
+from repro.errors import ValidationError
+
+__all__ = ["capability_vector", "capability_matrix"]
+
+
+def capability_vector(
+    tool: Tool,
+    scheme: ClassificationScheme,
+    *,
+    classifier: KeywordClassifier | None = None,
+    secondary_weight: float = 0.5,
+    text_weight: float = 0.3,
+) -> np.ndarray:
+    """The tool's L1-normalized capability vector (aligned with scheme order)."""
+    if not 0.0 <= secondary_weight <= 1.0:
+        raise ValidationError("secondary_weight must be in [0, 1]")
+    if not 0.0 <= text_weight < 1.0:
+        raise ValidationError("text_weight must be in [0, 1)")
+    structure = np.zeros(len(scheme), dtype=np.float64)
+    structure[scheme.index(tool.primary_direction)] = 1.0
+    for direction in tool.secondary_directions:
+        structure[scheme.index(direction)] = secondary_weight
+    structure /= structure.sum()
+
+    if text_weight > 0.0 and tool.description.strip():
+        clf = classifier or KeywordClassifier(scheme)
+        result = clf.classify(tool.description)
+        text = np.asarray(
+            [result.scores[key] for key in scheme.keys], dtype=np.float64
+        )
+        if text.sum() > 0:
+            text /= text.sum()
+            return (1.0 - text_weight) * structure + text_weight * text
+    return structure
+
+
+def capability_matrix(
+    tools: ToolCatalog,
+    scheme: ClassificationScheme,
+    *,
+    secondary_weight: float = 0.5,
+    text_weight: float = 0.3,
+) -> tuple[np.ndarray, tuple[str, ...]]:
+    """Stacked capability vectors for a whole catalogue.
+
+    Returns ``(matrix, tool_keys)`` with one row per tool in catalogue
+    order; the classifier is built once and shared across tools.
+    """
+    classifier = KeywordClassifier(scheme) if text_weight > 0 else None
+    keys = tools.keys
+    matrix = np.empty((len(keys), len(scheme)), dtype=np.float64)
+    for i, key in enumerate(keys):
+        matrix[i] = capability_vector(
+            tools[key],
+            scheme,
+            classifier=classifier,
+            secondary_weight=secondary_weight,
+            text_weight=text_weight,
+        )
+    return matrix, keys

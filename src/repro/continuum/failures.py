@@ -1,0 +1,222 @@
+"""Failure injection: executing plans on unreliable resources.
+
+The paper's discussion (Sec. 4) flags *fault tolerance* as a direction the
+surveyed ecosystem does not yet cover.  This module supplies the substrate
+to study it: a schedule is replayed on resources that fail according to
+seeded exponential (Poisson-process) inter-failure times; a failure kills
+the running task's attempt (its work is lost) and takes the resource down
+for a repair interval.  Two recovery policies:
+
+* ``"restart"`` — re-run the attempt on the same resource once repaired;
+* ``"migrate"`` — move the task to the feasible resource that can finish
+  it earliest (checkpoint-free migration: the attempt restarts from zero).
+
+The replay is a *list-scheduling replay*: tasks run in dependency
+(topological) order, each starting as soon as its inputs have arrived and
+its resource is free — the plan fixes the task→resource mapping, reality
+fixes the timing.  Returned metrics quantify the fault-tolerance cost:
+failure count, retries, lost work, and makespan inflation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.continuum.resources import Continuum
+from repro.continuum.scheduling import Schedule, TaskPlacement
+from repro.errors import ContinuumError
+
+__all__ = ["FailureTrace", "simulate_with_failures"]
+
+
+@dataclass(frozen=True, slots=True)
+class FailureTrace:
+    """Outcome of executing a schedule under failures.
+
+    Attributes
+    ----------
+    placements:
+        Final successful attempt of every task.
+    makespan:
+        Realized completion time.
+    planned_makespan:
+        The failure-free plan's makespan.
+    n_failures:
+        Attempts killed by resource failures.
+    n_migrations:
+        Tasks that ended up on a different resource than planned.
+    lost_work:
+        Total seconds of execution destroyed by failures.
+    """
+
+    placements: tuple[TaskPlacement, ...]
+    makespan: float
+    planned_makespan: float
+    n_failures: int
+    n_migrations: int
+    lost_work: float
+
+    @property
+    def slowdown(self) -> float:
+        return self.makespan / self.planned_makespan
+
+
+class _FailureClock:
+    """Per-resource Poisson failure process, sampled lazily."""
+
+    def __init__(self, keys, mtbf: float, rng: np.random.Generator) -> None:
+        self._mtbf = mtbf
+        self._rng = rng
+        self._next: dict[str, float] = {
+            key: float(rng.exponential(mtbf)) for key in keys
+        }
+
+    def next_failure(self, resource: str) -> float:
+        return self._next[resource]
+
+    def consume(self, resource: str) -> None:
+        """The pending failure happened; sample the next one."""
+        self._next[resource] += float(self._rng.exponential(self._mtbf))
+
+    def advance_past(self, resource: str, time: float) -> None:
+        """Discard failures that elapsed while the resource was idle.
+
+        A failure of an idle node is modelled as harmless (it reboots with
+        nothing to lose), so pending failure times strictly before *time*
+        are skipped.
+        """
+        while self._next[resource] < time:
+            self.consume(resource)
+
+
+def simulate_with_failures(
+    schedule: Schedule,
+    *,
+    mtbf: float,
+    repair_time: float,
+    policy: str = "restart",
+    seed: int | None = None,
+    max_attempts: int = 50,
+) -> FailureTrace:
+    """Replay *schedule* with exponential failures of rate ``1/mtbf``.
+
+    Parameters
+    ----------
+    schedule:
+        The plan (fixes the task→resource mapping and task order).
+    mtbf:
+        Mean time between failures per resource, in simulated seconds.
+    repair_time:
+        Downtime after each failure.
+    policy:
+        ``"restart"`` or ``"migrate"`` (see module docstring).
+    seed:
+        Seeds both the failure process and migration tie-breaks.
+    max_attempts:
+        Abort with :class:`ContinuumError` if one task fails this often —
+        guards against ``mtbf`` far below task durations.
+    """
+    if mtbf <= 0:
+        raise ContinuumError("mtbf must be > 0")
+    if repair_time < 0:
+        raise ContinuumError("repair_time must be >= 0")
+    if policy not in ("restart", "migrate"):
+        raise ContinuumError(f"unknown policy {policy!r}")
+    if max_attempts < 1:
+        raise ContinuumError("max_attempts must be >= 1")
+
+    workflow = schedule.workflow
+    continuum: Continuum = schedule.continuum
+    rng = np.random.default_rng(seed)
+    clock = _FailureClock(continuum.keys, mtbf, rng)
+
+    resource_free: dict[str, float] = {key: 0.0 for key in continuum.keys}
+    finished: dict[str, TaskPlacement] = {}
+    n_failures = 0
+    n_migrations = 0
+    lost_work = 0.0
+
+    def data_ready(task_key: str, on_resource: str) -> float:
+        ready = 0.0
+        for pred in workflow.predecessors(task_key):
+            placement = finished[pred]
+            arrival = placement.finish + continuum.transfer_time(
+                workflow[pred].output_size, placement.resource, on_resource
+            )
+            ready = max(ready, arrival)
+        return ready
+
+    # Replay in the plan's global start order restricted to a valid
+    # topological order (the plan's start order IS topological: a schedule
+    # validates that successors start after predecessors finish).
+    order = [p.task for p in schedule.placements]
+
+    for task_key in order:
+        task = workflow[task_key]
+        resource_key = schedule[task_key].resource
+        attempts = 0
+        while True:
+            if attempts >= max_attempts:
+                raise ContinuumError(
+                    f"task {task_key!r} failed {attempts} times; "
+                    f"mtbf={mtbf} is too small for its duration"
+                )
+            resource = continuum[resource_key]
+            duration = resource.execution_time(task.work)
+            start = max(
+                resource_free[resource_key],
+                data_ready(task_key, resource_key),
+            )
+            clock.advance_past(resource_key, start)
+            failure = clock.next_failure(resource_key)
+            if failure >= start + duration:
+                finish = start + duration
+                resource_free[resource_key] = finish
+                finished[task_key] = TaskPlacement(
+                    task_key, resource_key, start, finish
+                )
+                break
+            # The attempt dies at the failure instant.
+            attempts += 1
+            n_failures += 1
+            lost_work += failure - start
+            clock.consume(resource_key)
+            resource_free[resource_key] = failure + repair_time
+            if policy == "migrate":
+                # Earliest-finish feasible resource for the retry.
+                candidates = []
+                for other in continuum:
+                    if not other.supports(task.requirements):
+                        continue
+                    retry_start = max(
+                        resource_free[other.key],
+                        data_ready(task_key, other.key),
+                    )
+                    retry_finish = retry_start + other.execution_time(task.work)
+                    candidates.append((retry_finish, other.key))
+                if not candidates:  # pragma: no cover - plan was feasible
+                    raise ContinuumError(
+                        f"no feasible resource left for {task_key!r}"
+                    )
+                _, best_key = min(candidates)
+                if best_key != resource_key:
+                    resource_key = best_key
+
+    makespan = max(p.finish for p in finished.values())
+    n_migrations = sum(
+        1
+        for task_key, placement in finished.items()
+        if placement.resource != schedule[task_key].resource
+    )
+    return FailureTrace(
+        placements=tuple(
+            sorted(finished.values(), key=lambda p: (p.start, p.task))
+        ),
+        makespan=float(makespan),
+        planned_makespan=schedule.makespan,
+        n_failures=n_failures,
+        n_migrations=n_migrations,
+        lost_work=float(lost_work),
+    )

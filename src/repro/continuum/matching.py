@@ -1,0 +1,199 @@
+"""Requirement ↔ capability matching: the simulated Sec. 3 survey.
+
+The paper's Table 2 came from human application providers picking tools.
+The matcher replays that choice mechanically (DESIGN.md §3, substitution 2):
+
+1. embed tools (capabilities) and applications (requirements) in the shared
+   research-direction space;
+2. refine the direction-level affinity with a TF-IDF text-similarity term
+   between the application's and tool's descriptions;
+3. per application, select either the top-k tools (cardinality-matched
+   evaluation) or all tools above a score threshold.
+
+The key *shape* claim to reproduce: aggregating predicted selections by
+direction must rank orchestration first and energy efficiency last,
+matching Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.continuum.capabilities import capability_matrix
+from repro.continuum.requirements import requirement_matrix
+from repro.core.catalog import ApplicationCatalog, ToolCatalog
+from repro.core.selection import SelectionMatrix
+from repro.core.taxonomy import ClassificationScheme
+from repro.errors import ValidationError
+from repro.text.vectorize import TfidfModel
+
+__all__ = ["MatchModel", "MatchReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class MatchReport:
+    """Outcome of evaluating predicted selections against the published ones.
+
+    Attributes
+    ----------
+    predicted:
+        The predicted selection matrix.
+    agreement:
+        Cell-level accuracy/precision/recall/F1/Jaccard versus ground truth.
+    predicted_votes, actual_votes:
+        Per-direction vote counts of both matrices.
+    rank_match_top, rank_match_bottom:
+        Whether the predicted demand ranking agrees with the published one
+        on the most- and least-demanded direction.
+    """
+
+    predicted: SelectionMatrix
+    agreement: dict[str, float]
+    predicted_votes: dict[str, int]
+    actual_votes: dict[str, int]
+    rank_match_top: bool
+    rank_match_bottom: bool
+
+
+class MatchModel:
+    """Scores (application, tool) affinity and predicts selections.
+
+    Parameters
+    ----------
+    tools, applications, scheme:
+        The study dataset.
+    direction_weight:
+        Weight of the direction-space affinity (requirement · capability);
+        the remainder goes to TF-IDF description similarity.
+    secondary_weight, text_weight, smoothing:
+        Passed through to the capability/requirement embeddings.
+    """
+
+    def __init__(
+        self,
+        tools: ToolCatalog,
+        applications: ApplicationCatalog,
+        scheme: ClassificationScheme,
+        *,
+        direction_weight: float = 0.7,
+        secondary_weight: float = 0.5,
+        text_weight: float = 0.3,
+        smoothing: float = 0.05,
+    ) -> None:
+        if not 0.0 <= direction_weight <= 1.0:
+            raise ValidationError("direction_weight must be in [0, 1]")
+        self.tools = tools
+        self.applications = applications
+        self.scheme = scheme
+        self.direction_weight = direction_weight
+
+        cap, self._tool_keys = capability_matrix(
+            tools, scheme,
+            secondary_weight=secondary_weight, text_weight=text_weight,
+        )
+        req, self._app_keys = requirement_matrix(
+            applications, scheme, smoothing=smoothing
+        )
+        # Direction affinity: cosine of the L1-normalized profiles.
+        cap_norm = cap / np.linalg.norm(cap, axis=1, keepdims=True)
+        req_norm = req / np.linalg.norm(req, axis=1, keepdims=True)
+        direction_scores = req_norm @ cap_norm.T  # (apps, tools)
+
+        # Text affinity: TF-IDF cosine between descriptions.
+        tool_texts = [tools[k].description for k in self._tool_keys]
+        model = TfidfModel(tool_texts)
+        app_texts = [applications[k].description for k in self._app_keys]
+        text_scores = model.similarity(app_texts)  # (apps, tools)
+
+        self._scores = (
+            direction_weight * direction_scores
+            + (1.0 - direction_weight) * text_scores
+        )
+        self._scores.setflags(write=False)
+
+    @property
+    def scores(self) -> np.ndarray:
+        """The (applications × tools) affinity matrix (read-only)."""
+        return self._scores
+
+    @property
+    def tool_keys(self) -> tuple[str, ...]:
+        return self._tool_keys
+
+    @property
+    def application_keys(self) -> tuple[str, ...]:
+        return self._app_keys
+
+    # -- prediction ---------------------------------------------------------
+
+    def select_top_k(self, k_per_application: dict[str, int]) -> SelectionMatrix:
+        """Predict each application's *k* best tools (cardinality-matched).
+
+        Deterministic tie-break: higher score first, then tool order.
+        """
+        votes: list[tuple[str, str]] = []
+        for i, app_key in enumerate(self._app_keys):
+            k = k_per_application.get(app_key, 0)
+            if k < 0 or k > len(self._tool_keys):
+                raise ValidationError(
+                    f"k={k} out of range for application {app_key!r}"
+                )
+            if k == 0:
+                continue
+            order = np.argsort(-self._scores[i], kind="stable")[:k]
+            votes.extend((app_key, self._tool_keys[j]) for j in order)
+        return SelectionMatrix.from_votes(
+            self._tool_keys, self._app_keys, votes
+        )
+
+    def select_threshold(self, threshold: float) -> SelectionMatrix:
+        """Predict every (application, tool) pair scoring above *threshold*."""
+        mask = self._scores > threshold
+        votes = [
+            (self._app_keys[i], self._tool_keys[j])
+            for i, j in zip(*np.nonzero(mask))
+        ]
+        return SelectionMatrix.from_votes(self._tool_keys, self._app_keys, votes)
+
+    # -- evaluation ---------------------------------------------------------
+
+    def evaluate(self, *, mode: str = "cardinality") -> MatchReport:
+        """Score the matcher against the published Table 2.
+
+        ``mode="cardinality"`` predicts exactly as many tools per
+        application as the ground truth (isolating *which* tools, not *how
+        many*); ``mode="threshold:X"`` uses a fixed threshold X.
+        """
+        actual = SelectionMatrix.from_votes(
+            self._tool_keys,
+            self._app_keys,
+            [
+                (app.key, tool)
+                for app in self.applications.ordered()
+                for tool in app.selected_tools
+            ],
+        )
+        if mode == "cardinality":
+            k_map = {
+                app.key: len(app.selected_tools)
+                for app in self.applications.ordered()
+            }
+            predicted = self.select_top_k(k_map)
+        elif mode.startswith("threshold:"):
+            predicted = self.select_threshold(float(mode.split(":", 1)[1]))
+        else:
+            raise ValidationError(f"unknown evaluation mode {mode!r}")
+
+        agreement = actual.agreement(predicted)
+        predicted_votes = predicted.votes_per_direction(self.tools, self.scheme)
+        actual_votes = actual.votes_per_direction(self.tools, self.scheme)
+        return MatchReport(
+            predicted=predicted,
+            agreement=agreement,
+            predicted_votes=predicted_votes.to_dict(),
+            actual_votes=actual_votes.to_dict(),
+            rank_match_top=predicted_votes.mode() == actual_votes.mode(),
+            rank_match_bottom=predicted_votes.argmin() == actual_votes.argmin(),
+        )

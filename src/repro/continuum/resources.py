@@ -1,0 +1,287 @@
+"""Computing-Continuum resource model.
+
+Models the paper's execution landscape — HPC centres, cloud regions, and
+edge devices — as a set of :class:`Resource` nodes joined by a latency/
+bandwidth matrix (:class:`Continuum`).  Resource parameters follow the
+qualitative contrasts the paper draws: HPC nodes are fast and power-hungry,
+edge nodes are slow, low-power, and close to data sources.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import ContinuumError, ValidationError
+
+__all__ = ["ResourceKind", "Resource", "Continuum", "default_continuum"]
+
+
+class ResourceKind(Enum):
+    """Tier of the Computing Continuum a resource belongs to."""
+
+    HPC = "hpc"
+    CLOUD = "cloud"
+    EDGE = "edge"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Resource:
+    """One execution location.
+
+    Parameters
+    ----------
+    key:
+        Unique identifier within the continuum.
+    kind:
+        Continuum tier.
+    speed:
+        Operations per second (same unit as task ``work``); execution time
+        of a task is ``work / speed``.
+    idle_power:
+        Power draw when idle, in watts.
+    busy_power:
+        Power draw under load, in watts (``>= idle_power``).
+    capabilities:
+        Non-functional tags the node offers (``{"gpu", "burst-buffer"}``);
+        a task only runs where its requirements are a subset.
+    carbon_intensity:
+        gCO₂ per watt-second scale factor of the local energy mix (relative
+        units; 1.0 = reference grid).
+    """
+
+    key: str
+    kind: ResourceKind
+    speed: float
+    idle_power: float = 50.0
+    busy_power: float = 200.0
+    capabilities: frozenset[str] = frozenset()
+    carbon_intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValidationError("resource key must be non-empty")
+        if self.speed <= 0:
+            raise ValidationError(f"resource {self.key!r}: speed must be > 0")
+        if self.idle_power < 0 or self.busy_power < self.idle_power:
+            raise ValidationError(
+                f"resource {self.key!r}: need 0 <= idle_power <= busy_power"
+            )
+        if self.carbon_intensity <= 0:
+            raise ValidationError(
+                f"resource {self.key!r}: carbon_intensity must be > 0"
+            )
+        object.__setattr__(self, "capabilities", frozenset(self.capabilities))
+
+    def execution_time(self, work: float) -> float:
+        """Seconds to execute *work* operations."""
+        if work < 0:
+            raise ValidationError("work must be >= 0")
+        return work / self.speed
+
+    def busy_energy(self, seconds: float) -> float:
+        """Joules consumed running for *seconds* (busy power)."""
+        if seconds < 0:
+            raise ValidationError("seconds must be >= 0")
+        return self.busy_power * seconds
+
+    def supports(self, requirements: frozenset[str]) -> bool:
+        """Whether the node offers every tag in *requirements*."""
+        return requirements <= self.capabilities
+
+
+class Continuum:
+    """A set of resources plus pairwise bandwidth and latency.
+
+    Bandwidth is in data units per second (same unit as task
+    ``output_size``); latency in seconds.  Intra-node transfers are free.
+    """
+
+    def __init__(
+        self,
+        resources: Iterable[Resource],
+        *,
+        bandwidth: Sequence[Sequence[float]] | np.ndarray | None = None,
+        latency: Sequence[Sequence[float]] | np.ndarray | None = None,
+        default_bandwidth: float = 1.0,
+        default_latency: float = 0.01,
+    ) -> None:
+        self._resources: dict[str, Resource] = {}
+        for resource in resources:
+            if resource.key in self._resources:
+                raise ContinuumError(f"duplicate resource {resource.key!r}")
+            self._resources[resource.key] = resource
+        if not self._resources:
+            raise ContinuumError("continuum needs at least one resource")
+        n = len(self._resources)
+        self._index = {key: i for i, key in enumerate(self._resources)}
+
+        if bandwidth is None:
+            if default_bandwidth <= 0:
+                raise ContinuumError("default_bandwidth must be > 0")
+            bw = np.full((n, n), float(default_bandwidth))
+        else:
+            bw = np.asarray(bandwidth, dtype=np.float64)
+        if latency is None:
+            if default_latency < 0:
+                raise ContinuumError("default_latency must be >= 0")
+            lat = np.full((n, n), float(default_latency))
+        else:
+            lat = np.asarray(latency, dtype=np.float64)
+        for matrix, name in ((bw, "bandwidth"), (lat, "latency")):
+            if matrix.shape != (n, n):
+                raise ContinuumError(f"{name} matrix must be {n}x{n}")
+        if (bw <= 0).any():
+            raise ContinuumError("bandwidth must be strictly positive")
+        if (lat < 0).any():
+            raise ContinuumError("latency must be non-negative")
+        np.fill_diagonal(bw, np.inf)  # local transfers are free
+        np.fill_diagonal(lat, 0.0)
+        self._bandwidth = bw
+        self._latency = lat
+        self._bandwidth.setflags(write=False)
+        self._latency.setflags(write=False)
+
+    # -- container -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._resources)
+
+    def __iter__(self) -> Iterator[Resource]:
+        return iter(self._resources.values())
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._resources
+
+    def __getitem__(self, key: str) -> Resource:
+        try:
+            return self._resources[key]
+        except KeyError:
+            raise ContinuumError(f"unknown resource {key!r}") from None
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        """Resource keys in insertion order."""
+        return tuple(self._resources)
+
+    def index(self, key: str) -> int:
+        """Matrix index of a resource key."""
+        try:
+            return self._index[key]
+        except KeyError:
+            raise ContinuumError(f"unknown resource {key!r}") from None
+
+    # -- vectorized views -------------------------------------------------------
+
+    @property
+    def speeds(self) -> np.ndarray:
+        """Speed vector aligned with :attr:`keys`."""
+        return np.asarray([r.speed for r in self], dtype=np.float64)
+
+    @property
+    def busy_powers(self) -> np.ndarray:
+        """Busy-power vector aligned with :attr:`keys`."""
+        return np.asarray([r.busy_power for r in self], dtype=np.float64)
+
+    @property
+    def idle_powers(self) -> np.ndarray:
+        """Idle-power vector aligned with :attr:`keys`."""
+        return np.asarray([r.idle_power for r in self], dtype=np.float64)
+
+    @property
+    def carbon_intensities(self) -> np.ndarray:
+        """Carbon-intensity vector aligned with :attr:`keys`."""
+        return np.asarray([r.carbon_intensity for r in self], dtype=np.float64)
+
+    @property
+    def bandwidth(self) -> np.ndarray:
+        """Pairwise bandwidth matrix (inf on the diagonal)."""
+        return self._bandwidth
+
+    @property
+    def latency(self) -> np.ndarray:
+        """Pairwise latency matrix (0 on the diagonal)."""
+        return self._latency
+
+    def transfer_time(self, size: float, src: str, dst: str) -> float:
+        """Seconds to move *size* data units from *src* to *dst*."""
+        if size < 0:
+            raise ContinuumError("size must be >= 0")
+        i, j = self.index(src), self.index(dst)
+        if i == j or size == 0:
+            return 0.0 if i == j else float(self._latency[i, j])
+        return float(self._latency[i, j] + size / self._bandwidth[i, j])
+
+    def by_kind(self, kind: ResourceKind) -> tuple[Resource, ...]:
+        """Resources of one continuum tier."""
+        return tuple(r for r in self if r.kind == kind)
+
+
+def default_continuum(
+    *,
+    n_hpc: int = 2,
+    n_cloud: int = 4,
+    n_edge: int = 8,
+    seed: int = 0,
+) -> Continuum:
+    """A representative HPC+Cloud+Edge topology with seeded jitter.
+
+    Qualitative shape per the paper's Sec. 2.3: HPC nodes ~100× faster than
+    edge but ~40× the power; cloud in between; inter-tier links slower than
+    intra-tier ones; edge grids have lower carbon intensity (local
+    renewables) in some nodes.
+    """
+    if n_hpc < 0 or n_cloud < 0 or n_edge < 0 or n_hpc + n_cloud + n_edge == 0:
+        raise ContinuumError("need at least one resource")
+    rng = np.random.default_rng(seed)
+
+    def jitter(base: float) -> float:
+        return float(base * rng.uniform(0.85, 1.15))
+
+    resources: list[Resource] = []
+    for i in range(n_hpc):
+        resources.append(
+            Resource(
+                f"hpc-{i:02d}", ResourceKind.HPC, jitter(1000.0),
+                idle_power=jitter(300.0), busy_power=jitter(1200.0),
+                capabilities=frozenset({"gpu", "burst-buffer", "mpi"}),
+                carbon_intensity=jitter(1.0),
+            )
+        )
+    for i in range(n_cloud):
+        resources.append(
+            Resource(
+                f"cloud-{i:02d}", ResourceKind.CLOUD, jitter(200.0),
+                idle_power=jitter(100.0), busy_power=jitter(400.0),
+                capabilities=frozenset({"kubernetes", "faas"}),
+                carbon_intensity=jitter(0.9),
+            )
+        )
+    for i in range(n_edge):
+        resources.append(
+            Resource(
+                f"edge-{i:02d}", ResourceKind.EDGE, jitter(10.0),
+                idle_power=jitter(2.0), busy_power=jitter(30.0),
+                capabilities=frozenset({"sensor"}),
+                carbon_intensity=jitter(0.5),
+            )
+        )
+
+    n = len(resources)
+    tiers = np.asarray(
+        [{"hpc": 0, "cloud": 1, "edge": 2}[r.kind.value] for r in resources]
+    )
+    same_tier = tiers[:, None] == tiers[None, :]
+    # Intra-tier links: fast; inter-tier: an order of magnitude slower.
+    bandwidth = np.where(same_tier, 10.0, 1.0) * rng.uniform(0.8, 1.2, (n, n))
+    latency = np.where(same_tier, 0.001, 0.05) * rng.uniform(0.8, 1.2, (n, n))
+    # Symmetrize so A→B == B→A.
+    bandwidth = (bandwidth + bandwidth.T) / 2.0
+    latency = (latency + latency.T) / 2.0
+    return Continuum(resources, bandwidth=bandwidth, latency=latency)

@@ -1,0 +1,137 @@
+"""Workflow and schedule serialization: JSON round-trips and DOT export.
+
+Workflows are the exchange format of the ecosystem under study; this module
+lets them leave the process: a JSON representation that round-trips through
+:class:`~repro.continuum.workflow.Workflow`, and Graphviz DOT export for
+workflows (DAG structure) and schedules (nodes annotated with placement).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.continuum.scheduling import Schedule
+from repro.continuum.workflow import Task, Workflow
+from repro.errors import SerializationError
+
+__all__ = [
+    "workflow_to_dict",
+    "workflow_from_dict",
+    "save_workflow",
+    "load_workflow",
+    "workflow_to_dot",
+    "schedule_to_dot",
+]
+
+FORMAT_VERSION = 1
+
+
+def workflow_to_dict(workflow: Workflow) -> dict:
+    """Serialize a workflow to a JSON-compatible dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": workflow.name,
+        "tasks": [
+            {
+                "key": task.key,
+                "work": task.work,
+                "output_size": task.output_size,
+                "requirements": sorted(task.requirements),
+            }
+            for task in workflow
+        ],
+        "edges": [list(edge) for edge in workflow.edges],
+    }
+
+
+def workflow_from_dict(data: dict) -> Workflow:
+    """Deserialize a workflow (validates structure and acyclicity)."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported workflow format_version {version!r}"
+        )
+    try:
+        tasks = [
+            Task(
+                entry["key"],
+                float(entry["work"]),
+                float(entry.get("output_size", 0.0)),
+                frozenset(entry.get("requirements", ())),
+            )
+            for entry in data["tasks"]
+        ]
+        edges = [tuple(edge) for edge in data.get("edges", [])]
+        return Workflow(data["name"], tasks, edges)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed workflow document: {exc}") from exc
+
+
+def save_workflow(workflow: Workflow, path: str | Path) -> None:
+    """Write a workflow as pretty JSON."""
+    Path(path).write_text(
+        json.dumps(workflow_to_dict(workflow), indent=2) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_workflow(path: str | Path) -> Workflow:
+    """Read a workflow written by :func:`save_workflow`."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read workflow: {exc}") from exc
+    return workflow_from_dict(data)
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def workflow_to_dot(workflow: Workflow) -> str:
+    """Graphviz DOT of the task graph (node label: key and work)."""
+    lines = [f'digraph "{_dot_escape(workflow.name)}" {{',
+             "  rankdir=LR;",
+             "  node [shape=box, style=rounded];"]
+    for task in workflow:
+        label = f"{task.key}\\nwork={task.work:g}"
+        if task.requirements:
+            label += "\\n[" + ",".join(sorted(task.requirements)) + "]"
+        lines.append(f'  "{_dot_escape(task.key)}" [label="{label}"];')
+    for src, dst in workflow.edges:
+        size = workflow[src].output_size
+        attributes = f' [label="{size:g}"]' if size else ""
+        lines.append(
+            f'  "{_dot_escape(src)}" -> "{_dot_escape(dst)}"{attributes};'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def schedule_to_dot(schedule: Schedule) -> str:
+    """DOT of the scheduled workflow, tasks clustered by resource."""
+    workflow = schedule.workflow
+    by_resource: dict[str, list[str]] = {}
+    for placement in schedule.placements:
+        by_resource.setdefault(placement.resource, []).append(placement.task)
+
+    lines = [f'digraph "{_dot_escape(workflow.name)}-schedule" {{',
+             "  rankdir=LR;",
+             "  node [shape=box, style=rounded];"]
+    for i, (resource, tasks) in enumerate(sorted(by_resource.items())):
+        lines.append(f"  subgraph cluster_{i} {{")
+        lines.append(f'    label="{_dot_escape(resource)}";')
+        for task_key in tasks:
+            placement = schedule[task_key]
+            label = (
+                f"{task_key}\\n[{placement.start:.2f}, {placement.finish:.2f}]"
+            )
+            lines.append(
+                f'    "{_dot_escape(task_key)}" [label="{label}"];'
+            )
+        lines.append("  }")
+    for src, dst in workflow.edges:
+        lines.append(f'  "{_dot_escape(src)}" -> "{_dot_escape(dst)}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

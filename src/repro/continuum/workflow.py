@@ -1,0 +1,272 @@
+"""Workflow DAG model.
+
+The paper's subject matter — scientific workflows in the Computing
+Continuum — needs an executable substrate: a task graph with costs and data
+dependencies.  :class:`Workflow` validates acyclicity, exposes topological
+order, critical-path analysis (vectorized longest path over the topological
+order), and a seeded random generator for benchmark workloads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError, WorkflowGraphError
+
+__all__ = ["Task", "Workflow", "random_workflow", "layered_workflow"]
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """One workflow step.
+
+    Parameters
+    ----------
+    key:
+        Unique task identifier within its workflow.
+    work:
+        Computational cost in abstract operations (e.g. GFLOP); execution
+        time on a resource is ``work / speed``.
+    output_size:
+        Data produced for each successor, in abstract units (e.g. GB);
+        transfer time over a link is ``output_size / bandwidth``.
+    requirements:
+        Non-functional tags a resource must offer (e.g. ``{"gpu"}``).
+    """
+
+    key: str
+    work: float
+    output_size: float = 0.0
+    requirements: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValidationError("task key must be non-empty")
+        if self.work <= 0:
+            raise ValidationError(f"task {self.key!r}: work must be > 0")
+        if self.output_size < 0:
+            raise ValidationError(f"task {self.key!r}: output_size must be >= 0")
+        object.__setattr__(self, "requirements", frozenset(self.requirements))
+
+
+class Workflow:
+    """A directed acyclic graph of :class:`Task` objects.
+
+    Edges point from producer to consumer.  Construction validates that all
+    edges reference known tasks and the graph is acyclic; topological order
+    is computed once (Kahn's algorithm) and cached.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tasks: Iterable[Task],
+        edges: Iterable[tuple[str, str]] = (),
+    ) -> None:
+        if not name:
+            raise ValidationError("workflow name must be non-empty")
+        self.name = name
+        self._tasks: dict[str, Task] = {}
+        for task in tasks:
+            if task.key in self._tasks:
+                raise WorkflowGraphError(f"duplicate task {task.key!r}")
+            self._tasks[task.key] = task
+        if not self._tasks:
+            raise WorkflowGraphError("workflow needs at least one task")
+
+        self._successors: dict[str, list[str]] = {k: [] for k in self._tasks}
+        self._predecessors: dict[str, list[str]] = {k: [] for k in self._tasks}
+        seen_edges: set[tuple[str, str]] = set()
+        for src, dst in edges:
+            if src not in self._tasks or dst not in self._tasks:
+                raise WorkflowGraphError(f"edge ({src!r}, {dst!r}) references unknown task")
+            if src == dst:
+                raise WorkflowGraphError(f"self-loop on {src!r}")
+            if (src, dst) in seen_edges:
+                continue
+            seen_edges.add((src, dst))
+            self._successors[src].append(dst)
+            self._predecessors[dst].append(src)
+        self._topo = self._topological_order()
+
+    # -- structure -------------------------------------------------------------
+
+    def _topological_order(self) -> tuple[str, ...]:
+        in_degree = {k: len(v) for k, v in self._predecessors.items()}
+        ready = [k for k, d in in_degree.items() if d == 0]
+        order: list[str] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for succ in self._successors[node]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._tasks):
+            raise WorkflowGraphError(f"workflow {self.name!r} contains a cycle")
+        return tuple(order)
+
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        """Tasks in insertion order."""
+        return tuple(self._tasks.values())
+
+    @property
+    def task_keys(self) -> tuple[str, ...]:
+        return tuple(self._tasks)
+
+    @property
+    def edges(self) -> tuple[tuple[str, str], ...]:
+        """All edges as (producer, consumer) pairs."""
+        return tuple(
+            (src, dst)
+            for src, dsts in self._successors.items()
+            for dst in dsts
+        )
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._tasks
+
+    def __getitem__(self, key: str) -> Task:
+        try:
+            return self._tasks[key]
+        except KeyError:
+            raise WorkflowGraphError(f"unknown task {key!r}") from None
+
+    def successors(self, key: str) -> tuple[str, ...]:
+        """Direct consumers of *key*."""
+        self[key]
+        return tuple(self._successors[key])
+
+    def predecessors(self, key: str) -> tuple[str, ...]:
+        """Direct producers feeding *key*."""
+        self[key]
+        return tuple(self._predecessors[key])
+
+    def sources(self) -> tuple[str, ...]:
+        """Tasks with no predecessors."""
+        return tuple(k for k in self._tasks if not self._predecessors[k])
+
+    def sinks(self) -> tuple[str, ...]:
+        """Tasks with no successors."""
+        return tuple(k for k in self._tasks if not self._successors[k])
+
+    def topological_order(self) -> tuple[str, ...]:
+        """A topological order of the task keys (cached)."""
+        return self._topo
+
+    # -- analysis ---------------------------------------------------------------
+
+    def total_work(self) -> float:
+        """Sum of task work."""
+        return float(sum(task.work for task in self))
+
+    def critical_path(self) -> tuple[tuple[str, ...], float]:
+        """Longest work-weighted path (ignoring communication).
+
+        Returns ``(path, length)`` where length sums the work of the path's
+        tasks.  Computed by one pass over the topological order.
+        """
+        longest: dict[str, float] = {}
+        best_pred: dict[str, str | None] = {}
+        for key in self._topo:
+            preds = self._predecessors[key]
+            if preds:
+                pred = max(preds, key=lambda p: longest[p])
+                longest[key] = longest[pred] + self._tasks[key].work
+                best_pred[key] = pred
+            else:
+                longest[key] = self._tasks[key].work
+                best_pred[key] = None
+        end = max(longest, key=longest.get)
+        path: list[str] = []
+        cursor: str | None = end
+        while cursor is not None:
+            path.append(cursor)
+            cursor = best_pred[cursor]
+        path.reverse()
+        return tuple(path), float(longest[end])
+
+    def width_profile(self) -> dict[int, int]:
+        """Number of tasks per dependency level (level = longest hop count)."""
+        level: dict[str, int] = {}
+        for key in self._topo:
+            preds = self._predecessors[key]
+            level[key] = 1 + max((level[p] for p in preds), default=-1)
+        profile: dict[int, int] = {}
+        for depth in level.values():
+            profile[depth] = profile.get(depth, 0) + 1
+        return dict(sorted(profile.items()))
+
+
+def random_workflow(
+    n_tasks: int,
+    *,
+    edge_probability: float = 0.15,
+    seed: int = 0,
+    work_range: tuple[float, float] = (1.0, 100.0),
+    output_range: tuple[float, float] = (0.0, 10.0),
+    name: str | None = None,
+) -> Workflow:
+    """Generate a random DAG (edges only forward in a random order).
+
+    Acyclicity holds by construction: tasks are laid out in a fixed order
+    and edges only go from earlier to later positions.
+    """
+    if n_tasks < 1:
+        raise ValidationError("n_tasks must be >= 1")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValidationError("edge_probability must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    works = rng.uniform(*work_range, size=n_tasks)
+    outputs = rng.uniform(*output_range, size=n_tasks)
+    tasks = [
+        Task(f"t{i:04d}", float(works[i]), float(outputs[i]))
+        for i in range(n_tasks)
+    ]
+    # Vectorized edge sampling over the strict upper triangle.
+    upper_i, upper_j = np.triu_indices(n_tasks, k=1)
+    chosen = rng.random(upper_i.size) < edge_probability
+    edges = [
+        (f"t{i:04d}", f"t{j:04d}")
+        for i, j in zip(upper_i[chosen], upper_j[chosen])
+    ]
+    return Workflow(name or f"random-{n_tasks}", tasks, edges)
+
+
+def layered_workflow(
+    n_layers: int,
+    width: int,
+    *,
+    work: float = 10.0,
+    output_size: float = 1.0,
+    name: str | None = None,
+) -> Workflow:
+    """A fork-join pipeline: *n_layers* layers of *width* parallel tasks.
+
+    Every task in layer L feeds every task in layer L+1 — the classic
+    map-reduce-style stage pipeline used by scheduling benchmarks.
+    """
+    if n_layers < 1 or width < 1:
+        raise ValidationError("n_layers and width must be >= 1")
+    tasks = [
+        Task(f"l{layer:03d}n{i:03d}", work, output_size)
+        for layer in range(n_layers)
+        for i in range(width)
+    ]
+    edges = [
+        (f"l{layer:03d}n{i:03d}", f"l{layer + 1:03d}n{j:03d}")
+        for layer in range(n_layers - 1)
+        for i in range(width)
+        for j in range(width)
+    ]
+    return Workflow(name or f"layered-{n_layers}x{width}", tasks, edges)

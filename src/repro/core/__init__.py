@@ -1,0 +1,77 @@
+"""Core mapping-study machinery: entities, taxonomy, catalogues, analysis."""
+
+from repro.core.catalog import (
+    ApplicationCatalog,
+    Catalog,
+    InstitutionRegistry,
+    ToolCatalog,
+    validate_ecosystem,
+)
+from repro.core.extraction import (
+    ToolCandidate,
+    cross_validate_classifier,
+    extract_tool_candidates,
+)
+from repro.core.facets import (
+    FacetedClassification,
+    facet_matrix,
+    research_type_facet,
+)
+from repro.core.keywording import (
+    adjusted_rand_index,
+    discriminative_keywords,
+    induce_scheme,
+    kmeans,
+)
+from repro.core.sensitivity import (
+    LeaveOneOutResult,
+    jackknife_shares,
+    leave_one_application_out,
+    leave_one_tool_out,
+)
+from repro.core.entities import (
+    Application,
+    Institution,
+    InstitutionKind,
+    Reference,
+    Tool,
+    slugify,
+)
+from repro.core.taxonomy import (
+    Category,
+    ClassificationScheme,
+    Facet,
+    workflow_directions,
+)
+
+__all__ = [
+    "Application",
+    "FacetedClassification",
+    "ToolCandidate",
+    "cross_validate_classifier",
+    "extract_tool_candidates",
+    "LeaveOneOutResult",
+    "facet_matrix",
+    "research_type_facet",
+    "adjusted_rand_index",
+    "discriminative_keywords",
+    "induce_scheme",
+    "jackknife_shares",
+    "kmeans",
+    "leave_one_application_out",
+    "leave_one_tool_out",
+    "ApplicationCatalog",
+    "Catalog",
+    "Category",
+    "ClassificationScheme",
+    "Facet",
+    "Institution",
+    "InstitutionKind",
+    "InstitutionRegistry",
+    "Reference",
+    "Tool",
+    "ToolCatalog",
+    "slugify",
+    "validate_ecosystem",
+    "workflow_directions",
+]

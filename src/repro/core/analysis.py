@@ -1,0 +1,165 @@
+"""Quantitative analyses over a study dataset — the data behind Figs. 2-4.
+
+Each function takes the entity catalogues and returns plain statistical
+objects (:class:`~repro.stats.frequency.FrequencyTable`, dicts, arrays), so
+the visualization and reporting layers stay decoupled from entity types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.catalog import ApplicationCatalog, ToolCatalog
+from repro.core.selection import SelectionMatrix
+from repro.core.taxonomy import ClassificationScheme
+from repro.errors import ValidationError
+from repro.stats.diversity import evenness_report
+from repro.stats.frequency import FrequencyTable
+from repro.stats.inference import (
+    TestResult,
+    chi_square_homogeneity,
+    permutation_tvd_test,
+    total_variation_distance,
+)
+
+__all__ = [
+    "supply_distribution",
+    "coverage_histogram",
+    "demand_distribution",
+    "SupplyDemandComparison",
+    "compare_supply_demand",
+    "institution_profile",
+]
+
+
+def supply_distribution(
+    tools: ToolCatalog, scheme: ClassificationScheme
+) -> FrequencyTable:
+    """Tools per research direction — the Fig. 2 pie data.
+
+    Labels are category *keys* in scheme order.
+    """
+    return FrequencyTable(tools.direction_counts(scheme))
+
+
+def coverage_histogram(
+    tools: ToolCatalog, scheme: ClassificationScheme
+) -> FrequencyTable:
+    """Institutions by number of directions covered — the Fig. 3 data.
+
+    Labels are the integers ``1 .. len(scheme)``; a label's count is the
+    number of institutions whose tools span exactly that many primary
+    directions.
+    """
+    coverage = tools.institution_coverage()
+    if not coverage:
+        raise ValidationError("no tools, cannot compute coverage")
+    sizes = np.asarray([len(dirs) for dirs in coverage.values()])
+    k = len(scheme)
+    if (sizes > k).any():
+        raise ValidationError("an institution covers more directions than the scheme has")
+    bins = np.bincount(sizes, minlength=k + 1)[1:]
+    return FrequencyTable({i + 1: int(bins[i]) for i in range(k)})
+
+
+def demand_distribution(
+    selection: SelectionMatrix,
+    tools: ToolCatalog,
+    scheme: ClassificationScheme,
+) -> FrequencyTable:
+    """Selection votes per research direction — the Fig. 4 pie data."""
+    return selection.votes_per_direction(tools, scheme)
+
+
+@dataclass(frozen=True, slots=True)
+class SupplyDemandComparison:
+    """Supply (Fig. 2) versus demand (Fig. 4) over the research directions.
+
+    Attributes
+    ----------
+    supply, demand:
+        The two frequency tables, aligned on scheme order.
+    supply_evenness, demand_evenness:
+        Diversity/evenness indices for each distribution, quantifying the
+        paper's "balanced" vs. "much more unbalanced" observations.
+    tvd:
+        Total variation distance between the two share vectors.
+    homogeneity:
+        Chi-square homogeneity test outcome.
+    permutation:
+        Seeded permutation (TVD) test outcome.
+    demand_supply_ratio:
+        Per-direction ratio of demand share to supply share; > 1 means the
+        direction is more demanded than supplied (orchestration), < 1 the
+        reverse (energy efficiency).
+    """
+
+    supply: FrequencyTable
+    demand: FrequencyTable
+    supply_evenness: dict[str, float]
+    demand_evenness: dict[str, float]
+    tvd: float
+    homogeneity: TestResult
+    permutation: TestResult
+    demand_supply_ratio: dict[str, float]
+
+    def most_demanded(self) -> str:
+        """Direction with the highest demand share."""
+        return self.demand.mode()
+
+    def least_demanded(self) -> str:
+        """Direction with the lowest demand share."""
+        return self.demand.argmin()
+
+
+def compare_supply_demand(
+    tools: ToolCatalog,
+    applications: ApplicationCatalog,
+    scheme: ClassificationScheme,
+    *,
+    seed: int = 2023,
+    n_permutations: int = 10_000,
+) -> SupplyDemandComparison:
+    """Run the full Fig. 2 vs. Fig. 4 comparison (the heart of Q3)."""
+    selection = SelectionMatrix.from_catalogs(tools, applications, scheme)
+    supply = supply_distribution(tools, scheme)
+    demand = demand_distribution(selection, tools, scheme)
+    ratios: dict[str, float] = {}
+    supply_shares = supply.shares()
+    demand_shares = demand.shares()
+    for i, key in enumerate(scheme.keys):
+        if supply_shares[i] == 0:
+            ratios[key] = float("inf") if demand_shares[i] > 0 else 1.0
+        else:
+            ratios[key] = float(demand_shares[i] / supply_shares[i])
+    return SupplyDemandComparison(
+        supply=supply,
+        demand=demand,
+        supply_evenness=evenness_report(supply),
+        demand_evenness=evenness_report(demand),
+        tvd=total_variation_distance(supply, demand),
+        homogeneity=chi_square_homogeneity(supply, demand),
+        permutation=permutation_tvd_test(
+            supply, demand, seed=seed, n_permutations=n_permutations
+        ),
+        demand_supply_ratio=ratios,
+    )
+
+
+def institution_profile(
+    tools: ToolCatalog, scheme: ClassificationScheme
+) -> dict[str, FrequencyTable]:
+    """Per-institution distribution of tools over directions.
+
+    Returns institution key → frequency table over the full scheme (zero
+    counts kept so all profiles are comparable).
+    """
+    profiles: dict[str, FrequencyTable] = {}
+    for institution in tools.institutions():
+        counts = {key: 0 for key in scheme.keys}
+        for tool in tools.by_institution(institution):
+            counts[tool.primary_direction] += 1
+        profiles[institution] = FrequencyTable(counts)
+    return profiles

@@ -1,0 +1,205 @@
+"""Typed catalogues of study entities with query and validation support.
+
+A catalogue is an insertion-ordered, keyed collection.  On top of the generic
+container, :class:`ToolCatalog` and :class:`ApplicationCatalog` add the
+domain queries the analysis layer needs (tools by direction, tools by
+institution, selections by application), and :func:`validate_ecosystem`
+cross-checks an entire dataset: every key referenced anywhere must resolve.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from typing import Generic, TypeVar
+
+from repro.core.entities import Application, Institution, Tool
+from repro.core.taxonomy import ClassificationScheme
+from repro.errors import DuplicateEntityError, UnknownEntityError, ValidationError
+
+__all__ = [
+    "Catalog",
+    "InstitutionRegistry",
+    "ToolCatalog",
+    "ApplicationCatalog",
+    "validate_ecosystem",
+]
+
+T = TypeVar("T")
+
+
+class Catalog(Generic[T]):
+    """Insertion-ordered keyed collection of entities.
+
+    Subclasses set :attr:`entity_name` (used in error messages) and supply a
+    ``_key_of`` implementation.
+    """
+
+    entity_name = "entity"
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._items: dict[str, T] = {}
+        for item in items:
+            self.add(item)
+
+    @staticmethod
+    def _key_of(item: T) -> str:
+        return item.key  # type: ignore[attr-defined]
+
+    def add(self, item: T) -> None:
+        """Register *item*; reject duplicate keys."""
+        key = self._key_of(item)
+        if key in self._items:
+            raise DuplicateEntityError(
+                f"duplicate {self.entity_name} key {key!r}"
+            )
+        self._items[key] = item
+
+    def __getitem__(self, key: str) -> T:
+        try:
+            return self._items[key]
+        except KeyError:
+            raise UnknownEntityError(
+                f"unknown {self.entity_name} {key!r}"
+            ) from None
+
+    def get(self, key: str, default: T | None = None) -> T | None:
+        """Dict-style tolerant lookup."""
+        return self._items.get(key, default)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._items
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items.values())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({len(self)} items)"
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        """Entity keys in insertion order."""
+        return tuple(self._items)
+
+    def filter(self, predicate: Callable[[T], bool]) -> list[T]:
+        """Entities satisfying *predicate*, in insertion order."""
+        return [item for item in self if predicate(item)]
+
+
+class InstitutionRegistry(Catalog[Institution]):
+    """Catalogue of :class:`Institution` entities."""
+
+    entity_name = "institution"
+
+    def by_kind(self, kind) -> list[Institution]:
+        """Institutions of the given :class:`~repro.core.entities.InstitutionKind`."""
+        return self.filter(lambda inst: inst.kind == kind)
+
+
+class ToolCatalog(Catalog[Tool]):
+    """Catalogue of :class:`Tool` entities with direction/institution queries."""
+
+    entity_name = "tool"
+
+    def by_direction(self, direction: str, *, include_secondary: bool = False) -> list[Tool]:
+        """Tools whose primary (or any, with *include_secondary*) direction is *direction*."""
+        if include_secondary:
+            return self.filter(lambda t: direction in t.directions)
+        return self.filter(lambda t: t.primary_direction == direction)
+
+    def by_institution(self, institution: str) -> list[Tool]:
+        """Tools provided by *institution*."""
+        return self.filter(lambda t: t.institution == institution)
+
+    def institutions(self) -> tuple[str, ...]:
+        """Distinct institution keys, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for tool in self:
+            seen.setdefault(tool.institution, None)
+        return tuple(seen)
+
+    def direction_counts(self, scheme: ClassificationScheme) -> dict[str, int]:
+        """Number of tools per primary direction, in scheme order (Fig. 2 data)."""
+        counts = {key: 0 for key in scheme.keys}
+        for tool in self:
+            if tool.primary_direction not in counts:
+                raise UnknownEntityError(
+                    f"tool {tool.key!r} has direction "
+                    f"{tool.primary_direction!r} outside scheme {scheme.name!r}"
+                )
+            counts[tool.primary_direction] += 1
+        return counts
+
+    def institution_coverage(self) -> dict[str, frozenset[str]]:
+        """Map each institution to the set of primary directions it covers.
+
+        This is the raw material of Fig. 3.
+        """
+        coverage: dict[str, set[str]] = {}
+        for tool in self:
+            coverage.setdefault(tool.institution, set()).add(tool.primary_direction)
+        return {inst: frozenset(dirs) for inst, dirs in coverage.items()}
+
+
+class ApplicationCatalog(Catalog[Application]):
+    """Catalogue of :class:`Application` entities, ordered by paper section."""
+
+    entity_name = "application"
+
+    def ordered(self) -> list[Application]:
+        """Applications sorted by paper subsection (3.1, 3.2, ...)."""
+        return sorted(self, key=lambda app: app.section_order)
+
+    def by_provider(self, institution: str) -> list[Application]:
+        """Applications provided (or co-provided) by *institution*."""
+        return self.filter(lambda app: institution in app.providers)
+
+    def providers(self) -> tuple[str, ...]:
+        """Distinct provider keys, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for app in self.ordered():
+            for provider in app.providers:
+                seen.setdefault(provider, None)
+        return tuple(seen)
+
+    def selecting(self, tool: str) -> list[Application]:
+        """Applications that selected *tool* for integration."""
+        return self.filter(lambda app: tool in app.selected_tools)
+
+
+def validate_ecosystem(
+    institutions: InstitutionRegistry,
+    tools: ToolCatalog,
+    applications: ApplicationCatalog,
+    scheme: ClassificationScheme,
+) -> None:
+    """Cross-validate a complete study dataset.
+
+    Checks that every cross-reference resolves:
+
+    * every tool's institution is registered;
+    * every tool direction (primary and secondary) belongs to *scheme*;
+    * every application provider is registered;
+    * every selected tool exists in the tool catalogue.
+
+    Raises
+    ------
+    UnknownEntityError, UnknownCategoryError
+        On the first dangling reference found.
+    ValidationError
+        If a catalogue is empty (a study needs at least one of each entity).
+    """
+    if not len(institutions) or not len(tools) or not len(applications):
+        raise ValidationError(
+            "ecosystem needs at least one institution, tool, and application"
+        )
+    for tool in tools:
+        institutions[tool.institution]  # raises UnknownEntityError
+        scheme.validate(tool.directions)
+    for app in applications:
+        for provider in app.providers:
+            institutions[provider]
+        for selected in app.selected_tools:
+            tools[selected]

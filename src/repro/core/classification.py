@@ -1,0 +1,314 @@
+"""Classifiers that map tool descriptions to research directions.
+
+The paper classified its 25 tools *manually*.  To make the pipeline
+executable end-to-end (DESIGN.md §3, substitution 1), this module provides
+automatic classifiers over the textual descriptions, plus evaluation
+machinery to measure their agreement with the published labels:
+
+* :class:`KeywordClassifier` — scores each category by (stemmed) taxonomy
+  keyword hits; transparent and deterministic, mirroring how a human skims
+  for signal terms.
+* :class:`CentroidClassifier` — TF-IDF nearest-centroid over category
+  descriptions plus optional labeled seeds.
+* :class:`EnsembleClassifier` — normalized-score ensemble of the above.
+* :func:`evaluate_classifier` — accuracy, confusion matrix, and per-class
+  precision/recall/F1 against gold labels.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.taxonomy import ClassificationScheme
+from repro.errors import ClassificationError, ValidationError
+from repro.text.stem import porter_stem, stem_tokens
+from repro.text.tokenize import tokenize
+from repro.text.vectorize import TfidfModel
+
+__all__ = [
+    "ClassificationResult",
+    "KeywordClassifier",
+    "CentroidClassifier",
+    "EnsembleClassifier",
+    "ClassifierEvaluation",
+    "evaluate_classifier",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ClassificationResult:
+    """Outcome of classifying one document.
+
+    Attributes
+    ----------
+    label:
+        Winning category key.
+    scores:
+        Category key → raw score, over the whole scheme.
+    confidence:
+        Winning share of total score, in ``(0, 1]``; 1/k for an
+        all-zero-score fallback over k categories.
+    """
+
+    label: str
+    scores: Mapping[str, float]
+    confidence: float
+
+    def top(self, k: int = 3) -> list[tuple[str, float]]:
+        """The *k* best-scoring categories, descending, ties alphabetical."""
+        return sorted(self.scores.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+
+
+def _normalize_result(
+    scheme: ClassificationScheme, scores: dict[str, float]
+) -> ClassificationResult:
+    total = sum(scores.values())
+    if total <= 0.0:
+        # No signal at all: deterministic fallback to the first category,
+        # flagged by the minimal possible confidence.
+        label = scheme.keys[0]
+        return ClassificationResult(label, scores, 1.0 / len(scheme))
+    best = max(scheme.keys, key=lambda k: (scores[k], -scheme.index(k)))
+    return ClassificationResult(best, scores, scores[best] / total)
+
+
+class KeywordClassifier:
+    """Score categories by stemmed keyword occurrences in the text.
+
+    Each category keyword is stemmed; each (stemmed) document token that
+    matches contributes 1 to that category.  Multi-word keywords are matched
+    against the raw lowercase text instead.
+    """
+
+    def __init__(self, scheme: ClassificationScheme) -> None:
+        if len(scheme) == 0:
+            raise ValidationError("scheme must have at least one category")
+        self.scheme = scheme
+        self._single: dict[str, list[str]] = {}
+        self._phrases: dict[str, list[str]] = {}
+        for category in scheme:
+            singles, phrases = [], []
+            for keyword in category.keywords:
+                if " " in keyword:
+                    phrases.append(keyword)
+                else:
+                    singles.append(porter_stem(keyword))
+            self._single[category.key] = singles
+            self._phrases[category.key] = phrases
+
+    def classify(self, text: str) -> ClassificationResult:
+        """Classify one document."""
+        if not text.strip():
+            raise ClassificationError("cannot classify empty text")
+        tokens = stem_tokens(tokenize(text))
+        counts: dict[str, int] = {}
+        for token in tokens:
+            counts[token] = counts.get(token, 0) + 1
+        lower = text.lower()
+        scores: dict[str, float] = {}
+        for key in self.scheme.keys:
+            hits = sum(counts.get(stemmed, 0) for stemmed in self._single[key])
+            hits += sum(lower.count(phrase) for phrase in self._phrases[key])
+            scores[key] = float(hits)
+        return _normalize_result(self.scheme, scores)
+
+    def classify_many(self, texts: Iterable[str]) -> list[ClassificationResult]:
+        """Classify a batch of documents."""
+        return [self.classify(text) for text in texts]
+
+
+class CentroidClassifier:
+    """TF-IDF nearest-centroid classifier.
+
+    The fitting corpus is one pseudo-document per category: the category
+    description and keywords, concatenated with any labeled *seeds*.  A new
+    document is assigned to the category with the highest cosine similarity.
+
+    Parameters
+    ----------
+    scheme:
+        The classification scheme.
+    seeds:
+        Optional ``(text, label)`` pairs to enrich the category centroids
+        (e.g. leave-one-out folds of already-classified tools).
+    """
+
+    def __init__(
+        self,
+        scheme: ClassificationScheme,
+        seeds: Sequence[tuple[str, str]] = (),
+    ) -> None:
+        if len(scheme) == 0:
+            raise ValidationError("scheme must have at least one category")
+        self.scheme = scheme
+        corpus: dict[str, list[str]] = {
+            c.key: [c.description + " " + " ".join(c.keywords)] for c in scheme
+        }
+        for text, label in seeds:
+            if label not in scheme:
+                raise ValidationError(f"seed label {label!r} outside scheme")
+            corpus[label].append(text)
+        self._docs = [" ".join(corpus[key]) for key in scheme.keys]
+        self._model = TfidfModel(self._docs)
+
+    def classify(self, text: str) -> ClassificationResult:
+        """Classify one document by cosine similarity to category centroids."""
+        if not text.strip():
+            raise ClassificationError("cannot classify empty text")
+        sims = self._model.similarity([text])[0]
+        # Cosine can be 0 across the board for out-of-vocabulary text.
+        scores = {
+            key: float(max(sims[i], 0.0))
+            for i, key in enumerate(self.scheme.keys)
+        }
+        return _normalize_result(self.scheme, scores)
+
+    def classify_many(self, texts: Sequence[str]) -> list[ClassificationResult]:
+        """Classify a batch with a single vectorized similarity call."""
+        texts = list(texts)
+        if not texts:
+            return []
+        if any(not t.strip() for t in texts):
+            raise ClassificationError("cannot classify empty text")
+        sims = self._model.similarity(texts)  # (n_texts, n_categories)
+        results = []
+        for row in sims:
+            scores = {
+                key: float(max(row[i], 0.0))
+                for i, key in enumerate(self.scheme.keys)
+            }
+            results.append(_normalize_result(self.scheme, scores))
+        return results
+
+
+class EnsembleClassifier:
+    """Combine classifiers by averaging their normalized score vectors.
+
+    Parameters
+    ----------
+    classifiers:
+        Sub-classifiers sharing one scheme.
+    weights:
+        Optional positive weight per classifier (default: uniform).
+    """
+
+    def __init__(
+        self,
+        classifiers: Sequence[KeywordClassifier | CentroidClassifier],
+        weights: Sequence[float] | None = None,
+    ) -> None:
+        if not classifiers:
+            raise ValidationError("ensemble needs at least one classifier")
+        schemes = {id(c.scheme) for c in classifiers}
+        keys = {c.scheme.keys for c in classifiers}
+        if len(keys) != 1:
+            raise ValidationError("ensemble members must share category keys")
+        self.scheme = classifiers[0].scheme
+        self._members = tuple(classifiers)
+        if weights is None:
+            weights = [1.0] * len(classifiers)
+        if len(weights) != len(classifiers) or any(w <= 0 for w in weights):
+            raise ValidationError("need one positive weight per classifier")
+        total = float(sum(weights))
+        self._weights = tuple(w / total for w in weights)
+        del schemes  # identity equality not required, key equality is
+
+    def classify(self, text: str) -> ClassificationResult:
+        """Weighted-average of member score vectors (each L1-normalized)."""
+        combined = {key: 0.0 for key in self.scheme.keys}
+        for weight, member in zip(self._weights, self._members):
+            result = member.classify(text)
+            total = sum(result.scores.values())
+            if total <= 0:
+                continue
+            for key, score in result.scores.items():
+                combined[key] += weight * score / total
+        return _normalize_result(self.scheme, combined)
+
+    def classify_many(self, texts: Sequence[str]) -> list[ClassificationResult]:
+        """Classify a batch of documents."""
+        return [self.classify(text) for text in texts]
+
+
+@dataclass(frozen=True, slots=True)
+class ClassifierEvaluation:
+    """Agreement between predicted and gold labels.
+
+    Attributes
+    ----------
+    accuracy:
+        Fraction of exact label matches.
+    confusion:
+        ``confusion[i, j]`` counts gold category ``labels[i]`` predicted as
+        ``labels[j]``.
+    labels:
+        Category keys indexing the confusion matrix (scheme order).
+    per_class:
+        Category key → ``{"precision", "recall", "f1", "support"}``.
+    misclassified:
+        ``(index, gold, predicted)`` triples for every miss.
+    """
+
+    accuracy: float
+    confusion: np.ndarray
+    labels: tuple[str, ...]
+    per_class: Mapping[str, Mapping[str, float]]
+    misclassified: tuple[tuple[int, str, str], ...]
+
+    def macro_f1(self) -> float:
+        """Unweighted mean F1 over classes with support."""
+        values = [
+            m["f1"] for m in self.per_class.values() if m["support"] > 0
+        ]
+        return float(np.mean(values)) if values else 0.0
+
+
+def evaluate_classifier(
+    predictions: Sequence[ClassificationResult],
+    gold: Sequence[str],
+    scheme: ClassificationScheme,
+) -> ClassifierEvaluation:
+    """Compare *predictions* with *gold* labels over *scheme*."""
+    if len(predictions) != len(gold):
+        raise ValidationError(
+            f"{len(predictions)} predictions vs {len(gold)} gold labels"
+        )
+    if not predictions:
+        raise ValidationError("cannot evaluate zero predictions")
+    labels = scheme.keys
+    index = {key: i for i, key in enumerate(labels)}
+    confusion = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    misses: list[tuple[int, str, str]] = []
+    for i, (pred, true) in enumerate(zip(predictions, gold)):
+        if true not in index:
+            raise ValidationError(f"gold label {true!r} outside scheme")
+        confusion[index[true], index[pred.label]] += 1
+        if pred.label != true:
+            misses.append((i, true, pred.label))
+    accuracy = float(np.trace(confusion) / confusion.sum())
+
+    per_class: dict[str, dict[str, float]] = {}
+    col_sums = confusion.sum(axis=0)
+    row_sums = confusion.sum(axis=1)
+    for key, i in index.items():
+        tp = float(confusion[i, i])
+        precision = tp / col_sums[i] if col_sums[i] else 0.0
+        recall = tp / row_sums[i] if row_sums[i] else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+        per_class[key] = {
+            "precision": float(precision),
+            "recall": float(recall),
+            "f1": float(f1),
+            "support": float(row_sums[i]),
+        }
+    confusion.setflags(write=False)
+    return ClassifierEvaluation(
+        accuracy, confusion, labels, per_class, tuple(misses)
+    )

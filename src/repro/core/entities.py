@@ -1,0 +1,239 @@
+"""Entity model for systematic mapping studies.
+
+The entities mirror the study objects of the paper:
+
+* :class:`Institution` — a research body providing tools or applications;
+* :class:`Tool` — a catalogued research tool with a primary research
+  direction (the unit classified in Table 1);
+* :class:`Application` — a scientific application whose providers select
+  tools for integration (the unit surveyed in Table 2);
+* :class:`Reference` — a bibliographic pointer attached to tools.
+
+All entities are immutable (frozen dataclasses) and identified by a short
+``key``.  Cross-references (institution of a tool, directions, selected
+tools) are stored as keys and resolved/validated by the catalogues in
+:mod:`repro.core.catalog`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "InstitutionKind",
+    "Institution",
+    "Reference",
+    "Tool",
+    "Application",
+    "slugify",
+]
+
+_KEY_RE = re.compile(r"^[a-z0-9][a-z0-9\-.]*$")
+
+
+def slugify(name: str) -> str:
+    """Derive a key from a human-readable name.
+
+    >>> slugify("Jupyter Workflow")
+    'jupyter-workflow'
+    >>> slugify("BDMaaS+")
+    'bdmaas-plus'
+    """
+    text = name.strip().lower().replace("+", "-plus")
+    text = re.sub(r"[^a-z0-9]+", "-", text).strip("-")
+    if not text:
+        raise ValidationError(f"cannot derive a key from {name!r}")
+    return text
+
+
+def _check_key(key: str, what: str) -> None:
+    if not _KEY_RE.match(key):
+        raise ValidationError(
+            f"{what} key {key!r} must be lowercase alphanumeric with '-'/'.'"
+        )
+
+
+def _check_year(year: int | None) -> None:
+    if year is not None and not 1950 <= year <= 2100:
+        raise ValidationError(f"implausible year {year!r}")
+
+
+class InstitutionKind(Enum):
+    """Coarse type of a research institution."""
+
+    UNIVERSITY = "university"
+    RESEARCH_CENTRE = "research-centre"
+    COMPUTING_CENTRE = "computing-centre"
+    COMPANY = "company"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Institution:
+    """A research body participating in the study.
+
+    Parameters
+    ----------
+    key:
+        Stable identifier, e.g. ``"unito"``.
+    name:
+        Full name, e.g. ``"University of Turin"``.
+    short_name:
+        Acronym used in figures, e.g. ``"UNITO"``.
+    kind:
+        Institution type (university, research centre, ...).
+    city:
+        Seat of the institution; informational only.
+    """
+
+    key: str
+    name: str
+    short_name: str = ""
+    kind: InstitutionKind = InstitutionKind.UNIVERSITY
+    city: str = ""
+
+    def __post_init__(self) -> None:
+        _check_key(self.key, "institution")
+        if not self.name:
+            raise ValidationError("institution name must be non-empty")
+        if not self.short_name:
+            object.__setattr__(self, "short_name", self.key.upper())
+
+
+@dataclass(frozen=True, slots=True)
+class Reference:
+    """A bibliographic pointer (citation) for a tool or application."""
+
+    citation: str
+    year: int | None = None
+    doi: str = ""
+    url: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.citation:
+            raise ValidationError("reference citation must be non-empty")
+        _check_year(self.year)
+
+
+@dataclass(frozen=True, slots=True)
+class Tool:
+    """A catalogued research tool (one row of Table 1).
+
+    Parameters
+    ----------
+    key:
+        Stable identifier, e.g. ``"streamflow"``.
+    name:
+        Display name as used in the paper, e.g. ``"StreamFlow"``.
+    institution:
+        Key of the providing :class:`Institution`.
+    primary_direction:
+        Category key of the tool's *primary* research direction — the paper
+        notes every tool exhibits exactly one primary direction.
+    secondary_directions:
+        Further directions the tool touches ("some cover multiple research
+        topics").
+    description:
+        Prose description, distilled from the paper's Sec. 2; feeds the
+        automatic classifiers.
+    reference:
+        Bibliographic pointer, when the paper cites one.
+    institution_inferred:
+        True when the tool→institution mapping is reconstructed from author
+        affiliations rather than stated in the paper (see DESIGN.md §3).
+    """
+
+    key: str
+    name: str
+    institution: str
+    primary_direction: str
+    secondary_directions: tuple[str, ...] = ()
+    description: str = ""
+    reference: Reference | None = None
+    institution_inferred: bool = False
+
+    def __post_init__(self) -> None:
+        _check_key(self.key, "tool")
+        if not self.name:
+            raise ValidationError("tool name must be non-empty")
+        _check_key(self.institution, "tool institution")
+        if not self.primary_direction:
+            raise ValidationError(f"tool {self.key!r} needs a primary direction")
+        object.__setattr__(
+            self, "secondary_directions", tuple(self.secondary_directions)
+        )
+        if self.primary_direction in self.secondary_directions:
+            raise ValidationError(
+                f"tool {self.key!r}: primary direction "
+                f"{self.primary_direction!r} repeated in secondary directions"
+            )
+
+    @property
+    def directions(self) -> tuple[str, ...]:
+        """Primary direction followed by any secondary ones."""
+        return (self.primary_direction, *self.secondary_directions)
+
+
+@dataclass(frozen=True, slots=True)
+class Application:
+    """A surveyed scientific application (one column of Table 2).
+
+    Parameters
+    ----------
+    key:
+        Stable identifier, e.g. ``"visivo"``.
+    title:
+        Title of the application's subsection in the paper.
+    section:
+        Paper subsection label (``"3.1"`` ... ``"3.10"``); used to order the
+        columns of Table 2 exactly as published.
+    providers:
+        Keys of the providing institutions (an application may have several;
+        the paper's 10 applications come from 11 partners).
+    domain:
+        Scientific domain, e.g. ``"astrophysics"``.
+    description:
+        Prose description distilled from the paper's Sec. 3; feeds the
+        requirement extractor of the continuum matcher.
+    selected_tools:
+        Keys of tools the providers picked for integration (the published
+        checkmarks of Table 2).
+    """
+
+    key: str
+    title: str
+    section: str
+    providers: tuple[str, ...] = ()
+    domain: str = ""
+    description: str = ""
+    selected_tools: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_key(self.key, "application")
+        if not self.title:
+            raise ValidationError("application title must be non-empty")
+        if not re.match(r"^\d+\.\d+$", self.section):
+            raise ValidationError(
+                f"application {self.key!r}: section {self.section!r} must "
+                "look like '3.1'"
+            )
+        object.__setattr__(self, "providers", tuple(self.providers))
+        object.__setattr__(self, "selected_tools", tuple(self.selected_tools))
+        for provider in self.providers:
+            _check_key(provider, "application provider")
+        if len(set(self.selected_tools)) != len(self.selected_tools):
+            raise ValidationError(
+                f"application {self.key!r} lists duplicate tool selections"
+            )
+
+    @property
+    def section_order(self) -> tuple[int, int]:
+        """Sortable (major, minor) tuple derived from :attr:`section`."""
+        major, minor = self.section.split(".")
+        return int(major), int(minor)

@@ -1,0 +1,153 @@
+"""Data extraction: turning screened publications into study entities.
+
+The last gap between the corpus substrate and the study pipeline: after
+harvesting and screening, an SMS *extracts* structured entries from each
+included publication.  :func:`extract_tool_candidates` drafts
+:class:`~repro.core.entities.Tool` entries — key from the title, description
+from the abstract, direction from a classifier — flagging low-confidence
+classifications for human review, exactly the workflow a real study team
+follows (auto-draft, then verify the flagged ones).
+
+:func:`cross_validate_classifier` provides the evaluation loop extraction
+quality depends on: seeded k-fold cross-validation of the centroid
+classifier over already-labelled examples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classification import (
+    CentroidClassifier,
+    ClassificationResult,
+    KeywordClassifier,
+)
+from repro.core.entities import Tool, slugify
+from repro.core.taxonomy import ClassificationScheme
+from repro.corpus.publication import Publication
+from repro.errors import ValidationError
+
+__all__ = ["ToolCandidate", "extract_tool_candidates", "cross_validate_classifier"]
+
+
+@dataclass(frozen=True, slots=True)
+class ToolCandidate:
+    """A drafted tool entry awaiting human confirmation.
+
+    Attributes
+    ----------
+    tool:
+        The drafted entity (institution defaults to ``"unassigned"``).
+    source:
+        Key of the publication it was extracted from.
+    confidence:
+        The classifier's confidence in the primary direction.
+    needs_review:
+        True when the confidence falls below the extraction threshold.
+    """
+
+    tool: Tool
+    source: str
+    confidence: float
+    needs_review: bool
+
+
+def extract_tool_candidates(
+    publications: Sequence[Publication],
+    scheme: ClassificationScheme,
+    *,
+    classifier: KeywordClassifier | CentroidClassifier | None = None,
+    review_threshold: float = 0.5,
+    institution: str = "unassigned",
+) -> list[ToolCandidate]:
+    """Draft one tool candidate per publication.
+
+    Keys are slugified titles, deduplicated with numeric suffixes;
+    candidates whose direction confidence is below *review_threshold* are
+    flagged ``needs_review``.
+    """
+    if not 0.0 < review_threshold <= 1.0:
+        raise ValidationError("review_threshold must be in (0, 1]")
+    clf = classifier or KeywordClassifier(scheme)
+    candidates: list[ToolCandidate] = []
+    used_keys: set[str] = set()
+    for publication in publications:
+        text = publication.searchable_text()
+        result: ClassificationResult = clf.classify(text)
+        base_key = slugify(publication.title)[:48].strip("-") or "tool"
+        key = base_key
+        suffix = 2
+        while key in used_keys:
+            key = f"{base_key}-{suffix}"
+            suffix += 1
+        used_keys.add(key)
+        tool = Tool(
+            key,
+            publication.title,
+            institution,
+            result.label,
+            description=publication.abstract or publication.title,
+        )
+        candidates.append(
+            ToolCandidate(
+                tool=tool,
+                source=publication.key,
+                confidence=result.confidence,
+                needs_review=result.confidence < review_threshold,
+            )
+        )
+    return candidates
+
+
+def cross_validate_classifier(
+    texts: Sequence[str],
+    labels: Sequence[str],
+    scheme: ClassificationScheme,
+    *,
+    folds: int = 5,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Seeded k-fold cross-validation of the seeded centroid classifier.
+
+    Each fold's training texts enrich the category centroids (as
+    ``CentroidClassifier`` seeds); the held-out fold is scored.  Returns
+    mean/min/max fold accuracy — the honest estimate of extraction quality
+    on *unseen* publications, unlike the in-sample accuracies reported for
+    the ICSC replication.
+    """
+    if len(texts) != len(labels):
+        raise ValidationError("texts and labels must align")
+    if folds < 2:
+        raise ValidationError("folds must be >= 2")
+    if len(texts) < folds:
+        raise ValidationError(
+            f"need at least {folds} examples for {folds}-fold CV"
+        )
+    for label in labels:
+        if label not in scheme:
+            raise ValidationError(f"label {label!r} outside scheme")
+
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(texts))
+    fold_of = np.arange(len(texts)) % folds
+    accuracies: list[float] = []
+    for fold in range(folds):
+        train_idx = order[fold_of != fold]
+        test_idx = order[fold_of == fold]
+        seeds = [(texts[i], labels[i]) for i in train_idx]
+        classifier = CentroidClassifier(scheme, seeds=seeds)
+        predictions = classifier.classify_many([texts[i] for i in test_idx])
+        hits = sum(
+            prediction.label == labels[i]
+            for prediction, i in zip(predictions, test_idx)
+        )
+        accuracies.append(hits / len(test_idx))
+    return {
+        "mean_accuracy": float(np.mean(accuracies)),
+        "min_accuracy": float(np.min(accuracies)),
+        "max_accuracy": float(np.max(accuracies)),
+        "folds": float(folds),
+    }

@@ -1,0 +1,227 @@
+"""Keywording: building a classification scheme from document text.
+
+Petersen's SMS methodology constructs the classification scheme by
+*keywording* abstracts.  This module automates the two directions of that
+step:
+
+* :func:`discriminative_keywords` — given documents already grouped into
+  draft categories, find each category's most discriminative terms (mean
+  in-class TF-IDF contrasted against out-of-class), i.e. derive the
+  ``Category.keywords`` a :class:`KeywordClassifier` needs;
+* :func:`induce_scheme` — with no draft at all, cluster the documents
+  (seeded spherical k-means over TF-IDF vectors, implemented from scratch
+  with vectorized numpy) and return a generated
+  :class:`~repro.core.taxonomy.ClassificationScheme` plus the cluster
+  assignment.
+
+Applied to the 25 ICSC tool descriptions, the induced 5-cluster scheme
+recovers the paper's manual grouping to a large extent (measured in the
+tests via the adjusted Rand index, also implemented here).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.taxonomy import Category, ClassificationScheme
+from repro.errors import ClassificationError, ValidationError
+from repro.text.vectorize import TfidfModel
+
+__all__ = [
+    "discriminative_keywords",
+    "kmeans",
+    "induce_scheme",
+    "adjusted_rand_index",
+]
+
+
+def discriminative_keywords(
+    texts_by_category: Mapping[str, Sequence[str]],
+    *,
+    top_k: int = 8,
+) -> dict[str, tuple[str, ...]]:
+    """Most discriminative (stemmed) terms per category.
+
+    Scores each vocabulary term by ``mean tf-idf inside the category minus
+    mean tf-idf outside it`` and keeps the *top_k* positive terms.
+    """
+    if top_k < 1:
+        raise ValidationError(f"top_k must be >= 1, got {top_k}")
+    if not texts_by_category:
+        raise ValidationError("need at least one category")
+    categories = list(texts_by_category)
+    documents: list[str] = []
+    labels: list[int] = []
+    for c, category in enumerate(categories):
+        texts = texts_by_category[category]
+        if not texts:
+            raise ValidationError(f"category {category!r} has no documents")
+        documents.extend(texts)
+        labels.extend([c] * len(texts))
+    model = TfidfModel(documents)
+    matrix = model.matrix  # (docs, vocab), L2-normalized rows
+    label_vector = np.asarray(labels)
+    terms = sorted(model.vocabulary, key=model.vocabulary.get)
+
+    result: dict[str, tuple[str, ...]] = {}
+    for c, category in enumerate(categories):
+        inside = label_vector == c
+        mean_in = matrix[inside].mean(axis=0)
+        mean_out = (
+            matrix[~inside].mean(axis=0)
+            if (~inside).any()
+            else np.zeros(matrix.shape[1])
+        )
+        contrast = mean_in - mean_out
+        order = np.argsort(-contrast, kind="stable")[:top_k]
+        result[category] = tuple(
+            terms[i] for i in order if contrast[i] > 0
+        )
+    return result
+
+
+def kmeans(
+    matrix: np.ndarray,
+    k: int,
+    *,
+    seed: int = 0,
+    n_init: int = 8,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Spherical k-means over L2-normalized rows.
+
+    Uses cosine similarity (rows and centroids unit-normalized, assignment
+    by maximum dot product), k-means++-style seeding, and *n_init* restarts
+    keeping the best inertia.  Fully vectorized: the assignment step is one
+    ``matrix @ centroids.T`` product per iteration.
+
+    Returns ``(labels, centroids, inertia)`` where inertia is the summed
+    cosine distance ``sum(1 - sim(doc, centroid))``.
+    """
+    data = np.asarray(matrix, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] < k:
+        raise ValidationError(
+            f"need a 2-D matrix with at least k={k} rows, got {data.shape}"
+        )
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    norms = np.linalg.norm(data, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    data = data / norms
+    rng = np.random.default_rng(seed)
+
+    best: tuple[np.ndarray, np.ndarray, float] | None = None
+    for _ in range(n_init):
+        # k-means++ seeding on cosine distance.
+        centroids = np.empty((k, data.shape[1]))
+        first = int(rng.integers(data.shape[0]))
+        centroids[0] = data[first]
+        min_dist = 1.0 - data @ centroids[0]
+        for c in range(1, k):
+            weights = np.clip(min_dist, 1e-12, None)
+            probabilities = weights / weights.sum()
+            choice = int(rng.choice(data.shape[0], p=probabilities))
+            centroids[c] = data[choice]
+            min_dist = np.minimum(min_dist, 1.0 - data @ centroids[c])
+
+        labels = np.zeros(data.shape[0], dtype=np.int64)
+        previous_inertia = np.inf
+        for _ in range(max_iter):
+            similarity = data @ centroids.T
+            labels = similarity.argmax(axis=1)
+            inertia = float((1.0 - similarity.max(axis=1)).sum())
+            # Recompute centroids; empty clusters grab the farthest point.
+            for c in range(k):
+                members = data[labels == c]
+                if len(members) == 0:
+                    farthest = int((1.0 - similarity.max(axis=1)).argmax())
+                    centroids[c] = data[farthest]
+                    continue
+                mean = members.mean(axis=0)
+                norm = np.linalg.norm(mean)
+                centroids[c] = mean / norm if norm > 0 else mean
+            if previous_inertia - inertia < tol:
+                break
+            previous_inertia = inertia
+        similarity = data @ centroids.T
+        labels = similarity.argmax(axis=1)
+        inertia = float((1.0 - similarity.max(axis=1)).sum())
+        if best is None or inertia < best[2]:
+            best = (labels.copy(), centroids.copy(), inertia)
+    assert best is not None
+    return best
+
+
+def induce_scheme(
+    documents: Sequence[str],
+    k: int,
+    *,
+    seed: int = 0,
+    keywords_per_category: int = 6,
+) -> tuple[ClassificationScheme, np.ndarray]:
+    """Induce a *k*-category scheme by clustering the documents.
+
+    Each cluster becomes a :class:`Category` keyed ``cluster-0`` ... and
+    named/keyworded by its centroid's top TF-IDF terms.  Returns the scheme
+    and the per-document cluster labels.
+    """
+    if len(documents) < k:
+        raise ClassificationError(
+            f"cannot induce {k} categories from {len(documents)} documents"
+        )
+    model = TfidfModel(documents)
+    labels, centroids, _ = kmeans(model.matrix, k, seed=seed)
+    terms = sorted(model.vocabulary, key=model.vocabulary.get)
+    categories = []
+    for c in range(k):
+        order = np.argsort(-centroids[c], kind="stable")
+        top_terms = [terms[i] for i in order[:keywords_per_category]
+                     if centroids[c][i] > 0]
+        if not top_terms:
+            top_terms = [f"cluster{c}"]
+        categories.append(
+            Category(
+                f"cluster-{c}",
+                " / ".join(top_terms[:3]),
+                description="Induced by spherical k-means over TF-IDF vectors.",
+                keywords=tuple(top_terms),
+            )
+        )
+    scheme = ClassificationScheme(categories, name=f"induced-{k}")
+    return scheme, labels
+
+
+def adjusted_rand_index(
+    labels_a: Sequence[int] | np.ndarray, labels_b: Sequence[int] | np.ndarray
+) -> float:
+    """Adjusted Rand index between two clusterings of the same items.
+
+    1 means identical partitions, ~0 chance-level agreement.  Vectorized
+    over the contingency table.
+    """
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.shape != b.shape or a.ndim != 1 or a.size == 0:
+        raise ValidationError("need two aligned non-empty label vectors")
+    _, a_codes = np.unique(a, return_inverse=True)
+    _, b_codes = np.unique(b, return_inverse=True)
+    n_a = a_codes.max() + 1
+    n_b = b_codes.max() + 1
+    contingency = np.zeros((n_a, n_b), dtype=np.int64)
+    np.add.at(contingency, (a_codes, b_codes), 1)
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(contingency).sum()
+    sum_rows = comb2(contingency.sum(axis=1)).sum()
+    sum_cols = comb2(contingency.sum(axis=0)).sum()
+    total = comb2(np.asarray([a.size]))[0]
+    expected = sum_rows * sum_cols / total if total else 0.0
+    max_index = (sum_rows + sum_cols) / 2.0
+    if max_index == expected:
+        return 1.0 if sum_cells == expected else 0.0
+    return float((sum_cells - expected) / (max_index - expected))

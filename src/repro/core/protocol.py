@@ -1,0 +1,109 @@
+"""Study protocol: the plan an SMS commits to before collecting data.
+
+Per the SMS methodology (Petersen et al. 2008), a mapping study fixes its
+research questions, search/collection strategy, screening criteria, and
+classification scheme *up front*.  :class:`StudyProtocol` captures that
+plan; :class:`~repro.core.study.MappingStudy` executes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.taxonomy import ClassificationScheme, workflow_directions
+from repro.errors import ValidationError
+from repro.screening.criteria import Criterion
+
+__all__ = ["ResearchQuestion", "StudyProtocol", "icsc_protocol"]
+
+
+@dataclass(frozen=True, slots=True)
+class ResearchQuestion:
+    """One research question of the protocol."""
+
+    key: str
+    text: str
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValidationError("research question key must be non-empty")
+        if not self.text:
+            raise ValidationError("research question text must be non-empty")
+
+
+@dataclass(frozen=True)
+class StudyProtocol:
+    """The full plan of a mapping study.
+
+    Parameters
+    ----------
+    title:
+        Study title.
+    questions:
+        The research questions driving the analysis.
+    scheme:
+        The classification scheme for primary studies/tools.
+    search_queries:
+        Boolean query strings for corpus harvesting (optional — the ICSC
+        study collected by consortium instead).
+    inclusion:
+        Screening criterion candidate items must pass (optional).
+    scope_note:
+        A statement of scope and threats to validity.
+    """
+
+    title: str
+    questions: tuple[ResearchQuestion, ...]
+    scheme: ClassificationScheme
+    search_queries: tuple[str, ...] = ()
+    inclusion: Criterion | None = None
+    scope_note: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.title:
+            raise ValidationError("protocol title must be non-empty")
+        if not self.questions:
+            raise ValidationError("protocol needs at least one research question")
+        keys = [q.key for q in self.questions]
+        if len(set(keys)) != len(keys):
+            raise ValidationError("duplicate research question keys")
+        if len(self.scheme) == 0:
+            raise ValidationError("protocol scheme must have categories")
+
+    def question(self, key: str) -> ResearchQuestion:
+        """Look one research question up by key."""
+        for q in self.questions:
+            if q.key == key:
+                return q
+        raise ValidationError(f"unknown research question {key!r}")
+
+
+def icsc_protocol() -> StudyProtocol:
+    """The protocol of the paper under reproduction (Sec. 1)."""
+    return StudyProtocol(
+        title="A Systematic Mapping Study of Italian Research on Workflows",
+        questions=(
+            ResearchQuestion(
+                "q1",
+                "Which are the main research directions for WMSs in the "
+                "Computing Continuum?",
+            ),
+            ResearchQuestion(
+                "q2",
+                "Which research directions are widespread in the scientific "
+                "community?",
+            ),
+            ResearchQuestion(
+                "q3",
+                "Which research directions address a critical need for "
+                "modern scientific applications?",
+            ),
+        ),
+        scheme=workflow_directions(),
+        scope_note=(
+            "The study only considers the Italian ICSC ecosystem and is not "
+            "a survey of the international state of the art; the ICSC "
+            "ecosystem is used as a statistical sample of international "
+            "research on workflows."
+        ),
+    )

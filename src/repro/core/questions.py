@@ -1,0 +1,176 @@
+"""Research-question analyzers (Sec. 4 of the paper).
+
+Each analyzer turns catalogue data into a structured, serializable answer
+object mirroring one of the paper's three research questions:
+
+* **Q1** — Which are the main research directions for WMSs in the Computing
+  Continuum?  (the taxonomy, with per-direction tool lists)
+* **Q2** — Which research directions are widespread in the scientific
+  community?  (Fig. 2 distribution + Fig. 3 coverage + balance statistics)
+* **Q3** — Which research directions address a critical need for modern
+  scientific applications?  (Fig. 4 votes + supply/demand contrast)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analysis import (
+    SupplyDemandComparison,
+    compare_supply_demand,
+    coverage_histogram,
+    supply_distribution,
+)
+from repro.core.catalog import ApplicationCatalog, ToolCatalog
+from repro.core.selection import SelectionMatrix
+from repro.core.taxonomy import ClassificationScheme
+from repro.stats.diversity import evenness_report
+from repro.stats.frequency import FrequencyTable
+
+__all__ = ["Q1Answer", "Q2Answer", "Q3Answer", "answer_q1", "answer_q2", "answer_q3"]
+
+
+@dataclass(frozen=True, slots=True)
+class Q1Answer:
+    """The identified research directions with their member tools."""
+
+    directions: tuple[str, ...]
+    direction_names: tuple[str, ...]
+    tools_by_direction: dict[str, tuple[str, ...]]
+    multi_topic_tools: tuple[str, ...]
+
+    @property
+    def n_directions(self) -> int:
+        return len(self.directions)
+
+
+def answer_q1(tools: ToolCatalog, scheme: ClassificationScheme) -> Q1Answer:
+    """Answer Q1: enumerate directions and the tools under each (Table 1)."""
+    by_direction = {
+        key: tuple(t.name for t in tools.by_direction(key)) for key in scheme.keys
+    }
+    multi = tuple(t.name for t in tools if t.secondary_directions)
+    return Q1Answer(scheme.keys, scheme.names, by_direction, multi)
+
+
+@dataclass(frozen=True, slots=True)
+class Q2Answer:
+    """How widespread each direction is in the community.
+
+    Attributes
+    ----------
+    distribution:
+        Tools per direction (Fig. 2).
+    shares:
+        Direction key → percentage of all tools.
+    coverage:
+        Institutions by number of covered directions (Fig. 3).
+    evenness:
+        Diversity indices over :attr:`distribution`.
+    single_topic_institutions:
+        Number of institutions covering exactly one direction.
+    n_institutions:
+        Number of tool-providing institutions.
+    balanced:
+        The paper's qualitative claim, operationalized: True when Shannon
+        evenness of the tool distribution exceeds 0.9.
+    """
+
+    distribution: FrequencyTable
+    shares: dict[str, float]
+    coverage: FrequencyTable
+    evenness: dict[str, float]
+    single_topic_institutions: int
+    n_institutions: int
+    balanced: bool
+
+    @property
+    def majority_single_topic(self) -> bool:
+        """Paper claim: "more than half of the involved institutions cover a
+        single research topic"."""
+        return self.single_topic_institutions * 2 > self.n_institutions
+
+    @property
+    def full_coverage_institutions(self) -> int:
+        """Institutions spanning every direction (paper observes zero)."""
+        return self.coverage[len(self.distribution)]
+
+
+def answer_q2(tools: ToolCatalog, scheme: ClassificationScheme) -> Q2Answer:
+    """Answer Q2 from the tool catalogue (Fig. 2 + Fig. 3 + evenness)."""
+    distribution = supply_distribution(tools, scheme)
+    coverage = coverage_histogram(tools, scheme)
+    evenness = evenness_report(distribution)
+    return Q2Answer(
+        distribution=distribution,
+        shares={k: distribution.share(k) for k in scheme.keys},
+        coverage=coverage,
+        evenness=evenness,
+        single_topic_institutions=coverage[1],
+        n_institutions=coverage.total,
+        balanced=evenness["shannon_evenness"] > 0.9,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class Q3Answer:
+    """Which directions applications actually need.
+
+    Attributes
+    ----------
+    votes:
+        Selection votes per direction (Fig. 4).
+    shares:
+        Direction key → share of all votes.
+    comparison:
+        Full supply-vs-demand comparison (Fig. 2 vs. Fig. 4).
+    critical_directions:
+        Directions selected by at least *critical_threshold* distinct
+        applications — the paper's "at least three application providers"
+        criterion for significant interest.
+    top_direction, bottom_direction:
+        Most and least demanded directions.
+    """
+
+    votes: FrequencyTable
+    shares: dict[str, float]
+    comparison: SupplyDemandComparison
+    critical_directions: tuple[str, ...]
+    top_direction: str
+    bottom_direction: str
+
+
+def answer_q3(
+    tools: ToolCatalog,
+    applications: ApplicationCatalog,
+    scheme: ClassificationScheme,
+    *,
+    critical_threshold: int = 3,
+    seed: int = 2023,
+) -> Q3Answer:
+    """Answer Q3 from the selection survey (Fig. 4 + supply/demand contrast).
+
+    ``critical_threshold`` counts *distinct applications* selecting at least
+    one tool of the direction (the paper's criterion), not raw votes.
+    """
+    selection = SelectionMatrix.from_catalogs(tools, applications, scheme)
+    votes = selection.votes_per_direction(tools, scheme)
+    comparison = compare_supply_demand(tools, applications, scheme, seed=seed)
+
+    apps_per_direction: dict[str, set[str]] = {key: set() for key in scheme.keys}
+    for app in applications:
+        for tool_key in app.selected_tools:
+            apps_per_direction[tools[tool_key].primary_direction].add(app.key)
+    critical = tuple(
+        key
+        for key in scheme.keys
+        if len(apps_per_direction[key]) >= critical_threshold
+    )
+    return Q3Answer(
+        votes=votes,
+        shares={k: votes.share(k) for k in scheme.keys},
+        comparison=comparison,
+        critical_directions=critical,
+        top_direction=votes.mode(),
+        bottom_direction=votes.argmin(),
+    )

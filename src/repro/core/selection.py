@@ -1,0 +1,247 @@
+"""The application × tool selection matrix (Table 2).
+
+:class:`SelectionMatrix` is the central demand-side data structure: rows are
+tools (in Table 1 / scheme order), columns are applications (in paper
+section order), and a boolean cell marks that the application's providers
+selected the tool for integration.  It is backed by a numpy boolean matrix
+so marginals, per-direction vote grouping (Fig. 4), and matrix comparisons
+are single vectorized operations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.catalog import ApplicationCatalog, ToolCatalog
+from repro.core.taxonomy import ClassificationScheme
+from repro.errors import SelectionError
+from repro.stats.frequency import FrequencyTable
+
+__all__ = ["SelectionMatrix"]
+
+
+class SelectionMatrix:
+    """Boolean tool × application selection matrix.
+
+    Construct directly from aligned key sequences and a boolean matrix, or —
+    usually — via :meth:`from_catalogs`, which orders rows by research
+    direction (Table 1 order) and columns by paper section.
+    """
+
+    def __init__(
+        self,
+        tool_keys: Sequence[str],
+        application_keys: Sequence[str],
+        matrix: np.ndarray,
+    ) -> None:
+        matrix = np.asarray(matrix, dtype=bool)
+        if matrix.shape != (len(tool_keys), len(application_keys)):
+            raise SelectionError(
+                f"matrix shape {matrix.shape} does not match "
+                f"{len(tool_keys)} tools x {len(application_keys)} applications"
+            )
+        if len(set(tool_keys)) != len(tool_keys):
+            raise SelectionError("duplicate tool keys")
+        if len(set(application_keys)) != len(application_keys):
+            raise SelectionError("duplicate application keys")
+        self._tools = tuple(tool_keys)
+        self._apps = tuple(application_keys)
+        self._matrix = matrix.copy()
+        self._matrix.setflags(write=False)
+        self._tool_index = {key: i for i, key in enumerate(self._tools)}
+        self._app_index = {key: j for j, key in enumerate(self._apps)}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_catalogs(
+        cls,
+        tools: ToolCatalog,
+        applications: ApplicationCatalog,
+        scheme: ClassificationScheme,
+    ) -> "SelectionMatrix":
+        """Build the published matrix from entity data.
+
+        Rows are grouped by primary direction in scheme order (Table 2's row
+        blocks), preserving catalogue order within each direction; columns
+        follow paper section order.
+        """
+        ordered_tools: list[str] = []
+        for direction in scheme.keys:
+            ordered_tools.extend(
+                t.key for t in tools.by_direction(direction)
+            )
+        # Tools whose direction lies outside the scheme would be silently
+        # dropped; validate_ecosystem prevents that upstream, but re-check.
+        if len(ordered_tools) != len(tools):
+            raise SelectionError(
+                "some tools have directions outside the scheme"
+            )
+        apps = applications.ordered()
+        matrix = np.zeros((len(ordered_tools), len(apps)), dtype=bool)
+        row_of = {key: i for i, key in enumerate(ordered_tools)}
+        for j, app in enumerate(apps):
+            for tool_key in app.selected_tools:
+                if tool_key not in row_of:
+                    raise SelectionError(
+                        f"application {app.key!r} selected unknown tool "
+                        f"{tool_key!r}"
+                    )
+                matrix[row_of[tool_key], j] = True
+        return cls(ordered_tools, [a.key for a in apps], matrix)
+
+    @classmethod
+    def from_votes(
+        cls,
+        tool_keys: Sequence[str],
+        application_keys: Sequence[str],
+        votes: Iterable[tuple[str, str]],
+    ) -> "SelectionMatrix":
+        """Build from ``(application, tool)`` vote pairs (survey output)."""
+        matrix = np.zeros((len(tool_keys), len(application_keys)), dtype=bool)
+        instance = cls(tool_keys, application_keys, matrix)
+        filled = instance._matrix.copy()
+        filled.setflags(write=True)
+        for app_key, tool_key in votes:
+            try:
+                i = instance._tool_index[tool_key]
+                j = instance._app_index[app_key]
+            except KeyError as exc:
+                raise SelectionError(f"unknown key in vote: {exc}") from None
+            filled[i, j] = True
+        return cls(tool_keys, application_keys, filled)
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def tool_keys(self) -> tuple[str, ...]:
+        """Row keys (tools) in matrix order."""
+        return self._tools
+
+    @property
+    def application_keys(self) -> tuple[str, ...]:
+        """Column keys (applications) in matrix order."""
+        return self._apps
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Read-only boolean matrix (tools × applications)."""
+        return self._matrix
+
+    @property
+    def total_selections(self) -> int:
+        """Total number of checkmarks (28 in the paper)."""
+        return int(self._matrix.sum())
+
+    def is_selected(self, tool: str, application: str) -> bool:
+        """Whether *application* selected *tool*."""
+        try:
+            return bool(
+                self._matrix[self._tool_index[tool], self._app_index[application]]
+            )
+        except KeyError as exc:
+            raise SelectionError(f"unknown key: {exc}") from None
+
+    def tools_of(self, application: str) -> tuple[str, ...]:
+        """Tools selected by *application*, in row order."""
+        try:
+            column = self._matrix[:, self._app_index[application]]
+        except KeyError:
+            raise SelectionError(f"unknown application {application!r}") from None
+        return tuple(np.asarray(self._tools)[column])
+
+    def applications_of(self, tool: str) -> tuple[str, ...]:
+        """Applications that selected *tool*, in column order."""
+        try:
+            row = self._matrix[self._tool_index[tool], :]
+        except KeyError:
+            raise SelectionError(f"unknown tool {tool!r}") from None
+        return tuple(np.asarray(self._apps)[row])
+
+    # -- marginals and groupings -------------------------------------------------
+
+    def votes_per_tool(self) -> FrequencyTable:
+        """Row sums: how many applications selected each tool."""
+        sums = self._matrix.sum(axis=1)
+        return FrequencyTable(
+            {key: int(sums[i]) for i, key in enumerate(self._tools)}
+        )
+
+    def selections_per_application(self) -> FrequencyTable:
+        """Column sums: how many tools each application selected."""
+        sums = self._matrix.sum(axis=0)
+        return FrequencyTable(
+            {key: int(sums[j]) for j, key in enumerate(self._apps)}
+        )
+
+    def votes_per_direction(
+        self, tools: ToolCatalog, scheme: ClassificationScheme
+    ) -> FrequencyTable:
+        """Group votes by the tools' primary direction — the Fig. 4 data.
+
+        Vectorized as a one-hot (direction × tool) matrix times the row-sum
+        vector.
+        """
+        directions = np.asarray(
+            [scheme.index(tools[key].primary_direction) for key in self._tools]
+        )
+        row_votes = self._matrix.sum(axis=1)
+        counts = np.bincount(
+            directions, weights=row_votes, minlength=len(scheme)
+        ).astype(np.int64)
+        return FrequencyTable(
+            {key: int(counts[i]) for i, key in enumerate(scheme.keys)}
+        )
+
+    # -- comparison ----------------------------------------------------------------
+
+    def agreement(self, other: "SelectionMatrix") -> dict[str, float]:
+        """Cell-level agreement with another matrix over the same keys.
+
+        Returns accuracy, precision, recall, F1, and Jaccard of the
+        positive (selected) cells — used to score the requirement matcher
+        against the published Table 2.
+        """
+        if self._tools != other._tools or self._apps != other._apps:
+            raise SelectionError("matrices must share row/column keys")
+        a, b = self._matrix, other._matrix
+        tp = float(np.logical_and(a, b).sum())
+        fp = float(np.logical_and(~a, b).sum())
+        fn = float(np.logical_and(a, ~b).sum())
+        tn = float(np.logical_and(~a, ~b).sum())
+        precision = tp / (tp + fp) if tp + fp else 0.0
+        recall = tp / (tp + fn) if tp + fn else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+        union = tp + fp + fn
+        return {
+            "accuracy": (tp + tn) / a.size,
+            "precision": precision,
+            "recall": recall,
+            "f1": f1,
+            "jaccard": tp / union if union else 1.0,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SelectionMatrix):
+            return NotImplemented
+        return (
+            self._tools == other._tools
+            and self._apps == other._apps
+            and bool(np.array_equal(self._matrix, other._matrix))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._tools, self._apps, self._matrix.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SelectionMatrix({len(self._tools)} tools x "
+            f"{len(self._apps)} applications, "
+            f"{self.total_selections} selections)"
+        )

@@ -1,0 +1,183 @@
+"""Sensitivity analysis: how robust are the study's findings?
+
+A mapping study's headline claims should not hinge on a single catalogued
+tool or a single surveyed application.  This module quantifies that with
+leave-one-out (LOO) perturbations:
+
+* :func:`leave_one_application_out` — recompute the demand distribution
+  (Fig. 4) with each application removed; report how often the top/bottom
+  direction ranking survives.
+* :func:`leave_one_tool_out` — recompute the supply distribution (Fig. 2)
+  with each tool removed; report the worst-case share swing.
+* :func:`jackknife_shares` — LOO jackknife standard errors for every
+  direction's demand share.
+
+The paper's conclusions hold under all 10 application removals (orchestration
+stays first, energy efficiency stays last) — an analysis the benchmark
+regenerates (see ``benchmarks/test_bench_sensitivity.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.catalog import ApplicationCatalog, ToolCatalog
+from repro.core.taxonomy import ClassificationScheme
+from repro.errors import ValidationError
+from repro.stats.frequency import FrequencyTable
+
+__all__ = [
+    "LeaveOneOutResult",
+    "leave_one_application_out",
+    "leave_one_tool_out",
+    "jackknife_shares",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class LeaveOneOutResult:
+    """Outcome of one leave-one-out family.
+
+    Attributes
+    ----------
+    baseline:
+        The unperturbed distribution.
+    perturbed:
+        Removed-entity key → resulting distribution.
+    top_stable, bottom_stable:
+        Whether the most/least frequent category is identical in every
+        perturbation.
+    max_share_swing:
+        Largest absolute change of any category share across perturbations.
+    breaking_cases:
+        Removed-entity keys whose perturbation changes the top or bottom
+        category.
+    """
+
+    baseline: FrequencyTable
+    perturbed: dict[str, FrequencyTable]
+    top_stable: bool
+    bottom_stable: bool
+    max_share_swing: float
+    breaking_cases: tuple[str, ...]
+
+
+def _votes_table(
+    tools: ToolCatalog,
+    applications: ApplicationCatalog,
+    scheme: ClassificationScheme,
+    *,
+    skip_application: str | None = None,
+) -> FrequencyTable:
+    counts = {key: 0 for key in scheme.keys}
+    for app in applications:
+        if app.key == skip_application:
+            continue
+        for tool_key in app.selected_tools:
+            counts[tools[tool_key].primary_direction] += 1
+    return FrequencyTable(counts)
+
+
+def _summarize(
+    baseline: FrequencyTable, perturbed: dict[str, FrequencyTable]
+) -> LeaveOneOutResult:
+    if not perturbed:
+        raise ValidationError("need at least one perturbation")
+    base_shares = baseline.shares()
+    top, bottom = baseline.mode(), baseline.argmin()
+    breaking: list[str] = []
+    max_swing = 0.0
+    for removed, table in perturbed.items():
+        if table.total == 0:
+            breaking.append(removed)
+            continue
+        swing = float(np.abs(table.shares() - base_shares).max())
+        max_swing = max(max_swing, swing)
+        if table.mode() != top or table.argmin() != bottom:
+            breaking.append(removed)
+    return LeaveOneOutResult(
+        baseline=baseline,
+        perturbed=perturbed,
+        top_stable=all(
+            t.total > 0 and t.mode() == top for t in perturbed.values()
+        ),
+        bottom_stable=all(
+            t.total > 0 and t.argmin() == bottom for t in perturbed.values()
+        ),
+        max_share_swing=max_swing,
+        breaking_cases=tuple(breaking),
+    )
+
+
+def leave_one_application_out(
+    tools: ToolCatalog,
+    applications: ApplicationCatalog,
+    scheme: ClassificationScheme,
+) -> LeaveOneOutResult:
+    """Recompute the Fig. 4 demand distribution with each application removed."""
+    if len(applications) < 2:
+        raise ValidationError("need at least two applications for LOO")
+    baseline = _votes_table(tools, applications, scheme)
+    perturbed = {
+        app.key: _votes_table(
+            tools, applications, scheme, skip_application=app.key
+        )
+        for app in applications.ordered()
+    }
+    return _summarize(baseline, perturbed)
+
+
+def leave_one_tool_out(
+    tools: ToolCatalog, scheme: ClassificationScheme
+) -> LeaveOneOutResult:
+    """Recompute the Fig. 2 supply distribution with each tool removed."""
+    if len(tools) < 2:
+        raise ValidationError("need at least two tools for LOO")
+    baseline = FrequencyTable(tools.direction_counts(scheme))
+    perturbed: dict[str, FrequencyTable] = {}
+    for removed in tools:
+        counts = {key: 0 for key in scheme.keys}
+        for tool in tools:
+            if tool.key == removed.key:
+                continue
+            counts[tool.primary_direction] += 1
+        perturbed[removed.key] = FrequencyTable(counts)
+    return _summarize(baseline, perturbed)
+
+
+def jackknife_shares(
+    tools: ToolCatalog,
+    applications: ApplicationCatalog,
+    scheme: ClassificationScheme,
+) -> dict[str, tuple[float, float]]:
+    """Leave-one-application-out jackknife of the demand shares.
+
+    Returns direction key → ``(share, standard_error)``.  The jackknife SE
+    is ``sqrt((n-1)/n * sum((theta_i - theta_bar)^2))`` over the ``n``
+    LOO replicates — the appropriate resampling scheme when the sampling
+    unit is the *application* (each contributes a block of votes), not the
+    individual vote.
+    """
+    apps = applications.ordered()
+    n = len(apps)
+    if n < 2:
+        raise ValidationError("need at least two applications for jackknife")
+    baseline = _votes_table(tools, applications, scheme)
+    replicates = np.empty((n, len(scheme)), dtype=np.float64)
+    for i, app in enumerate(apps):
+        table = _votes_table(
+            tools, applications, scheme, skip_application=app.key
+        )
+        if table.total == 0:
+            raise ValidationError(
+                f"removing {app.key!r} empties the vote table"
+            )
+        replicates[i] = table.shares()
+    mean = replicates.mean(axis=0)
+    se = np.sqrt((n - 1) / n * ((replicates - mean) ** 2).sum(axis=0))
+    return {
+        key: (float(baseline.shares()[i]), float(se[i]))
+        for i, key in enumerate(scheme.keys)
+    }

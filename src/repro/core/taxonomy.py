@@ -1,0 +1,308 @@
+"""Classification schemes (taxonomies) for mapping studies.
+
+A systematic mapping study clusters primary studies into the categories of a
+*classification scheme*.  The paper under reproduction uses a single-facet,
+five-category scheme (interactive computing, orchestration, energy efficiency,
+performance portability, Big Data management); this module keeps the concept
+generic so new studies can define their own facets and categories.
+
+The scheme is deliberately decoupled from the entity model: entities refer to
+categories by *key* (a short, stable identifier) and the scheme validates and
+resolves those keys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import TaxonomyError, UnknownCategoryError, ValidationError
+
+__all__ = ["Category", "ClassificationScheme", "Facet", "workflow_directions"]
+
+
+def _require_key(key: str, what: str) -> str:
+    """Validate a category/facet key: non-empty, lowercase, no spaces."""
+    if not key:
+        raise ValidationError(f"{what} key must be non-empty")
+    if key != key.strip() or " " in key:
+        raise ValidationError(f"{what} key {key!r} must not contain spaces")
+    if key != key.lower():
+        raise ValidationError(f"{what} key {key!r} must be lowercase")
+    return key
+
+
+@dataclass(frozen=True, slots=True)
+class Category:
+    """One category of a classification scheme.
+
+    Parameters
+    ----------
+    key:
+        Short stable identifier, e.g. ``"orchestration"``.
+    name:
+        Human-readable name, e.g. ``"Orchestration"``.
+    description:
+        A paragraph describing the category's scope; used both for
+        documentation and as a keyword source by automatic classifiers.
+    keywords:
+        Terms that signal membership; consumed by
+        :class:`repro.core.classification.KeywordClassifier`.
+    """
+
+    key: str
+    name: str
+    description: str = ""
+    keywords: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        _require_key(self.key, "category")
+        if not self.name:
+            raise ValidationError("category name must be non-empty")
+        # Normalize keywords to a lowercase tuple regardless of input type.
+        object.__setattr__(
+            self, "keywords", tuple(k.lower() for k in self.keywords)
+        )
+
+    def matches_keyword(self, term: str) -> bool:
+        """Return whether *term* (case-insensitive) is a keyword of this category."""
+        return term.lower() in self.keywords
+
+
+@dataclass(frozen=True, slots=True)
+class Facet:
+    """A named dimension of a multi-faceted classification scheme."""
+
+    key: str
+    name: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        _require_key(self.key, "facet")
+        if not self.name:
+            raise ValidationError("facet name must be non-empty")
+
+
+class ClassificationScheme:
+    """An ordered, keyed collection of :class:`Category` objects.
+
+    The scheme preserves insertion order (which fixes the row/slice order of
+    every derived table and figure) and enforces key uniqueness.
+
+    Examples
+    --------
+    >>> scheme = workflow_directions()
+    >>> [c.key for c in scheme]  # doctest: +NORMALIZE_WHITESPACE
+    ['interactive-computing', 'orchestration', 'energy-efficiency',
+     'performance-portability', 'big-data-management']
+    >>> scheme["orchestration"].name
+    'Orchestration'
+    """
+
+    def __init__(
+        self,
+        categories: Iterable[Category] = (),
+        *,
+        facet: Facet | None = None,
+        name: str = "unnamed scheme",
+    ) -> None:
+        self.name = name
+        self.facet = facet
+        self._categories: dict[str, Category] = {}
+        for category in categories:
+            self.add(category)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, category: Category) -> None:
+        """Register *category*; raise :class:`TaxonomyError` on duplicate keys."""
+        if category.key in self._categories:
+            raise TaxonomyError(f"duplicate category key {category.key!r}")
+        self._categories[category.key] = category
+
+    # -- lookup -----------------------------------------------------------
+
+    def __getitem__(self, key: str) -> Category:
+        try:
+            return self._categories[key]
+        except KeyError:
+            raise UnknownCategoryError(
+                f"unknown category {key!r}; scheme {self.name!r} has "
+                f"{sorted(self._categories)}"
+            ) from None
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._categories
+
+    def __iter__(self) -> Iterator[Category]:
+        return iter(self._categories.values())
+
+    def __len__(self) -> int:
+        return len(self._categories)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClassificationScheme(name={self.name!r}, "
+            f"categories={list(self._categories)!r})"
+        )
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        """Category keys in scheme order."""
+        return tuple(self._categories)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Human-readable category names in scheme order."""
+        return tuple(c.name for c in self)
+
+    def index(self, key: str) -> int:
+        """Return the 0-based position of *key* in scheme order."""
+        try:
+            return self.keys.index(key)
+        except ValueError:
+            raise UnknownCategoryError(f"unknown category {key!r}") from None
+
+    def validate(self, keys: Iterable[str]) -> tuple[str, ...]:
+        """Validate that every key in *keys* belongs to the scheme.
+
+        Returns the keys as a tuple (in input order) so the call can be used
+        inline during entity construction.
+        """
+        out = tuple(keys)
+        for key in out:
+            if key not in self:
+                raise UnknownCategoryError(
+                    f"unknown category {key!r}; scheme {self.name!r} has "
+                    f"{sorted(self._categories)}"
+                )
+        return out
+
+    def keyword_index(self) -> Mapping[str, str]:
+        """Map every keyword to its category key.
+
+        Raises
+        ------
+        TaxonomyError
+            If the same keyword is claimed by two categories, which would
+            make keyword classification ambiguous.
+        """
+        index: dict[str, str] = {}
+        for category in self:
+            for keyword in category.keywords:
+                owner = index.setdefault(keyword, category.key)
+                if owner != category.key:
+                    raise TaxonomyError(
+                        f"keyword {keyword!r} claimed by both "
+                        f"{owner!r} and {category.key!r}"
+                    )
+        return index
+
+    def subscheme(self, keys: Sequence[str]) -> "ClassificationScheme":
+        """Return a new scheme restricted to *keys* (in the given order)."""
+        return ClassificationScheme(
+            (self[k] for k in keys), facet=self.facet, name=f"{self.name} (subset)"
+        )
+
+
+# Canonical keys of the paper's five research directions, in paper order.
+INTERACTIVE_COMPUTING = "interactive-computing"
+ORCHESTRATION = "orchestration"
+ENERGY_EFFICIENCY = "energy-efficiency"
+PERFORMANCE_PORTABILITY = "performance-portability"
+BIG_DATA_MANAGEMENT = "big-data-management"
+
+DIRECTION_KEYS: tuple[str, ...] = (
+    INTERACTIVE_COMPUTING,
+    ORCHESTRATION,
+    ENERGY_EFFICIENCY,
+    PERFORMANCE_PORTABILITY,
+    BIG_DATA_MANAGEMENT,
+)
+
+
+def workflow_directions() -> ClassificationScheme:
+    """Build the paper's five-direction classification scheme (Sec. 2).
+
+    Category descriptions are condensed from the paper's Sec. 2.1-2.5 and the
+    keywords are the discriminative terms those sections use; they feed the
+    automatic classifiers used to simulate the manual classification step.
+    """
+    return ClassificationScheme(
+        [
+            Category(
+                INTERACTIVE_COMPUTING,
+                "Interactive computing",
+                "User-friendly interactive interfaces to HPC systems: "
+                "on-demand resource provisioning over batch queue managers, "
+                "Jupyter-based workflows as a service, notebook kernels that "
+                "orchestrate distributed steps.",
+                keywords=(
+                    "interactive", "jupyter", "notebook", "kernel",
+                    "reservation", "calendar", "on-demand", "slurm",
+                    "web", "dashboard", "cell",
+                ),
+            ),
+            Category(
+                ORCHESTRATION,
+                "Orchestration",
+                "Deployment and life-cycle management of modular applications "
+                "across the Computing Continuum: TOSCA orchestrators, "
+                "multi-cluster federation, hybrid Cloud/HPC workflow "
+                "execution, FaaS platforms, service placement and live "
+                "migration of micro-services.",
+                keywords=(
+                    "orchestration", "orchestrator", "tosca", "deployment",
+                    "kubernetes", "multi-cloud", "federation", "faas",
+                    "serverless", "placement", "migration", "micro-service",
+                    "microservice", "fog", "provisioning",
+                ),
+            ),
+            Category(
+                ENERGY_EFFICIENCY,
+                "Energy efficiency",
+                "Measuring and reducing the energy footprint of workload "
+                "execution: energy-aware placement under QoS constraints, "
+                "resource-constrained algorithms for low-power Edge devices, "
+                "carbon-footprint-aware computing.",
+                keywords=(
+                    "energy", "energy-efficient", "power", "low-power",
+                    "carbon", "footprint", "green", "consumption",
+                    "sustainable",
+                ),
+            ),
+            Category(
+                PERFORMANCE_PORTABILITY,
+                "Performance portability",
+                "Abstraction layers that keep performance across diverse "
+                "execution environments: structured parallel programming, "
+                "network and I/O abstraction, machine-learning-driven "
+                "tuning, and multi-level compiler representations.",
+                keywords=(
+                    "portability", "portable", "abstraction", "dataflow",
+                    "shared-memory", "compiler", "toolchain", "llvm", "mlir",
+                    "posix", "intercept", "block-size", "partitioning",
+                    "socket", "primitives",
+                ),
+            ),
+            Category(
+                BIG_DATA_MANAGEMENT,
+                "Big Data management",
+                "Parallel data mining, stream processing, autoML performance "
+                "modelling, multi-dimensional analytics over graph data, and "
+                "real-time simulation data sources for Big Data pipelines.",
+                keywords=(
+                    "big-data", "data-mining", "mining", "stream",
+                    "streaming", "analytics", "automl", "hadoop", "spark",
+                    "clustering", "hotspot", "regression", "graph-data",
+                    "simulator",
+                ),
+            ),
+        ],
+        facet=Facet(
+            "research-direction",
+            "Research direction",
+            "Primary research direction of a workflow-ecosystem tool.",
+        ),
+        name="workflow-research-directions",
+    )

@@ -1,0 +1,36 @@
+"""Bibliographic corpus substrate: records, BibTeX, venues, queries, dedup."""
+
+from repro.corpus.bibtex import parse_bibtex, publications_from_bibtex, to_bibtex
+from repro.corpus.corpus import Corpus
+from repro.corpus.dedup import find_duplicates, merge_cluster
+from repro.corpus.publication import Publication, make_pub_key, normalize_title
+from repro.corpus.query import Query, parse_query
+from repro.corpus.trends import (
+    TrendFit,
+    category_year_matrix,
+    cumulative_series,
+    fit_linear_trend,
+    yearly_series,
+)
+from repro.corpus.venues import DEFAULT_ALIASES, VenueNormalizer
+
+__all__ = [
+    "Corpus",
+    "DEFAULT_ALIASES",
+    "Publication",
+    "Query",
+    "TrendFit",
+    "category_year_matrix",
+    "cumulative_series",
+    "fit_linear_trend",
+    "yearly_series",
+    "VenueNormalizer",
+    "find_duplicates",
+    "make_pub_key",
+    "merge_cluster",
+    "normalize_title",
+    "parse_bibtex",
+    "parse_query",
+    "publications_from_bibtex",
+    "to_bibtex",
+]

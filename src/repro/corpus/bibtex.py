@@ -1,0 +1,315 @@
+"""BibTeX parser and writer, from scratch.
+
+Supports the subset of BibTeX that bibliographic exports actually use:
+
+* ``@type{key, field = value, ...}`` entries with brace- or quote-delimited
+  values (nested braces handled) and bare numbers;
+* ``@string{name = "..."}`` macro definitions and macro references;
+* value concatenation with ``#``;
+* ``@comment`` blocks and free text between entries (ignored);
+* case-insensitive entry types and field names.
+
+The parser is a hand-written recursive-descent scanner that tracks line
+numbers for error reporting (:class:`~repro.errors.BibTeXError`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.corpus.publication import Publication, make_pub_key
+from repro.errors import BibTeXError
+
+__all__ = ["parse_bibtex", "publications_from_bibtex", "to_bibtex"]
+
+_MONTHS = {
+    "jan": "January", "feb": "February", "mar": "March", "apr": "April",
+    "may": "May", "jun": "June", "jul": "July", "aug": "August",
+    "sep": "September", "oct": "October", "nov": "November", "dec": "December",
+}
+
+
+class _Scanner:
+    """Character scanner with line tracking."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.line = 1
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if not self.eof() else ""
+
+    def advance(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+        return ch
+
+    def skip_whitespace(self) -> None:
+        while not self.eof() and self.peek().isspace():
+            self.advance()
+
+    def expect(self, ch: str) -> None:
+        self.skip_whitespace()
+        if self.eof() or self.peek() != ch:
+            found = self.peek() or "end of input"
+            raise BibTeXError(f"expected {ch!r}, found {found!r}", self.line)
+        self.advance()
+
+    def read_name(self) -> str:
+        """An identifier: entry type, citation key, field name, or macro."""
+        self.skip_whitespace()
+        start = self.pos
+        while not self.eof() and (
+            self.peek().isalnum() or self.peek() in "-_:./+'"
+        ):
+            self.advance()
+        if start == self.pos:
+            raise BibTeXError(
+                f"expected a name, found {self.peek()!r}", self.line
+            )
+        return self.text[start : self.pos]
+
+    def read_braced(self) -> str:
+        """Read a {...} group (opening brace already consumed is NOT assumed)."""
+        self.expect("{")
+        depth = 1
+        out: list[str] = []
+        while depth:
+            if self.eof():
+                raise BibTeXError("unterminated brace group", self.line)
+            ch = self.advance()
+            if ch == "\\" and not self.eof():
+                out.append(ch)
+                out.append(self.advance())
+                continue
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            out.append(ch)
+        return "".join(out)
+
+    def read_quoted(self) -> str:
+        self.expect('"')
+        out: list[str] = []
+        depth = 0
+        while True:
+            if self.eof():
+                raise BibTeXError("unterminated quoted value", self.line)
+            ch = self.advance()
+            if ch == "\\" and not self.eof():
+                out.append(ch)
+                out.append(self.advance())
+                continue
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                if depth == 0:
+                    raise BibTeXError("unbalanced brace in quoted value", self.line)
+                depth -= 1
+            elif ch == '"' and depth == 0:
+                break
+            out.append(ch)
+        return "".join(out)
+
+
+def _clean_value(raw: str) -> str:
+    """Strip protective braces, collapse whitespace, drop TeX escapes."""
+    text = raw.replace("{", "").replace("}", "")
+    text = text.replace("\\&", "&").replace("\\%", "%").replace("\\_", "_")
+    text = text.replace("~", " ").replace("\\'", "").replace('\\"', "")
+    return " ".join(text.split())
+
+
+def _read_value(scanner: _Scanner, macros: dict[str, str]) -> str:
+    """One field value: concatenated pieces joined by ``#``."""
+    parts: list[str] = []
+    while True:
+        scanner.skip_whitespace()
+        ch = scanner.peek()
+        if ch == "{":
+            parts.append(scanner.read_braced())
+        elif ch == '"':
+            parts.append(scanner.read_quoted())
+        elif ch.isdigit():
+            start = scanner.pos
+            while not scanner.eof() and scanner.peek().isdigit():
+                scanner.advance()
+            parts.append(scanner.text[start : scanner.pos])
+        elif ch.isalpha():
+            name = scanner.read_name()
+            lowered = name.lower()
+            if lowered in macros:
+                parts.append(macros[lowered])
+            elif lowered in _MONTHS:
+                parts.append(_MONTHS[lowered])
+            else:
+                raise BibTeXError(f"undefined macro {name!r}", scanner.line)
+        else:
+            raise BibTeXError(
+                f"expected a value, found {ch or 'end of input'!r}", scanner.line
+            )
+        scanner.skip_whitespace()
+        if scanner.peek() == "#":
+            scanner.advance()
+            continue
+        return "".join(parts)
+
+
+def parse_bibtex(text: str) -> list[dict[str, str]]:
+    """Parse BibTeX source into entry dicts.
+
+    Each dict carries the special keys ``"__type__"`` (lowercase entry type)
+    and ``"__key__"`` (citation key), plus lowercase field names mapping to
+    cleaned values.
+
+    Raises
+    ------
+    BibTeXError
+        On malformed input, with the offending line number.
+    """
+    scanner = _Scanner(text)
+    macros: dict[str, str] = {}
+    entries: list[dict[str, str]] = []
+    while True:
+        # Skip free text until the next '@'.
+        while not scanner.eof() and scanner.peek() != "@":
+            scanner.advance()
+        if scanner.eof():
+            return entries
+        scanner.advance()  # consume '@'
+        entry_type = scanner.read_name().lower()
+        if entry_type == "comment":
+            scanner.skip_whitespace()
+            if scanner.peek() == "{":
+                scanner.read_braced()
+            continue
+        if entry_type == "preamble":
+            scanner.skip_whitespace()
+            if scanner.peek() == "{":
+                scanner.read_braced()
+            continue
+        scanner.expect("{")
+        if entry_type == "string":
+            name = scanner.read_name().lower()
+            scanner.expect("=")
+            macros[name] = _clean_value(_read_value(scanner, macros))
+            scanner.expect("}")
+            continue
+
+        key = scanner.read_name()
+        entry: dict[str, str] = {"__type__": entry_type, "__key__": key}
+        while True:
+            scanner.skip_whitespace()
+            if scanner.peek() == ",":
+                scanner.advance()
+                scanner.skip_whitespace()
+            if scanner.peek() == "}":
+                scanner.advance()
+                break
+            if scanner.eof():
+                raise BibTeXError(f"unterminated entry {key!r}", scanner.line)
+            field = scanner.read_name().lower()
+            scanner.expect("=")
+            entry[field] = _clean_value(_read_value(scanner, macros))
+        entries.append(entry)
+
+
+def _split_authors(field: str) -> tuple[str, ...]:
+    return tuple(
+        author.strip()
+        for author in field.replace("\n", " ").split(" and ")
+        if author.strip()
+    )
+
+
+def publications_from_bibtex(text: str) -> list[Publication]:
+    """Parse BibTeX and build :class:`Publication` records.
+
+    Entries without a parsable year keep ``year=None``; entries without a
+    title are rejected (a mapping study cannot screen a titleless record).
+    """
+    publications = []
+    for entry in parse_bibtex(text):
+        title = entry.get("title", "")
+        if not title:
+            raise BibTeXError(f"entry {entry['__key__']!r} has no title")
+        year: int | None = None
+        raw_year = entry.get("year", "")
+        if raw_year.strip().isdigit():
+            year = int(raw_year)
+        venue = (
+            entry.get("journal")
+            or entry.get("booktitle")
+            or entry.get("howpublished")
+            or entry.get("publisher")
+            or ""
+        )
+        keywords = tuple(
+            k.strip()
+            for k in entry.get("keywords", "").replace(";", ",").split(",")
+            if k.strip()
+        )
+        publications.append(
+            Publication(
+                key=entry["__key__"],
+                title=title,
+                authors=_split_authors(entry.get("author", "")),
+                year=year,
+                venue=venue,
+                abstract=entry.get("abstract", ""),
+                doi=entry.get("doi", ""),
+                url=entry.get("url", ""),
+                keywords=keywords,
+                kind=entry["__type__"],
+                language=entry.get("language") or None,
+            )
+        )
+    return publications
+
+
+def to_bibtex(publications: Iterable[Publication]) -> str:
+    """Serialize publications back to BibTeX (round-trippable subset)."""
+    chunks: list[str] = []
+    for pub in publications:
+        fields: list[tuple[str, str]] = [("title", pub.title)]
+        if pub.authors:
+            fields.append(("author", " and ".join(pub.authors)))
+        if pub.year is not None:
+            fields.append(("year", str(pub.year)))
+        if pub.venue:
+            field_name = "journal" if pub.kind == "article" else "booktitle"
+            if pub.kind in ("misc", "techreport", "book"):
+                field_name = "howpublished"
+            fields.append((field_name, pub.venue))
+        if pub.abstract:
+            fields.append(("abstract", pub.abstract))
+        if pub.doi:
+            fields.append(("doi", pub.doi))
+        if pub.url:
+            fields.append(("url", pub.url))
+        if pub.keywords:
+            fields.append(("keywords", ", ".join(pub.keywords)))
+        if pub.language:
+            fields.append(("language", pub.language))
+        body = ",\n".join(f"  {name} = {{{value}}}" for name, value in fields)
+        chunks.append(f"@{pub.kind}{{{pub.key},\n{body}\n}}")
+    return "\n\n".join(chunks) + ("\n" if chunks else "")
+
+
+def make_key_if_missing(entry: dict[str, str]) -> str:
+    """Citation key for an entry, deriving one when absent/blank."""
+    key = entry.get("__key__", "").strip()
+    if key:
+        return key
+    authors = _split_authors(entry.get("author", ""))
+    year = int(entry["year"]) if entry.get("year", "").isdigit() else None
+    return make_pub_key(authors[0] if authors else "anon", year, entry.get("title", ""))

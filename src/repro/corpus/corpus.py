@@ -1,0 +1,144 @@
+"""The :class:`Corpus` container: an indexed publication collection.
+
+Ties the corpus substrate together: add/parse records, search with boolean
+queries, deduplicate, group by venue and year, and produce the screening
+inputs for the SMS pipeline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.corpus.bibtex import publications_from_bibtex, to_bibtex
+from repro.corpus.dedup import find_duplicates, merge_cluster
+from repro.corpus.publication import Publication
+from repro.corpus.query import Query
+from repro.corpus.venues import VenueNormalizer
+from repro.errors import CorpusError, DuplicateEntityError
+from repro.stats.frequency import FrequencyTable
+
+__all__ = ["Corpus"]
+
+
+class Corpus:
+    """An insertion-ordered, key-indexed publication collection."""
+
+    def __init__(self, publications: Iterable[Publication] = ()) -> None:
+        self._records: dict[str, Publication] = {}
+        for pub in publications:
+            self.add(pub)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_bibtex(cls, text: str) -> "Corpus":
+        """Parse BibTeX source into a corpus."""
+        return cls(publications_from_bibtex(text))
+
+    def add(self, publication: Publication) -> None:
+        """Register one record; duplicate keys are an error."""
+        if publication.key in self._records:
+            raise DuplicateEntityError(
+                f"duplicate publication key {publication.key!r}"
+            )
+        self._records[publication.key] = publication
+
+    def extend(self, publications: Iterable[Publication]) -> None:
+        """Register many records."""
+        for pub in publications:
+            self.add(pub)
+
+    # -- container protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Publication]:
+        return iter(self._records.values())
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._records
+
+    def __getitem__(self, key: str) -> Publication:
+        try:
+            return self._records[key]
+        except KeyError:
+            raise CorpusError(f"unknown publication {key!r}") from None
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        """Record keys in insertion order."""
+        return tuple(self._records)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def search(self, query: str | Query) -> list[Publication]:
+        """Records matching a boolean *query* (string or compiled)."""
+        compiled = Query(query) if isinstance(query, str) else query
+        return compiled.filter(self)
+
+    def by_year(self) -> FrequencyTable:
+        """Publication counts per year, ascending; unknown years dropped."""
+        years = sorted(
+            {pub.year for pub in self if pub.year is not None}
+        )
+        if not years:
+            raise CorpusError("no publication has a year")
+        counts = {year: 0 for year in years}
+        for pub in self:
+            if pub.year is not None:
+                counts[pub.year] += 1
+        return FrequencyTable(counts)
+
+    def by_venue(
+        self, normalizer: VenueNormalizer | None = None
+    ) -> FrequencyTable:
+        """Publication counts per (normalized) venue, most frequent first."""
+        normalizer = normalizer or VenueNormalizer()
+        counts: dict[str, int] = {}
+        for pub in self:
+            venue = normalizer.normalize(pub.venue) or "(unknown)"
+            counts[venue] = counts.get(venue, 0) + 1
+        ordered = dict(
+            sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        )
+        return FrequencyTable(ordered)
+
+    def year_range(self) -> tuple[int, int]:
+        """(earliest, latest) publication year."""
+        years = [pub.year for pub in self if pub.year is not None]
+        if not years:
+            raise CorpusError("no publication has a year")
+        return min(years), max(years)
+
+    # -- deduplication ----------------------------------------------------------------
+
+    def deduplicate(self, *, threshold: float = 0.75) -> "Corpus":
+        """Return a new corpus with near-duplicate clusters merged.
+
+        Non-duplicates keep their insertion order; each cluster is replaced
+        by its merged record at the position of its first member.
+        """
+        records = list(self)
+        clusters = find_duplicates(records, threshold=threshold)
+        replaced: dict[str, Publication] = {}
+        dropped: set[str] = set()
+        for cluster in clusters:
+            merged = merge_cluster(cluster)
+            replaced[cluster[0].key] = merged
+            dropped.update(pub.key for pub in cluster[1:])
+        out = Corpus()
+        for pub in records:
+            if pub.key in dropped:
+                continue
+            out.add(replaced.get(pub.key, pub))
+        return out
+
+    # -- serialization -------------------------------------------------------------------
+
+    def to_bibtex(self) -> str:
+        """Serialize the whole corpus to BibTeX."""
+        return to_bibtex(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Corpus({len(self)} publications)"

@@ -1,0 +1,211 @@
+"""Near-duplicate detection for bibliographic corpora.
+
+Merging exports from several databases (Scopus, WoS, DBLP, ...) yields
+duplicate records with slightly different titles.  The deduplicator blocks
+candidates cheaply, scores them with title similarity, and clusters matches
+with a union-find structure:
+
+1. **Blocking** — records sharing one of their *rarest* normalized-title
+   4-gram shingles land in the same block; only within-block pairs are
+   scored.  Indexing only the rare shingles (rather than all of them) keeps
+   block sizes small — ubiquitous shingles like ``tion`` would otherwise
+   put most of the corpus into one block and reintroduce the O(n²)
+   all-pairs comparison.  True near-duplicates share the large majority of
+   their shingles, so they share rare ones too.
+2. **Scoring** — two complementary measures over title shingles: Jaccard
+   similarity (catches spelling/case variants) and containment
+   (``|A∩B| / min(|A|,|B|)``, catches subtitle truncation where one title
+   is a prefix of the other), gated by year compatibility (missing years
+   are compatible with everything).
+3. **Clustering** — union-find over pairs passing either measure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.corpus.publication import Publication
+from repro.errors import CorpusError
+__all__ = ["DuplicateCluster", "find_duplicates", "merge_cluster"]
+
+
+class _UnionFind:
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.rank = [0] * n
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:  # path compression
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+
+
+def _shingles(normalized_title: str, k: int = 4) -> frozenset[str]:
+    """Character *k*-gram shingles of a normalized title."""
+    text = normalized_title.replace(" ", "_")
+    if len(text) <= k:
+        return frozenset((text,)) if text else frozenset()
+    return frozenset(text[i : i + k] for i in range(len(text) - k + 1))
+
+
+def _years_compatible(a: int | None, b: int | None, slack: int = 1) -> bool:
+    if a is None or b is None:
+        return True
+    return abs(a - b) <= slack
+
+
+DuplicateCluster = tuple[Publication, ...]
+
+
+def find_duplicates(
+    publications: Sequence[Publication],
+    *,
+    threshold: float = 0.75,
+    containment_threshold: float = 0.9,
+    shingle_size: int = 4,
+    year_slack: int = 1,
+) -> list[DuplicateCluster]:
+    """Cluster near-duplicate records.
+
+    Parameters
+    ----------
+    publications:
+        The corpus to scan.
+    threshold:
+        Minimum shingle-Jaccard similarity for a match (case/spelling
+        variants).
+    containment_threshold:
+        Minimum shingle containment ``|A∩B| / min(|A|,|B|)`` for a match
+        (subtitle truncation); a pair merges when *either* measure passes.
+    shingle_size:
+        Character n-gram size for title shingling.
+    year_slack:
+        Maximum year difference still considered the same work (preprint
+        vs. camera-ready).
+
+    Returns
+    -------
+    list of tuples
+        One tuple per duplicate cluster (size >= 2), records in input
+        order; singletons are omitted.
+    """
+    if not 0 < threshold <= 1:
+        raise CorpusError(f"threshold must be in (0, 1], got {threshold}")
+    if not 0 < containment_threshold <= 1:
+        raise CorpusError(
+            f"containment_threshold must be in (0, 1], got {containment_threshold}"
+        )
+    if shingle_size < 2:
+        raise CorpusError(f"shingle_size must be >= 2, got {shingle_size}")
+    n = len(publications)
+    if n < 2:
+        return []
+
+    shingle_sets = [
+        _shingles(pub.normalized_title, shingle_size) for pub in publications
+    ]
+
+    # Blocking: index each record under its rarest shingles, then probe the
+    # index with every record's FULL shingle set.  Index-side rarity keeps
+    # blocks small; query-side completeness keeps recall — a truncated title
+    # still probes the shingles its superset indexed.
+    frequency: dict[str, int] = {}
+    for shingles in shingle_sets:
+        for shingle in shingles:
+            frequency[shingle] = frequency.get(shingle, 0) + 1
+    blocks: dict[str, list[int]] = {}
+    blocking_keys = 10  # rare shingles indexed per record
+    for i, shingles in enumerate(shingle_sets):
+        rare = sorted(shingles, key=lambda s: (frequency[s], s))[:blocking_keys]
+        for shingle in rare:
+            blocks.setdefault(shingle, []).append(i)
+
+    union_find = _UnionFind(n)
+    seen_pairs: set[tuple[int, int]] = set()
+    for i in range(n):
+        for shingle in shingle_sets[i]:
+            for j in blocks.get(shingle, ()):
+                if j == i:
+                    continue
+                pair = (min(i, j), max(i, j))
+                if pair in seen_pairs:
+                    continue
+                seen_pairs.add(pair)
+                if not _years_compatible(
+                    publications[i].year, publications[j].year, year_slack
+                ):
+                    continue
+                sa, sb = shingle_sets[i], shingle_sets[j]
+                if not sa or not sb:
+                    continue
+                intersection = len(sa & sb)
+                jac = intersection / len(sa | sb)
+                containment = intersection / min(len(sa), len(sb))
+                if jac >= threshold or containment >= containment_threshold:
+                    union_find.union(i, j)
+
+    clusters: dict[int, list[int]] = {}
+    for i in range(n):
+        clusters.setdefault(union_find.find(i), []).append(i)
+    return [
+        tuple(publications[i] for i in members)
+        for members in clusters.values()
+        if len(members) >= 2
+    ]
+
+
+def merge_cluster(cluster: DuplicateCluster) -> Publication:
+    """Merge a duplicate cluster into one best record.
+
+    Field policy: keep the record with the most metadata as the base, then
+    fill every missing field from the others (longest abstract wins, author
+    list of the base wins, keywords are unioned).
+    """
+    if not cluster:
+        raise CorpusError("cannot merge an empty cluster")
+
+    def richness(pub: Publication) -> int:
+        return sum(
+            bool(field)
+            for field in (
+                pub.abstract, pub.doi, pub.url, pub.venue,
+                pub.authors, pub.year, pub.keywords,
+            )
+        )
+
+    base = max(cluster, key=richness)
+    abstract = max((p.abstract for p in cluster), key=len)
+    keywords: dict[str, None] = {}
+    for pub in cluster:
+        for keyword in pub.keywords:
+            keywords.setdefault(keyword, None)
+    return Publication(
+        key=base.key,
+        title=base.title,
+        authors=base.authors or next(
+            (p.authors for p in cluster if p.authors), ()
+        ),
+        year=base.year if base.year is not None else next(
+            (p.year for p in cluster if p.year is not None), None
+        ),
+        venue=base.venue or next((p.venue for p in cluster if p.venue), ""),
+        abstract=abstract,
+        doi=base.doi or next((p.doi for p in cluster if p.doi), ""),
+        url=base.url or next((p.url for p in cluster if p.url), ""),
+        keywords=tuple(keywords),
+        kind=base.kind,
+        language=base.language,
+    )

@@ -1,0 +1,122 @@
+"""Bibliographic records.
+
+:class:`Publication` is the primary-study unit an SMS pipeline harvests,
+screens, and classifies.  It is intentionally tolerant about metadata
+completeness (real exports are messy) while validating what is present.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["Publication", "normalize_title", "make_pub_key"]
+
+_WS_RE = re.compile(r"\s+")
+_NONALNUM_RE = re.compile(r"[^a-z0-9 ]+")
+
+
+def normalize_title(title: str) -> str:
+    """Canonical form of a title for matching: lowercase, alphanumeric, single spaces.
+
+    >>> normalize_title("StreamFlow: Cross-Breeding  Cloud with HPC!")
+    'streamflow cross breeding cloud with hpc'
+    """
+    text = _NONALNUM_RE.sub(" ", title.lower().replace("-", " "))
+    return _WS_RE.sub(" ", text).strip()
+
+
+def make_pub_key(first_author: str, year: int | None, title: str) -> str:
+    """Derive a citation-like key, e.g. ``"colonnelli2021streamflow"``."""
+    surname = (first_author.split(",")[0].split() or ["anon"])[-1].lower()
+    surname = re.sub(r"[^a-z]", "", surname) or "anon"
+    first_word = next(
+        (w for w in normalize_title(title).split() if len(w) > 2), "untitled"
+    )
+    return f"{surname}{year or '0000'}{first_word}"
+
+
+@dataclass(frozen=True, slots=True)
+class Publication:
+    """One bibliographic record.
+
+    Parameters
+    ----------
+    key:
+        Citation key (unique within a corpus).
+    title:
+        Full title (required).
+    authors:
+        Author names, each ``"Surname, Given"`` or free-form.
+    year:
+        Publication year, when known.
+    venue:
+        Journal/conference/venue string.
+    abstract:
+        Abstract text, when available.
+    doi, url:
+        Identifiers.
+    keywords:
+        Author- or indexer-supplied keywords.
+    kind:
+        BibTeX-ish entry type (``article``, ``inproceedings``, ...).
+    language:
+        Publication language, when known.
+    """
+
+    key: str
+    title: str
+    authors: tuple[str, ...] = ()
+    year: int | None = None
+    venue: str = ""
+    abstract: str = ""
+    doi: str = ""
+    url: str = ""
+    keywords: tuple[str, ...] = ()
+    kind: str = "misc"
+    language: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValidationError("publication key must be non-empty")
+        if not self.title or not self.title.strip():
+            raise ValidationError(f"publication {self.key!r} needs a title")
+        if self.year is not None and not 1900 <= self.year <= 2100:
+            raise ValidationError(
+                f"publication {self.key!r}: implausible year {self.year}"
+            )
+        object.__setattr__(self, "authors", tuple(self.authors))
+        object.__setattr__(self, "keywords", tuple(self.keywords))
+
+    @property
+    def first_author(self) -> str:
+        """First author name, or ``""`` when unknown."""
+        return self.authors[0] if self.authors else ""
+
+    @property
+    def normalized_title(self) -> str:
+        """Matching-canonical title (see :func:`normalize_title`)."""
+        return normalize_title(self.title)
+
+    def searchable_text(self) -> str:
+        """Concatenated text fields for query matching and screening."""
+        return " ".join(
+            part
+            for part in (
+                self.title,
+                self.abstract,
+                " ".join(self.keywords),
+                self.venue,
+            )
+            if part
+        )
+
+    def cite(self) -> str:
+        """A short human-readable citation line."""
+        author = self.first_author or "Unknown"
+        surname = author.split(",")[0].strip()
+        etal = " et al." if len(self.authors) > 1 else ""
+        year = f" ({self.year})" if self.year else ""
+        return f"{surname}{etal}{year}. {self.title}."

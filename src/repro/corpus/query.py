@@ -1,0 +1,182 @@
+"""Boolean search queries over a corpus.
+
+Database searches are the entry point of an SMS ("(workflow OR pipeline)
+AND (HPC OR cloud) AND NOT survey").  This module implements a small query
+language with a recursive-descent parser and an evaluator over
+:class:`~repro.corpus.publication.Publication` text:
+
+Grammar::
+
+    expr    := or
+    or      := and ("OR" and)*
+    and     := not ("AND" not)*      # juxtaposition also means AND
+    not     := "NOT" not | atom
+    atom    := "(" expr ")" | '"phrase"' | term
+
+Terms match whole words case-insensitively; quoted phrases match
+contiguously; ``term*`` performs prefix matching.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable, Iterable
+
+from repro.errors import QueryError
+
+__all__ = ["Query", "parse_query"]
+
+_TOKEN_RE = re.compile(
+    r"""\s*(?:
+        (?P<lparen>\() |
+        (?P<rparen>\)) |
+        (?P<phrase>"[^"]*") |
+        (?P<word>[\w*+.-]+)
+    )""",
+    re.VERBOSE,
+)
+
+Matcher = Callable[[str], bool]
+
+
+def _tokenize_query(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise QueryError(f"cannot tokenize query near {remainder[:20]!r}")
+        pos = match.end()
+        for group in ("lparen", "rparen", "phrase", "word"):
+            value = match.group(group)
+            if value is not None:
+                tokens.append(value)
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def advance(self) -> str:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def parse(self) -> Matcher:
+        matcher = self.parse_or()
+        if self.peek() is not None:
+            raise QueryError(f"unexpected token {self.peek()!r}")
+        return matcher
+
+    def parse_or(self) -> Matcher:
+        parts = [self.parse_and()]
+        while self.peek() is not None and self.peek().upper() == "OR":
+            self.advance()
+            parts.append(self.parse_and())
+        if len(parts) == 1:
+            return parts[0]
+        return lambda text: any(part(text) for part in parts)
+
+    def parse_and(self) -> Matcher:
+        parts = [self.parse_not()]
+        while True:
+            token = self.peek()
+            if token is None or token == ")" or token.upper() == "OR":
+                break
+            if token.upper() == "AND":
+                self.advance()
+            parts.append(self.parse_not())
+        if len(parts) == 1:
+            return parts[0]
+        return lambda text: all(part(text) for part in parts)
+
+    def parse_not(self) -> Matcher:
+        token = self.peek()
+        if token is not None and token.upper() == "NOT":
+            self.advance()
+            inner = self.parse_not()
+            return lambda text: not inner(text)
+        return self.parse_atom()
+
+    def parse_atom(self) -> Matcher:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        if token == "(":
+            self.advance()
+            inner = self.parse_or()
+            if self.peek() != ")":
+                raise QueryError("missing closing parenthesis")
+            self.advance()
+            return inner
+        if token == ")":
+            raise QueryError("unexpected ')'")
+        self.advance()
+        if token.startswith('"'):
+            phrase = token[1:-1].strip().lower()
+            if not phrase:
+                raise QueryError("empty phrase")
+            pattern = re.compile(
+                r"\b" + re.escape(phrase).replace(r"\ ", r"\s+") + r"\b"
+            )
+            return lambda text: bool(pattern.search(text))
+        if token.upper() in ("AND", "OR", "NOT"):
+            raise QueryError(f"operator {token!r} used as a term")
+        term = token.lower()
+        if term.endswith("*"):
+            prefix = term[:-1]
+            if not prefix:
+                raise QueryError("bare '*' is not a valid term")
+            pattern = re.compile(r"\b" + re.escape(prefix) + r"\w*")
+        else:
+            pattern = re.compile(r"\b" + re.escape(term) + r"\b")
+        return lambda text: bool(pattern.search(text))
+
+
+class Query:
+    """A compiled boolean search query.
+
+    >>> q = Query('(workflow OR pipeline) AND NOT survey')
+    >>> q.matches_text("A workflow management system")
+    True
+    >>> q.matches_text("A survey of workflow systems")
+    False
+    """
+
+    def __init__(self, source: str) -> None:
+        if not source or not source.strip():
+            raise QueryError("query must be non-empty")
+        self.source = source
+        tokens = _tokenize_query(source)
+        if not tokens:
+            raise QueryError("query has no terms")
+        self._matcher = _Parser(tokens).parse()
+
+    def matches_text(self, text: str) -> bool:
+        """Whether the query matches a raw text."""
+        return self._matcher(text.lower())
+
+    def matches(self, publication) -> bool:
+        """Whether the query matches a publication's searchable text."""
+        return self.matches_text(publication.searchable_text())
+
+    def filter(self, publications: Iterable) -> list:
+        """Publications matching the query, preserving input order."""
+        return [pub for pub in publications if self.matches(pub)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Query({self.source!r})"
+
+
+def parse_query(source: str) -> Query:
+    """Compile *source* into a :class:`Query` (alias constructor)."""
+    return Query(source)

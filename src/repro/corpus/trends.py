@@ -1,0 +1,148 @@
+"""Temporal trend analysis over a corpus.
+
+Standard SMS reporting includes a publication-over-time facet: how activity
+in each category evolves.  This module computes per-year (and per-year ×
+category) series, cumulative growth, and a least-squares linear trend with
+a vectorized fit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.publication import Publication
+from repro.errors import StatsError
+from repro.stats.frequency import FrequencyTable
+
+__all__ = [
+    "yearly_series",
+    "cumulative_series",
+    "category_year_matrix",
+    "TrendFit",
+    "fit_linear_trend",
+]
+
+
+def yearly_series(
+    publications: Iterable[Publication],
+    *,
+    first: int | None = None,
+    last: int | None = None,
+) -> FrequencyTable:
+    """Publication counts per year over ``[first, last]``, zero-filled.
+
+    Bounds default to the corpus range; records without a year are skipped.
+    """
+    years = [p.year for p in publications if p.year is not None]
+    if not years:
+        raise StatsError("no publication has a year")
+    lo = first if first is not None else min(years)
+    hi = last if last is not None else max(years)
+    if lo > hi:
+        raise StatsError(f"empty year range [{lo}, {hi}]")
+    counts = {year: 0 for year in range(lo, hi + 1)}
+    for year in years:
+        if lo <= year <= hi:
+            counts[year] += 1
+    return FrequencyTable(counts)
+
+
+def cumulative_series(series: FrequencyTable) -> FrequencyTable:
+    """Running total of a yearly series (same labels)."""
+    cumulative = np.cumsum(series.values)
+    return FrequencyTable(
+        {label: int(cumulative[i]) for i, label in enumerate(series.labels)}
+    )
+
+
+def category_year_matrix(
+    publications: Sequence[Publication],
+    categorize: Callable[[Publication], str],
+    category_order: Sequence[str],
+    *,
+    first: int | None = None,
+    last: int | None = None,
+) -> tuple[np.ndarray, tuple[str, ...], tuple[int, ...]]:
+    """Counts per (category, year) — the data of an SMS bubble chart.
+
+    Parameters
+    ----------
+    publications:
+        Records to tally (yearless ones are skipped).
+    categorize:
+        Maps a publication to a category key in *category_order*.
+    category_order:
+        Row order of the matrix.
+
+    Returns
+    -------
+    (matrix, categories, years)
+        ``matrix[i, j]`` counts category ``categories[i]`` in year
+        ``years[j]``.
+    """
+    dated = [p for p in publications if p.year is not None]
+    if not dated:
+        raise StatsError("no publication has a year")
+    lo = first if first is not None else min(p.year for p in dated)
+    hi = last if last is not None else max(p.year for p in dated)
+    if lo > hi:
+        raise StatsError(f"empty year range [{lo}, {hi}]")
+    years = tuple(range(lo, hi + 1))
+    index = {key: i for i, key in enumerate(category_order)}
+    matrix = np.zeros((len(category_order), len(years)), dtype=np.int64)
+    for pub in dated:
+        if not lo <= pub.year <= hi:
+            continue
+        category = categorize(pub)
+        if category not in index:
+            raise StatsError(
+                f"categorize() returned {category!r}, outside the order"
+            )
+        matrix[index[category], pub.year - lo] += 1
+    return matrix, tuple(category_order), years
+
+
+@dataclass(frozen=True, slots=True)
+class TrendFit:
+    """Least-squares linear fit of a yearly series.
+
+    Attributes
+    ----------
+    slope:
+        Publications per year of growth (negative = decline).
+    intercept:
+        Fitted count at year 0 of the centered scale.
+    r_squared:
+        Fraction of variance explained.
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, years_ahead: float) -> float:
+        """Extrapolate the fitted line *years_ahead* past the series end."""
+        return self.intercept + self.slope * years_ahead
+
+
+def fit_linear_trend(series: FrequencyTable) -> TrendFit:
+    """Fit counts ~ year by ordinary least squares.
+
+    The x axis is centered on the final year, so :attr:`TrendFit.intercept`
+    is the fitted count at the series end and ``predict(k)`` extrapolates
+    ``k`` years beyond it.
+    """
+    if len(series) < 2:
+        raise StatsError("need at least two years to fit a trend")
+    years = np.asarray(series.labels, dtype=np.float64)
+    counts = series.values.astype(np.float64)
+    x = years - years[-1]
+    slope, intercept = np.polyfit(x, counts, 1)
+    fitted = intercept + slope * x
+    residual = ((counts - fitted) ** 2).sum()
+    total = ((counts - counts.mean()) ** 2).sum()
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return TrendFit(float(slope), float(intercept), float(r_squared))

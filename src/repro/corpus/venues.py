@@ -1,0 +1,129 @@
+"""Venue normalization.
+
+Bibliographic exports spell the same venue a dozen ways ("IEEE Trans.
+Parallel Distrib. Syst.", "IEEE Transactions on Parallel and Distributed
+Systems", "TPDS").  The normalizer canonicalizes venue strings through
+(1) lexical cleanup, (2) a curated alias table for the venues relevant to
+the workflow-research corpus, and (3) acronym extraction as a fallback.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["VenueNormalizer", "DEFAULT_ALIASES"]
+
+_NOISE_RE = re.compile(
+    r"\b(proceedings|proc\.?|of|the|on|in|international|intl\.?|annual|"
+    r"workshops?|conference|symposium|journal|transactions|trans\.?)\b",
+    re.IGNORECASE,
+)
+_PAREN_RE = re.compile(r"\(([^)]*)\)")
+_ACRONYM_RE = re.compile(r"\b[A-Z][A-Z0-9@+-]{2,}\b")
+
+#: Canonical venue id → alias fragments (lowercase) that identify it.
+DEFAULT_ALIASES: dict[str, tuple[str, ...]] = {
+    "sc": ("supercomputing", "high performance computing, network",
+           "sc-w", "sc workshops"),
+    "tpds": ("parallel and distributed systems", "tpds"),
+    "tetc": ("emerging topics in computing", "tetc"),
+    "tcc": ("ieee transactions on cloud computing",),
+    "tnsm": ("network and service management", "tnsm"),
+    "tkde": ("knowledge and data engineering", "tkde"),
+    "fgcs": ("future generation computer systems", "fgcs"),
+    "jpdc": ("parallel and distrib. comput", "parallel and distributed computing"),
+    "cgo": ("code generation and optimization", "cgo"),
+    "icdcs": ("distributed computing systems", "icdcs"),
+    "percom": ("pervasive computing and communications", "percom"),
+    "pmc": ("pervasive and mobile computing",),
+    "sensors": ("sensors",),
+    "computers": ("computers",),
+    "jogc": ("grid computing",),
+    "vldb": ("vldb", "very large data"),
+    "sigmod": ("sigmod", "management of data"),
+    "icde": ("data engineering",),
+    "ppopp": ("principles and practice of parallel programming", "ppopp"),
+    "icpe": ("performance engineering", "icpe"),
+    "works": ("workflows in support of large-scale science", "works"),
+    "cacm": ("communications of the acm", "commun. acm"),
+    "corr": ("corr", "arxiv"),
+    "nsdi": ("networked systems design and implementation", "nsdi"),
+    "ccgrid": ("cluster, cloud and grid", "ccgrid"),
+    "europar": ("euro-par",),
+    "cf": ("computing frontiers",),
+    "parco": ("parallel comput", "parallel computing"),
+}
+
+
+class VenueNormalizer:
+    """Maps raw venue strings to canonical venue identifiers.
+
+    Parameters
+    ----------
+    aliases:
+        Canonical id → lowercase fragments; a raw venue containing a
+        fragment maps to that id.  Defaults to :data:`DEFAULT_ALIASES`.
+
+    Notes
+    -----
+    Resolution order: alias table → parenthesized or embedded acronym →
+    cleaned lexical form.  Unknown venues thus still normalize consistently
+    ("IEEE Fancy New Conf (FNC)" → ``"fnc"``).
+    """
+
+    def __init__(self, aliases: dict[str, tuple[str, ...]] | None = None) -> None:
+        self._aliases = dict(DEFAULT_ALIASES if aliases is None else aliases)
+        # Longest fragments first so "parallel and distributed systems" wins
+        # over a hypothetical shorter overlapping fragment.
+        self._fragments = sorted(
+            (
+                (fragment, canonical)
+                for canonical, fragments in self._aliases.items()
+                for fragment in fragments
+            ),
+            key=lambda pair: -len(pair[0]),
+        )
+
+    def add_alias(self, canonical: str, *fragments: str) -> None:
+        """Register extra alias fragments for *canonical*."""
+        if not canonical or not fragments:
+            raise ValueError("need a canonical id and at least one fragment")
+        existing = self._aliases.get(canonical, ())
+        self._aliases[canonical] = existing + tuple(f.lower() for f in fragments)
+        self._fragments = sorted(
+            (
+                (fragment, canon)
+                for canon, frags in self._aliases.items()
+                for fragment in frags
+            ),
+            key=lambda pair: -len(pair[0]),
+        )
+
+    def normalize(self, venue: str) -> str:
+        """Canonical id for *venue* (``""`` for blank input)."""
+        raw = venue.strip()
+        if not raw:
+            return ""
+        lowered = raw.lower()
+        for fragment, canonical in self._fragments:
+            if fragment in lowered:
+                return canonical
+        # Parenthesized acronym: "... (WORKS)" → works
+        paren = _PAREN_RE.search(raw)
+        if paren:
+            acronym = _ACRONYM_RE.search(paren.group(1))
+            if acronym:
+                return acronym.group().lower()
+        acronym = _ACRONYM_RE.search(raw)
+        if acronym and acronym.group().lower() not in ("ieee", "acm", "usenix"):
+            return acronym.group().lower()
+        cleaned = _NOISE_RE.sub(" ", lowered)
+        cleaned = re.sub(r"[^a-z0-9 ]+", " ", cleaned)
+        return re.sub(r"\s+", "-", cleaned.strip()) or lowered
+
+    def group(self, venues: list[str]) -> dict[str, list[str]]:
+        """Group raw venue strings by their canonical id."""
+        grouped: dict[str, list[str]] = {}
+        for venue in venues:
+            grouped.setdefault(self.normalize(venue), []).append(venue)
+        return grouped

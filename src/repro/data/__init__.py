@@ -1,0 +1,19 @@
+"""Datasets: the encoded ICSC ground truth, expected values, synthetic generators."""
+
+from repro.data.icsc import (
+    icsc_applications,
+    icsc_ecosystem,
+    icsc_institutions,
+    icsc_spokes,
+    icsc_tools,
+    spoke1_structure,
+)
+
+__all__ = [
+    "icsc_applications",
+    "icsc_ecosystem",
+    "icsc_institutions",
+    "icsc_spokes",
+    "icsc_tools",
+    "spoke1_structure",
+]

@@ -1,0 +1,808 @@
+"""The ICSC ecosystem dataset encoded from the paper.
+
+This module is the ground truth of the reproduction: the 25 tools (Table 1),
+the 10 applications with their tool selections (Table 2), the participating
+institutions, and the Spoke 1 organizational structure (Fig. 1).
+
+Tool descriptions are condensed from the paper's Sec. 2 prose and application
+descriptions from Sec. 3; they are the *inputs* of the automatic classifier
+and requirement matcher that simulate the paper's manual steps.
+
+Provenance notes
+----------------
+The tool→institution mapping is not tabulated in the paper; it is
+reconstructed from the author affiliations of each tool's citation (see
+DESIGN.md §3).  Assignments that the paper text does not make explicit carry
+``institution_inferred=True``.  The reconstruction satisfies every textual
+constraint: exactly 9 tool-providing institutions, more than half covering a
+single research direction, and none covering all five.
+"""
+
+from __future__ import annotations
+
+from repro.core.catalog import (
+    ApplicationCatalog,
+    InstitutionRegistry,
+    ToolCatalog,
+    validate_ecosystem,
+)
+from repro.core.entities import (
+    Application,
+    Institution,
+    InstitutionKind,
+    Reference,
+    Tool,
+)
+from repro.core.taxonomy import (
+    BIG_DATA_MANAGEMENT as BD,
+    ENERGY_EFFICIENCY as EE,
+    INTERACTIVE_COMPUTING as IC,
+    ORCHESTRATION as OR,
+    PERFORMANCE_PORTABILITY as PP,
+    ClassificationScheme,
+    workflow_directions,
+)
+
+__all__ = [
+    "icsc_institutions",
+    "icsc_tools",
+    "icsc_applications",
+    "icsc_ecosystem",
+    "spoke1_structure",
+    "icsc_spokes",
+]
+
+_UNIVERSITY = InstitutionKind.UNIVERSITY
+_CENTRE = InstitutionKind.RESEARCH_CENTRE
+_COMPUTING = InstitutionKind.COMPUTING_CENTRE
+
+
+def icsc_institutions() -> InstitutionRegistry:
+    """All ICSC partners appearing in the study (tool and application providers)."""
+    return InstitutionRegistry(
+        [
+            Institution("unito", "University of Turin", "UNITO", _UNIVERSITY, "Turin"),
+            Institution("unipi", "University of Pisa", "UNIPI", _UNIVERSITY, "Pisa"),
+            Institution("unibo", "University of Bologna", "UNIBO", _UNIVERSITY, "Bologna"),
+            Institution("polito", "Polytechnic University of Turin", "POLITO", _UNIVERSITY, "Turin"),
+            Institution("polimi", "Polytechnic University of Milan", "POLIMI", _UNIVERSITY, "Milan"),
+            Institution("unical", "University of Calabria", "UNICAL", _UNIVERSITY, "Rende"),
+            Institution("unina", "University of Naples Federico II", "UNINA", _UNIVERSITY, "Naples"),
+            Institution("unife", "University of Ferrara", "UNIFE", _UNIVERSITY, "Ferrara"),
+            Institution("cineca", "CINECA", "CINECA", _COMPUTING, "Bologna"),
+            # Application-only providers.
+            Institution("inaf", "INAF", "INAF", _CENTRE, "Catania"),
+            Institution("iit", "Fondazione IIT", "IIT", _CENTRE, "Genoa"),
+            Institution("unipd", "University of Padua", "UNIPD", _UNIVERSITY, "Padua"),
+            Institution("unirtv", "University of Rome Tor Vergata", "UNIRTV", _UNIVERSITY, "Rome"),
+            Institution("enea", "ENEA HPC laboratory", "ENEA", _CENTRE, "Rome"),
+        ]
+    )
+
+
+def icsc_tools() -> ToolCatalog:
+    """The 25 collected tools with their published Table 1 classification."""
+    return ToolCatalog(
+        [
+            # ---------------- Interactive computing (3) ----------------
+            Tool(
+                "bookedslurm",
+                "BookedSlurm",
+                "cineca",
+                IC,
+                description=(
+                    "A SLURM plugin introducing a methodology to easily create "
+                    "resource reservations through a web calendar and account "
+                    "for them under a pay-per-use mode using a digital "
+                    "currency, enabling on-demand interactive access to batch "
+                    "HPC resources."
+                ),
+                institution_inferred=True,
+            ),
+            Tool(
+                "ics",
+                "ICS",
+                "cineca",
+                IC,
+                description=(
+                    "The Interactive Computing Service integrates the Jupyter "
+                    "stack with the SLURM controller to interactively provide "
+                    "near-instantaneous access to HPC resources, bridging the "
+                    "publicly exposed front-end web server and air-gapped "
+                    "worker nodes."
+                ),
+                reference=Reference("CINECA, Interactive Computing Service (IAC)", 2023),
+            ),
+            Tool(
+                "jupyter-workflow",
+                "Jupyter Workflow",
+                "unito",
+                IC,
+                secondary_directions=(OR,),
+                description=(
+                    "A Jupyter Notebook kernel enabling notebooks to describe "
+                    "and orchestrate complex distributed workflows, where "
+                    "each cell is a step and inter-cell dependencies are "
+                    "extracted semi-automatically by inspecting the abstract "
+                    "syntax tree of each code cell."
+                ),
+                reference=Reference(
+                    "Colonnelli et al., Distributed workflows with Jupyter, FGCS", 2022,
+                    doi="10.1016/j.future.2021.10.007",
+                ),
+            ),
+            # ---------------- Orchestration (7) ----------------
+            Tool(
+                "torch",
+                "TORCH",
+                "unibo",
+                OR,
+                description=(
+                    "A TOSCA-based framework for the deployment and "
+                    "orchestration of multi-cloud containerised applications, "
+                    "driving application provisioning across heterogeneous "
+                    "cloud providers."
+                ),
+                reference=Reference(
+                    "Tomarchio et al., TORCH: a TOSCA-Based Orchestrator of "
+                    "Multi-Cloud Containerised Applications, J. Grid Comput.",
+                    2021,
+                    doi="10.1007/s10723-021-09549-z",
+                ),
+                institution_inferred=True,
+            ),
+            Tool(
+                "indigo",
+                "INDIGO",
+                "unibo",
+                OR,
+                description=(
+                    "A TOSCA-based orchestrator for deploying and "
+                    "orchestrating applications targeting multi-cloud "
+                    "environments, producing deployment plans from "
+                    "standardized application blueprints."
+                ),
+                reference=Reference(
+                    "Costantini et al., IoTwins: Toward Implementation of "
+                    "Distributed Digital Twins in Industry 4.0 Settings, Computers",
+                    2022,
+                    doi="10.3390/computers11050067",
+                ),
+                institution_inferred=True,
+            ),
+            Tool(
+                "liqo",
+                "Liqo",
+                "polito",
+                OR,
+                description=(
+                    "Enables dynamic and seamless Kubernetes multi-cluster "
+                    "topologies, creating federations of networked computing "
+                    "resources for liquid computing across cluster borders."
+                ),
+                reference=Reference(
+                    "Iorio et al., Computing Without Borders: The Way Towards "
+                    "Liquid Computing, IEEE TCC",
+                    2022,
+                    doi="10.1109/TCC.2022.3229163",
+                ),
+            ),
+            Tool(
+                "streamflow",
+                "StreamFlow",
+                "unito",
+                OR,
+                secondary_directions=(PP,),
+                description=(
+                    "A workflow management system that orchestrates hybrid "
+                    "workflows on top of heterogeneous cloud and HPC "
+                    "execution environments, cross-breeding cloud with HPC "
+                    "through a portable deployment model."
+                ),
+                reference=Reference(
+                    "Colonnelli et al., StreamFlow: cross-breeding cloud with "
+                    "HPC, IEEE TETC",
+                    2021,
+                    doi="10.1109/TETC.2020.3019202",
+                ),
+            ),
+            Tool(
+                "spf",
+                "SPF",
+                "unife",
+                OR,
+                description=(
+                    "Sieve, Process and Forward: a Fog-as-a-Service platform "
+                    "targeting Smart City environments, provisioning fog "
+                    "services close to data sources."
+                ),
+                reference=Reference(
+                    "Distributed System Group, University of Ferrara, SPF", 2015,
+                    url="https://github.com/DSG-UniFE/spf",
+                ),
+            ),
+            Tool(
+                "bdmaas-plus",
+                "BDMaaS+",
+                "unife",
+                OR,
+                description=(
+                    "A business-driven, simulation-based decision support "
+                    "tool for service providers who want to distribute an IT "
+                    "service on a global scale relying on private and public "
+                    "cloud platforms, optimizing service placement against "
+                    "provider-defined policies."
+                ),
+                reference=Reference(
+                    "Cerroni et al., BDMaaS+: Business-Driven and "
+                    "Simulation-Based Optimization of IT Services in the "
+                    "Hybrid Cloud, IEEE TNSM",
+                    2022,
+                    doi="10.1109/TNSM.2021.3110139",
+                ),
+            ),
+            Tool(
+                "movequic",
+                "MoveQUIC",
+                "unipi",
+                OR,
+                description=(
+                    "A toolbox for the live migration of micro-services at "
+                    "the edge, supporting server-side QUIC connection "
+                    "migration so compute bundles keep ongoing communications "
+                    "with client endpoints while being redeployed."
+                ),
+                reference=Reference(
+                    "Puliafito et al., Server-side QUIC connection migration "
+                    "to support microservice deployment at the edge, PMC",
+                    2022,
+                    doi="10.1016/j.pmcj.2022.101580",
+                ),
+            ),
+            # ---------------- Energy efficiency (3) ----------------
+            Tool(
+                "pesos",
+                "PESOS",
+                "unipi",
+                EE,
+                description=(
+                    "An energy-efficient resource management algorithm for "
+                    "the placement of virtual machines in a cloud "
+                    "environment, minimizing the energy footprint of the "
+                    "overall platform while honouring per-VM QoS "
+                    "requirements."
+                ),
+                reference=Reference(
+                    "Catena and Tonellotto, Energy-Efficient Query Processing "
+                    "in Web Search Engines, IEEE TKDE",
+                    2017,
+                    doi="10.1109/TKDE.2017.2681279",
+                ),
+            ),
+            Tool(
+                "lapegna-et-al",
+                "Lapegna et al.",
+                "unina",
+                EE,
+                description=(
+                    "Investigates how to implement clustering algorithms on "
+                    "parallel and low-energy devices for edge computing "
+                    "environments, trading power consumption against "
+                    "performance on resource-constrained sensors."
+                ),
+                reference=Reference(
+                    "Lapegna et al., Clustering Algorithms on Low-Power and "
+                    "High-Performance Devices for Edge Computing "
+                    "Environments, Sensors",
+                    2021,
+                    doi="10.3390/s21165395",
+                ),
+            ),
+            Tool(
+                "de-lucia-et-al",
+                "De Lucia et al.",
+                "unina",
+                EE,
+                description=(
+                    "A technique to make hyperspectral image classification "
+                    "through convolutional neural networks affordable on "
+                    "low-power and high-performance sensor devices, cutting "
+                    "the energy cost of on-sensor inference."
+                ),
+                reference=Reference(
+                    "De Lucia et al., A GPU Accelerated Hyperspectral 3D "
+                    "Convolutional Neural Network Classification at the Edge "
+                    "with Principal Component Analysis Preprocessing, PPAM",
+                    2023,
+                ),
+            ),
+            # ---------------- Performance portability (6) ----------------
+            Tool(
+                "fastflow",
+                "FastFlow",
+                "unipi",
+                PP,
+                description=(
+                    "Leverages the structured parallel programming "
+                    "methodology to define a single streaming dataflow "
+                    "programming model portable across shared-memory and "
+                    "distributed-memory systems."
+                ),
+                reference=Reference(
+                    "Aldinucci et al., FastFlow: high-level and efficient "
+                    "streaming on multi-core",
+                    2017,
+                    doi="10.1002/9781119332015.ch13",
+                ),
+                institution_inferred=True,
+            ),
+            Tool(
+                "nethuns",
+                "Nethuns",
+                "unipi",
+                PP,
+                description=(
+                    "Abstracts the network layer exposing a minimal set of "
+                    "socket-independent communication primitives, so network "
+                    "functions can be programmed once and retargeted across "
+                    "I/O frameworks."
+                ),
+                reference=Reference(
+                    "Bonelli et al., Programming socket-independent network "
+                    "functions with nethuns, CCR",
+                    2022,
+                    doi="10.1145/3544912.3544917",
+                ),
+            ),
+            Tool(
+                "insane",
+                "INSANE",
+                "unibo",
+                PP,
+                description=(
+                    "A uniform middleware API for differentiated quality "
+                    "using heterogeneous acceleration techniques at the "
+                    "network edge, abstracting low-level network acceleration "
+                    "behind portable communication primitives."
+                ),
+                reference=Reference(
+                    "Rosa and Garbugli, INSANE - A Uniform Middleware API for "
+                    "Differentiated Quality using Heterogeneous Acceleration "
+                    "Techniques at the Network Edge, ICDCS",
+                    2022,
+                    doi="10.1109/ICDCS54860.2022.00134",
+                ),
+            ),
+            Tool(
+                "capio",
+                "CAPIO",
+                "unipi",
+                PP,
+                description=(
+                    "A programmable file system in user space that intercepts "
+                    "the POSIX I/O system calls of an application, allowing "
+                    "users to target different storage devices and inject "
+                    "data streaming capabilities without modifying the "
+                    "existing codebase."
+                ),
+                reference=Reference(
+                    "Martinelli et al., CAPIO: a Middleware for Transparent "
+                    "I/O Streaming in Data-Intensive Workflows, HiPC",
+                    2023,
+                ),
+                institution_inferred=True,
+            ),
+            Tool(
+                "blest-ml",
+                "BLEST-ML",
+                "unical",
+                PP,
+                description=(
+                    "Leverages a machine learning algorithm to estimate a "
+                    "suitable block size for data partitioning in large-scale "
+                    "HPC infrastructures, optimizing data-parallel "
+                    "applications without per-platform hand tuning."
+                ),
+                reference=Reference(
+                    "Cantini et al., Block size estimation for data "
+                    "partitioning in HPC applications using machine learning "
+                    "techniques, CoRR",
+                    2022,
+                    doi="10.48550/arXiv.2211.10819",
+                ),
+            ),
+            Tool(
+                "mlir",
+                "MLIR",
+                "unipi",
+                PP,
+                description=(
+                    "Extends the LLVM compiler toolchain with domain-specific "
+                    "middle-end intermediate representations, making "
+                    "compiler-level code optimizations more flexible and "
+                    "letting different abstraction levels co-exist in a "
+                    "uniform IR grammar."
+                ),
+                reference=Reference(
+                    "Lattner et al., MLIR: Scaling Compiler Infrastructure "
+                    "for Domain Specific Computation, CGO",
+                    2021,
+                    doi="10.1109/CGO51591.2021.9370308",
+                ),
+                institution_inferred=True,
+            ),
+            # ---------------- Big Data management (6) ----------------
+            Tool(
+                "parsoda",
+                "ParSoDA",
+                "unical",
+                BD,
+                description=(
+                    "A Java programming library supporting parallel data "
+                    "mining applications executed on HPC systems, with a set "
+                    "of ready-to-use functions for processing and analyzing "
+                    "social data."
+                ),
+                reference=Reference(
+                    "Belcastro et al., ParSoDA: high-level parallel "
+                    "programming for social data mining, SNAM",
+                    2019,
+                    doi="10.1007/s13278-018-0547-5",
+                ),
+            ),
+            Tool(
+                "malaga",
+                "MALAGA",
+                "unibo",
+                BD,
+                description=(
+                    "A Hadoop-compliant Java-based framework for "
+                    "multi-dimensional Big Data analytics over graph data, "
+                    "running distributed analytical queries over large "
+                    "property graphs."
+                ),
+                institution_inferred=True,
+            ),
+            Tool(
+                "amllibrary",
+                "aMLLibrary",
+                "polimi",
+                BD,
+                description=(
+                    "A high-level Python package that trains and optimizes "
+                    "multiple performance models using autoML, supporting "
+                    "feature selection and hyperparameter tuning for "
+                    "regression over profiling data."
+                ),
+                reference=Reference(
+                    "Galimberti et al., OSCAR-P and aMLLibrary: Performance "
+                    "Profiling and Prediction of Computing Continua "
+                    "Applications, ICPE Companion",
+                    2023,
+                    doi="10.1145/3578245.3584941",
+                ),
+            ),
+            Tool(
+                "windflow",
+                "WindFlow",
+                "unipi",
+                BD,
+                secondary_directions=(PP,),
+                description=(
+                    "A high-level library for continuous data stream "
+                    "processing on multi-core and hybrid CPU+GPU "
+                    "architectures, built from parallel building blocks with "
+                    "complex streaming semantics."
+                ),
+                reference=Reference(
+                    "Mencagli et al., WindFlow: High-Speed Continuous Stream "
+                    "Processing With Parallel Building Blocks, IEEE TPDS",
+                    2021,
+                    doi="10.1109/TPDS.2021.3073970",
+                ),
+            ),
+            Tool(
+                "chd",
+                "CHD",
+                "unical",
+                BD,
+                description=(
+                    "Implements a parallel multi-density clustering approach "
+                    "to discover urban hotspots in a city, mining mobility "
+                    "data for smart-city analytics."
+                ),
+                reference=Reference(
+                    "Cesario et al., Multi-density urban hotspots detection "
+                    "in smart cities: A data-driven approach and experiments, PMC",
+                    2022,
+                    doi="10.1016/j.pmcj.2022.101687",
+                ),
+            ),
+            Tool(
+                "mingotti-et-al",
+                "Mingotti et al.",
+                "unibo",
+                BD,
+                description=(
+                    "A real-time simulator of a phasor measurement unit "
+                    "supporting hardware-in-the-loop simulation techniques, "
+                    "acting as a high-rate measurement data source for "
+                    "digital twin applications."
+                ),
+                reference=Reference(
+                    "Mingotti et al., On the Importance of Characterizing "
+                    "Virtual PMUs for Hardware-in-the-Loop and Digital Twin "
+                    "Applications, Sensors",
+                    2021,
+                    doi="10.3390/s21186133",
+                ),
+            ),
+        ]
+    )
+
+
+def icsc_applications() -> ApplicationCatalog:
+    """The 10 surveyed applications with their published Table 2 selections."""
+    return ApplicationCatalog(
+        [
+            Application(
+                "software-heritage-compression",
+                "Compression of petascale collections of textual and source-code files",
+                "3.1",
+                providers=("unipi",),
+                domain="data compression",
+                description=(
+                    "Compressing the steadily growing Software Heritage "
+                    "archive (over 800 TB) with the Permuting + Partition + "
+                    "Compress paradigm: parallel sorting of files by "
+                    "similarity, serialization and grouping into blocks, and "
+                    "parallel compression of blocks, scaling a "
+                    "single-threaded Python prototype to a parallel and "
+                    "distributed batch pipeline with stream parallelism "
+                    "between phases and hardware accelerators."
+                ),
+                selected_tools=("fastflow", "parsoda", "windflow"),
+            ),
+            Application(
+                "visivo",
+                "Astrophysics data analysis and visualization",
+                "3.2",
+                providers=("inaf",),
+                domain="astrophysics",
+                description=(
+                    "VisIVO performs 3D and multi-dimensional data analysis "
+                    "and knowledge discovery on multivariate astrophysical "
+                    "datasets through importing, filtering, and viewing "
+                    "stages.  The evolution targets portable modular "
+                    "applications, reproducibility, flexible exploitation of "
+                    "heterogeneous HPC and cloud facilities, and minimized "
+                    "data-movement and I/O overheads without modifying the "
+                    "original codebase."
+                ),
+                selected_tools=(
+                    "ics", "jupyter-workflow", "streamflow", "nethuns", "capio",
+                ),
+            ),
+            Application(
+                "variant-calling",
+                "Genomic variant calling pipeline",
+                "3.3",
+                providers=("iit",),
+                domain="genomics",
+                description=(
+                    "Adapting a genomic variant calling pipeline to remote "
+                    "execution on HPC systems through a workflow management "
+                    "system, gaining agile provisioning and the flexibility "
+                    "to test heterogeneous execution environments, GPUs, and "
+                    "different storage and file systems."
+                ),
+                selected_tools=("streamflow",),
+            ),
+            Application(
+                "continuum-federation",
+                "Edge-Cloud Continuum federation infrastructure",
+                "3.4",
+                providers=("unipd",),
+                domain="distributed systems",
+                description=(
+                    "A decentralized, federated continuum platform where "
+                    "workflows are specified in terms of required services "
+                    "and dynamically matched to provided services under "
+                    "latency, privacy, and energy preferences.  Needs "
+                    "server-side connection migration for mobile compute "
+                    "bundles, federation of cluster zones, and a flexible "
+                    "dynamic orchestration control plane."
+                ),
+                selected_tools=("indigo", "liqo", "movequic"),
+            ),
+            Application(
+                "serverledge",
+                "Serverledge: QoS-Aware FaaS in the Edge-Cloud Continuum",
+                "3.5",
+                providers=("unirtv",),
+                domain="serverless computing",
+                description=(
+                    "A decentralized Function-as-a-Service framework for "
+                    "low-latency execution in the Edge-Cloud continuum, "
+                    "evolving toward live migration of long-running function "
+                    "instances and holistic energy-efficient orchestration "
+                    "that consolidates load to power off cloud nodes."
+                ),
+                selected_tools=("movequic", "pesos"),
+            ),
+            Application(
+                "galaxy-formation",
+                "Improving I/O phases in computational modelling of Galaxy Formation",
+                "3.6",
+                providers=("enea", "unina"),
+                domain="astrophysics",
+                description=(
+                    "A workflow gluing the FLASH adaptive-mesh-refinement "
+                    "hydrodynamics code with the SYGMA stellar-yield package, "
+                    "running concurrently and asynchronously with periodic "
+                    "output synchronization.  The bottleneck is parallel I/O "
+                    "of checkpoints, data files, and inter-code data "
+                    "exchange, to be improved without modifying the original "
+                    "codes."
+                ),
+                selected_tools=("nethuns", "capio"),
+            ),
+            Application(
+                "worlddynamics",
+                "WorldDynamics.jl",
+                "3.7",
+                providers=("unipi",),
+                domain="integrated assessment modelling",
+                description=(
+                    "A Julia framework to investigate integrated assessment "
+                    "models of sustainable development, recreating World1-3 "
+                    "model figures, running sensitivity analyses and "
+                    "alternative scenarios.  Seeks readable distributed model "
+                    "execution, parallel simulation campaigns, regression via "
+                    "autoML over simulation data, and real-time simulator "
+                    "data sources for finer-grained model discovery."
+                ),
+                selected_tools=(
+                    "jupyter-workflow", "bdmaas-plus", "amllibrary", "mingotti-et-al",
+                ),
+            ),
+            Application(
+                "cloud-native-deployment",
+                "Optimized deployment of Cloud-native applications in the Cloud Continuum",
+                "3.8",
+                providers=("unibo", "unife"),
+                domain="cloud computing",
+                description=(
+                    "Optimized deployment of complex cloud-native HPC "
+                    "applications over multi-cloud scenarios: the application "
+                    "is described in TOSCA, a simulation-based optimizer "
+                    "selects computing resources under pricing and latency "
+                    "policies, the orchestrator produces Kubernetes intents, "
+                    "and a federation layer instantiates the distributed "
+                    "components across clusters."
+                ),
+                selected_tools=("indigo", "liqo", "bdmaas-plus"),
+            ),
+            Application(
+                "divexplorer",
+                "Anomalous subgroup characterization with DivExplorer",
+                "3.9",
+                providers=("polito",),
+                domain="machine learning analysis",
+                description=(
+                    "Automatic exploration of datasets to find interpretable "
+                    "subgroups where a model behaves anomalously, via "
+                    "frequent pattern mining and divergence measures.  Seeks "
+                    "parallel data mining on HPC systems, subgroup-aware "
+                    "regression model selection, and interactive HPC access "
+                    "from a Jupyter launcher."
+                ),
+                selected_tools=("ics", "parsoda", "amllibrary"),
+            ),
+            Application(
+                "mlir-riscv",
+                "Compilation flow and deployment strategy targeting HPC RISC-V accelerators",
+                "3.10",
+                providers=("polimi",),
+                domain="compilers",
+                description=(
+                    "Demonstrating the MLIR compilation flow in an HPC "
+                    "environment for experimental RISC-V accelerators: "
+                    "implementing the low-level representations and "
+                    "transformations down to LLVM IR, with a workflow "
+                    "management tool orchestrating the optimization flow."
+                ),
+                selected_tools=("streamflow", "mlir"),
+            ),
+        ]
+    )
+
+
+def icsc_ecosystem() -> tuple[
+    InstitutionRegistry, ToolCatalog, ApplicationCatalog, ClassificationScheme
+]:
+    """Load and cross-validate the full ICSC dataset.
+
+    Returns ``(institutions, tools, applications, scheme)``, already passed
+    through :func:`repro.core.catalog.validate_ecosystem`.
+    """
+    institutions = icsc_institutions()
+    tools = icsc_tools()
+    applications = icsc_applications()
+    scheme = workflow_directions()
+    validate_ecosystem(institutions, tools, applications, scheme)
+    return institutions, tools, applications, scheme
+
+
+def spoke1_structure() -> dict:
+    """The Spoke 1 organizational structure of Fig. 1, as plain data.
+
+    Returned as a nested dict so the visualization layer can render it
+    without importing entity classes.
+    """
+    return {
+        "name": "Spoke 1 - FutureHPC & Big Data",
+        "financial_envelope_meur": 21.5,
+        "cascade_funding_meur": 3.2,
+        "innovation_grants_meur": 1.8,
+        "flagships": [
+            {
+                "key": "fl1",
+                "title": "Non-functional properties: energy, power reliability, "
+                         "performance portability",
+                "coordinator": "polito",
+            },
+            {
+                "key": "fl2",
+                "title": "Heterogeneous acceleration - architecture, tools, software",
+                "coordinator": "polimi",
+            },
+            {
+                "key": "fl3",
+                "title": "Workflows & I/O, cloud-HPC convergence, digital twins",
+                "coordinator": "unipi",
+            },
+            {
+                "key": "fl4",
+                "title": "Confidential computing - Trusted Execution Env & "
+                         "Federated Learning",
+                "coordinator": "unina",
+            },
+            {
+                "key": "fl5",
+                "title": "Mini-applications & benchmarking",
+                "coordinator": "unict",
+            },
+        ],
+        "living_labs": [
+            {"key": "hws", "title": "Hardware & Systems living lab", "leader": "unibo"},
+            {"key": "swi", "title": "Software & Integration living lab", "leader": "unito"},
+        ],
+        "leaders": ["unibo", "unito"],
+        "participants": [
+            "polimi", "polito", "unipi", "unipd", "unirtv", "unina", "unict",
+            "unical", "unife", "cineca", "enea", "iit", "inaf",
+        ],
+        "industries": [
+            "Autostrade", "ENI", "Engineering", "Fincantieri",
+            "Intesa SanPaolo", "Leonardo C.", "Sogei", "ThalesAlenia",
+            "UnipolSai", "iFAB",
+        ],
+    }
+
+
+def icsc_spokes() -> list[dict]:
+    """The 11 ICSC spokes (Sec. 1.1), as plain data."""
+    return [
+        {"number": 0, "title": "Supercomputing Cloud infrastructure"},
+        {"number": 1, "title": "FutureHPC & Big Data"},
+        {"number": 2, "title": "Fundamental research & space economy"},
+        {"number": 3, "title": "Astrophysics & cosmos observation"},
+        {"number": 4, "title": "Earth & climate"},
+        {"number": 5, "title": "Environment & natural disasters"},
+        {"number": 6, "title": "Multiscale modelling & engineering applications"},
+        {"number": 7, "title": "Material & molecular sciences"},
+        {"number": 8, "title": "In-silico medicine & omics data"},
+        {"number": 9, "title": "Digital society & smart cities"},
+        {"number": 10, "title": "Quantum Computing"},
+    ]

@@ -1,0 +1,147 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class at API boundaries.  Sub-hierarchies mirror the
+package layout: entity/validation problems, catalogue lookups, corpus parsing,
+survey validation, and simulation failures each have a dedicated class.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "EntityError",
+    "DuplicateEntityError",
+    "UnknownEntityError",
+    "TaxonomyError",
+    "UnknownCategoryError",
+    "ClassificationError",
+    "CorpusError",
+    "BibTeXError",
+    "QueryError",
+    "ScreeningError",
+    "AgreementError",
+    "SurveyError",
+    "ResponseValidationError",
+    "SelectionError",
+    "StatsError",
+    "ContinuumError",
+    "SchedulingError",
+    "WorkflowGraphError",
+    "RenderError",
+    "SerializationError",
+    "StudyError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A value failed domain validation (empty name, bad range, ...)."""
+
+
+class EntityError(ReproError):
+    """Base class for entity-model errors."""
+
+
+class DuplicateEntityError(EntityError):
+    """An entity with the same key is already registered."""
+
+
+class UnknownEntityError(EntityError, KeyError):
+    """A lookup referenced an entity that does not exist.
+
+    ``str(exc)`` returns a readable message rather than ``KeyError``'s
+    ``repr`` of its first argument.
+    """
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.args[0] if self.args else ""
+
+
+class TaxonomyError(ReproError):
+    """Base class for classification-scheme errors."""
+
+
+class UnknownCategoryError(TaxonomyError, KeyError):
+    """A category key is not part of the classification scheme."""
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.args[0] if self.args else ""
+
+
+class ClassificationError(ReproError):
+    """A classifier could not produce a label."""
+
+
+class CorpusError(ReproError):
+    """Base class for bibliographic-corpus errors."""
+
+
+class BibTeXError(CorpusError):
+    """The BibTeX parser met malformed input.
+
+    Attributes
+    ----------
+    line:
+        1-based line number of the offending input, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        super().__init__(message if line is None else f"line {line}: {message}")
+        self.line = line
+
+
+class QueryError(CorpusError):
+    """A boolean search query could not be parsed or evaluated."""
+
+
+class ScreeningError(ReproError):
+    """Base class for screening-stage errors."""
+
+
+class AgreementError(ScreeningError):
+    """Inter-rater agreement could not be computed (e.g. no overlap)."""
+
+
+class SurveyError(ReproError):
+    """Base class for survey-instrument errors."""
+
+
+class ResponseValidationError(SurveyError, ValidationError):
+    """A survey response violates its question's constraints."""
+
+
+class SelectionError(ReproError):
+    """A selection-matrix operation referenced unknown rows/columns."""
+
+
+class StatsError(ReproError):
+    """A statistical routine received degenerate input."""
+
+
+class ContinuumError(ReproError):
+    """Base class for computing-continuum simulator errors."""
+
+
+class SchedulingError(ContinuumError):
+    """The scheduler could not place a task."""
+
+
+class WorkflowGraphError(ContinuumError):
+    """A workflow DAG is malformed (cycle, dangling dependency, ...)."""
+
+
+class RenderError(ReproError):
+    """A figure or table could not be rendered."""
+
+
+class SerializationError(ReproError):
+    """An entity could not be serialized or deserialized."""
+
+
+class StudyError(ReproError):
+    """The mapping-study pipeline was driven through an invalid transition."""

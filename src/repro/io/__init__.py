@@ -1,0 +1,25 @@
+"""Serialization: JSON ecosystems and CSV analysis artifacts."""
+
+from repro.io.csvio import (
+    frequency_from_csv,
+    frequency_to_csv,
+    selection_from_csv,
+    selection_to_csv,
+)
+from repro.io.jsonio import (
+    ecosystem_from_dict,
+    ecosystem_to_dict,
+    load_ecosystem,
+    save_ecosystem,
+)
+
+__all__ = [
+    "ecosystem_from_dict",
+    "ecosystem_to_dict",
+    "frequency_from_csv",
+    "frequency_to_csv",
+    "load_ecosystem",
+    "save_ecosystem",
+    "selection_from_csv",
+    "selection_to_csv",
+]

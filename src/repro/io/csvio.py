@@ -1,0 +1,124 @@
+"""CSV export of analysis artifacts.
+
+Frequency tables and selection matrices export to CSV so downstream users
+can load the regenerated figure data into any tool.  Reading validates
+shapes and types.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.core.selection import SelectionMatrix
+from repro.errors import SerializationError
+from repro.stats.frequency import FrequencyTable
+
+__all__ = [
+    "frequency_to_csv",
+    "frequency_from_csv",
+    "selection_to_csv",
+    "selection_from_csv",
+]
+
+
+def frequency_to_csv(table: FrequencyTable, path: str | Path | None = None) -> str:
+    """Serialize a frequency table (``label,count`` rows with a header).
+
+    Returns the CSV text; writes it to *path* when given.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["label", "count"])
+    for label, count in table.items():
+        writer.writerow([label, count])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def frequency_from_csv(source: str | Path) -> FrequencyTable:
+    """Load a frequency table written by :func:`frequency_to_csv`.
+
+    *source* may be CSV text or a path to a CSV file.  Integer-looking
+    labels are restored as ints (the Fig. 3 histogram keys are integers).
+    """
+    text = _read_source(source)
+    rows = list(csv.reader(io.StringIO(text)))
+    if not rows or rows[0] != ["label", "count"]:
+        raise SerializationError("expected a 'label,count' header")
+    counts: dict[object, int] = {}
+    for line_number, row in enumerate(rows[1:], start=2):
+        if len(row) != 2:
+            raise SerializationError(f"line {line_number}: expected 2 fields")
+        label: object = row[0]
+        if isinstance(label, str) and label.lstrip("-").isdigit():
+            label = int(label)
+        try:
+            counts[label] = int(row[1])
+        except ValueError as exc:
+            raise SerializationError(
+                f"line {line_number}: count {row[1]!r} is not an integer"
+            ) from exc
+    if not counts:
+        raise SerializationError("CSV contains no data rows")
+    return FrequencyTable(counts)
+
+
+def selection_to_csv(
+    selection: SelectionMatrix, path: str | Path | None = None
+) -> str:
+    """Serialize a selection matrix (header of application keys, one row per tool)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["tool", *selection.application_keys])
+    for i, tool in enumerate(selection.tool_keys):
+        writer.writerow(
+            [tool, *(int(v) for v in selection.matrix[i])]
+        )
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def selection_from_csv(source: str | Path) -> SelectionMatrix:
+    """Load a selection matrix written by :func:`selection_to_csv`."""
+    import numpy as np
+
+    text = _read_source(source)
+    rows = list(csv.reader(io.StringIO(text)))
+    if not rows or not rows[0] or rows[0][0] != "tool":
+        raise SerializationError("expected a 'tool,<applications...>' header")
+    applications = rows[0][1:]
+    if not applications:
+        raise SerializationError("matrix has no application columns")
+    tools: list[str] = []
+    cells: list[list[bool]] = []
+    for line_number, row in enumerate(rows[1:], start=2):
+        if len(row) != len(applications) + 1:
+            raise SerializationError(
+                f"line {line_number}: expected {len(applications) + 1} fields"
+            )
+        tools.append(row[0])
+        try:
+            cells.append([bool(int(v)) for v in row[1:]])
+        except ValueError as exc:
+            raise SerializationError(
+                f"line {line_number}: non-binary cell value"
+            ) from exc
+    if not tools:
+        raise SerializationError("matrix has no tool rows")
+    return SelectionMatrix(tools, applications, np.asarray(cells, dtype=bool))
+
+
+def _read_source(source: str | Path) -> str:
+    if isinstance(source, Path):
+        return source.read_text(encoding="utf-8")
+    # A string containing a newline (or comma) is CSV text; otherwise treat
+    # it as a path.
+    if "\n" in source or "," in source:
+        return source
+    return Path(source).read_text(encoding="utf-8")

@@ -1,0 +1,35 @@
+"""Network substrate: bipartite ecosystem graphs and their metrics."""
+
+from repro.network.bipartite import (
+    institution_direction_graph,
+    project_institutions,
+    project_tools,
+    tool_application_graph,
+)
+from repro.network.recommend import (
+    PairRecommendation,
+    complementarity,
+    recommend_collaborations,
+)
+from repro.network.metrics import (
+    centrality_ranking,
+    degree_distribution,
+    density_report,
+    integration_pairs,
+    specialization_index,
+)
+
+__all__ = [
+    "PairRecommendation",
+    "centrality_ranking",
+    "complementarity",
+    "recommend_collaborations",
+    "degree_distribution",
+    "density_report",
+    "institution_direction_graph",
+    "integration_pairs",
+    "project_institutions",
+    "project_tools",
+    "specialization_index",
+    "tool_application_graph",
+]

@@ -1,0 +1,106 @@
+"""Bipartite graphs of the study ecosystem.
+
+Two bipartite structures underlie the paper's community analysis:
+
+* **institution × direction** — which institution works on which direction
+  (Fig. 3 is a degree histogram of this graph);
+* **tool × application** — the Table 2 selection matrix as a graph.
+
+Built on networkx so the metrics layer can reuse its algorithms.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.catalog import ApplicationCatalog, ToolCatalog
+from repro.core.selection import SelectionMatrix
+from repro.core.taxonomy import ClassificationScheme
+
+__all__ = [
+    "institution_direction_graph",
+    "tool_application_graph",
+    "project_institutions",
+    "project_tools",
+]
+
+
+def institution_direction_graph(
+    tools: ToolCatalog, scheme: ClassificationScheme
+) -> nx.Graph:
+    """Bipartite graph: institutions ↔ primary directions they cover.
+
+    Node attribute ``bipartite`` is ``"institution"`` or ``"direction"``;
+    edge attribute ``weight`` counts the institution's tools in that
+    direction; edge attribute ``tools`` lists their keys.
+    """
+    graph = nx.Graph()
+    for key in scheme.keys:
+        graph.add_node(key, bipartite="direction")
+    for institution in tools.institutions():
+        graph.add_node(institution, bipartite="institution")
+    for tool in tools:
+        if graph.has_edge(tool.institution, tool.primary_direction):
+            edge = graph.edges[tool.institution, tool.primary_direction]
+            edge["weight"] += 1
+            edge["tools"].append(tool.key)
+        else:
+            graph.add_edge(
+                tool.institution,
+                tool.primary_direction,
+                weight=1,
+                tools=[tool.key],
+            )
+    return graph
+
+
+def tool_application_graph(
+    tools: ToolCatalog,
+    applications: ApplicationCatalog,
+    *,
+    selection: SelectionMatrix | None = None,
+) -> nx.Graph:
+    """Bipartite graph: tools ↔ applications that selected them.
+
+    Isolated tools (never selected) are kept as nodes so degree statistics
+    see the full catalogue.
+    """
+    graph = nx.Graph()
+    for tool in tools:
+        graph.add_node(tool.key, bipartite="tool",
+                       direction=tool.primary_direction)
+    for app in applications.ordered():
+        graph.add_node(app.key, bipartite="application", section=app.section)
+        selected = (
+            selection.tools_of(app.key)
+            if selection is not None
+            else app.selected_tools
+        )
+        for tool_key in selected:
+            graph.add_edge(tool_key, app.key)
+    return graph
+
+
+def _nodes_of(graph: nx.Graph, side: str) -> list[str]:
+    return [n for n, d in graph.nodes(data=True) if d.get("bipartite") == side]
+
+
+def project_institutions(graph: nx.Graph) -> nx.Graph:
+    """Weighted institution–institution projection.
+
+    Two institutions are linked when they share a research direction; the
+    edge weight counts shared directions — the paper's "direct links
+    between highly specialized groups".
+    """
+    institutions = _nodes_of(graph, "institution")
+    return nx.bipartite.weighted_projected_graph(graph, institutions)
+
+
+def project_tools(graph: nx.Graph) -> nx.Graph:
+    """Weighted tool–tool projection over shared selecting applications.
+
+    Two tools are linked when at least one application selected both —
+    tools the community wants *integrated* (the paper's Sec. 5 plan).
+    """
+    tools = _nodes_of(graph, "tool")
+    return nx.bipartite.weighted_projected_graph(graph, tools)

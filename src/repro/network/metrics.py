@@ -1,0 +1,127 @@
+"""Graph metrics over the ecosystem networks.
+
+Quantifies the paper's qualitative community statements: how specialized
+institutions are, which tools are central to the integration plans, and how
+connected the collaboration fabric is.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "degree_distribution",
+    "specialization_index",
+    "centrality_ranking",
+    "density_report",
+    "integration_pairs",
+]
+
+
+def _side_nodes(graph: nx.Graph, side: str) -> list[str]:
+    nodes = [n for n, d in graph.nodes(data=True) if d.get("bipartite") == side]
+    if not nodes:
+        raise ValidationError(f"graph has no {side!r} nodes")
+    return nodes
+
+
+def degree_distribution(graph: nx.Graph, side: str) -> dict[str, int]:
+    """Degree of every node on one bipartite side (insertion order)."""
+    return {node: graph.degree(node) for node in _side_nodes(graph, side)}
+
+
+def specialization_index(graph: nx.Graph, institution: str) -> float:
+    """How specialized an institution is, in ``[0, 1]``.
+
+    1 means all its tools sit in one direction; 0 means its tools spread
+    evenly over every direction of the scheme.  Computed as one minus the
+    normalized Shannon entropy of its per-direction tool weights.
+    """
+    if institution not in graph:
+        raise ValidationError(f"unknown institution {institution!r}")
+    weights = np.asarray(
+        [data["weight"] for _, _, data in graph.edges(institution, data=True)],
+        dtype=np.float64,
+    )
+    if weights.size == 0:
+        raise ValidationError(f"institution {institution!r} has no tools")
+    n_directions = sum(
+        1 for _, d in graph.nodes(data=True) if d.get("bipartite") == "direction"
+    )
+    if n_directions < 2 or weights.size == 1:
+        return 1.0
+    p = weights / weights.sum()
+    entropy = float(-(p * np.log(p)).sum())
+    return 1.0 - entropy / float(np.log(n_directions))
+
+
+def centrality_ranking(
+    graph: nx.Graph, side: str, *, method: str = "degree"
+) -> list[tuple[str, float]]:
+    """Nodes of one side ranked by centrality, descending.
+
+    Methods: ``degree`` (bipartite-normalized), ``betweenness``,
+    ``eigenvector`` (on the full bipartite graph).
+    """
+    nodes = _side_nodes(graph, side)
+    if method == "degree":
+        other = [n for n in graph if n not in set(nodes)]
+        denominator = max(len(other), 1)
+        scores = {n: graph.degree(n) / denominator for n in nodes}
+    elif method == "betweenness":
+        all_scores = nx.betweenness_centrality(graph)
+        scores = {n: all_scores[n] for n in nodes}
+    elif method == "eigenvector":
+        # Eigenvector centrality is ill-defined on disconnected graphs;
+        # compute it on the largest component, zero elsewhere.
+        largest = max(nx.connected_components(graph), key=len)
+        component_scores = nx.eigenvector_centrality_numpy(
+            graph.subgraph(largest)
+        )
+        scores = {n: float(component_scores.get(n, 0.0)) for n in nodes}
+    else:
+        raise ValidationError(f"unknown centrality method {method!r}")
+    return sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def density_report(graph: nx.Graph) -> dict[str, float]:
+    """Bipartite density, edge count, and component statistics."""
+    sides: dict[str, int] = {}
+    for _, data in graph.nodes(data=True):
+        side = data.get("bipartite", "?")
+        sides[side] = sides.get(side, 0) + 1
+    if len(sides) != 2:
+        raise ValidationError(
+            f"expected a 2-sided bipartite graph, found sides {sorted(sides)}"
+        )
+    (_, n_a), (_, n_b) = sorted(sides.items())
+    possible = n_a * n_b
+    components = list(nx.connected_components(graph))
+    return {
+        "edges": float(graph.number_of_edges()),
+        "possible_edges": float(possible),
+        "density": graph.number_of_edges() / possible if possible else 0.0,
+        "components": float(len(components)),
+        "largest_component": float(max(len(c) for c in components)),
+    }
+
+
+def integration_pairs(
+    projection: nx.Graph, *, min_weight: int = 2
+) -> list[tuple[str, str, int]]:
+    """Tool pairs co-selected by at least *min_weight* applications.
+
+    The strongest candidates for the integrations the paper's Sec. 5 plans;
+    sorted by weight descending, then lexicographically.
+    """
+    if min_weight < 1:
+        raise ValidationError("min_weight must be >= 1")
+    pairs = [
+        (min(u, v), max(u, v), int(data["weight"]))
+        for u, v, data in projection.edges(data=True)
+        if data.get("weight", 0) >= min_weight
+    ]
+    return sorted(pairs, key=lambda t: (-t[2], t[0], t[1]))

@@ -1,0 +1,24 @@
+"""Reporting: figure/table regeneration and markdown study reports."""
+
+from repro.reporting.figures import render_all_artifacts, render_spoke1_figure
+from repro.reporting.prisma import FlowStage, StudyFlow, render_flow_diagram
+from repro.reporting.provenance import (
+    ProvenanceLog,
+    ProvenanceRecord,
+    dataset_fingerprint,
+)
+from repro.reporting.report import future_work_section, study_report, threats_to_validity
+
+__all__ = [
+    "FlowStage",
+    "ProvenanceLog",
+    "ProvenanceRecord",
+    "dataset_fingerprint",
+    "future_work_section",
+    "render_all_artifacts",
+    "StudyFlow",
+    "render_flow_diagram",
+    "render_spoke1_figure",
+    "study_report",
+    "threats_to_validity",
+]

@@ -1,0 +1,161 @@
+"""PRISMA-style study-flow accounting.
+
+Systematic studies report how the candidate pool narrowed: records
+identified → after deduplication → after screening → included.  This module
+tracks those counts as an auditable :class:`StudyFlow` and renders the
+standard flow diagram as SVG.
+
+The flow validates monotonicity (a stage can never *gain* records) and
+bookkeeping (every exclusion must be accounted for).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.viz.svg import SvgDocument
+
+__all__ = ["FlowStage", "StudyFlow", "render_flow_diagram"]
+
+
+@dataclass(frozen=True, slots=True)
+class FlowStage:
+    """One stage of the selection flow.
+
+    Attributes
+    ----------
+    name:
+        Stage label, e.g. ``"after deduplication"``.
+    count:
+        Records remaining after this stage.
+    excluded_reason:
+        Why the difference to the previous stage was excluded.
+    """
+
+    name: str
+    count: int
+    excluded_reason: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("stage name must be non-empty")
+        if self.count < 0:
+            raise ValidationError(f"stage {self.name!r}: count must be >= 0")
+
+
+class StudyFlow:
+    """An ordered, validated sequence of selection stages.
+
+    Examples
+    --------
+    >>> flow = StudyFlow("identified", 600)
+    >>> flow.narrow("after deduplication", 512, "duplicate records")
+    >>> flow.narrow("matched search query", 49, "off-topic")
+    >>> flow.narrow("included", 36, "failed inclusion criteria")
+    >>> flow.excluded_total()
+    564
+    """
+
+    def __init__(self, initial_name: str, initial_count: int) -> None:
+        self._stages: list[FlowStage] = [FlowStage(initial_name, initial_count)]
+
+    def narrow(self, name: str, count: int, excluded_reason: str = "") -> None:
+        """Append a stage; *count* must not exceed the previous stage's."""
+        previous = self._stages[-1]
+        if count > previous.count:
+            raise ValidationError(
+                f"stage {name!r} has {count} records, more than "
+                f"{previous.name!r}'s {previous.count}"
+            )
+        self._stages.append(FlowStage(name, count, excluded_reason))
+
+    @property
+    def stages(self) -> tuple[FlowStage, ...]:
+        return tuple(self._stages)
+
+    @property
+    def initial(self) -> int:
+        """Records identified at the start."""
+        return self._stages[0].count
+
+    @property
+    def final(self) -> int:
+        """Records included at the end."""
+        return self._stages[-1].count
+
+    def excluded_total(self) -> int:
+        """Total records excluded across all stages."""
+        return self.initial - self.final
+
+    def exclusions(self) -> list[tuple[str, int, str]]:
+        """Per-stage ``(stage name, excluded count, reason)`` rows."""
+        rows = []
+        for previous, current in zip(self._stages, self._stages[1:]):
+            rows.append(
+                (current.name, previous.count - current.count,
+                 current.excluded_reason)
+            )
+        return rows
+
+    def retention_rate(self) -> float:
+        """Fraction of identified records finally included."""
+        if self.initial == 0:
+            raise ValidationError("flow started with zero records")
+        return self.final / self.initial
+
+    def summary(self) -> str:
+        """Multi-line text summary of the flow."""
+        lines = [f"{self._stages[0].name}: {self.initial}"]
+        for name, excluded, reason in self.exclusions():
+            suffix = f" ({reason})" if reason else ""
+            stage = next(s for s in self._stages if s.name == name)
+            lines.append(f"  -{excluded}{suffix}")
+            lines.append(f"{name}: {stage.count}")
+        return "\n".join(lines)
+
+
+def render_flow_diagram(
+    flow: StudyFlow,
+    *,
+    title: str = "Study selection flow",
+    width: float = 560.0,
+) -> SvgDocument:
+    """Render the flow as the standard boxes-and-arrows diagram."""
+    stages: Sequence[FlowStage] = flow.stages
+    box_h, gap = 44.0, 34.0
+    top = 40.0
+    height = top + len(stages) * (box_h + gap) - gap + 16
+    doc = SvgDocument(width, height)
+    doc.rect(0, 0, width, height, fill="#ffffff")
+    doc.title(title, size=13)
+
+    box_w = width * 0.52
+    box_x = 24.0
+    for i, stage in enumerate(stages):
+        y = top + i * (box_h + gap)
+        doc.rect(box_x, y, box_w, box_h, fill="#e8f0fa", stroke="#4477aa",
+                 rx=5)
+        doc.text(box_x + box_w / 2, y + 18, stage.name, size=11,
+                 anchor="middle")
+        doc.text(box_x + box_w / 2, y + 34, f"n = {stage.count}", size=11,
+                 anchor="middle", weight="bold")
+        if i + 1 < len(stages):
+            arrow_x = box_x + box_w / 2
+            doc.line(arrow_x, y + box_h, arrow_x, y + box_h + gap,
+                     stroke="#333", stroke_width=1.4)
+            doc.path(
+                f"M {arrow_x - 4} {y + box_h + gap - 7} "
+                f"L {arrow_x} {y + box_h + gap} "
+                f"L {arrow_x + 4} {y + box_h + gap - 7} Z",
+                fill="#333",
+            )
+            next_stage = stages[i + 1]
+            excluded = stage.count - next_stage.count
+            label = f"excluded: {excluded}"
+            if next_stage.excluded_reason:
+                label += f" ({next_stage.excluded_reason})"
+            doc.text(box_x + box_w + 16, y + box_h + gap / 2 + 4, label,
+                     size=10, fill="#883333")
+    return doc

@@ -1,0 +1,151 @@
+"""Provenance records for regenerated artifacts.
+
+The paper's discussion flags *provenance collection* as an uncovered
+direction of the surveyed ecosystem.  The reproduction practices it on its
+own outputs: a :class:`ProvenanceRecord` captures what produced an artifact
+— the dataset fingerprint, the library version, the generating step and its
+parameters — and a :class:`ProvenanceLog` accumulates records and writes a
+sidecar JSON next to the artifact set, so every regenerated figure can be
+traced to the exact inputs that produced it.
+
+Deterministic by construction: the dataset fingerprint is a SHA-256 over
+the canonical JSON serialization, and no wall-clock time enters the record
+unless the caller supplies one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ValidationError
+
+__all__ = ["dataset_fingerprint", "ProvenanceRecord", "ProvenanceLog"]
+
+
+def dataset_fingerprint(
+    institutions, tools, applications, scheme
+) -> str:
+    """SHA-256 fingerprint of a study dataset (canonical JSON, sorted keys)."""
+    from repro.io.jsonio import ecosystem_to_dict
+
+    document = ecosystem_to_dict(institutions, tools, applications, scheme)
+    canonical = json.dumps(document, sort_keys=True, ensure_ascii=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class ProvenanceRecord:
+    """One artifact's provenance.
+
+    Attributes
+    ----------
+    artifact:
+        Artifact name or relative path.
+    step:
+        Generating pipeline step (e.g. ``"render_all_artifacts"``).
+    inputs:
+        Named input fingerprints (e.g. ``{"dataset": "<sha256>"}``).
+    parameters:
+        The parameters the step ran with (seeds included).
+    library_version:
+        The :mod:`repro` version that produced the artifact.
+    """
+
+    artifact: str
+    step: str
+    inputs: dict[str, str] = field(default_factory=dict)
+    parameters: dict[str, Any] = field(default_factory=dict)
+    library_version: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.artifact:
+            raise ValidationError("artifact must be non-empty")
+        if not self.step:
+            raise ValidationError("step must be non-empty")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "artifact": self.artifact,
+            "step": self.step,
+            "inputs": dict(self.inputs),
+            "parameters": dict(self.parameters),
+            "library_version": self.library_version,
+        }
+
+
+class ProvenanceLog:
+    """An append-only collection of provenance records."""
+
+    def __init__(self) -> None:
+        self._records: list[ProvenanceRecord] = []
+
+    def add(self, record: ProvenanceRecord) -> None:
+        """Append one record."""
+        self._records.append(record)
+
+    def record(
+        self,
+        artifact: str,
+        step: str,
+        *,
+        inputs: dict[str, str] | None = None,
+        parameters: dict[str, Any] | None = None,
+    ) -> ProvenanceRecord:
+        """Build, append, and return a record stamped with the library version."""
+        from repro import __version__
+
+        entry = ProvenanceRecord(
+            artifact=artifact,
+            step=step,
+            inputs=dict(inputs or {}),
+            parameters=dict(parameters or {}),
+            library_version=__version__,
+        )
+        self.add(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def for_artifact(self, artifact: str) -> tuple[ProvenanceRecord, ...]:
+        """Every record about one artifact, in append order."""
+        return tuple(r for r in self._records if r.artifact == artifact)
+
+    def to_json(self) -> str:
+        """Serialize the whole log (stable key order)."""
+        return json.dumps(
+            [record.to_dict() for record in self._records],
+            indent=2,
+            sort_keys=True,
+        ) + "\n"
+
+    def save(self, path: str | Path) -> None:
+        """Write the log as a JSON sidecar."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ProvenanceLog":
+        """Read a log written by :meth:`save`."""
+        try:
+            entries = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValidationError(f"cannot read provenance log: {exc}") from exc
+        log = cls()
+        for entry in entries:
+            log.add(
+                ProvenanceRecord(
+                    artifact=entry["artifact"],
+                    step=entry["step"],
+                    inputs=dict(entry.get("inputs", {})),
+                    parameters=dict(entry.get("parameters", {})),
+                    library_version=entry.get("library_version", ""),
+                )
+            )
+        return log

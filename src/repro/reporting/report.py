@@ -1,0 +1,232 @@
+"""Markdown study report generation.
+
+Turns a :class:`~repro.core.study.StudyResults` into the narrative artifact
+a mapping study publishes: the answers to the research questions, the
+regenerated tables, the distribution statistics, and — where available —
+the simulated-manual-classification agreement.
+"""
+
+from __future__ import annotations
+
+from repro.core.study import StudyResults
+from repro.core.taxonomy import ClassificationScheme
+from repro.stats.frequency import FrequencyTable
+
+__all__ = ["study_report", "threats_to_validity", "future_work_section"]
+
+
+def _distribution_section(
+    title: str, table: FrequencyTable, names: dict[str, str]
+) -> list[str]:
+    lines = [f"### {title}", ""]
+    lines.append("| Direction | Count | Share |")
+    lines.append("| --- | ---: | ---: |")
+    for label, count in table.items():
+        name = names.get(label, str(label))
+        lines.append(f"| {name} | {count} | {table.share(label) * 100:.1f}% |")
+    lines.append("")
+    return lines
+
+
+def study_report(results: StudyResults, scheme: ClassificationScheme) -> str:
+    """Render a full markdown report of *results*."""
+    names = dict(zip(scheme.keys, scheme.names))
+    lines: list[str] = ["# Mapping study report", ""]
+
+    # Q1
+    lines += ["## Q1 — Main research directions", ""]
+    lines.append(
+        f"The study identifies **{results.q1.n_directions} research "
+        "directions**:"
+    )
+    for key, name in zip(results.q1.directions, results.q1.direction_names):
+        members = ", ".join(results.q1.tools_by_direction[key])
+        lines.append(f"- **{name}**: {members}")
+    if results.q1.multi_topic_tools:
+        lines.append("")
+        lines.append(
+            "Tools covering multiple research topics: "
+            + ", ".join(results.q1.multi_topic_tools)
+        )
+    lines.append("")
+
+    # Q2
+    lines += ["## Q2 — How widespread each direction is", ""]
+    lines += _distribution_section(
+        "Tool distribution (Fig. 2)", results.q2.distribution, names
+    )
+    lines.append(
+        f"- Shannon evenness: "
+        f"{results.q2.evenness['shannon_evenness']:.3f} "
+        f"({'balanced' if results.q2.balanced else 'unbalanced'})"
+    )
+    lines.append(
+        f"- Institutions covering a single direction: "
+        f"{results.q2.single_topic_institutions} of "
+        f"{results.q2.n_institutions} "
+        f"({'a majority' if results.q2.majority_single_topic else 'a minority'})"
+    )
+    lines.append(
+        f"- Institutions spanning all directions: "
+        f"{results.q2.full_coverage_institutions}"
+    )
+    lines.append("")
+    lines.append("Coverage histogram (Fig. 3): "
+                 + ", ".join(f"{k} → {v}" for k, v in results.q2.coverage.items()))
+    lines.append("")
+
+    # Q3
+    lines += ["## Q3 — Critical needs of applications", ""]
+    lines += _distribution_section(
+        "Selection votes (Fig. 4)", results.q3.votes, names
+    )
+    lines.append(
+        f"- Most demanded direction: **{names[results.q3.top_direction]}**"
+    )
+    lines.append(
+        f"- Least demanded direction: **{names[results.q3.bottom_direction]}**"
+    )
+    critical = ", ".join(names[k] for k in results.q3.critical_directions)
+    lines.append(f"- Directions with critical interest (≥3 applications): {critical}")
+    comparison = results.comparison
+    lines.append(
+        f"- Demand evenness {comparison.demand_evenness['shannon_evenness']:.3f} "
+        f"vs supply evenness {comparison.supply_evenness['shannon_evenness']:.3f} "
+        "(demand is more unbalanced)"
+        if comparison.demand_evenness["shannon_evenness"]
+        < comparison.supply_evenness["shannon_evenness"]
+        else
+        f"- Demand evenness {comparison.demand_evenness['shannon_evenness']:.3f} "
+        f"vs supply evenness {comparison.supply_evenness['shannon_evenness']:.3f}"
+    )
+    lines.append(
+        f"- Supply-demand total variation distance: {comparison.tvd:.3f} "
+        f"(permutation p = {comparison.permutation.p_value:.3f})"
+    )
+    lines.append("")
+
+    # Classification check.
+    if results.classifier_evaluation is not None:
+        evaluation = results.classifier_evaluation
+        lines += ["## Simulated manual classification", ""]
+        lines.append(
+            f"The keyword classifier recovers the published Table 1 labels "
+            f"with accuracy {evaluation.accuracy:.2f} "
+            f"(macro-F1 {evaluation.macro_f1():.2f})."
+        )
+        if evaluation.misclassified:
+            lines.append("Misclassified tools:")
+            for index, gold, predicted in evaluation.misclassified:
+                lines.append(
+                    f"- item {index}: {names.get(gold, gold)} → "
+                    f"{names.get(predicted, predicted)}"
+                )
+        lines.append("")
+
+    # Tables.
+    lines += ["## Table 1", "", results.table1.to_markdown(), ""]
+    lines += ["## Table 2", "", results.table2.to_markdown(), ""]
+    lines.append(
+        f"Total selections (checkmarks): {results.selection.total_selections}"
+    )
+    lines.append("")
+
+    # Threats to validity.
+    lines += threats_to_validity(results), ""
+    return "\n".join(lines)
+
+
+def future_work_section(tools, applications, scheme) -> str:
+    """A future-work section mirroring the paper's Sec. 5 plans.
+
+    Derives, from the data, the integration candidates (tool pairs
+    co-selected by several applications) and the collaboration candidates
+    (institution pairs with complementary direction coverage) the
+    consortium's next phase would prioritize.
+    """
+    from repro.network.bipartite import (
+        institution_direction_graph,
+        project_tools,
+        tool_application_graph,
+    )
+    from repro.network.metrics import integration_pairs
+    from repro.network.recommend import recommend_collaborations
+
+    names = dict(zip(scheme.keys, scheme.names))
+    lines = ["## Future work (data-derived)", ""]
+
+    projection = project_tools(tool_application_graph(tools, applications))
+    pairs = integration_pairs(projection, min_weight=2)
+    if pairs:
+        lines.append("Tool integrations demanded by several applications:")
+        for a, b, weight in pairs:
+            lines.append(
+                f"- **{tools[a].name} + {tools[b].name}** "
+                f"(co-selected by {weight} applications)"
+            )
+        lines.append("")
+
+    graph = institution_direction_graph(tools, scheme)
+    recommendations = recommend_collaborations(graph, top_k=3)
+    if recommendations:
+        lines.append(
+            "Institution pairings that would most broaden direction coverage:"
+        )
+        for entry in recommendations:
+            a, b = entry.institutions
+            joint = ", ".join(
+                names[k] for k in scheme.keys if k in entry.joint_coverage
+            )
+            lines.append(
+                f"- **{a.upper()} + {b.upper()}**: jointly cover {joint} "
+                f"(+{entry.gain} direction(s))"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def threats_to_validity(results: StudyResults) -> str:
+    """A threats-to-validity section derived from the results themselves.
+
+    Surfaces the quantitative caveats a reader should weigh: the small vote
+    sample, the non-significance of the supply/demand contrast at that
+    sample size, and any classifier disagreement with the recorded labels.
+    """
+    n_votes = results.selection.total_selections
+    n_apps = len(results.selection.application_keys)
+    comparison = results.comparison
+    lines = ["## Threats to validity", ""]
+    lines.append(
+        f"- **Sample size.** The demand analysis rests on {n_votes} "
+        f"selection votes from {n_apps} applications; shares carry wide "
+        "uncertainty at this scale."
+    )
+    significant = comparison.permutation.significant()
+    lines.append(
+        f"- **Supply vs demand contrast.** Total variation distance "
+        f"{comparison.tvd:.3f} with permutation p = "
+        f"{comparison.permutation.p_value:.3f}: the contrast is "
+        + ("statistically significant."
+           if significant
+           else "visually striking but not statistically significant at "
+                "this sample size.")
+    )
+    evaluation = results.classifier_evaluation
+    if evaluation is not None and evaluation.misclassified:
+        lines.append(
+            f"- **Classification subjectivity.** The automatic cross-check "
+            f"disagrees with the recorded labels on "
+            f"{len(evaluation.misclassified)} item(s); borderline tools "
+            "may plausibly belong to neighbouring directions."
+        )
+    elif evaluation is not None:
+        lines.append(
+            "- **Classification subjectivity.** The automatic cross-check "
+            "reproduces every recorded label; residual subjectivity is "
+            "limited to the taxonomy itself."
+        )
+    lines.append(
+        "- **Scope.** The catalogue covers one national consortium; it is "
+        "a sample of, not a survey of, international workflow research."
+    )
+    return "\n".join(lines)

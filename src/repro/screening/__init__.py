@@ -1,0 +1,41 @@
+"""Screening substrate: criteria DSL, multi-reviewer sessions, agreement stats."""
+
+from repro.screening.agreement import (
+    cohen_kappa,
+    fleiss_kappa,
+    interpret_kappa,
+    krippendorff_alpha,
+    observed_agreement,
+)
+from repro.screening.criteria import (
+    Criterion,
+    ScreeningOutcome,
+    has_all_keywords,
+    has_any_keyword,
+    language_is,
+    min_length,
+    predicate,
+    venue_matches,
+    year_between,
+)
+from repro.screening.review import Decision, ReviewRecord, ScreeningSession
+
+__all__ = [
+    "Criterion",
+    "Decision",
+    "ReviewRecord",
+    "ScreeningOutcome",
+    "ScreeningSession",
+    "cohen_kappa",
+    "fleiss_kappa",
+    "has_all_keywords",
+    "has_any_keyword",
+    "interpret_kappa",
+    "krippendorff_alpha",
+    "language_is",
+    "min_length",
+    "observed_agreement",
+    "predicate",
+    "venue_matches",
+    "year_between",
+]

@@ -1,0 +1,239 @@
+"""Inter-rater agreement statistics.
+
+Systematic mapping studies double-screen and double-classify primary studies
+to control subjectivity; agreement between raters is reported with chance-
+corrected coefficients.  Implemented from scratch (vectorized):
+
+* :func:`cohen_kappa` — two raters, nominal labels, optional weighting;
+* :func:`fleiss_kappa` — many raters, nominal labels;
+* :func:`krippendorff_alpha` — any number of raters with missing data
+  (nominal metric);
+* :func:`observed_agreement` — the raw proportion of agreeing pairs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import AgreementError
+
+__all__ = [
+    "cohen_kappa",
+    "fleiss_kappa",
+    "krippendorff_alpha",
+    "observed_agreement",
+    "interpret_kappa",
+]
+
+
+def _encode(
+    a: Sequence[Hashable], b: Sequence[Hashable]
+) -> tuple[np.ndarray, np.ndarray, tuple[Hashable, ...]]:
+    if len(a) != len(b):
+        raise AgreementError(
+            f"raters labelled different item counts: {len(a)} vs {len(b)}"
+        )
+    if not a:
+        raise AgreementError("need at least one jointly labelled item")
+    labels = tuple(dict.fromkeys(list(a) + list(b)))
+    index = {label: i for i, label in enumerate(labels)}
+    va = np.fromiter((index[x] for x in a), dtype=np.int64, count=len(a))
+    vb = np.fromiter((index[x] for x in b), dtype=np.int64, count=len(b))
+    return va, vb, labels
+
+
+def observed_agreement(a: Sequence[Hashable], b: Sequence[Hashable]) -> float:
+    """Raw proportion of items on which two raters agree."""
+    va, vb, _ = _encode(a, b)
+    return float((va == vb).mean())
+
+
+def cohen_kappa(
+    a: Sequence[Hashable],
+    b: Sequence[Hashable],
+    *,
+    weights: str | None = None,
+) -> float:
+    """Cohen's kappa for two raters.
+
+    Parameters
+    ----------
+    a, b:
+        Aligned label sequences (one label per item per rater).
+    weights:
+        ``None`` for nominal kappa, ``"linear"`` or ``"quadratic"`` for
+        weighted kappa over the label order of first appearance (only
+        meaningful for ordinal labels).
+
+    Returns
+    -------
+    float
+        Kappa in ``[-1, 1]``; 1 is perfect agreement, 0 chance-level.
+        Degenerate case: if both raters use a single identical label for
+        every item, agreement is perfect and 1.0 is returned.
+    """
+    if weights not in (None, "linear", "quadratic"):
+        raise AgreementError(f"unknown weighting {weights!r}")
+    va, vb, labels = _encode(a, b)
+    k = len(labels)
+    if k == 1:
+        return 1.0
+    confusion = np.zeros((k, k), dtype=np.float64)
+    np.add.at(confusion, (va, vb), 1.0)
+    n = confusion.sum()
+    p_obs_matrix = confusion / n
+    row = p_obs_matrix.sum(axis=1)
+    col = p_obs_matrix.sum(axis=0)
+    expected = np.outer(row, col)
+
+    if weights is None:
+        weight = np.eye(k)
+    elif weights == "linear":
+        idx = np.arange(k, dtype=np.float64)
+        weight = 1.0 - np.abs(idx[:, None] - idx[None, :]) / (k - 1)
+    elif weights == "quadratic":
+        idx = np.arange(k, dtype=np.float64)
+        weight = 1.0 - ((idx[:, None] - idx[None, :]) / (k - 1)) ** 2
+    else:
+        raise AgreementError(f"unknown weighting {weights!r}")
+
+    p_obs = float((weight * p_obs_matrix).sum())
+    p_exp = float((weight * expected).sum())
+    if np.isclose(p_exp, 1.0):
+        return 1.0 if np.isclose(p_obs, 1.0) else 0.0
+    return float((p_obs - p_exp) / (1.0 - p_exp))
+
+
+def fleiss_kappa(ratings: Sequence[Mapping[Hashable, int]] | np.ndarray) -> float:
+    """Fleiss' kappa for many raters.
+
+    Parameters
+    ----------
+    ratings:
+        Either an ``(items × categories)`` count matrix (each row sums to
+        the common number of raters), or a sequence of per-item
+        ``{category: count}`` mappings.
+
+    Raises
+    ------
+    AgreementError
+        If items were rated by different numbers of raters, or fewer than
+        two raters rated each item.
+    """
+    if isinstance(ratings, np.ndarray):
+        matrix = np.asarray(ratings, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.size == 0:
+            raise AgreementError("ratings matrix must be 2-D and non-empty")
+    else:
+        if not ratings:
+            raise AgreementError("need at least one rated item")
+        categories = tuple(
+            dict.fromkeys(c for item in ratings for c in item)
+        )
+        index = {c: j for j, c in enumerate(categories)}
+        matrix = np.zeros((len(ratings), len(categories)), dtype=np.float64)
+        for i, item in enumerate(ratings):
+            for category, count in item.items():
+                if count < 0:
+                    raise AgreementError("rating counts must be non-negative")
+                matrix[i, index[category]] = count
+
+    raters = matrix.sum(axis=1)
+    if not np.all(raters == raters[0]):
+        raise AgreementError("every item must be rated by the same number of raters")
+    n_raters = float(raters[0])
+    if n_raters < 2:
+        raise AgreementError("Fleiss' kappa needs at least two raters")
+
+    n_items = matrix.shape[0]
+    p_item = (
+        (matrix * (matrix - 1.0)).sum(axis=1) / (n_raters * (n_raters - 1.0))
+    )
+    p_obs = float(p_item.mean())
+    p_cat = matrix.sum(axis=0) / (n_items * n_raters)
+    p_exp = float((p_cat**2).sum())
+    if np.isclose(p_exp, 1.0):
+        return 1.0 if np.isclose(p_obs, 1.0) else 0.0
+    return float((p_obs - p_exp) / (1.0 - p_exp))
+
+
+def krippendorff_alpha(
+    ratings: Sequence[Sequence[Hashable | None]],
+) -> float:
+    """Krippendorff's alpha (nominal metric) with missing data.
+
+    Parameters
+    ----------
+    ratings:
+        One sequence per rater, aligned on items; ``None`` marks a missing
+        rating.  Items rated by fewer than two raters are dropped.
+
+    Returns
+    -------
+    float
+        Alpha in ``[-1, 1]``; 1 is perfect agreement.
+    """
+    if len(ratings) < 2:
+        raise AgreementError("Krippendorff's alpha needs >= 2 raters")
+    lengths = {len(r) for r in ratings}
+    if len(lengths) != 1:
+        raise AgreementError("raters must rate the same item list")
+    (n_items,) = lengths
+    if n_items == 0:
+        raise AgreementError("need at least one item")
+
+    values = tuple(
+        dict.fromkeys(
+            v for rater in ratings for v in rater if v is not None
+        )
+    )
+    if not values:
+        raise AgreementError("all ratings are missing")
+    if len(values) == 1:
+        return 1.0
+    index = {v: i for i, v in enumerate(values)}
+
+    # Coincidence matrix over pairable values within each item.
+    k = len(values)
+    coincidence = np.zeros((k, k), dtype=np.float64)
+    for item in range(n_items):
+        present = [
+            index[rater[item]] for rater in ratings if rater[item] is not None
+        ]
+        m = len(present)
+        if m < 2:
+            continue
+        counts = np.bincount(present, minlength=k).astype(np.float64)
+        pair = np.outer(counts, counts) - np.diag(counts)
+        coincidence += pair / (m - 1.0)
+    total = coincidence.sum()
+    if total == 0:
+        raise AgreementError("no item has two or more ratings")
+    marginals = coincidence.sum(axis=0)
+    d_observed = total - float(np.trace(coincidence))
+    d_expected = (
+        (np.outer(marginals, marginals).sum() - (marginals**2).sum())
+        / (total - 1.0)
+    )
+    if d_expected == 0:
+        return 1.0 if d_observed == 0 else 0.0
+    return float(1.0 - d_observed / d_expected)
+
+
+def interpret_kappa(kappa: float) -> str:
+    """Landis & Koch (1977) verbal interpretation of a kappa value."""
+    if not -1.0 - 1e-9 <= kappa <= 1.0 + 1e-9:
+        raise AgreementError(f"kappa {kappa} outside [-1, 1]")
+    if kappa < 0.0:
+        return "poor"
+    if kappa <= 0.20:
+        return "slight"
+    if kappa <= 0.40:
+        return "fair"
+    if kappa <= 0.60:
+        return "moderate"
+    if kappa <= 0.80:
+        return "substantial"
+    return "almost perfect"

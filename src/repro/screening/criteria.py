@@ -1,0 +1,217 @@
+"""Inclusion/exclusion criteria for study screening.
+
+A systematic mapping study screens candidate primary studies against a
+protocol of explicit criteria.  This module provides a small combinator DSL
+over predicate criteria, so protocols read declaratively::
+
+    criteria = (
+        year_between(2015, 2023)
+        & has_any_keyword(["workflow", "orchestration"])
+        & ~venue_matches("blog")
+    )
+    outcome = criteria.evaluate(publication)
+
+Each criterion explains itself: :meth:`Criterion.evaluate` returns a
+:class:`ScreeningOutcome` carrying the verdict *and* the names of the
+criteria that failed, which a screening report can surface.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.errors import ScreeningError
+
+__all__ = [
+    "ScreeningOutcome",
+    "Criterion",
+    "predicate",
+    "year_between",
+    "has_any_keyword",
+    "has_all_keywords",
+    "venue_matches",
+    "min_length",
+    "language_is",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ScreeningOutcome:
+    """Verdict of screening one item.
+
+    Attributes
+    ----------
+    included:
+        True when every criterion passed.
+    failed:
+        Names of failed criteria (empty when included).
+    """
+
+    included: bool
+    failed: tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.included
+
+
+class Criterion:
+    """A named, composable screening predicate.
+
+    Compose with ``&`` (both must pass), ``|`` (either passes), and ``~``
+    (negation).  Composition tracks failure provenance: the outcome of an
+    ``&`` lists each failed operand by name.
+    """
+
+    def __init__(self, name: str, check: Callable[[object], bool]) -> None:
+        if not name:
+            raise ScreeningError("criterion name must be non-empty")
+        self.name = name
+        self._check = check
+
+    def evaluate(self, item: object) -> ScreeningOutcome:
+        """Evaluate the criterion against *item*."""
+        try:
+            passed = bool(self._check(item))
+        except Exception as exc:  # noqa: BLE001 - wrap with provenance
+            raise ScreeningError(
+                f"criterion {self.name!r} failed to evaluate: {exc}"
+            ) from exc
+        return ScreeningOutcome(passed, () if passed else (self.name,))
+
+    def __and__(self, other: "Criterion") -> "Criterion":
+        def check_both(item: object) -> bool:
+            return self._check(item) and other._check(item)
+
+        combined = Criterion(f"({self.name} AND {other.name})", check_both)
+
+        def evaluate_both(item: object) -> ScreeningOutcome:
+            mine = self.evaluate(item)
+            theirs = other.evaluate(item)
+            return ScreeningOutcome(
+                mine.included and theirs.included, mine.failed + theirs.failed
+            )
+
+        combined.evaluate = evaluate_both  # type: ignore[method-assign]
+        return combined
+
+    def __or__(self, other: "Criterion") -> "Criterion":
+        name = f"({self.name} OR {other.name})"
+        return Criterion(
+            name, lambda item: self._check(item) or other._check(item)
+        )
+
+    def __invert__(self) -> "Criterion":
+        return Criterion(f"NOT {self.name}", lambda item: not self._check(item))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Criterion({self.name!r})"
+
+
+def predicate(name: str) -> Callable[[Callable[[object], bool]], Criterion]:
+    """Decorator turning a plain function into a named :class:`Criterion`.
+
+    >>> @predicate("is-recent")
+    ... def is_recent(pub):
+    ...     return pub.year >= 2020
+    """
+
+    def wrap(func: Callable[[object], bool]) -> Criterion:
+        return Criterion(name, func)
+
+    return wrap
+
+
+def _text_of(item: object) -> str:
+    """Best-effort searchable text of a screening item."""
+    for attr in ("searchable_text", "text"):
+        value = getattr(item, attr, None)
+        if callable(value):
+            value = value()
+        if isinstance(value, str):
+            return value
+    parts = [
+        str(getattr(item, attr, ""))
+        for attr in ("title", "abstract", "keywords", "description")
+    ]
+    return " ".join(p for p in parts if p)
+
+
+def year_between(first: int, last: int) -> Criterion:
+    """Publication year within ``[first, last]`` (missing year fails)."""
+    if first > last:
+        raise ScreeningError(f"empty year range [{first}, {last}]")
+
+    def check(item: object) -> bool:
+        year = getattr(item, "year", None)
+        return isinstance(year, int) and first <= year <= last
+
+    return Criterion(f"year in [{first}, {last}]", check)
+
+
+def has_any_keyword(keywords: Iterable[str]) -> Criterion:
+    """Any of *keywords* appears (case-insensitive) in the item's text."""
+    terms = tuple(k.lower() for k in keywords)
+    if not terms:
+        raise ScreeningError("has_any_keyword needs at least one keyword")
+
+    def check(item: object) -> bool:
+        text = _text_of(item).lower()
+        return any(term in text for term in terms)
+
+    return Criterion(f"has any of {list(terms)}", check)
+
+
+def has_all_keywords(keywords: Iterable[str]) -> Criterion:
+    """All *keywords* appear (case-insensitive) in the item's text."""
+    terms = tuple(k.lower() for k in keywords)
+    if not terms:
+        raise ScreeningError("has_all_keywords needs at least one keyword")
+
+    def check(item: object) -> bool:
+        text = _text_of(item).lower()
+        return all(term in text for term in terms)
+
+    return Criterion(f"has all of {list(terms)}", check)
+
+
+def venue_matches(fragment: str) -> Criterion:
+    """The item's venue contains *fragment* (case-insensitive)."""
+    if not fragment:
+        raise ScreeningError("venue fragment must be non-empty")
+    lowered = fragment.lower()
+
+    def check(item: object) -> bool:
+        venue = getattr(item, "venue", "") or ""
+        return lowered in venue.lower()
+
+    return Criterion(f"venue contains {fragment!r}", check)
+
+
+def min_length(n_words: int, attr: str = "abstract") -> Criterion:
+    """The item's *attr* holds at least *n_words* whitespace words."""
+    if n_words < 1:
+        raise ScreeningError("n_words must be >= 1")
+
+    def check(item: object) -> bool:
+        text = getattr(item, attr, "") or ""
+        return len(str(text).split()) >= n_words
+
+    return Criterion(f"{attr} >= {n_words} words", check)
+
+
+def language_is(language: str) -> Criterion:
+    """The item's language equals *language* (case-insensitive).
+
+    Items without a language attribute are assumed to match — most
+    bibliographic sources omit it for English records.
+    """
+    if not language:
+        raise ScreeningError("language must be non-empty")
+    lowered = language.lower()
+
+    def check(item: object) -> bool:
+        value = getattr(item, "language", None)
+        return value is None or str(value).lower() == lowered
+
+    return Criterion(f"language is {language!r}", check)

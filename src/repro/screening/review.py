@@ -1,0 +1,244 @@
+"""Multi-reviewer screening with adjudication.
+
+Models the SMS double-screening workflow: several reviewers screen each
+candidate item against the protocol's criteria (or by judgment), decisions
+are recorded, agreement is measured, and conflicts are adjudicated —
+either by majority or by an explicit adjudicator decision.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ScreeningError
+from repro.screening.agreement import cohen_kappa, fleiss_kappa, observed_agreement
+from repro.screening.criteria import Criterion
+
+__all__ = ["Decision", "ReviewRecord", "ScreeningSession"]
+
+
+class Decision(Enum):
+    """A reviewer's verdict on one item."""
+
+    INCLUDE = "include"
+    EXCLUDE = "exclude"
+    UNSURE = "unsure"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class ReviewRecord:
+    """One reviewer's decision on one item, with optional rationale."""
+
+    item_key: str
+    reviewer: str
+    decision: Decision
+    rationale: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.item_key:
+            raise ScreeningError("item_key must be non-empty")
+        if not self.reviewer:
+            raise ScreeningError("reviewer must be non-empty")
+
+
+class ScreeningSession:
+    """Collects review records for a set of items and resolves them.
+
+    Parameters
+    ----------
+    item_keys:
+        Keys of the candidate items under screening.
+    reviewers:
+        Names of the participating reviewers.
+    """
+
+    def __init__(self, item_keys: Sequence[str], reviewers: Sequence[str]) -> None:
+        if not item_keys:
+            raise ScreeningError("need at least one item to screen")
+        if not reviewers:
+            raise ScreeningError("need at least one reviewer")
+        if len(set(item_keys)) != len(item_keys):
+            raise ScreeningError("duplicate item keys")
+        if len(set(reviewers)) != len(reviewers):
+            raise ScreeningError("duplicate reviewer names")
+        self._items = tuple(item_keys)
+        self._reviewers = tuple(reviewers)
+        # decisions[item][reviewer] = ReviewRecord
+        self._decisions: dict[str, dict[str, ReviewRecord]] = {
+            key: {} for key in self._items
+        }
+        self._adjudications: dict[str, Decision] = {}
+
+    # -- recording ------------------------------------------------------------
+
+    def record(self, record: ReviewRecord) -> None:
+        """Store one decision; re-deciding the same item is an error."""
+        if record.item_key not in self._decisions:
+            raise ScreeningError(f"unknown item {record.item_key!r}")
+        if record.reviewer not in self._reviewers:
+            raise ScreeningError(f"unknown reviewer {record.reviewer!r}")
+        per_item = self._decisions[record.item_key]
+        if record.reviewer in per_item:
+            raise ScreeningError(
+                f"{record.reviewer!r} already decided {record.item_key!r}"
+            )
+        per_item[record.reviewer] = record
+
+    def decide(
+        self,
+        item_key: str,
+        reviewer: str,
+        decision: Decision,
+        rationale: str = "",
+    ) -> None:
+        """Convenience wrapper around :meth:`record`."""
+        self.record(ReviewRecord(item_key, reviewer, decision, rationale))
+
+    def apply_criterion(
+        self, reviewer: str, criterion: Criterion, items: Iterable
+    ) -> None:
+        """Let *reviewer* screen *items* mechanically with *criterion*.
+
+        Each item must expose a ``key`` attribute matching this session.
+        The failed-criteria names become the rationale.
+        """
+        for item in items:
+            outcome = criterion.evaluate(item)
+            self.decide(
+                item.key,
+                reviewer,
+                Decision.INCLUDE if outcome.included else Decision.EXCLUDE,
+                rationale="; ".join(outcome.failed),
+            )
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def items(self) -> tuple[str, ...]:
+        return self._items
+
+    @property
+    def reviewers(self) -> tuple[str, ...]:
+        return self._reviewers
+
+    def decisions_for(self, item_key: str) -> dict[str, Decision]:
+        """Reviewer → decision mapping for one item."""
+        if item_key not in self._decisions:
+            raise ScreeningError(f"unknown item {item_key!r}")
+        return {
+            reviewer: record.decision
+            for reviewer, record in self._decisions[item_key].items()
+        }
+
+    def is_complete(self) -> bool:
+        """Whether every reviewer decided every item."""
+        return all(
+            len(per_item) == len(self._reviewers)
+            for per_item in self._decisions.values()
+        )
+
+    def conflicts(self) -> tuple[str, ...]:
+        """Items where reviewers disagree (or anyone is unsure)."""
+        out = []
+        for key in self._items:
+            decisions = set(self.decisions_for(key).values())
+            if len(decisions) > 1 or Decision.UNSURE in decisions:
+                out.append(key)
+        return tuple(out)
+
+    # -- adjudication ------------------------------------------------------------
+
+    def adjudicate(self, item_key: str, decision: Decision) -> None:
+        """Record the adjudicator's final decision for a conflicted item."""
+        if item_key not in self._decisions:
+            raise ScreeningError(f"unknown item {item_key!r}")
+        if decision is Decision.UNSURE:
+            raise ScreeningError("adjudication must be include or exclude")
+        self._adjudications[item_key] = decision
+
+    def resolve(self, *, strategy: str = "majority") -> dict[str, bool]:
+        """Resolve every item to a final include/exclude verdict.
+
+        Strategies
+        ----------
+        ``"majority"``:
+            Majority vote (UNSURE counts as neither); ties and all-unsure
+            items need a prior :meth:`adjudicate` call, otherwise
+            :class:`ScreeningError` is raised.
+        ``"conservative"``:
+            Include only when *all* reviewers said include.
+        ``"liberal"``:
+            Include when *any* reviewer said include.
+
+        Explicit adjudications always win over the strategy.
+        """
+        if not self.is_complete():
+            raise ScreeningError("screening incomplete: missing decisions")
+        if strategy not in ("majority", "conservative", "liberal"):
+            raise ScreeningError(f"unknown strategy {strategy!r}")
+        verdicts: dict[str, bool] = {}
+        for key in self._items:
+            if key in self._adjudications:
+                verdicts[key] = self._adjudications[key] is Decision.INCLUDE
+                continue
+            decisions = list(self.decisions_for(key).values())
+            includes = sum(d is Decision.INCLUDE for d in decisions)
+            excludes = sum(d is Decision.EXCLUDE for d in decisions)
+            if strategy == "conservative":
+                verdicts[key] = includes == len(decisions)
+            elif strategy == "liberal":
+                verdicts[key] = includes > 0
+            else:
+                if includes == excludes:
+                    raise ScreeningError(
+                        f"item {key!r} is tied {includes}-{excludes}; adjudicate it"
+                    )
+                verdicts[key] = includes > excludes
+        return verdicts
+
+    # -- agreement ------------------------------------------------------------------
+
+    def pairwise_kappa(self, reviewer_a: str, reviewer_b: str) -> float:
+        """Cohen's kappa between two reviewers over jointly decided items."""
+        labels_a, labels_b = [], []
+        for key in self._items:
+            decisions = self._decisions[key]
+            if reviewer_a in decisions and reviewer_b in decisions:
+                labels_a.append(decisions[reviewer_a].decision.value)
+                labels_b.append(decisions[reviewer_b].decision.value)
+        if not labels_a:
+            raise ScreeningError(
+                f"{reviewer_a!r} and {reviewer_b!r} share no decided items"
+            )
+        return cohen_kappa(labels_a, labels_b)
+
+    def overall_kappa(self) -> float:
+        """Fleiss' kappa across all reviewers (requires complete screening)."""
+        if not self.is_complete():
+            raise ScreeningError("screening incomplete: missing decisions")
+        rows = []
+        for key in self._items:
+            counts: dict[str, int] = {}
+            for decision in self.decisions_for(key).values():
+                counts[decision.value] = counts.get(decision.value, 0) + 1
+            rows.append(counts)
+        return fleiss_kappa(rows)
+
+    def raw_agreement(self, reviewer_a: str, reviewer_b: str) -> float:
+        """Observed agreement proportion between two reviewers."""
+        labels_a, labels_b = [], []
+        for key in self._items:
+            decisions = self._decisions[key]
+            if reviewer_a in decisions and reviewer_b in decisions:
+                labels_a.append(decisions[reviewer_a].decision.value)
+                labels_b.append(decisions[reviewer_b].decision.value)
+        if not labels_a:
+            raise ScreeningError(
+                f"{reviewer_a!r} and {reviewer_b!r} share no decided items"
+            )
+        return observed_agreement(labels_a, labels_b)

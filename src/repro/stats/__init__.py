@@ -1,0 +1,58 @@
+"""Statistics substrate: frequency tables, diversity, inference, rank agreement."""
+
+from repro.stats.correlation import (
+    align_tables,
+    kendall_tau,
+    rank_biased_overlap,
+    spearman_rho,
+)
+from repro.stats.diversity import (
+    evenness_report,
+    gini_coefficient,
+    herfindahl_index,
+    shannon_entropy,
+    shannon_evenness,
+    simpson_index,
+)
+from repro.stats.frequency import FrequencyTable, crosstab
+from repro.stats.proportions import (
+    jeffreys_interval,
+    share_table,
+    two_proportion_test,
+    wilson_interval,
+)
+from repro.stats.inference import (
+    TestResult,
+    bootstrap_share_ci,
+    chi_square_gof,
+    chi_square_homogeneity,
+    g_test_gof,
+    permutation_tvd_test,
+    total_variation_distance,
+)
+
+__all__ = [
+    "FrequencyTable",
+    "TestResult",
+    "align_tables",
+    "bootstrap_share_ci",
+    "chi_square_gof",
+    "chi_square_homogeneity",
+    "crosstab",
+    "evenness_report",
+    "g_test_gof",
+    "gini_coefficient",
+    "herfindahl_index",
+    "kendall_tau",
+    "permutation_tvd_test",
+    "rank_biased_overlap",
+    "shannon_entropy",
+    "shannon_evenness",
+    "simpson_index",
+    "spearman_rho",
+    "total_variation_distance",
+    "jeffreys_interval",
+    "share_table",
+    "two_proportion_test",
+    "wilson_interval",
+]

@@ -1,0 +1,218 @@
+"""Frequency tables and cross-tabulations.
+
+:class:`FrequencyTable` is the numeric backbone of the paper's figures: the
+Fig. 2 / Fig. 4 pie charts are frequency tables over the five research
+directions, and the Fig. 3 histogram is a frequency table over coverage
+counts.  The class keeps category order stable (a mapping-study table is
+meaningless if rows silently reorder) and exposes vectorized shares,
+percentages, and ranking.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+import numpy as np
+
+from repro.errors import StatsError
+
+__all__ = ["FrequencyTable", "crosstab"]
+
+
+class FrequencyTable:
+    """An ordered category → count table.
+
+    Parameters
+    ----------
+    counts:
+        Mapping from category label to a non-negative integer count.
+        Iteration order of the mapping fixes the table order.
+
+    Examples
+    --------
+    >>> t = FrequencyTable({"a": 3, "b": 7})
+    >>> t.total
+    10
+    >>> t.share("b")
+    0.7
+    """
+
+    def __init__(self, counts: Mapping[Hashable, int]) -> None:
+        if not counts:
+            raise StatsError("frequency table needs at least one category")
+        self._labels: tuple[Hashable, ...] = tuple(counts)
+        values = np.asarray(list(counts.values()), dtype=np.int64)
+        if (values < 0).any():
+            raise StatsError("counts must be non-negative")
+        self._values = values
+        self._values.setflags(write=False)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_observations(
+        cls,
+        observations: Iterable[Hashable],
+        *,
+        order: Sequence[Hashable] | None = None,
+    ) -> "FrequencyTable":
+        """Tally raw observations.
+
+        With *order*, the table contains exactly those categories in that
+        order (zero-filled where unobserved) and observations outside *order*
+        raise :class:`StatsError` — the strictness catches typos in category
+        keys early.
+        """
+        tally: dict[Hashable, int] = {}
+        if order is not None:
+            tally = {label: 0 for label in order}
+        for obs in observations:
+            if order is not None and obs not in tally:
+                raise StatsError(f"observation {obs!r} outside fixed order")
+            tally[obs] = tally.get(obs, 0) + 1
+        if not tally:
+            raise StatsError("no observations and no fixed order given")
+        return cls(tally)
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def labels(self) -> tuple[Hashable, ...]:
+        """Category labels in table order."""
+        return self._labels
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only count vector aligned with :attr:`labels`."""
+        return self._values
+
+    @property
+    def total(self) -> int:
+        """Sum of all counts."""
+        return int(self._values.sum())
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __getitem__(self, label: Hashable) -> int:
+        try:
+            return int(self._values[self._labels.index(label)])
+        except ValueError:
+            raise StatsError(f"unknown category {label!r}") from None
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._labels
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FrequencyTable):
+            return NotImplemented
+        return self._labels == other._labels and np.array_equal(
+            self._values, other._values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._labels, self._values.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{l!r}: {v}" for l, v in self.items())
+        return f"FrequencyTable({{{inner}}})"
+
+    def items(self) -> list[tuple[Hashable, int]]:
+        """``(label, count)`` pairs in table order."""
+        return [(l, int(v)) for l, v in zip(self._labels, self._values)]
+
+    def to_dict(self) -> dict[Hashable, int]:
+        """Plain ``dict`` copy in table order."""
+        return dict(self.items())
+
+    # -- derived quantities --------------------------------------------------
+
+    def shares(self) -> np.ndarray:
+        """Fraction of the total per category (vector summing to 1)."""
+        if self.total == 0:
+            raise StatsError("shares undefined for an all-zero table")
+        return self._values / self.total
+
+    def share(self, label: Hashable) -> float:
+        """Fraction of the total held by *label*."""
+        return float(self[label] / self.total)
+
+    def percentages(self, *, decimals: int = 1) -> dict[Hashable, float]:
+        """Percentage per category, rounded to *decimals* places."""
+        shares = self.shares() * 100.0
+        return {
+            l: float(round(s, decimals)) for l, s in zip(self._labels, shares)
+        }
+
+    def ranked(self, *, descending: bool = True) -> list[tuple[Hashable, int]]:
+        """Categories sorted by count (stable within ties)."""
+        order = np.argsort(
+            -self._values if descending else self._values, kind="stable"
+        )
+        return [(self._labels[i], int(self._values[i])) for i in order]
+
+    def mode(self) -> Hashable:
+        """Label with the highest count (first on ties)."""
+        return self.ranked()[0][0]
+
+    def argmin(self) -> Hashable:
+        """Label with the lowest count (first on ties)."""
+        return self.ranked(descending=False)[0][0]
+
+    def nonzero(self) -> "FrequencyTable":
+        """New table keeping only categories with a positive count."""
+        kept = {l: int(v) for l, v in self.items() if v > 0}
+        if not kept:
+            raise StatsError("all categories are zero")
+        return FrequencyTable(kept)
+
+    def merge(self, other: "FrequencyTable") -> "FrequencyTable":
+        """Add counts of *other*; categories are unioned, self order first."""
+        merged = self.to_dict()
+        for label, value in other.items():
+            merged[label] = merged.get(label, 0) + value
+        return FrequencyTable(merged)
+
+
+def crosstab(
+    rows: Sequence[Hashable],
+    cols: Sequence[Hashable],
+    *,
+    row_order: Sequence[Hashable] | None = None,
+    col_order: Sequence[Hashable] | None = None,
+) -> tuple[np.ndarray, tuple[Hashable, ...], tuple[Hashable, ...]]:
+    """Cross-tabulate two aligned observation sequences.
+
+    Returns ``(matrix, row_labels, col_labels)`` where ``matrix[i, j]`` counts
+    observations with row label ``row_labels[i]`` and column label
+    ``col_labels[j]``.  Label order is first-appearance order unless fixed by
+    *row_order* / *col_order*.
+    """
+    if len(rows) != len(cols):
+        raise StatsError(
+            f"row/column observation lengths differ: {len(rows)} vs {len(cols)}"
+        )
+    if len(rows) == 0 and (row_order is None or col_order is None):
+        raise StatsError("empty observations need explicit row and column order")
+
+    def _index(values: Sequence[Hashable], order: Sequence[Hashable] | None):
+        if order is None:
+            labels: dict[Hashable, int] = {}
+            for v in values:
+                labels.setdefault(v, len(labels))
+            return labels
+        labels = {label: i for i, label in enumerate(order)}
+        for v in values:
+            if v not in labels:
+                raise StatsError(f"observation {v!r} outside fixed order")
+        return labels
+
+    row_index = _index(rows, row_order)
+    col_index = _index(cols, col_order)
+    matrix = np.zeros((len(row_index), len(col_index)), dtype=np.int64)
+    # Vectorized bincount over flattened (row, col) codes.
+    if rows:
+        r = np.fromiter((row_index[v] for v in rows), dtype=np.int64, count=len(rows))
+        c = np.fromiter((col_index[v] for v in cols), dtype=np.int64, count=len(cols))
+        flat = np.bincount(r * len(col_index) + c, minlength=matrix.size)
+        matrix = flat.reshape(matrix.shape).astype(np.int64)
+    return matrix, tuple(row_index), tuple(col_index)

@@ -1,0 +1,34 @@
+"""Survey substrate: instruments, validated responses, aggregation."""
+
+from repro.survey.aggregate import (
+    likert_summary,
+    option_counts,
+    run_tool_selection_survey,
+    selection_matrix_from_responses,
+)
+from repro.survey.instrument import (
+    FreeTextQuestion,
+    LikertQuestion,
+    MultiChoiceQuestion,
+    Question,
+    Questionnaire,
+    SingleChoiceQuestion,
+    tool_selection_questionnaire,
+)
+from repro.survey.response import Response, ResponseSet
+
+__all__ = [
+    "FreeTextQuestion",
+    "LikertQuestion",
+    "MultiChoiceQuestion",
+    "Question",
+    "Questionnaire",
+    "Response",
+    "ResponseSet",
+    "SingleChoiceQuestion",
+    "likert_summary",
+    "option_counts",
+    "run_tool_selection_survey",
+    "selection_matrix_from_responses",
+    "tool_selection_questionnaire",
+]

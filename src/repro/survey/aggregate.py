@@ -1,0 +1,127 @@
+"""Aggregation of survey responses into analysis-ready structures.
+
+Turns a :class:`~repro.survey.response.ResponseSet` for the tool-selection
+questionnaire into the :class:`~repro.core.selection.SelectionMatrix` of
+Table 2, and provides generic aggregators (option counts, Likert summaries)
+for richer instruments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.selection import SelectionMatrix
+from repro.errors import SurveyError
+from repro.stats.frequency import FrequencyTable
+from repro.survey.instrument import (
+    LikertQuestion,
+    MultiChoiceQuestion,
+    Questionnaire,
+    SingleChoiceQuestion,
+    tool_selection_questionnaire,
+)
+from repro.survey.response import ResponseSet
+
+__all__ = [
+    "option_counts",
+    "likert_summary",
+    "selection_matrix_from_responses",
+    "run_tool_selection_survey",
+]
+
+
+def option_counts(responses: ResponseSet, question_key: str) -> FrequencyTable:
+    """Count how often each option was chosen for a choice question.
+
+    Works for single- and multi-choice questions; option order follows the
+    question definition, zero-filled for unchosen options.
+    """
+    question = responses.questionnaire[question_key]
+    if not isinstance(question, (SingleChoiceQuestion, MultiChoiceQuestion)):
+        raise SurveyError(
+            f"question {question_key!r} is not a choice question"
+        )
+    counts = {option: 0 for option in question.options}
+    for response in responses:
+        if not response.answered(question_key):
+            continue
+        answer = response[question_key]
+        chosen = (answer,) if isinstance(answer, str) else answer
+        for option in chosen:
+            counts[option] += 1
+    return FrequencyTable(counts)
+
+
+def likert_summary(responses: ResponseSet, question_key: str) -> dict[str, float]:
+    """Mean, median, std, and distribution summary of a Likert question."""
+    question = responses.questionnaire[question_key]
+    if not isinstance(question, LikertQuestion):
+        raise SurveyError(f"question {question_key!r} is not a Likert question")
+    values = np.asarray(
+        [
+            response[question_key]
+            for response in responses
+            if response.answered(question_key)
+        ],
+        dtype=np.float64,
+    )
+    if values.size == 0:
+        raise SurveyError(f"no answers for {question_key!r}")
+    return {
+        "n": float(values.size),
+        "mean": float(values.mean()),
+        "median": float(np.median(values)),
+        "std": float(values.std(ddof=1)) if values.size > 1 else 0.0,
+        "min": float(values.min()),
+        "max": float(values.max()),
+    }
+
+
+def selection_matrix_from_responses(
+    responses: ResponseSet,
+    tool_keys: Sequence[str],
+    *,
+    question_key: str = "selected-tools",
+    name_to_key: dict[str, str] | None = None,
+) -> SelectionMatrix:
+    """Build a :class:`SelectionMatrix` from tool-selection responses.
+
+    Rows follow *tool_keys*; columns follow respondent submission order.
+    *name_to_key* translates option labels (display names) to tool keys when
+    the questionnaire options are human-readable names.
+    """
+    votes: list[tuple[str, str]] = []
+    for response in responses:
+        if not response.answered(question_key):
+            continue
+        for option in response[question_key]:
+            tool_key = (name_to_key or {}).get(option, option)
+            votes.append((response.respondent, tool_key))
+    return SelectionMatrix.from_votes(
+        tool_keys, list(responses.respondents), votes
+    )
+
+
+def run_tool_selection_survey(
+    tools,
+    applications,
+) -> tuple[Questionnaire, ResponseSet]:
+    """Replay the paper's Sec. 3 survey from the encoded dataset.
+
+    Creates the tool-selection questionnaire over the catalogue's display
+    names and submits one response per application, answering with its
+    published selections.  The resulting ``ResponseSet`` feeds
+    :func:`selection_matrix_from_responses`, closing the loop
+    survey → matrix → Fig. 4.
+    """
+    names = [tool.name for tool in tools]
+    questionnaire = tool_selection_questionnaire(names)
+    responses = ResponseSet(questionnaire)
+    for app in applications.ordered():
+        responses.submit(
+            app.key,
+            {"selected-tools": tuple(tools[k].name for k in app.selected_tools)},
+        )
+    return questionnaire, responses

@@ -1,0 +1,250 @@
+"""Survey instrument model: questions and questionnaires.
+
+The paper's Sec. 3 survey asked each application provider one multi-choice
+question ("which of the 25 tools would improve your workload in a Computing
+Continuum environment?").  The instrument model is general enough for richer
+follow-up surveys: single choice, multiple choice with cardinality bounds,
+Likert scales, and free text.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ResponseValidationError, SurveyError, ValidationError
+
+__all__ = [
+    "Question",
+    "SingleChoiceQuestion",
+    "MultiChoiceQuestion",
+    "LikertQuestion",
+    "FreeTextQuestion",
+    "Questionnaire",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Question:
+    """Base class for survey questions.
+
+    Parameters
+    ----------
+    key:
+        Stable identifier of the question inside its questionnaire.
+    prompt:
+        The text shown to respondents.
+    required:
+        Whether a response must answer this question.
+    """
+
+    key: str
+    prompt: str
+    required: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValidationError("question key must be non-empty")
+        if not self.prompt:
+            raise ValidationError("question prompt must be non-empty")
+
+    def validate_answer(self, answer: object) -> object:
+        """Validate and normalize *answer*; subclasses override."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class SingleChoiceQuestion(Question):
+    """Pick exactly one option."""
+
+    options: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        Question.__post_init__(self)
+        object.__setattr__(self, "options", tuple(self.options))
+        if len(self.options) < 2:
+            raise ValidationError(
+                f"question {self.key!r} needs at least two options"
+            )
+        if len(set(self.options)) != len(self.options):
+            raise ValidationError(f"question {self.key!r} has duplicate options")
+
+    def validate_answer(self, answer: object) -> str:
+        if not isinstance(answer, str) or answer not in self.options:
+            raise ResponseValidationError(
+                f"question {self.key!r}: {answer!r} is not one of the options"
+            )
+        return answer
+
+
+@dataclass(frozen=True, slots=True)
+class MultiChoiceQuestion(Question):
+    """Pick a subset of options, optionally bounded.
+
+    ``min_choices``/``max_choices`` bound the subset size; ``max_choices``
+    of ``None`` means unbounded above.
+    """
+
+    options: tuple[str, ...] = ()
+    min_choices: int = 0
+    max_choices: int | None = None
+
+    def __post_init__(self) -> None:
+        Question.__post_init__(self)
+        object.__setattr__(self, "options", tuple(self.options))
+        if not self.options:
+            raise ValidationError(f"question {self.key!r} needs options")
+        if len(set(self.options)) != len(self.options):
+            raise ValidationError(f"question {self.key!r} has duplicate options")
+        if self.min_choices < 0:
+            raise ValidationError("min_choices must be >= 0")
+        if self.max_choices is not None and self.max_choices < self.min_choices:
+            raise ValidationError("max_choices must be >= min_choices")
+
+    def validate_answer(self, answer: object) -> tuple[str, ...]:
+        if isinstance(answer, str) or not isinstance(answer, Sequence):
+            raise ResponseValidationError(
+                f"question {self.key!r}: answer must be a sequence of options"
+            )
+        chosen = tuple(answer)
+        if len(set(chosen)) != len(chosen):
+            raise ResponseValidationError(
+                f"question {self.key!r}: duplicate choices {chosen!r}"
+            )
+        unknown = [c for c in chosen if c not in self.options]
+        if unknown:
+            raise ResponseValidationError(
+                f"question {self.key!r}: unknown options {unknown!r}"
+            )
+        if len(chosen) < self.min_choices:
+            raise ResponseValidationError(
+                f"question {self.key!r}: needs >= {self.min_choices} choices"
+            )
+        if self.max_choices is not None and len(chosen) > self.max_choices:
+            raise ResponseValidationError(
+                f"question {self.key!r}: allows <= {self.max_choices} choices"
+            )
+        return chosen
+
+
+@dataclass(frozen=True, slots=True)
+class LikertQuestion(Question):
+    """An ordinal 1..scale rating (default 5-point)."""
+
+    scale: int = 5
+
+    def __post_init__(self) -> None:
+        Question.__post_init__(self)
+        if self.scale < 2:
+            raise ValidationError("Likert scale must have >= 2 points")
+
+    def validate_answer(self, answer: object) -> int:
+        if isinstance(answer, bool) or not isinstance(answer, int):
+            raise ResponseValidationError(
+                f"question {self.key!r}: answer must be an integer"
+            )
+        if not 1 <= answer <= self.scale:
+            raise ResponseValidationError(
+                f"question {self.key!r}: {answer} outside 1..{self.scale}"
+            )
+        return answer
+
+
+@dataclass(frozen=True, slots=True)
+class FreeTextQuestion(Question):
+    """Unconstrained text, optionally length-bounded."""
+
+    max_length: int | None = None
+
+    def validate_answer(self, answer: object) -> str:
+        if not isinstance(answer, str):
+            raise ResponseValidationError(
+                f"question {self.key!r}: answer must be a string"
+            )
+        text = answer.strip()
+        if self.required and not text:
+            raise ResponseValidationError(
+                f"question {self.key!r}: required answer is empty"
+            )
+        if self.max_length is not None and len(text) > self.max_length:
+            raise ResponseValidationError(
+                f"question {self.key!r}: answer exceeds {self.max_length} chars"
+            )
+        return text
+
+
+class Questionnaire:
+    """An ordered collection of questions with unique keys."""
+
+    def __init__(self, key: str, title: str, questions: Sequence[Question] = ()) -> None:
+        if not key:
+            raise ValidationError("questionnaire key must be non-empty")
+        if not title:
+            raise ValidationError("questionnaire title must be non-empty")
+        self.key = key
+        self.title = title
+        self._questions: dict[str, Question] = {}
+        for question in questions:
+            self.add(question)
+
+    def add(self, question: Question) -> None:
+        """Append *question*; reject duplicate keys."""
+        if question.key in self._questions:
+            raise SurveyError(
+                f"duplicate question key {question.key!r} in {self.key!r}"
+            )
+        self._questions[question.key] = question
+
+    def __getitem__(self, key: str) -> Question:
+        try:
+            return self._questions[key]
+        except KeyError:
+            raise SurveyError(f"unknown question {key!r}") from None
+
+    def __iter__(self) -> Iterator[Question]:
+        return iter(self._questions.values())
+
+    def __len__(self) -> int:
+        return len(self._questions)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._questions
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        """Question keys in questionnaire order."""
+        return tuple(self._questions)
+
+    @property
+    def required_keys(self) -> tuple[str, ...]:
+        """Keys of all required questions."""
+        return tuple(q.key for q in self if q.required)
+
+
+def tool_selection_questionnaire(tool_names: Sequence[str]) -> Questionnaire:
+    """The paper's Sec. 3 instrument: one multi-choice over the tool catalogue."""
+    return Questionnaire(
+        "tool-selection",
+        "Tool selection for Computing Continuum integration",
+        [
+            MultiChoiceQuestion(
+                key="selected-tools",
+                prompt=(
+                    "Which of the collected tools do you deem valuable to "
+                    "improve the current status of your workload, with a "
+                    "specific focus on workflow execution in a Computing "
+                    "Continuum environment?"
+                ),
+                options=tuple(tool_names),
+                min_choices=0,
+            ),
+            FreeTextQuestion(
+                key="motivation",
+                prompt="Briefly motivate your selection.",
+                required=False,
+            ),
+        ],
+    )
+
+
+__all__.append("tool_selection_questionnaire")

@@ -1,0 +1,138 @@
+"""Survey responses and response sets.
+
+A :class:`Response` binds a respondent (an application, in the paper's
+survey) to validated answers for one questionnaire.  A :class:`ResponseSet`
+collects responses, enforces one response per respondent, and reports
+completion statistics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from repro.errors import ResponseValidationError, SurveyError
+from repro.survey.instrument import Questionnaire
+
+__all__ = ["Response", "ResponseSet"]
+
+
+class Response:
+    """One respondent's validated answers to a questionnaire.
+
+    Answers are validated against each question at construction time;
+    missing required questions raise immediately, so an instantiated
+    ``Response`` is always internally consistent.
+    """
+
+    def __init__(
+        self,
+        questionnaire: Questionnaire,
+        respondent: str,
+        answers: Mapping[str, object],
+    ) -> None:
+        if not respondent:
+            raise ResponseValidationError("respondent must be non-empty")
+        unknown = [k for k in answers if k not in questionnaire]
+        if unknown:
+            raise ResponseValidationError(
+                f"answers reference unknown questions {unknown!r}"
+            )
+        missing = [
+            k for k in questionnaire.required_keys if k not in answers
+        ]
+        if missing:
+            raise ResponseValidationError(
+                f"respondent {respondent!r} missing required answers {missing!r}"
+            )
+        self.questionnaire = questionnaire
+        self.respondent = respondent
+        self._answers = {
+            key: questionnaire[key].validate_answer(value)
+            for key, value in answers.items()
+        }
+
+    def __getitem__(self, question_key: str) -> object:
+        try:
+            return self._answers[question_key]
+        except KeyError:
+            raise SurveyError(
+                f"respondent {self.respondent!r} did not answer "
+                f"{question_key!r}"
+            ) from None
+
+    def get(self, question_key: str, default: object = None) -> object:
+        """Tolerant answer lookup."""
+        return self._answers.get(question_key, default)
+
+    def answered(self, question_key: str) -> bool:
+        """Whether this response covers *question_key*."""
+        return question_key in self._answers
+
+    @property
+    def answers(self) -> dict[str, object]:
+        """Copy of the validated answers."""
+        return dict(self._answers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Response({self.respondent!r}, "
+            f"{len(self._answers)}/{len(self.questionnaire)} answers)"
+        )
+
+
+class ResponseSet:
+    """All responses collected for one questionnaire."""
+
+    def __init__(self, questionnaire: Questionnaire) -> None:
+        self.questionnaire = questionnaire
+        self._responses: dict[str, Response] = {}
+
+    def add(self, response: Response) -> None:
+        """Register *response*; one per respondent, same questionnaire."""
+        if response.questionnaire is not self.questionnaire and (
+            response.questionnaire.key != self.questionnaire.key
+        ):
+            raise SurveyError(
+                "response answers a different questionnaire "
+                f"({response.questionnaire.key!r} != {self.questionnaire.key!r})"
+            )
+        if response.respondent in self._responses:
+            raise SurveyError(
+                f"duplicate response from {response.respondent!r}"
+            )
+        self._responses[response.respondent] = response
+
+    def submit(self, respondent: str, answers: Mapping[str, object]) -> Response:
+        """Validate, register, and return a new response."""
+        response = Response(self.questionnaire, respondent, answers)
+        self.add(response)
+        return response
+
+    def __getitem__(self, respondent: str) -> Response:
+        try:
+            return self._responses[respondent]
+        except KeyError:
+            raise SurveyError(f"no response from {respondent!r}") from None
+
+    def __iter__(self) -> Iterator[Response]:
+        return iter(self._responses.values())
+
+    def __len__(self) -> int:
+        return len(self._responses)
+
+    def __contains__(self, respondent: object) -> bool:
+        return respondent in self._responses
+
+    @property
+    def respondents(self) -> tuple[str, ...]:
+        """Respondent keys in submission order."""
+        return tuple(self._responses)
+
+    def completion_rate(self, question_key: str) -> float:
+        """Fraction of responses answering *question_key*."""
+        if question_key not in self.questionnaire:
+            raise SurveyError(f"unknown question {question_key!r}")
+        if not self._responses:
+            raise SurveyError("no responses collected")
+        answered = sum(r.answered(question_key) for r in self)
+        return answered / len(self)

@@ -1,0 +1,7 @@
+"""Table rendering: generic emitters plus the paper's Table 1 and Table 2."""
+
+from repro.tables.render import TextTable
+from repro.tables.table1 import build_table1, table1_columns
+from repro.tables.table2 import build_table2
+
+__all__ = ["TextTable", "build_table1", "build_table2", "table1_columns"]

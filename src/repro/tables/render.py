@@ -1,0 +1,149 @@
+"""Generic table rendering: plain text, Markdown, and LaTeX.
+
+:class:`TextTable` holds a rectangular grid of strings with an optional
+header row and renders it in three formats.  All table generators in this
+package produce ``TextTable`` instances so output format is a caller
+choice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import RenderError
+
+__all__ = ["TextTable"]
+
+
+def _latex_escape(text: str) -> str:
+    replacements = {
+        "\\": r"\textbackslash{}",
+        "&": r"\&", "%": r"\%", "$": r"\$", "#": r"\#",
+        "_": r"\_", "{": r"\{", "}": r"\}",
+        "~": r"\textasciitilde{}", "^": r"\textasciicircum{}",
+    }
+    return "".join(replacements.get(ch, ch) for ch in text)
+
+
+class TextTable:
+    """A rectangular table of strings.
+
+    Parameters
+    ----------
+    header:
+        Column titles (fixes the column count).
+    rows:
+        Data rows; each must match the header length.
+    caption:
+        Optional caption (rendered above text/markdown output, and as
+        ``\\caption`` in LaTeX).
+    """
+
+    def __init__(
+        self,
+        header: Sequence[str],
+        rows: Sequence[Sequence[str]] = (),
+        *,
+        caption: str = "",
+    ) -> None:
+        if not header:
+            raise RenderError("table needs at least one column")
+        self.header = tuple(str(h) for h in header)
+        self.caption = caption
+        self._rows: list[tuple[str, ...]] = []
+        for row in rows:
+            self.add_row(row)
+
+    def add_row(self, row: Sequence[str]) -> None:
+        """Append a row; length must match the header."""
+        cells = tuple(str(c) for c in row)
+        if len(cells) != len(self.header):
+            raise RenderError(
+                f"row has {len(cells)} cells, header has {len(self.header)}"
+            )
+        self._rows.append(cells)
+
+    @property
+    def rows(self) -> tuple[tuple[str, ...], ...]:
+        return tuple(self._rows)
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.header)
+
+    def column(self, index: int) -> tuple[str, ...]:
+        """All values of one column (header excluded)."""
+        if not 0 <= index < self.n_columns:
+            raise RenderError(f"column {index} out of range")
+        return tuple(row[index] for row in self._rows)
+
+    # -- renderers -----------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Fixed-width plain-text rendering."""
+        widths = [
+            max(len(self.header[i]), *(len(r[i]) for r in self._rows))
+            if self._rows
+            else len(self.header[i])
+            for i in range(self.n_columns)
+        ]
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(
+                f"{cell:<{widths[i]}}" for i, cell in enumerate(cells)
+            ).rstrip()
+
+        lines = []
+        if self.caption:
+            lines.append(self.caption)
+        lines.append(fmt(self.header))
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in self._rows)
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured Markdown rendering."""
+        def fmt(cells: Sequence[str]) -> str:
+            escaped = [c.replace("|", "\\|") for c in cells]
+            return "| " + " | ".join(escaped) + " |"
+
+        lines = []
+        if self.caption:
+            lines.append(f"**{self.caption}**")
+            lines.append("")
+        lines.append(fmt(self.header))
+        lines.append("|" + "|".join(" --- " for _ in self.header) + "|")
+        lines.extend(fmt(row) for row in self._rows)
+        return "\n".join(lines)
+
+    def to_latex(self) -> str:
+        """LaTeX ``tabular`` (inside ``table`` when a caption is set)."""
+        spec = "l" * self.n_columns
+        body_lines = [
+            " & ".join(_latex_escape(c) for c in row) + r" \\"
+            for row in self._rows
+        ]
+        tabular = "\n".join(
+            [
+                rf"\begin{{tabular}}{{{spec}}}",
+                r"\toprule",
+                " & ".join(_latex_escape(h) for h in self.header) + r" \\",
+                r"\midrule",
+                *body_lines,
+                r"\bottomrule",
+                r"\end{tabular}",
+            ]
+        )
+        if not self.caption:
+            return tabular
+        return "\n".join(
+            [
+                r"\begin{table}",
+                r"\centering",
+                tabular,
+                rf"\caption{{{_latex_escape(self.caption)}}}",
+                r"\end{table}",
+            ]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TextTable({self.n_columns} cols x {len(self._rows)} rows)"

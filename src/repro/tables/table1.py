@@ -1,0 +1,45 @@
+"""Table 1 generator: tools classified in five research directions.
+
+The paper's Table 1 lists the tools column-wise under their research
+direction.  :func:`build_table1` regenerates it from a tool catalogue and a
+scheme; the column layout matches the paper (directions as columns, tools
+stacked under each, short rows padded with blanks).
+"""
+
+from __future__ import annotations
+
+from repro.core.catalog import ToolCatalog
+from repro.core.taxonomy import ClassificationScheme
+from repro.tables.render import TextTable
+
+__all__ = ["build_table1", "table1_columns"]
+
+
+def table1_columns(
+    tools: ToolCatalog, scheme: ClassificationScheme
+) -> dict[str, tuple[str, ...]]:
+    """Direction key → tool display names, in catalogue order."""
+    return {
+        key: tuple(t.name for t in tools.by_direction(key))
+        for key in scheme.keys
+    }
+
+
+def build_table1(
+    tools: ToolCatalog,
+    scheme: ClassificationScheme,
+    *,
+    caption: str = "Collected tools classified in five research directions.",
+) -> TextTable:
+    """Regenerate the paper's Table 1 as a :class:`TextTable`."""
+    columns = table1_columns(tools, scheme)
+    depth = max(len(v) for v in columns.values())
+    table = TextTable(scheme.names, caption=caption)
+    for i in range(depth):
+        table.add_row(
+            [
+                columns[key][i] if i < len(columns[key]) else ""
+                for key in scheme.keys
+            ]
+        )
+    return table

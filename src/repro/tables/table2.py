@@ -1,0 +1,58 @@
+"""Table 2 generator: applications × tools selection checkmarks.
+
+Regenerates the paper's Table 2: rows are tools grouped by research
+direction, columns are the applications (by paper subsection), cells carry
+a checkmark where the application selected the tool.
+"""
+
+from __future__ import annotations
+
+from repro.core.catalog import ApplicationCatalog, ToolCatalog
+from repro.core.selection import SelectionMatrix
+from repro.core.taxonomy import ClassificationScheme
+from repro.tables.render import TextTable
+
+__all__ = ["build_table2"]
+
+
+def build_table2(
+    tools: ToolCatalog,
+    applications: ApplicationCatalog,
+    scheme: ClassificationScheme,
+    *,
+    selection: SelectionMatrix | None = None,
+    check: str = "✓",
+    caption: str = (
+        "The list of collected scientific applications and the tools "
+        "identified for integration."
+    ),
+) -> TextTable:
+    """Regenerate the paper's Table 2 as a :class:`TextTable`.
+
+    The first column is the research direction (shown only on its first
+    row, as in the paper), the second the tool name, then one column per
+    application section.
+    """
+    selection = selection or SelectionMatrix.from_catalogs(
+        tools, applications, scheme
+    )
+    apps = applications.ordered()
+    header = ["Direction", "Tool", *(app.section for app in apps)]
+    table = TextTable(header, caption=caption)
+
+    previous_direction: str | None = None
+    direction_names = dict(zip(scheme.keys, scheme.names))
+    for tool_key in selection.tool_keys:
+        tool = tools[tool_key]
+        direction = tool.primary_direction
+        label = (
+            direction_names[direction]
+            if direction != previous_direction
+            else ""
+        )
+        previous_direction = direction
+        row = [label, tool.name]
+        for app in apps:
+            row.append(check if selection.is_selected(tool_key, app.key) else "")
+        table.add_row(row)
+    return table

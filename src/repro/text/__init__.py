@@ -1,0 +1,38 @@
+"""Text-processing substrate: tokenization, stemming, TF-IDF, similarity, keywords."""
+
+from repro.text.keywords import Keyword, extract_keywords, keyword_overlap
+from repro.text.similarity import (
+    cosine_counts,
+    dice,
+    jaccard,
+    levenshtein,
+    normalized_levenshtein,
+    token_sort_ratio,
+)
+from repro.text.stem import porter_stem, stem_tokens
+from repro.text.stopwords import STOPWORDS, is_stopword, remove_stopwords
+from repro.text.tokenize import ngrams, sentences, tokenize, word_spans
+from repro.text.vectorize import TfidfModel, preprocess
+
+__all__ = [
+    "Keyword",
+    "STOPWORDS",
+    "TfidfModel",
+    "cosine_counts",
+    "dice",
+    "extract_keywords",
+    "is_stopword",
+    "jaccard",
+    "keyword_overlap",
+    "levenshtein",
+    "ngrams",
+    "normalized_levenshtein",
+    "porter_stem",
+    "preprocess",
+    "remove_stopwords",
+    "sentences",
+    "stem_tokens",
+    "token_sort_ratio",
+    "tokenize",
+    "word_spans",
+]

@@ -1,0 +1,103 @@
+"""Keyword extraction for mapping-study keywording.
+
+The SMS methodology (Petersen et al.) builds its classification scheme by
+*keywording* abstracts: extracting the terms that characterize each primary
+study.  This module implements a RAKE-style extractor (Rapid Automatic
+Keyword Extraction): candidate phrases are maximal stopword-free token runs,
+scored by ``degree / frequency`` of their member words, so words that occur
+in long, distinctive phrases outrank ubiquitous singletons.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.text.stopwords import is_stopword
+from repro.text.tokenize import sentences, tokenize
+
+__all__ = ["Keyword", "extract_keywords", "keyword_overlap"]
+
+
+@dataclass(frozen=True, slots=True)
+class Keyword:
+    """An extracted keyword phrase with its RAKE score."""
+
+    phrase: str
+    score: float
+    frequency: int
+
+    def __post_init__(self) -> None:
+        if not self.phrase:
+            raise ValidationError("keyword phrase must be non-empty")
+
+
+def _candidate_phrases(text: str, max_words: int) -> list[tuple[str, ...]]:
+    """Maximal stopword-free token runs per sentence, capped at *max_words*."""
+    phrases: list[tuple[str, ...]] = []
+    for sentence in sentences(text) or [text]:
+        run: list[str] = []
+        for token in tokenize(sentence, split_compounds=False):
+            if is_stopword(token) or token.isdigit():
+                if run:
+                    phrases.append(tuple(run[:max_words]))
+                    run = []
+            else:
+                run.append(token)
+        if run:
+            phrases.append(tuple(run[:max_words]))
+    return phrases
+
+
+def extract_keywords(
+    text: str,
+    *,
+    top_k: int = 10,
+    max_words: int = 3,
+) -> list[Keyword]:
+    """Extract the *top_k* RAKE keywords of *text*.
+
+    Each word ``w`` gets ``freq(w)`` (occurrences in candidates) and
+    ``degree(w)`` (sum of lengths of candidates containing it); a phrase's
+    score is the sum of its words' ``degree/freq`` ratios.  Ties break by
+    frequency, then alphabetically, so results are deterministic.
+    """
+    if top_k < 1:
+        raise ValidationError(f"top_k must be >= 1, got {top_k}")
+    if max_words < 1:
+        raise ValidationError(f"max_words must be >= 1, got {max_words}")
+    phrases = _candidate_phrases(text, max_words)
+    if not phrases:
+        return []
+
+    freq: dict[str, int] = {}
+    degree: dict[str, int] = {}
+    for phrase in phrases:
+        for word in phrase:
+            freq[word] = freq.get(word, 0) + 1
+            degree[word] = degree.get(word, 0) + len(phrase)
+
+    phrase_stats: dict[tuple[str, ...], int] = {}
+    for phrase in phrases:
+        phrase_stats[phrase] = phrase_stats.get(phrase, 0) + 1
+
+    scored = [
+        Keyword(
+            " ".join(phrase),
+            sum(degree[w] / freq[w] for w in phrase),
+            count,
+        )
+        for phrase, count in phrase_stats.items()
+    ]
+    scored.sort(key=lambda k: (-k.score, -k.frequency, k.phrase))
+    return scored[:top_k]
+
+
+def keyword_overlap(a: Sequence[Keyword], b: Sequence[Keyword]) -> float:
+    """Jaccard overlap between the word sets of two keyword lists."""
+    words_a = {w for kw in a for w in kw.phrase.split()}
+    words_b = {w for kw in b for w in kw.phrase.split()}
+    if not words_a and not words_b:
+        return 1.0
+    return len(words_a & words_b) / len(words_a | words_b)

@@ -1,0 +1,197 @@
+"""Porter stemming algorithm, implemented from scratch.
+
+A faithful implementation of M. F. Porter's 1980 algorithm ("An algorithm
+for suffix stripping", *Program* 14(3)), used to conflate morphological
+variants before TF-IDF and keyword matching ("orchestration" /
+"orchestrator" / "orchestrating" → "orchestr").
+
+Only lowercase ASCII words are stemmed; anything containing other characters
+is returned unchanged.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["porter_stem", "stem_tokens"]
+
+_VOWELS = frozenset("aeiou")
+_WORD_RE = re.compile(r"^[a-z]+$")
+
+
+def _is_consonant(word: str, i: int) -> bool:
+    ch = word[i]
+    if ch in _VOWELS:
+        return False
+    if ch == "y":
+        return i == 0 or not _is_consonant(word, i - 1)
+    return True
+
+
+def _measure(stem: str) -> int:
+    """The Porter *m* value: number of VC sequences in C?(VC)^m V?."""
+    forms = "".join(
+        "c" if _is_consonant(stem, i) else "v" for i in range(len(stem))
+    )
+    return len(re.findall("vc", forms))
+
+
+def _contains_vowel(stem: str) -> bool:
+    return any(not _is_consonant(stem, i) for i in range(len(stem)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (
+        len(word) >= 2
+        and word[-1] == word[-2]
+        and _is_consonant(word, len(word) - 1)
+    )
+
+
+def _ends_cvc(word: str) -> bool:
+    """Ends consonant-vowel-consonant, final consonant not w, x, or y."""
+    if len(word) < 3:
+        return False
+    return (
+        _is_consonant(word, len(word) - 3)
+        and not _is_consonant(word, len(word) - 2)
+        and _is_consonant(word, len(word) - 1)
+        and word[-1] not in "wxy"
+    )
+
+
+def _replace(word: str, suffix: str, replacement: str, m_min: int) -> str | None:
+    """If *word* ends with *suffix* and the stem has measure > m_min, swap suffixes."""
+    if not word.endswith(suffix):
+        return None
+    stem = word[: len(word) - len(suffix)]
+    if _measure(stem) > m_min:
+        return stem + replacement
+    return word  # suffix matched but condition failed: stop this rule group
+
+
+def _step_1a(word: str) -> str:
+    if word.endswith("sses"):
+        return word[:-2]
+    if word.endswith("ies"):
+        return word[:-2]
+    if word.endswith("ss"):
+        return word
+    if word.endswith("s"):
+        return word[:-1]
+    return word
+
+
+def _step_1b(word: str) -> str:
+    if word.endswith("eed"):
+        stem = word[:-3]
+        return stem + "ee" if _measure(stem) > 0 else word
+    for suffix in ("ed", "ing"):
+        if word.endswith(suffix):
+            stem = word[: -len(suffix)]
+            if not _contains_vowel(stem):
+                return word
+            if stem.endswith(("at", "bl", "iz")):
+                return stem + "e"
+            if _ends_double_consonant(stem) and stem[-1] not in "lsz":
+                return stem[:-1]
+            if _measure(stem) == 1 and _ends_cvc(stem):
+                return stem + "e"
+            return stem
+    return word
+
+
+def _step_1c(word: str) -> str:
+    if word.endswith("y") and _contains_vowel(word[:-1]):
+        return word[:-1] + "i"
+    return word
+
+
+_STEP2_RULES = (
+    ("ational", "ate"), ("tional", "tion"), ("enci", "ence"), ("anci", "ance"),
+    ("izer", "ize"), ("abli", "able"), ("alli", "al"), ("entli", "ent"),
+    ("eli", "e"), ("ousli", "ous"), ("ization", "ize"), ("ation", "ate"),
+    ("ator", "ate"), ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+    ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"), ("biliti", "ble"),
+)
+
+_STEP3_RULES = (
+    ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+    ("ical", "ic"), ("ful", ""), ("ness", ""),
+)
+
+def _step_2(word: str) -> str:
+    for suffix, replacement in _STEP2_RULES:
+        result = _replace(word, suffix, replacement, 0)
+        if result is not None:
+            return result
+    return word
+
+
+def _step_3(word: str) -> str:
+    for suffix, replacement in _STEP3_RULES:
+        result = _replace(word, suffix, replacement, 0)
+        if result is not None:
+            return result
+    return word
+
+
+def _step_5a(word: str) -> str:
+    if word.endswith("e"):
+        stem = word[:-1]
+        m = _measure(stem)
+        if m > 1 or (m == 1 and not _ends_cvc(stem)):
+            return stem
+    return word
+
+
+def _step_5b(word: str) -> str:
+    if word.endswith("ll") and _measure(word[:-1]) > 1:
+        return word[:-1]
+    return word
+
+
+def porter_stem(word: str) -> str:
+    """Stem one lowercase ASCII word with the Porter algorithm.
+
+    Words of length <= 2 or containing non-letters are returned unchanged.
+
+    >>> porter_stem("orchestration")
+    'orchestr'
+    >>> porter_stem("caresses")
+    'caress'
+    """
+    if len(word) <= 2 or not _WORD_RE.match(word):
+        return word
+    result = _step_1a(word)
+    result = _step_1b(result)
+    result = _step_1c(result)
+    result = _step_2(result)
+    result = _step_3(result)
+    result = _step_4(result)
+    result = _step_5a(result)
+    result = _step_5b(result)
+    return result
+
+
+def _step_4(word: str) -> str:
+    # Porter's step 4 tries suffixes in a fixed order; "ion" carries the
+    # extra condition that the remaining stem ends in 's' or 't'.
+    ordered = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+    for suffix in ordered:
+        if word.endswith(suffix):
+            stem = word[: -len(suffix)]
+            if suffix == "ion" and not (stem and stem[-1] in "st"):
+                continue
+            if _measure(stem) > 1:
+                return stem
+            return word
+    return word
+
+
+def stem_tokens(tokens: list[str]) -> list[str]:
+    """Stem every token of a list, preserving order and length."""
+    return [porter_stem(token) for token in tokens]

@@ -1,0 +1,43 @@
+"""English stopword list for keyword extraction and TF-IDF weighting.
+
+A compact, hand-curated list tuned for scientific-abstract text: standard
+function words plus the publication boilerplate ("paper", "propose",
+"approach") that would otherwise dominate term statistics in a corpus of
+abstracts.
+"""
+
+from __future__ import annotations
+
+__all__ = ["STOPWORDS", "is_stopword", "remove_stopwords"]
+
+_FUNCTION_WORDS = """
+a about above after again against all am an and any are as at be because
+been before being below between both but by can cannot could did do does
+doing down during each few for from further had has have having he her here
+hers herself him himself his how i if in into is it its itself just me more
+most my myself no nor not now of off on once only or other our ours
+ourselves out over own same she should so some such than that the their
+theirs them themselves then there these they this those through to too under
+until up very was we were what when where which while who whom why will with
+would you your yours yourself yourselves
+""".split()
+
+_BOILERPLATE = """
+also allow allows allowing based can e.g et al etc however i.e may might
+new novel one paper papers present presented presents propose proposed
+proposes provide provided provides providing report results several show
+shown shows study studies towards toward two three use used uses using via
+well within without work works
+""".split()
+
+STOPWORDS: frozenset[str] = frozenset(_FUNCTION_WORDS) | frozenset(_BOILERPLATE)
+
+
+def is_stopword(token: str) -> bool:
+    """Whether *token* (case-insensitive) is a stopword."""
+    return token.lower() in STOPWORDS
+
+
+def remove_stopwords(tokens: list[str]) -> list[str]:
+    """Filter stopwords out of a token list, preserving order."""
+    return [token for token in tokens if token.lower() not in STOPWORDS]

@@ -1,0 +1,62 @@
+"""Tokenization for tool descriptions and bibliographic records.
+
+The tokenizer is intentionally simple and deterministic: lowercase word
+tokens, with hyphenated technical compounds ("multi-cloud", "low-power")
+preserved *and* additionally split into their parts, because the taxonomy
+keywords use both forms.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterator
+
+__all__ = ["tokenize", "sentences", "ngrams", "word_spans"]
+
+# A token is a run of letters/digits possibly joined by single hyphens or
+# apostrophes ("hadoop-compliant", "provider's").
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:[-'][a-z0-9]+)*")
+_SENTENCE_RE = re.compile(r"(?<=[.!?])\s+(?=[A-Z0-9])")
+
+
+def tokenize(text: str, *, split_compounds: bool = True) -> list[str]:
+    """Lowercase word tokens of *text*.
+
+    With *split_compounds* (default), a hyphenated token also yields its
+    parts, e.g. ``"multi-cloud"`` → ``["multi-cloud", "multi", "cloud"]``.
+
+    >>> tokenize("Multi-Cloud TOSCA orchestration!")
+    ['multi-cloud', 'multi', 'cloud', 'tosca', 'orchestration']
+    """
+    tokens: list[str] = []
+    for match in _TOKEN_RE.finditer(text.lower()):
+        token = match.group()
+        tokens.append(token)
+        if split_compounds and "-" in token:
+            tokens.extend(part for part in token.split("-") if part)
+    return tokens
+
+
+def word_spans(text: str) -> Iterator[tuple[str, int, int]]:
+    """Yield ``(token, start, end)`` spans without compound splitting."""
+    for match in _TOKEN_RE.finditer(text.lower()):
+        yield match.group(), match.start(), match.end()
+
+
+def sentences(text: str) -> list[str]:
+    """Naive sentence split on terminal punctuation followed by a capital."""
+    parts = [part.strip() for part in _SENTENCE_RE.split(text.strip())]
+    return [part for part in parts if part]
+
+
+def ngrams(tokens: list[str], n: int) -> list[tuple[str, ...]]:
+    """Contiguous *n*-grams of a token list.
+
+    >>> ngrams(["a", "b", "c"], 2)
+    [('a', 'b'), ('b', 'c')]
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n > len(tokens):
+        return []
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]

@@ -1,0 +1,168 @@
+"""Vectorized TF-IDF document representation.
+
+Builds a dense document-term matrix with numpy (the corpora here — tool
+descriptions, bibliographies, synthetic abstracts — are thousands of
+documents at most, so dense beats sparse bookkeeping).  The hot paths
+(counting, weighting, normalization, cosine similarity) are single
+vectorized expressions per the HPC guide; no Python-level loops touch the
+matrix after construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.text.stem import stem_tokens
+from repro.text.stopwords import remove_stopwords
+from repro.text.tokenize import tokenize
+
+__all__ = ["TfidfModel", "preprocess"]
+
+
+def preprocess(text: str, *, stem: bool = True) -> list[str]:
+    """Standard pipeline: tokenize → drop stopwords → (optionally) stem."""
+    tokens = remove_stopwords(tokenize(text))
+    return stem_tokens(tokens) if stem else tokens
+
+
+@dataclass(frozen=True, slots=True)
+class _Vocabulary:
+    index: dict[str, int]
+
+    @property
+    def size(self) -> int:
+        return len(self.index)
+
+
+class TfidfModel:
+    """TF-IDF model fitted over a document collection.
+
+    Parameters
+    ----------
+    documents:
+        Raw text documents.
+    stem:
+        Apply Porter stemming during preprocessing (default True).
+    min_df:
+        Drop terms appearing in fewer than *min_df* documents.
+    sublinear_tf:
+        Use ``1 + log(tf)`` instead of raw term frequency.
+
+    Notes
+    -----
+    IDF uses the smoothed form ``log((1 + N) / (1 + df)) + 1`` so unseen
+    query terms never divide by zero, and document vectors are L2-normalized
+    so :meth:`similarity` reduces to a matrix product.
+    """
+
+    def __init__(
+        self,
+        documents: Sequence[str],
+        *,
+        stem: bool = True,
+        min_df: int = 1,
+        sublinear_tf: bool = True,
+    ) -> None:
+        if not documents:
+            raise ValidationError("TfidfModel needs at least one document")
+        if min_df < 1:
+            raise ValidationError(f"min_df must be >= 1, got {min_df}")
+        self._stem = stem
+        self._sublinear = sublinear_tf
+        token_lists = [preprocess(doc, stem=stem) for doc in documents]
+
+        # Document frequency over the raw vocabulary.
+        df: dict[str, int] = {}
+        for tokens in token_lists:
+            for term in set(tokens):
+                df[term] = df.get(term, 0) + 1
+        vocab = {
+            term: i
+            for i, term in enumerate(
+                sorted(t for t, d in df.items() if d >= min_df)
+            )
+        }
+        if not vocab:
+            raise ValidationError(
+                "vocabulary is empty after min_df filtering; lower min_df"
+            )
+        self._vocab = _Vocabulary(vocab)
+
+        counts = np.zeros((len(documents), len(vocab)), dtype=np.float64)
+        for row, tokens in enumerate(token_lists):
+            for term in tokens:
+                col = vocab.get(term)
+                if col is not None:
+                    counts[row, col] += 1.0
+
+        n_docs = len(documents)
+        df_vec = np.zeros(len(vocab), dtype=np.float64)
+        for term, col in vocab.items():
+            df_vec[col] = df[term]
+        self._idf = np.log((1.0 + n_docs) / (1.0 + df_vec)) + 1.0
+        self._matrix = self._weight(counts)
+
+    # -- internals ----------------------------------------------------------
+
+    def _weight(self, counts: np.ndarray) -> np.ndarray:
+        tf = counts.copy()
+        if self._sublinear:
+            nz = tf > 0
+            tf[nz] = 1.0 + np.log(tf[nz])
+        weighted = tf * self._idf  # broadcast over rows
+        norms = np.linalg.norm(weighted, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0  # all-zero docs stay zero vectors
+        return weighted / norms
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The (documents × vocabulary) L2-normalized TF-IDF matrix."""
+        return self._matrix
+
+    @property
+    def vocabulary(self) -> dict[str, int]:
+        """Term → column index mapping."""
+        return dict(self._vocab.index)
+
+    @property
+    def n_documents(self) -> int:
+        return self._matrix.shape[0]
+
+    def transform(self, texts: Iterable[str]) -> np.ndarray:
+        """Vectorize new texts into the fitted space (rows L2-normalized)."""
+        texts = list(texts)
+        counts = np.zeros((len(texts), self._vocab.size), dtype=np.float64)
+        for row, text in enumerate(texts):
+            for term in preprocess(text, stem=self._stem):
+                col = self._vocab.index.get(term)
+                if col is not None:
+                    counts[row, col] += 1.0
+        return self._weight(counts)
+
+    def similarity(self, texts: Iterable[str]) -> np.ndarray:
+        """Cosine similarity of *texts* against every fitted document.
+
+        Returns a ``(len(texts), n_documents)`` matrix in ``[0, 1]``.
+        """
+        return self.transform(texts) @ self._matrix.T
+
+    def pairwise_similarity(self) -> np.ndarray:
+        """Cosine similarity between all fitted documents (symmetric)."""
+        return self._matrix @ self._matrix.T
+
+    def top_terms(self, doc_index: int, k: int = 10) -> list[tuple[str, float]]:
+        """The *k* highest-weighted terms of a fitted document."""
+        if not 0 <= doc_index < self.n_documents:
+            raise ValidationError(f"doc_index {doc_index} out of range")
+        row = self._matrix[doc_index]
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        terms = sorted(self._vocab.index, key=self._vocab.index.get)
+        order = np.argsort(-row, kind="stable")[:k]
+        return [(terms[i], float(row[i])) for i in order if row[i] > 0]

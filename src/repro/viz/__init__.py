@@ -1,0 +1,30 @@
+"""Visualization substrate: SVG builder, pies, bars, matrices, ASCII renderers."""
+
+from repro.viz.ascii import ascii_distribution, ascii_histogram, ascii_matrix
+from repro.viz.bars import bar_chart, grouped_bar_chart
+from repro.viz.gantt import gantt_chart
+from repro.viz.lines import line_chart
+from repro.viz.matrix import bubble_plot, selection_grid
+from repro.viz.palette import CATEGORICAL, direction_colors, sequential, text_contrast
+from repro.viz.pie import pie_chart
+from repro.viz.svg import SvgDocument, arc_path, polar_point
+
+__all__ = [
+    "CATEGORICAL",
+    "SvgDocument",
+    "arc_path",
+    "ascii_distribution",
+    "ascii_histogram",
+    "ascii_matrix",
+    "bar_chart",
+    "bubble_plot",
+    "direction_colors",
+    "gantt_chart",
+    "grouped_bar_chart",
+    "line_chart",
+    "pie_chart",
+    "polar_point",
+    "selection_grid",
+    "sequential",
+    "text_contrast",
+]

@@ -1,0 +1,126 @@
+"""Terminal renderers: figures as plain text.
+
+Every paper figure also renders in the terminal, so benchmark harnesses can
+print the rows/series they regenerate without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.selection import SelectionMatrix
+from repro.errors import RenderError
+from repro.stats.frequency import FrequencyTable
+
+__all__ = ["ascii_distribution", "ascii_histogram", "ascii_matrix"]
+
+_FULL = "█"
+_PARTIALS = " ▏▎▍▌▋▊▉"
+
+
+def _bar(fraction: float, width: int) -> str:
+    """A unicode bar filling *fraction* of *width* character cells."""
+    cells = fraction * width
+    full = int(cells)
+    remainder = cells - full
+    partial = _PARTIALS[int(remainder * 8)] if full < width else ""
+    return _FULL * full + partial
+
+
+def ascii_distribution(
+    table: FrequencyTable,
+    *,
+    title: str = "",
+    label_names: Mapping[object, str] | None = None,
+    width: int = 40,
+    show_percent: bool = True,
+) -> str:
+    """Horizontal proportional bars — the terminal form of a pie chart."""
+    if width < 4:
+        raise RenderError("width must be >= 4")
+    if table.total <= 0:
+        raise RenderError("cannot render an all-zero table")
+    names = {
+        label: (label_names or {}).get(label, str(label))
+        for label in table.labels
+    }
+    label_width = max(len(n) for n in names.values())
+    peak = max(int(v) for v in table.values)
+    lines = [title] if title else []
+    for label, count in table.items():
+        share = table.share(label)
+        bar = _bar(count / peak if peak else 0.0, width)
+        suffix = f" {count:>3}"
+        if show_percent:
+            suffix += f" ({share * 100:4.1f}%)"
+        lines.append(f"{names[label]:<{label_width}} {bar:<{width}}{suffix}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    table: FrequencyTable,
+    *,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    height: int = 8,
+) -> str:
+    """Vertical bar histogram with integer y ticks (Fig. 3 in a terminal)."""
+    if height < 2:
+        raise RenderError("height must be >= 2")
+    values = [int(v) for v in table.values]
+    peak = max(values)
+    if peak <= 0:
+        raise RenderError("cannot render an all-zero table")
+    labels = [str(l) for l in table.labels]
+    column_width = max(3, max(len(l) for l in labels) + 1)
+
+    lines = [title] if title else []
+    if y_label:
+        lines.append(y_label)
+    for level in range(height, 0, -1):
+        threshold = peak * level / height
+        tick = str(round(threshold)) if level in (height, 1) else ""
+        row = "".join(
+            (" " * (column_width - 2) + "█ ")
+            if value >= threshold - 1e-9
+            else " " * column_width
+            for value in values
+        )
+        lines.append(f"{tick:>4} |{row}")
+    lines.append("     +" + "-" * (column_width * len(values)))
+    lines.append(
+        "      "
+        + "".join(f"{label:^{column_width}}" for label in labels)
+    )
+    if x_label:
+        lines.append(f"      {x_label}")
+    return "\n".join(lines)
+
+
+def ascii_matrix(
+    selection: SelectionMatrix,
+    *,
+    row_names: Mapping[str, str] | None = None,
+    col_names: Mapping[str, str] | None = None,
+    check: str = "x",
+) -> str:
+    """Checkmark grid — Table 2 in a terminal."""
+    rows = selection.tool_keys
+    cols = selection.application_keys
+    r_names = {k: (row_names or {}).get(k, k) for k in rows}
+    c_names = {k: (col_names or {}).get(k, k) for k in cols}
+    label_width = max(len(n) for n in r_names.values())
+    col_width = max(max(len(n) for n in c_names.values()), 3) + 1
+
+    header = " " * (label_width + 1) + "".join(
+        f"{c_names[c]:^{col_width}}" for c in cols
+    )
+    lines = [header]
+    for row in rows:
+        cells = "".join(
+            f"{check if selection.is_selected(row, col) else '.':^{col_width}}"
+            for col in cols
+        )
+        lines.append(f"{r_names[row]:<{label_width}} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Bar charts and histograms (Fig. 3).
+
+Renders a :class:`~repro.stats.frequency.FrequencyTable` as an SVG bar
+chart with y-axis grid lines and integer ticks — the form of the paper's
+Fig. 3 histogram (directions covered vs. number of institutions).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from repro.errors import RenderError
+from repro.stats.frequency import FrequencyTable
+from repro.viz.svg import SvgDocument
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_BAR_FILL = "#4477aa"
+
+
+def _nice_tick(max_value: float, target_ticks: int = 5) -> int:
+    """Integer tick step giving about *target_ticks* gridlines."""
+    if max_value <= target_ticks:
+        return 1
+    raw = max_value / target_ticks
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for multiplier in (1, 2, 5, 10):
+        step = multiplier * magnitude
+        if step >= raw:
+            return int(step)
+    return int(10 * magnitude)  # pragma: no cover - loop always returns
+
+
+def bar_chart(
+    table: FrequencyTable,
+    *,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: float = 520.0,
+    height: float = 340.0,
+    fill: str = _BAR_FILL,
+    show_values: bool = True,
+) -> SvgDocument:
+    """Render *table* as a vertical bar chart.
+
+    Bars follow table order; the y-axis uses nice integer ticks with light
+    gridlines.
+    """
+    doc = SvgDocument(width, height)
+    doc.rect(0, 0, width, height, fill="#ffffff")
+    top = 16.0
+    if title:
+        doc.title(title)
+        top = 40.0
+    margin_left, margin_right, margin_bottom = 56.0, 16.0, 54.0
+    plot_w = width - margin_left - margin_right
+    plot_h = height - top - margin_bottom
+    if plot_w <= 0 or plot_h <= 0:
+        raise RenderError("figure too small for its margins")
+
+    max_value = max(int(v) for v in table.values)
+    step = _nice_tick(max(max_value, 1))
+    y_max = max(step * math.ceil(max(max_value, 1) / step), step)
+
+    # Gridlines and y ticks.
+    for tick in range(0, y_max + 1, step):
+        y = top + plot_h * (1 - tick / y_max)
+        doc.line(margin_left, y, margin_left + plot_w, y,
+                 stroke="#dddddd", stroke_width=0.8)
+        doc.text(margin_left - 8, y + 4, str(tick), size=11, anchor="end")
+
+    # Axes.
+    doc.line(margin_left, top, margin_left, top + plot_h, stroke="#333")
+    doc.line(margin_left, top + plot_h, margin_left + plot_w, top + plot_h,
+             stroke="#333")
+
+    n = len(table)
+    slot = plot_w / n
+    bar_w = slot * 0.6
+    for i, (label, value) in enumerate(table.items()):
+        x = margin_left + i * slot + (slot - bar_w) / 2
+        bar_h = plot_h * value / y_max
+        y = top + plot_h - bar_h
+        if value > 0:
+            doc.rect(x, y, bar_w, bar_h, fill=fill, stroke="#2b4f73",
+                     stroke_width=0.8)
+        if show_values and value > 0:
+            doc.text(x + bar_w / 2, y - 5, str(value), size=11,
+                     anchor="middle")
+        doc.text(
+            margin_left + i * slot + slot / 2, top + plot_h + 16,
+            str(label), size=11, anchor="middle",
+        )
+
+    if x_label:
+        doc.text(margin_left + plot_w / 2, height - 10, x_label,
+                 size=12, anchor="middle")
+    if y_label:
+        doc.text(16, top + plot_h / 2, y_label, size=12, anchor="middle",
+                 rotate=-90)
+    return doc
+
+
+def grouped_bar_chart(
+    tables: Mapping[str, FrequencyTable],
+    *,
+    title: str = "",
+    width: float = 640.0,
+    height: float = 360.0,
+    colors: Mapping[str, str] | None = None,
+) -> SvgDocument:
+    """Side-by-side bars for several tables over the same categories.
+
+    Used by the supply-vs-demand comparison figure (Fig. 2 vs Fig. 4 on one
+    canvas).  All tables must share the same label order.
+    """
+    if not tables:
+        raise RenderError("need at least one table")
+    series = list(tables.items())
+    base_labels = series[0][1].labels
+    for name, table in series:
+        if table.labels != base_labels:
+            raise RenderError(f"series {name!r} has different categories")
+    from repro.viz.palette import CATEGORICAL
+
+    palette = colors or {
+        name: CATEGORICAL[i % len(CATEGORICAL)]
+        for i, (name, _) in enumerate(series)
+    }
+    doc = SvgDocument(width, height)
+    doc.rect(0, 0, width, height, fill="#ffffff")
+    top = 16.0
+    if title:
+        doc.title(title)
+        top = 40.0
+    margin_left, margin_right, margin_bottom = 56.0, 16.0, 70.0
+    plot_w = width - margin_left - margin_right
+    plot_h = height - top - margin_bottom
+
+    max_value = max(int(v) for _, t in series for v in t.values)
+    step = _nice_tick(max(max_value, 1))
+    y_max = max(step * math.ceil(max(max_value, 1) / step), step)
+    for tick in range(0, y_max + 1, step):
+        y = top + plot_h * (1 - tick / y_max)
+        doc.line(margin_left, y, margin_left + plot_w, y,
+                 stroke="#dddddd", stroke_width=0.8)
+        doc.text(margin_left - 8, y + 4, str(tick), size=11, anchor="end")
+    doc.line(margin_left, top, margin_left, top + plot_h, stroke="#333")
+    doc.line(margin_left, top + plot_h, margin_left + plot_w, top + plot_h,
+             stroke="#333")
+
+    n = len(base_labels)
+    slot = plot_w / n
+    group_w = slot * 0.7
+    bar_w = group_w / len(series)
+    for i, label in enumerate(base_labels):
+        for s, (name, table) in enumerate(series):
+            value = table[label]
+            x = margin_left + i * slot + (slot - group_w) / 2 + s * bar_w
+            bar_h = plot_h * value / y_max
+            if value > 0:
+                doc.rect(x, top + plot_h - bar_h, bar_w * 0.92, bar_h,
+                         fill=palette[name])
+        doc.text(
+            margin_left + i * slot + slot / 2, top + plot_h + 16,
+            str(label), size=10, anchor="middle",
+        )
+    # Legend under the x labels.
+    legend_x = margin_left
+    legend_y = height - 14
+    for name, _ in series:
+        doc.rect(legend_x, legend_y - 10, 12, 12, fill=palette[name])
+        doc.text(legend_x + 17, legend_y, name, size=11)
+        legend_x += 22 + 7 * len(name) + 20
+    return doc

@@ -1,0 +1,122 @@
+"""Gantt charts for workflow schedules.
+
+Renders a :class:`~repro.continuum.scheduling.Schedule` (or the realized
+placements of an :class:`~repro.continuum.simulate.ExecutionTrace`) as an
+SVG Gantt chart: one lane per resource, one bar per task, colored by
+continuum tier, with a time axis.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.continuum.resources import Continuum
+from repro.continuum.scheduling import Schedule, TaskPlacement
+from repro.errors import RenderError
+from repro.viz.svg import SvgDocument
+
+__all__ = ["gantt_chart"]
+
+_TIER_COLORS = {"hpc": "#4477aa", "cloud": "#228833", "edge": "#ccbb44"}
+
+
+def _nice_time_step(makespan: float, target: int = 8) -> float:
+    if makespan <= 0:
+        raise RenderError("makespan must be positive")
+    raw = makespan / target
+    import math
+
+    magnitude = 10.0 ** math.floor(math.log10(raw))
+    for multiplier in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = multiplier * magnitude
+        if step >= raw:
+            return step
+    return 10.0 * magnitude  # pragma: no cover - loop always returns
+
+
+def gantt_chart(
+    schedule: Schedule,
+    *,
+    placements: Sequence[TaskPlacement] | None = None,
+    title: str = "",
+    width: float = 860.0,
+    lane_height: float = 22.0,
+    show_task_labels: bool = True,
+) -> SvgDocument:
+    """Render a schedule as a Gantt chart.
+
+    Parameters
+    ----------
+    schedule:
+        Supplies the continuum (lanes) and, by default, the placements.
+    placements:
+        Override the bars (e.g. the realized timings of an execution
+        trace); resources must belong to the schedule's continuum.
+    show_task_labels:
+        Print the task key inside bars wide enough to hold it.
+    """
+    continuum: Continuum = schedule.continuum
+    bars = tuple(placements) if placements is not None else schedule.placements
+    if not bars:
+        raise RenderError("nothing to draw: no placements")
+    for placement in bars:
+        if placement.resource not in continuum:
+            raise RenderError(
+                f"placement on unknown resource {placement.resource!r}"
+            )
+    makespan = max(p.finish for p in bars)
+    if makespan <= 0:
+        raise RenderError("all placements have zero finish time")
+
+    lanes = continuum.keys
+    label_w = 14 + 7 * max(len(key) for key in lanes)
+    top = 34.0 if title else 12.0
+    axis_h = 30.0
+    height = top + lane_height * len(lanes) + axis_h + 8
+    doc = SvgDocument(width, height)
+    doc.rect(0, 0, width, height, fill="#ffffff")
+    if title:
+        doc.title(title, size=13)
+    plot_w = width - label_w - 16
+
+    def to_x(time: float) -> float:
+        return label_w + plot_w * time / makespan
+
+    # Lanes.
+    lane_y = {}
+    for i, key in enumerate(lanes):
+        y = top + i * lane_height
+        lane_y[key] = y
+        if i % 2 == 0:
+            doc.rect(label_w, y, plot_w, lane_height, fill="#f4f6f8")
+        doc.text(6, y + lane_height * 0.68, key, size=10)
+
+    # Time grid.
+    step = _nice_time_step(makespan)
+    tick = 0.0
+    while tick <= makespan + 1e-9:
+        x = to_x(min(tick, makespan))
+        doc.line(x, top, x, top + lane_height * len(lanes),
+                 stroke="#dddddd", stroke_width=0.7)
+        doc.text(x, top + lane_height * len(lanes) + 14, f"{tick:g}",
+                 size=9.5, anchor="middle")
+        tick += step
+    doc.text(
+        label_w + plot_w / 2, height - 4, "time (s)", size=11, anchor="middle"
+    )
+
+    # Bars.
+    for placement in bars:
+        tier = placement.resource.split("-")[0]
+        color = _TIER_COLORS.get(tier, "#aa3377")
+        x0 = to_x(placement.start)
+        bar_w = max(to_x(placement.finish) - x0, 0.8)
+        y = lane_y[placement.resource] + 3
+        doc.rect(x0, y, bar_w, lane_height - 6, fill=color, rx=2,
+                 opacity=0.9)
+        if show_task_labels and bar_w > 7 * len(placement.task) * 0.62:
+            doc.text(
+                x0 + bar_w / 2, y + (lane_height - 6) * 0.72,
+                placement.task, size=8.5, anchor="middle", fill="#ffffff",
+            )
+    return doc

@@ -1,0 +1,112 @@
+"""Line charts for temporal series.
+
+Renders one or more yearly series (publication trends, cumulative growth)
+as SVG polylines with shared axes, markers, and a legend.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import RenderError
+from repro.stats.frequency import FrequencyTable
+from repro.viz.bars import _nice_tick
+from repro.viz.palette import CATEGORICAL
+from repro.viz.svg import SvgDocument
+
+__all__ = ["line_chart"]
+
+
+def line_chart(
+    series: Mapping[str, FrequencyTable],
+    *,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: float = 640.0,
+    height: float = 360.0,
+    markers: bool = True,
+) -> SvgDocument:
+    """Render one polyline per series over a shared numeric x axis.
+
+    All series must share the same labels (numeric, e.g. years), in order.
+    """
+    if not series:
+        raise RenderError("need at least one series")
+    items = list(series.items())
+    base_labels = items[0][1].labels
+    for name, table in items:
+        if table.labels != base_labels:
+            raise RenderError(f"series {name!r} has different x labels")
+    try:
+        xs = [float(label) for label in base_labels]
+    except (TypeError, ValueError):
+        raise RenderError("line chart labels must be numeric") from None
+    if len(xs) < 2:
+        raise RenderError("need at least two points per series")
+
+    doc = SvgDocument(width, height)
+    doc.rect(0, 0, width, height, fill="#ffffff")
+    top = 16.0
+    if title:
+        doc.title(title)
+        top = 40.0
+    margin_left, margin_right, margin_bottom = 56.0, 16.0, 64.0
+    plot_w = width - margin_left - margin_right
+    plot_h = height - top - margin_bottom
+
+    y_peak = max(int(v) for _, t in items for v in t.values)
+    step = _nice_tick(max(y_peak, 1))
+    y_max = max(step * -(-max(y_peak, 1) // step), step)
+    x_lo, x_hi = xs[0], xs[-1]
+
+    def to_x(value: float) -> float:
+        return margin_left + plot_w * (value - x_lo) / (x_hi - x_lo)
+
+    def to_y(value: float) -> float:
+        return top + plot_h * (1.0 - value / y_max)
+
+    for tick in range(0, y_max + 1, step):
+        y = to_y(tick)
+        doc.line(margin_left, y, margin_left + plot_w, y,
+                 stroke="#dddddd", stroke_width=0.8)
+        doc.text(margin_left - 8, y + 4, str(tick), size=11, anchor="end")
+    doc.line(margin_left, top, margin_left, top + plot_h, stroke="#333")
+    doc.line(margin_left, top + plot_h, margin_left + plot_w, top + plot_h,
+             stroke="#333")
+
+    # X ticks: at most ~8, on integer label positions.
+    stride = max(1, len(xs) // 8)
+    for i in range(0, len(xs), stride):
+        x = to_x(xs[i])
+        doc.line(x, top + plot_h, x, top + plot_h + 4, stroke="#333")
+        doc.text(x, top + plot_h + 18, str(base_labels[i]), size=10,
+                 anchor="middle")
+
+    for s, (name, table) in enumerate(items):
+        color = CATEGORICAL[s % len(CATEGORICAL)]
+        points = [
+            (to_x(x), to_y(float(v)))
+            for x, v in zip(xs, table.values)
+        ]
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            doc.line(x0, y0, x1, y1, stroke=color, stroke_width=2.0)
+        if markers:
+            for x, y in points:
+                doc.circle(x, y, 2.4, fill=color)
+
+    legend_x = margin_left
+    legend_y = height - 12
+    for s, (name, _) in enumerate(items):
+        color = CATEGORICAL[s % len(CATEGORICAL)]
+        doc.rect(legend_x, legend_y - 10, 12, 12, fill=color)
+        doc.text(legend_x + 17, legend_y, name, size=11)
+        legend_x += 22 + 7 * len(name) + 18
+
+    if x_label:
+        doc.text(margin_left + plot_w / 2, top + plot_h + 34, x_label,
+                 size=12, anchor="middle")
+    if y_label:
+        doc.text(16, top + plot_h / 2, y_label, size=12, anchor="middle",
+                 rotate=-90)
+    return doc

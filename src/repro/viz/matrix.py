@@ -1,0 +1,158 @@
+"""Matrix plots: the Table 2 checkmark grid and bubble plots.
+
+:func:`selection_grid` renders a :class:`~repro.core.selection.SelectionMatrix`
+as the paper's Table 2 (tools × applications, checkmarks on selections,
+row blocks per research direction).  :func:`bubble_plot` draws the classic
+SMS bubble chart (two categorical axes, bubble area ∝ count).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.selection import SelectionMatrix
+from repro.errors import RenderError
+from repro.viz.palette import direction_colors, sequential
+from repro.viz.svg import SvgDocument
+
+__all__ = ["selection_grid", "bubble_plot"]
+
+
+def selection_grid(
+    selection: SelectionMatrix,
+    *,
+    title: str = "",
+    row_names: Mapping[str, str] | None = None,
+    col_names: Mapping[str, str] | None = None,
+    row_groups: Mapping[str, str] | None = None,
+    cell: float = 22.0,
+) -> SvgDocument:
+    """Render a selection matrix as a checkmark grid.
+
+    Parameters
+    ----------
+    selection:
+        The matrix (rows = tools, columns = applications).
+    row_names, col_names:
+        Display names for row/column keys.
+    row_groups:
+        Optional row key → group label (research direction); adjacent rows
+        of the same group get a colored band and a group separator line.
+    cell:
+        Cell size in pixels.
+    """
+    rows = selection.tool_keys
+    cols = selection.application_keys
+    r_names = {k: (row_names or {}).get(k, k) for k in rows}
+    c_names = {k: (col_names or {}).get(k, k) for k in cols}
+
+    label_w = 12 + 7 * max(len(name) for name in r_names.values())
+    group_w = 0.0
+    group_palette: dict[str, str] = {}
+    if row_groups:
+        groups_in_order = list(dict.fromkeys(row_groups.get(k, "") for k in rows))
+        group_palette = direction_colors(tuple(groups_in_order))
+        group_w = 18.0
+    header_h = 14 + 7 * max(len(name) for name in c_names.values())
+    top = 30.0 if title else 8.0
+
+    width = group_w + label_w + cell * len(cols) + 16
+    height = top + header_h + cell * len(rows) + 12
+    doc = SvgDocument(width, height)
+    doc.rect(0, 0, width, height, fill="#ffffff")
+    if title:
+        doc.title(title, size=13)
+
+    x0 = group_w + label_w
+    y0 = top + header_h
+
+    # Column headers, rotated.
+    for j, col in enumerate(cols):
+        doc.text(
+            x0 + j * cell + cell / 2 + 4, y0 - 6, c_names[col],
+            size=10, anchor="start", rotate=-60,
+        )
+
+    previous_group: str | None = None
+    for i, row in enumerate(rows):
+        y = y0 + i * cell
+        if row_groups:
+            group = row_groups.get(row, "")
+            doc.rect(0, y, group_w - 4, cell, fill=group_palette[group],
+                     opacity=0.85)
+            if group != previous_group and previous_group is not None:
+                doc.line(0, y, width, y, stroke="#555", stroke_width=1.2)
+            previous_group = group
+        if i % 2 == 0:
+            doc.rect(group_w, y, width - group_w - 8, cell,
+                     fill="#f4f6f8")
+        doc.text(group_w + 6, y + cell * 0.68, r_names[row], size=11)
+        for j, col in enumerate(cols):
+            x = x0 + j * cell
+            doc.rect(x, y, cell, cell, fill="none", stroke="#cccccc",
+                     stroke_width=0.5)
+            if selection.is_selected(row, col):
+                doc.text(
+                    x + cell / 2, y + cell * 0.72, "✓",
+                    size=13, anchor="middle", fill="#1a7a2e", weight="bold",
+                )
+    return doc
+
+
+def bubble_plot(
+    matrix: np.ndarray,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    *,
+    title: str = "",
+    cell: float = 56.0,
+    max_radius_frac: float = 0.42,
+) -> SvgDocument:
+    """Classic SMS bubble chart: counts at category intersections.
+
+    Bubble *area* is proportional to the count; each bubble carries its
+    count as a label.  Zero cells stay empty.
+    """
+    counts = np.asarray(matrix, dtype=np.float64)
+    if counts.ndim != 2:
+        raise RenderError("matrix must be 2-D")
+    if counts.shape != (len(row_labels), len(col_labels)):
+        raise RenderError("labels must match matrix shape")
+    if (counts < 0).any():
+        raise RenderError("counts must be non-negative")
+    peak = counts.max()
+    if peak == 0:
+        raise RenderError("all-zero matrix")
+
+    label_w = 12 + 7 * max(len(str(l)) for l in row_labels)
+    header_h = 14 + 7 * max(len(str(l)) for l in col_labels)
+    top = 30.0 if title else 8.0
+    width = label_w + cell * len(col_labels) + 16
+    height = top + header_h + cell * len(row_labels) + 12
+    doc = SvgDocument(width, height)
+    doc.rect(0, 0, width, height, fill="#ffffff")
+    if title:
+        doc.title(title, size=13)
+    x0, y0 = label_w, top + header_h
+
+    for j, col in enumerate(col_labels):
+        doc.text(x0 + j * cell + cell / 2 + 4, y0 - 6, str(col),
+                 size=10, anchor="start", rotate=-55)
+    for i, row in enumerate(row_labels):
+        doc.text(8, y0 + i * cell + cell * 0.58, str(row), size=11)
+        for j in range(len(col_labels)):
+            cx = x0 + j * cell + cell / 2
+            cy = y0 + i * cell + cell / 2
+            doc.rect(x0 + j * cell, y0 + i * cell, cell, cell,
+                     fill="none", stroke="#e0e0e0", stroke_width=0.5)
+            value = counts[i, j]
+            if value <= 0:
+                continue
+            radius = cell * max_radius_frac * math.sqrt(value / peak)
+            doc.circle(cx, cy, radius, fill=sequential(value / peak),
+                       opacity=0.9)
+            doc.text(cx, cy + 4, f"{int(value)}", size=11, anchor="middle")
+    return doc

@@ -1,0 +1,56 @@
+"""Color palettes for the figure layer.
+
+One qualitative palette (research directions keep stable hues across every
+figure, so Fig. 2 and Fig. 4 are visually comparable, as in the paper) and
+a sequential ramp for magnitude-encoded marks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RenderError
+
+__all__ = ["CATEGORICAL", "direction_colors", "sequential", "text_contrast"]
+
+#: Qualitative palette (colorblind-safe ordering, dark-enough for white text).
+CATEGORICAL: tuple[str, ...] = (
+    "#4477aa",  # blue
+    "#ee6677",  # red/rose
+    "#228833",  # green
+    "#ccbb44",  # yellow
+    "#66ccee",  # cyan
+    "#aa3377",  # purple
+    "#bbbbbb",  # grey
+)
+
+
+def direction_colors(keys: tuple[str, ...] | list[str]) -> dict[str, str]:
+    """Stable color per category key, cycling the qualitative palette."""
+    if not keys:
+        raise RenderError("need at least one key")
+    return {
+        key: CATEGORICAL[i % len(CATEGORICAL)] for i, key in enumerate(keys)
+    }
+
+
+def sequential(value: float) -> str:
+    """Light-to-dark blue ramp for *value* in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise RenderError(f"value {value} outside [0, 1]")
+    # Interpolate #deebf7 -> #08519c.
+    start = (0xDE, 0xEB, 0xF7)
+    end = (0x08, 0x51, 0x9C)
+    rgb = tuple(
+        round(s + (e - s) * value) for s, e in zip(start, end)
+    )
+    return "#{:02x}{:02x}{:02x}".format(*rgb)
+
+
+def text_contrast(hex_color: str) -> str:
+    """Black or white, whichever reads better on *hex_color*."""
+    color = hex_color.lstrip("#")
+    if len(color) != 6:
+        raise RenderError(f"expected #rrggbb, got {hex_color!r}")
+    r, g, b = (int(color[i : i + 2], 16) for i in (0, 2, 4))
+    # Rec. 601 luma.
+    luma = 0.299 * r + 0.587 * g + 0.114 * b
+    return "#000000" if luma > 140 else "#ffffff"

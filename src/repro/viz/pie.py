@@ -1,0 +1,102 @@
+"""Pie charts (Figs. 2 and 4).
+
+Renders a :class:`~repro.stats.frequency.FrequencyTable` as an SVG pie with
+per-slice count labels and a legend — the exact form of the paper's two
+pies (counts inside slices, category legend on the right).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from repro.errors import RenderError
+from repro.stats.frequency import FrequencyTable
+from repro.viz.palette import direction_colors, text_contrast
+from repro.viz.svg import SvgDocument, arc_path, polar_point
+
+__all__ = ["pie_chart"]
+
+
+def pie_chart(
+    table: FrequencyTable,
+    *,
+    title: str = "",
+    label_names: Mapping[object, str] | None = None,
+    colors: Mapping[object, str] | None = None,
+    width: float = 560.0,
+    height: float = 340.0,
+    show_percentages: bool = False,
+) -> SvgDocument:
+    """Render *table* as a pie chart with slice counts and a legend.
+
+    Parameters
+    ----------
+    table:
+        Category counts; zero-count categories appear in the legend but get
+        no slice.
+    label_names:
+        Optional display name per label (defaults to ``str(label)``).
+    colors:
+        Optional color per label (defaults to the qualitative palette in
+        table order).
+    show_percentages:
+        Append the percentage to each slice's count label.
+    """
+    if table.total <= 0:
+        raise RenderError("cannot draw a pie for an all-zero table")
+    labels = table.labels
+    names = {
+        label: (label_names or {}).get(label, str(label)) for label in labels
+    }
+    palette = dict(direction_colors(tuple(str(l) for l in labels)))
+    color_of = {
+        label: (colors or {}).get(label, palette[str(label)])
+        for label in labels
+    }
+
+    doc = SvgDocument(width, height)
+    doc.rect(0, 0, width, height, fill="#ffffff")
+    top = 10.0
+    if title:
+        doc.title(title)
+        top = 34.0
+
+    radius = min((height - top - 20) / 2, width * 0.28)
+    cx = 20 + radius
+    cy = top + radius
+
+    angle = 0.0
+    shares = table.shares()
+    for i, label in enumerate(labels):
+        count = table[label]
+        if count == 0:
+            continue
+        span = 2 * math.pi * shares[i]
+        doc.path(
+            arc_path(cx, cy, radius, angle, angle + span),
+            fill=color_of[label],
+            stroke="#ffffff",
+            stroke_width=1.5,
+        )
+        # Count label at 60% radius along the bisector.
+        mid = angle + span / 2
+        lx, ly = polar_point(cx, cy, radius * 0.62, mid)
+        text = str(count)
+        if show_percentages:
+            text += f" ({shares[i] * 100:.0f}%)"
+        doc.text(
+            lx, ly + 4, text,
+            size=13, anchor="middle", weight="bold",
+            fill=text_contrast(color_of[label]),
+        )
+        angle += span
+
+    # Legend.
+    legend_x = cx + radius + 30
+    legend_y = top + 8
+    for label in labels:
+        doc.rect(legend_x, legend_y - 9, 14, 14, fill=color_of[label])
+        doc.text(legend_x + 20, legend_y + 3, names[label], size=12)
+        legend_y += 22
+    return doc

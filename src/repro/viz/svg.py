@@ -1,0 +1,195 @@
+"""Minimal SVG document builder.
+
+matplotlib is not available in the reproduction environment, so the figure
+layer renders Scalable Vector Graphics directly.  :class:`SvgDocument`
+offers exactly the primitives the paper's figures need — rectangles, lines,
+circles, paths (for pie arcs), text, and groups — with XML escaping and
+pretty indentation.
+"""
+
+from __future__ import annotations
+
+import math
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.errors import RenderError
+
+__all__ = ["SvgDocument", "polar_point", "arc_path"]
+
+
+def _fmt(value: float | int | str) -> str:
+    if isinstance(value, float):
+        # Trim float noise; keeps files diffable.
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def polar_point(cx: float, cy: float, radius: float, angle: float) -> tuple[float, float]:
+    """Cartesian point at *angle* radians on a circle (SVG y-axis points down).
+
+    Angle 0 is 12 o'clock; positive angles go clockwise — the convention pie
+    charts use.
+    """
+    return (
+        cx + radius * math.sin(angle),
+        cy - radius * math.cos(angle),
+    )
+
+
+def arc_path(
+    cx: float,
+    cy: float,
+    radius: float,
+    start_angle: float,
+    end_angle: float,
+) -> str:
+    """SVG path for a filled pie slice from *start_angle* to *end_angle* (radians).
+
+    Slices spanning the full circle are drawn as two half arcs (SVG cannot
+    draw a 360° arc in one command).
+    """
+    if end_angle < start_angle:
+        raise RenderError("end_angle must be >= start_angle")
+    span = end_angle - start_angle
+    if span >= 2 * math.pi - 1e-9:
+        mid = start_angle + math.pi
+        x0, y0 = polar_point(cx, cy, radius, start_angle)
+        x1, y1 = polar_point(cx, cy, radius, mid)
+        return (
+            f"M {_fmt(x0)} {_fmt(y0)} "
+            f"A {_fmt(radius)} {_fmt(radius)} 0 1 1 {_fmt(x1)} {_fmt(y1)} "
+            f"A {_fmt(radius)} {_fmt(radius)} 0 1 1 {_fmt(x0)} {_fmt(y0)} Z"
+        )
+    x0, y0 = polar_point(cx, cy, radius, start_angle)
+    x1, y1 = polar_point(cx, cy, radius, end_angle)
+    large = 1 if span > math.pi else 0
+    return (
+        f"M {_fmt(cx)} {_fmt(cy)} L {_fmt(x0)} {_fmt(y0)} "
+        f"A {_fmt(radius)} {_fmt(radius)} 0 {large} 1 {_fmt(x1)} {_fmt(y1)} Z"
+    )
+
+
+class SvgDocument:
+    """An SVG document under construction.
+
+    All drawing methods return ``self`` so calls chain::
+
+        doc = SvgDocument(200, 100).rect(0, 0, 200, 100, fill="#fff")
+        doc.text(100, 50, "hello", anchor="middle")
+    """
+
+    def __init__(self, width: float, height: float, *, font_family: str = "Helvetica, Arial, sans-serif") -> None:
+        if width <= 0 or height <= 0:
+            raise RenderError("document dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.font_family = font_family
+        self._parts: list[str] = []
+        self._depth = 1
+
+    # -- internals -----------------------------------------------------------
+
+    def _emit(self, tag: str, attrs: dict[str, object], text: str | None = None) -> "SvgDocument":
+        rendered = " ".join(
+            f"{name.replace('_', '-')}={quoteattr(_fmt(value))}"
+            for name, value in attrs.items()
+            if value is not None and value != ""
+        )
+        indent = "  " * self._depth
+        if text is None:
+            self._parts.append(f"{indent}<{tag} {rendered}/>")
+        else:
+            self._parts.append(
+                f"{indent}<{tag} {rendered}>{escape(text)}</{tag}>"
+            )
+        return self
+
+    # -- primitives -----------------------------------------------------------
+
+    def rect(
+        self, x: float, y: float, width: float, height: float,
+        *, fill: str = "none", stroke: str = "none", stroke_width: float = 1.0,
+        rx: float = 0.0, opacity: float | None = None,
+    ) -> "SvgDocument":
+        """Axis-aligned rectangle."""
+        return self._emit("rect", {
+            "x": x, "y": y, "width": width, "height": height,
+            "fill": fill, "stroke": stroke,
+            "stroke_width": stroke_width if stroke != "none" else None,
+            "rx": rx or None, "opacity": opacity,
+        })
+
+    def line(
+        self, x1: float, y1: float, x2: float, y2: float,
+        *, stroke: str = "#333", stroke_width: float = 1.0, dash: str | None = None,
+    ) -> "SvgDocument":
+        """Straight line segment."""
+        return self._emit("line", {
+            "x1": x1, "y1": y1, "x2": x2, "y2": y2,
+            "stroke": stroke, "stroke_width": stroke_width,
+            "stroke_dasharray": dash,
+        })
+
+    def circle(
+        self, cx: float, cy: float, r: float,
+        *, fill: str = "none", stroke: str = "none", stroke_width: float = 1.0,
+        opacity: float | None = None,
+    ) -> "SvgDocument":
+        """Circle."""
+        return self._emit("circle", {
+            "cx": cx, "cy": cy, "r": r, "fill": fill, "stroke": stroke,
+            "stroke_width": stroke_width if stroke != "none" else None,
+            "opacity": opacity,
+        })
+
+    def path(
+        self, d: str, *, fill: str = "none", stroke: str = "none",
+        stroke_width: float = 1.0, opacity: float | None = None,
+    ) -> "SvgDocument":
+        """Raw path (see :func:`arc_path`)."""
+        return self._emit("path", {
+            "d": d, "fill": fill, "stroke": stroke,
+            "stroke_width": stroke_width if stroke != "none" else None,
+            "opacity": opacity,
+        })
+
+    def text(
+        self, x: float, y: float, content: str,
+        *, size: float = 12.0, anchor: str = "start", fill: str = "#222",
+        weight: str = "normal", rotate: float | None = None,
+    ) -> "SvgDocument":
+        """Text run anchored at (x, y); *anchor* in start/middle/end."""
+        if anchor not in ("start", "middle", "end"):
+            raise RenderError(f"invalid anchor {anchor!r}")
+        attrs: dict[str, object] = {
+            "x": x, "y": y, "font_size": size, "text_anchor": anchor,
+            "fill": fill, "font_family": self.font_family,
+            "font_weight": weight if weight != "normal" else None,
+        }
+        if rotate is not None:
+            attrs["transform"] = f"rotate({_fmt(rotate)} {_fmt(x)} {_fmt(y)})"
+        return self._emit("text", attrs, content)
+
+    def title(self, content: str, *, size: float = 15.0) -> "SvgDocument":
+        """Centred title near the top edge."""
+        return self.text(
+            self.width / 2, size + 6, content,
+            size=size, anchor="middle", weight="bold",
+        )
+
+    # -- output ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """The complete SVG document as a string."""
+        body = "\n".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{_fmt(self.width)}" height="{_fmt(self.height)}" '
+            f'viewBox="0 0 {_fmt(self.width)} {_fmt(self.height)}">\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path) -> None:
+        """Write the document to *path*."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())

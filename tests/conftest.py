@@ -1,0 +1,40 @@
+"""Shared fixtures: the ICSC dataset and derived objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.selection import SelectionMatrix
+from repro.data.icsc import icsc_ecosystem
+
+
+@pytest.fixture(scope="session")
+def ecosystem():
+    """The validated ICSC dataset: (institutions, tools, applications, scheme)."""
+    return icsc_ecosystem()
+
+
+@pytest.fixture(scope="session")
+def institutions(ecosystem):
+    return ecosystem[0]
+
+
+@pytest.fixture(scope="session")
+def tools(ecosystem):
+    return ecosystem[1]
+
+
+@pytest.fixture(scope="session")
+def applications(ecosystem):
+    return ecosystem[2]
+
+
+@pytest.fixture(scope="session")
+def scheme(ecosystem):
+    return ecosystem[3]
+
+
+@pytest.fixture(scope="session")
+def selection(tools, applications, scheme):
+    """The published Table 2 matrix."""
+    return SelectionMatrix.from_catalogs(tools, applications, scheme)

@@ -1,0 +1,98 @@
+"""Unit tests for the analysis layer (Figs. 2-4 data, supply vs demand)."""
+
+import pytest
+
+from repro.core.analysis import (
+    compare_supply_demand,
+    coverage_histogram,
+    demand_distribution,
+    institution_profile,
+    supply_distribution,
+)
+from repro.core.catalog import ToolCatalog
+from repro.core.entities import Tool
+from repro.core.selection import SelectionMatrix
+from repro.core.taxonomy import workflow_directions
+from repro.errors import ValidationError
+
+
+class TestSupplyDistribution:
+    def test_matches_fig2(self, tools, scheme):
+        table = supply_distribution(tools, scheme)
+        assert tuple(table.values) == (3, 7, 3, 6, 6)
+        assert table.labels == scheme.keys
+
+
+class TestCoverageHistogram:
+    def test_matches_fig3(self, tools, scheme):
+        table = coverage_histogram(tools, scheme)
+        assert table.to_dict() == {1: 5, 2: 2, 3: 1, 4: 1, 5: 0}
+        assert table.total == 9  # institutions
+
+    def test_empty_catalog_rejected(self, scheme):
+        with pytest.raises(ValidationError):
+            coverage_histogram(ToolCatalog(), scheme)
+
+    def test_single_institution_single_direction(self, scheme):
+        catalog = ToolCatalog([Tool("t", "T", "inst", "orchestration")])
+        table = coverage_histogram(catalog, scheme)
+        assert table[1] == 1
+        assert table.total == 1
+
+
+class TestDemandDistribution:
+    def test_matches_fig4(self, selection, tools, scheme):
+        table = demand_distribution(selection, tools, scheme)
+        assert tuple(table.values) == (4, 11, 1, 6, 6)
+        assert table.total == 28
+
+
+class TestCompareSupplyDemand:
+    @pytest.fixture(scope="class")
+    def comparison(self, tools, applications, scheme):
+        return compare_supply_demand(
+            tools, applications, scheme, seed=7, n_permutations=2000
+        )
+
+    def test_orientation(self, comparison):
+        assert comparison.most_demanded() == "orchestration"
+        assert comparison.least_demanded() == "energy-efficiency"
+
+    def test_demand_less_even_than_supply(self, comparison):
+        assert (
+            comparison.demand_evenness["shannon_evenness"]
+            < comparison.supply_evenness["shannon_evenness"]
+        )
+
+    def test_ratios_orientation(self, comparison):
+        # Orchestration more demanded than supplied; energy the reverse.
+        assert comparison.demand_supply_ratio["orchestration"] > 1.0
+        assert comparison.demand_supply_ratio["energy-efficiency"] < 0.5
+
+    def test_tvd_positive_and_bounded(self, comparison):
+        assert 0.0 < comparison.tvd < 1.0
+
+    def test_permutation_p_value_valid(self, comparison):
+        assert 0.0 < comparison.permutation.p_value <= 1.0
+
+    def test_deterministic_under_seed(self, tools, applications, scheme):
+        a = compare_supply_demand(tools, applications, scheme, seed=5,
+                                  n_permutations=500)
+        b = compare_supply_demand(tools, applications, scheme, seed=5,
+                                  n_permutations=500)
+        assert a.permutation.p_value == b.permutation.p_value
+
+
+class TestInstitutionProfile:
+    def test_profiles_cover_full_scheme(self, tools, scheme):
+        profiles = institution_profile(tools, scheme)
+        assert set(profiles) == set(tools.institutions())
+        for table in profiles.values():
+            assert table.labels == scheme.keys
+
+    def test_unipi_profile(self, tools, scheme):
+        profiles = institution_profile(tools, scheme)
+        unipi = profiles["unipi"]
+        assert unipi["performance-portability"] == 4
+        assert unipi["orchestration"] == 1
+        assert unipi.total == 7

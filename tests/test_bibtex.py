@@ -1,0 +1,147 @@
+"""Unit tests for the BibTeX parser and writer."""
+
+import pytest
+
+from repro.corpus.bibtex import parse_bibtex, publications_from_bibtex, to_bibtex
+from repro.corpus.publication import Publication
+from repro.errors import BibTeXError
+
+
+class TestParser:
+    def test_basic_entry(self):
+        entries = parse_bibtex(
+            '@article{key1, title = {A Title}, year = {2021}}'
+        )
+        assert entries == [
+            {"__type__": "article", "__key__": "key1",
+             "title": "A Title", "year": "2021"}
+        ]
+
+    def test_quoted_values(self):
+        entries = parse_bibtex('@misc{k, title = "Quoted Title"}')
+        assert entries[0]["title"] == "Quoted Title"
+
+    def test_nested_braces_protected(self):
+        entries = parse_bibtex('@misc{k, title = {{HPC} and {AI} tools}}')
+        assert entries[0]["title"] == "HPC and AI tools"
+
+    def test_bare_number(self):
+        entries = parse_bibtex("@misc{k, title={X}, year = 2020}")
+        assert entries[0]["year"] == "2020"
+
+    def test_string_macro_and_concat(self):
+        source = '''
+        @string{tpds = "IEEE TPDS"}
+        @article{k, title = {T}, journal = tpds # " Journal"}
+        '''
+        entries = parse_bibtex(source)
+        assert entries[0]["journal"] == "IEEE TPDS Journal"
+
+    def test_month_macros(self):
+        entries = parse_bibtex("@misc{k, title={X}, month = jan}")
+        assert entries[0]["month"] == "January"
+
+    def test_comment_and_preamble_skipped(self):
+        source = '''
+        @comment{anything here}
+        @preamble{"\\newcommand{x}{y}"}
+        free text between entries is ignored
+        @misc{k, title = {Kept}}
+        '''
+        entries = parse_bibtex(source)
+        assert len(entries) == 1
+
+    def test_trailing_comma_ok(self):
+        entries = parse_bibtex("@misc{k, title = {T},}")
+        assert entries[0]["title"] == "T"
+
+    def test_field_names_lowercased(self):
+        entries = parse_bibtex("@misc{k, TITLE = {T}}")
+        assert entries[0]["title"] == "T"
+
+    def test_tex_escapes_cleaned(self):
+        entries = parse_bibtex(r"@misc{k, title = {A \& B 100\%}}")
+        assert entries[0]["title"] == "A & B 100%"
+
+    def test_empty_input(self):
+        assert parse_bibtex("") == []
+
+    def test_unterminated_entry_reports_line(self):
+        with pytest.raises(BibTeXError) as info:
+            parse_bibtex("@misc{k,\n title = {T}")
+        assert info.value.line is not None
+
+    def test_undefined_macro(self):
+        with pytest.raises(BibTeXError):
+            parse_bibtex("@misc{k, journal = unknownmacro}")
+
+    def test_unterminated_brace(self):
+        with pytest.raises(BibTeXError):
+            parse_bibtex("@misc{k, title = {unclosed")
+
+
+class TestPublicationsFromBibtex:
+    def test_fields_mapped(self):
+        pubs = publications_from_bibtex(
+            '''@inproceedings{k,
+              author = {Rossi, Anna and Bianchi, Bruno},
+              title = {Workflow Things},
+              booktitle = {Some Conf},
+              year = {2022},
+              doi = {10.1/x},
+              keywords = {a; b, c}
+            }'''
+        )
+        pub = pubs[0]
+        assert pub.authors == ("Rossi, Anna", "Bianchi, Bruno")
+        assert pub.venue == "Some Conf"
+        assert pub.year == 2022
+        assert pub.keywords == ("a", "b", "c")
+        assert pub.kind == "inproceedings"
+
+    def test_missing_title_rejected(self):
+        with pytest.raises(BibTeXError):
+            publications_from_bibtex("@misc{k, year = {2020}}")
+
+    def test_unparsable_year_kept_none(self):
+        pubs = publications_from_bibtex(
+            "@misc{k, title = {T}, year = {in press}}"
+        )
+        assert pubs[0].year is None
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_core_fields(self):
+        original = Publication(
+            key="x2021y",
+            title="Title with & special % chars",
+            authors=("Rossi, Anna",),
+            year=2021,
+            venue="Venue",
+            abstract="An abstract.",
+            doi="10.1/x",
+            keywords=("kw1", "kw2"),
+            kind="article",
+        )
+        text = to_bibtex([original])
+        (restored,) = publications_from_bibtex(text)
+        assert restored.title == original.title
+        assert restored.authors == original.authors
+        assert restored.year == original.year
+        assert restored.venue == original.venue
+        assert restored.doi == original.doi
+        assert restored.keywords == original.keywords
+
+    def test_empty_list(self):
+        assert to_bibtex([]) == ""
+
+    def test_paper_bibliography_roundtrips(self):
+        from repro.data.bibliography import paper_bibliography
+
+        corpus = paper_bibliography()
+        text = corpus.to_bibtex()
+        restored = publications_from_bibtex(text)
+        assert len(restored) == len(corpus)
+        assert all(
+            a.title == b.title for a, b in zip(corpus, restored)
+        )

@@ -1,0 +1,160 @@
+"""Unit tests for catalogues and ecosystem validation."""
+
+import pytest
+
+from repro.core.catalog import (
+    ApplicationCatalog,
+    InstitutionRegistry,
+    ToolCatalog,
+    validate_ecosystem,
+)
+from repro.core.entities import Application, Institution, InstitutionKind, Tool
+from repro.core.taxonomy import workflow_directions
+from repro.errors import (
+    DuplicateEntityError,
+    UnknownCategoryError,
+    UnknownEntityError,
+    ValidationError,
+)
+
+
+def _tool(key="t1", institution="inst", direction="orchestration"):
+    return Tool(key, key.upper(), institution, direction)
+
+
+class TestCatalogBasics:
+    def test_duplicate_rejected(self):
+        catalog = ToolCatalog([_tool()])
+        with pytest.raises(DuplicateEntityError):
+            catalog.add(_tool())
+
+    def test_unknown_lookup(self):
+        catalog = ToolCatalog([_tool()])
+        with pytest.raises(UnknownEntityError):
+            catalog["nope"]
+
+    def test_get_with_default(self):
+        catalog = ToolCatalog([_tool()])
+        assert catalog.get("nope") is None
+        assert catalog.get("t1").key == "t1"
+
+    def test_iteration_order(self):
+        catalog = ToolCatalog([_tool("b"), _tool("a")])
+        assert [t.key for t in catalog] == ["b", "a"]
+        assert catalog.keys == ("b", "a")
+
+    def test_filter(self):
+        catalog = ToolCatalog([_tool("a"), _tool("b", direction="energy-efficiency")])
+        assert [t.key for t in catalog.filter(
+            lambda t: t.primary_direction == "energy-efficiency")] == ["b"]
+
+
+class TestToolCatalogQueries:
+    def test_by_direction_primary_only(self, tools):
+        orch = tools.by_direction("orchestration")
+        assert [t.name for t in orch] == [
+            "TORCH", "INDIGO", "Liqo", "StreamFlow", "SPF", "BDMaaS+", "MoveQUIC",
+        ]
+
+    def test_by_direction_including_secondary(self, tools):
+        with_secondary = tools.by_direction("orchestration", include_secondary=True)
+        names = {t.name for t in with_secondary}
+        assert "Jupyter Workflow" in names  # secondary orchestration
+
+    def test_by_institution(self, tools):
+        unipi = tools.by_institution("unipi")
+        assert len(unipi) == 7
+
+    def test_institutions_distinct(self, tools):
+        assert len(tools.institutions()) == 9
+
+    def test_direction_counts_rejects_foreign_direction(self):
+        scheme = workflow_directions()
+        catalog = ToolCatalog([Tool("t", "T", "inst", "other-direction")])
+        with pytest.raises(UnknownEntityError):
+            catalog.direction_counts(scheme)
+
+    def test_institution_coverage(self, tools):
+        coverage = tools.institution_coverage()
+        assert coverage["cineca"] == frozenset({"interactive-computing"})
+        assert len(coverage["unipi"]) == 4
+
+
+class TestApplicationCatalogQueries:
+    def test_ordered_by_section(self):
+        catalog = ApplicationCatalog(
+            [
+                Application("b", "B", "3.10"),
+                Application("a", "A", "3.2"),
+            ]
+        )
+        assert [a.key for a in catalog.ordered()] == ["a", "b"]
+
+    def test_by_provider(self, applications):
+        assert {a.key for a in applications.by_provider("unipi")} == {
+            "software-heritage-compression", "worlddynamics",
+        }
+
+    def test_providers_count(self, applications):
+        assert len(applications.providers()) == 11
+
+    def test_selecting(self, applications):
+        apps = applications.selecting("streamflow")
+        assert {a.section for a in apps} == {"3.2", "3.3", "3.10"}
+
+
+class TestValidateEcosystem:
+    def _minimal(self):
+        institutions = InstitutionRegistry([Institution("inst", "Inst")])
+        tools = ToolCatalog([_tool()])
+        applications = ApplicationCatalog(
+            [Application("a", "A", "3.1", providers=("inst",),
+                         selected_tools=("t1",))]
+        )
+        return institutions, tools, applications, workflow_directions()
+
+    def test_valid_passes(self):
+        validate_ecosystem(*self._minimal())
+
+    def test_unknown_tool_institution(self):
+        institutions, tools, applications, scheme = self._minimal()
+        tools.add(_tool("t2", institution="ghost"))
+        with pytest.raises(UnknownEntityError):
+            validate_ecosystem(institutions, tools, applications, scheme)
+
+    def test_unknown_direction(self):
+        institutions, tools, applications, scheme = self._minimal()
+        tools.add(Tool("t3", "T3", "inst", "no-such-direction"))
+        with pytest.raises(UnknownCategoryError):
+            validate_ecosystem(institutions, tools, applications, scheme)
+
+    def test_unknown_selected_tool(self):
+        institutions, tools, applications, scheme = self._minimal()
+        applications.add(
+            Application("b", "B", "3.2", providers=("inst",),
+                        selected_tools=("ghost-tool",))
+        )
+        with pytest.raises(UnknownEntityError):
+            validate_ecosystem(institutions, tools, applications, scheme)
+
+    def test_unknown_provider(self):
+        institutions, tools, applications, scheme = self._minimal()
+        applications.add(Application("b", "B", "3.2", providers=("ghost",)))
+        with pytest.raises(UnknownEntityError):
+            validate_ecosystem(institutions, tools, applications, scheme)
+
+    def test_empty_catalogue_rejected(self):
+        institutions, tools, applications, scheme = self._minimal()
+        with pytest.raises(ValidationError):
+            validate_ecosystem(
+                institutions, ToolCatalog(), applications, scheme
+            )
+
+    def test_institution_registry_by_kind(self):
+        registry = InstitutionRegistry(
+            [
+                Institution("u", "U", kind=InstitutionKind.UNIVERSITY),
+                Institution("c", "C", kind=InstitutionKind.COMPUTING_CENTRE),
+            ]
+        )
+        assert [i.key for i in registry.by_kind(InstitutionKind.COMPUTING_CENTRE)] == ["c"]

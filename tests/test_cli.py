@@ -1,0 +1,101 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            build_parser().parse_args(["--version"])
+        assert info.value.code == 0
+
+
+class TestValidate:
+    def test_ok(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "25 tools" in out
+        assert "dataset OK" in out
+
+
+class TestClassify:
+    def test_orchestration_text(self, capsys):
+        assert main(["classify", "a TOSCA orchestrator for Kubernetes"]) == 0
+        assert "Orchestration" in capsys.readouterr().out
+
+    def test_energy_text(self, capsys):
+        assert main(["classify", "minimizing the energy footprint of VMs"]) == 0
+        assert "Energy efficiency" in capsys.readouterr().out
+
+    def test_empty_text_fails(self, capsys):
+        assert main(["classify", "   "]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestRecommend:
+    def test_migration_query_hits_movequic(self, capsys):
+        assert main(
+            ["recommend", "live migration of edge microservices", "-k", "3"]
+        ) == 0
+        assert "MoveQUIC" in capsys.readouterr().out
+
+    def test_bad_k(self, capsys):
+        assert main(["recommend", "anything", "-k", "0"]) == 1
+
+
+class TestReplicate:
+    def test_prints_findings(self, capsys):
+        assert main(["replicate"]) == 0
+        out = capsys.readouterr().out
+        assert "most demanded: Orchestration" in out
+        assert "least demanded: Energy efficiency" in out
+        assert "accuracy 1.00" in out
+
+    def test_writes_artifacts(self, tmp_path, capsys):
+        assert main(["replicate", "--output", str(tmp_path)]) == 0
+        assert (tmp_path / "report.md").exists()
+        assert (tmp_path / "fig2_tool_distribution.svg").exists()
+        assert (tmp_path / "table2.md").exists()
+
+
+class TestReport:
+    def test_full_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "## Q1" in out
+        assert "## Table 2" in out
+
+
+class TestFigures:
+    def test_writes_all(self, tmp_path, capsys):
+        assert main(["figures", "--output", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert (tmp_path / "fig4_selection_votes.svg").exists()
+
+
+class TestExport:
+    def test_json(self, tmp_path, capsys):
+        target = tmp_path / "eco.json"
+        assert main(["export", "--json", str(target)]) == 0
+        from repro.io.jsonio import load_ecosystem
+
+        _, tools, _, _ = load_ecosystem(target)
+        assert len(tools) == 25
+
+    def test_bibtex(self, tmp_path):
+        target = tmp_path / "refs.bib"
+        assert main(["export", "--bibtex", str(target)]) == 0
+        from repro.corpus import Corpus
+
+        assert len(Corpus.from_bibtex(target.read_text())) == 49
+
+    def test_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["export"])

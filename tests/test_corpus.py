@@ -1,0 +1,211 @@
+"""Unit tests for Publication, Corpus, venues, queries, and dedup."""
+
+import pytest
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.dedup import find_duplicates, merge_cluster
+from repro.corpus.publication import Publication, make_pub_key, normalize_title
+from repro.corpus.query import Query
+from repro.corpus.venues import VenueNormalizer
+from repro.errors import CorpusError, DuplicateEntityError, QueryError, ValidationError
+
+
+def _pub(key, title, year=2020, **kwargs):
+    return Publication(key=key, title=title, year=year, **kwargs)
+
+
+class TestPublication:
+    def test_normalize_title(self):
+        assert normalize_title("StreamFlow: Cross-Breeding  Cloud with HPC!") == \
+            "streamflow cross breeding cloud with hpc"
+
+    def test_make_pub_key(self):
+        assert make_pub_key("Colonnelli, Iacopo", 2021, "StreamFlow: x") == \
+            "colonnelli2021streamflow"
+
+    def test_make_pub_key_missing_parts(self):
+        assert make_pub_key("", None, "") == "anon0000untitled"
+
+    def test_requires_title(self):
+        with pytest.raises(ValidationError):
+            Publication(key="k", title="  ")
+
+    def test_cite(self):
+        pub = _pub("k", "A Title", authors=("Rossi, Anna", "Bianchi, B."))
+        assert pub.cite() == "Rossi et al. (2020). A Title."
+
+    def test_searchable_text_includes_fields(self):
+        pub = _pub("k", "Title", abstract="Abs", venue="V", keywords=("kw",))
+        text = pub.searchable_text()
+        for fragment in ("Title", "Abs", "V", "kw"):
+            assert fragment in text
+
+
+class TestQuery:
+    CORPUS = [
+        _pub("1", "Workflow orchestration on clouds"),
+        _pub("2", "A survey of workflow systems"),
+        _pub("3", "Energy management", abstract="edge workflow pipelines"),
+        _pub("4", "Streaming dataflow engines"),
+    ]
+
+    def test_and_or_not(self):
+        query = Query("workflow AND NOT survey")
+        assert [p.key for p in query.filter(self.CORPUS)] == ["1", "3"]
+
+    def test_or(self):
+        query = Query("survey OR streaming")
+        assert [p.key for p in query.filter(self.CORPUS)] == ["2", "4"]
+
+    def test_juxtaposition_is_and(self):
+        assert Query("workflow orchestration").matches(self.CORPUS[0])
+        assert not Query("workflow orchestration").matches(self.CORPUS[1])
+
+    def test_phrase(self):
+        query = Query('"workflow orchestration"')
+        assert query.matches(self.CORPUS[0])
+        assert not query.matches(self.CORPUS[2])
+
+    def test_prefix_wildcard(self):
+        query = Query("orchestr*")
+        assert query.matches(self.CORPUS[0])
+
+    def test_parentheses(self):
+        query = Query("(survey OR streaming) AND NOT dataflow")
+        assert [p.key for p in query.filter(self.CORPUS)] == ["2"]
+
+    def test_whole_word_matching(self):
+        assert not Query("flow").matches_text("workflow systems")
+        assert Query("flow").matches_text("the flow of data")
+
+    @pytest.mark.parametrize(
+        "bad", ["", "   ", "(a", "a)", "AND", '""', "*", "a AND"]
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(QueryError):
+            Query(bad)
+
+
+class TestVenueNormalizer:
+    def test_alias_table(self):
+        normalizer = VenueNormalizer()
+        assert normalizer.normalize(
+            "IEEE Transactions on Parallel and Distributed Systems"
+        ) == "tpds"
+        assert normalizer.normalize("Future Generation Computer Systems") == "fgcs"
+
+    def test_acronym_extraction(self):
+        normalizer = VenueNormalizer()
+        assert normalizer.normalize(
+            "Fancy New Conference (FNC)"
+        ) == "fnc"
+
+    def test_blank(self):
+        assert VenueNormalizer().normalize("  ") == ""
+
+    def test_add_alias(self):
+        normalizer = VenueNormalizer()
+        normalizer.add_alias("myconf", "my special conference")
+        assert normalizer.normalize("Proc. of My Special Conference") == "myconf"
+
+    def test_add_alias_validation(self):
+        with pytest.raises(ValueError):
+            VenueNormalizer().add_alias("", "x")
+
+    def test_group(self):
+        normalizer = VenueNormalizer()
+        grouped = normalizer.group(
+            ["IEEE TPDS", "IEEE Trans. on Parallel and Distributed Systems"]
+        )
+        assert len(grouped) == 1
+
+
+class TestDedup:
+    def test_case_variant_detected(self):
+        a = _pub("a", "Scalable Workflows for HPC Systems")
+        b = _pub("b", "SCALABLE WORKFLOWS FOR HPC SYSTEMS")
+        clusters = find_duplicates([a, b])
+        assert len(clusters) == 1
+
+    def test_subtitle_truncation_detected(self):
+        a = _pub("a", "Scalable workflows for HPC: a longitudinal case study")
+        b = _pub("b", "Scalable workflows for HPC")
+        assert len(find_duplicates([a, b])) == 1
+
+    def test_year_slack(self):
+        a = _pub("a", "Identical title here", year=2020)
+        b = _pub("b", "Identical title here", year=2021)
+        c = _pub("c", "Identical title here", year=2024)
+        clusters = find_duplicates([a, b, c])
+        assert len(clusters) == 1
+        assert {p.key for p in clusters[0]} == {"a", "b"}
+
+    def test_distinct_papers_kept_apart(self):
+        a = _pub("a", "Energy-aware placement of virtual machines")
+        b = _pub("b", "Continuous stream processing on multicores")
+        assert find_duplicates([a, b]) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(CorpusError):
+            find_duplicates([], threshold=0.0)
+
+    def test_merge_prefers_richest(self):
+        a = _pub("a", "T", abstract="long abstract here", doi="10.1/x",
+                 keywords=("k1",))
+        b = _pub("b", "T", keywords=("k2",))
+        merged = merge_cluster((b, a))
+        assert merged.key == "a"  # richer record wins as base
+        assert set(merged.keywords) == {"k1", "k2"}
+        assert merged.abstract == "long abstract here"
+
+    def test_merge_empty_cluster(self):
+        with pytest.raises(CorpusError):
+            merge_cluster(())
+
+
+class TestCorpus:
+    def test_duplicate_key_rejected(self):
+        corpus = Corpus([_pub("a", "T")])
+        with pytest.raises(DuplicateEntityError):
+            corpus.add(_pub("a", "T2"))
+
+    def test_search(self):
+        corpus = Corpus([_pub("a", "Workflow things"), _pub("b", "Other")])
+        assert [p.key for p in corpus.search("workflow")] == ["a"]
+
+    def test_by_year(self):
+        corpus = Corpus([_pub("a", "T", 2020), _pub("b", "U", 2020),
+                         _pub("c", "V", 2022)])
+        assert corpus.by_year().to_dict() == {2020: 2, 2022: 1}
+
+    def test_by_year_requires_years(self):
+        corpus = Corpus([Publication(key="a", title="T")])
+        with pytest.raises(CorpusError):
+            corpus.by_year()
+
+    def test_year_range(self):
+        corpus = Corpus([_pub("a", "T", 2005), _pub("b", "U", 2021)])
+        assert corpus.year_range() == (2005, 2021)
+
+    def test_deduplicate_keeps_order(self):
+        corpus = Corpus([
+            _pub("a", "Unique title one"),
+            _pub("b", "A very repeated title"),
+            _pub("c", "A VERY REPEATED TITLE"),
+            _pub("d", "Unique title two"),
+        ])
+        deduped = corpus.deduplicate()
+        assert deduped.keys == ("a", "b", "d")
+
+    def test_getitem_unknown(self):
+        with pytest.raises(CorpusError):
+            Corpus([_pub("a", "T")])["zzz"]
+
+    def test_by_venue_ranked(self):
+        corpus = Corpus([
+            _pub("a", "T", venue="IEEE TPDS"),
+            _pub("b", "U", venue="IEEE TPDS"),
+            _pub("c", "V", venue="FGCS"),
+        ])
+        table = corpus.by_venue()
+        assert table.mode() == "tpds"

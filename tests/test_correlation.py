@@ -1,0 +1,85 @@
+"""Unit tests for rank-agreement measures."""
+
+import pytest
+
+from repro.errors import StatsError
+from repro.stats.correlation import (
+    align_tables,
+    kendall_tau,
+    rank_biased_overlap,
+    spearman_rho,
+)
+from repro.stats.frequency import FrequencyTable
+
+
+class TestAlignTables:
+    def test_aligns_on_first_order(self):
+        a = FrequencyTable({"x": 1, "y": 2})
+        b = FrequencyTable({"y": 20, "x": 10})
+        va, vb, labels = align_tables(a, b)
+        assert labels == ("x", "y")
+        assert list(vb) == [10, 20]
+
+    def test_category_mismatch(self):
+        a = FrequencyTable({"x": 1})
+        b = FrequencyTable({"y": 1})
+        with pytest.raises(StatsError):
+            align_tables(a, b)
+
+
+class TestRankCorrelation:
+    def test_perfect_spearman(self):
+        rho, _ = spearman_rho([1, 2, 3, 4], [10, 20, 30, 40])
+        assert rho == pytest.approx(1.0)
+
+    def test_inverted_spearman(self):
+        rho, _ = spearman_rho([1, 2, 3, 4], [4, 3, 2, 1])
+        assert rho == pytest.approx(-1.0)
+
+    def test_kendall_perfect(self):
+        tau, _ = kendall_tau([1, 2, 3], [2, 4, 9])
+        assert tau == pytest.approx(1.0)
+
+    def test_supply_demand_positively_correlated(self):
+        # Fig. 2 vs Fig. 4: same broad ordering.
+        rho, _ = spearman_rho([3, 7, 3, 6, 6], [4, 11, 1, 6, 6])
+        assert rho > 0.5
+
+    @pytest.mark.parametrize("func", [spearman_rho, kendall_tau])
+    def test_validation(self, func):
+        with pytest.raises(StatsError):
+            func([1, 2], [1, 2])  # too short
+        with pytest.raises(StatsError):
+            func([1, 2, 3], [1, 2])  # misaligned
+
+
+class TestRankBiasedOverlap:
+    def test_identical_rankings(self):
+        assert rank_biased_overlap(["a", "b", "c"], ["a", "b", "c"]) == pytest.approx(1.0)
+
+    def test_reversed_lower_than_identical(self):
+        same = rank_biased_overlap(list("abcde"), list("abcde"))
+        reverse = rank_biased_overlap(list("abcde"), list("edcba"))
+        assert reverse < same
+
+    def test_top_weighted(self):
+        # Swapping the tail hurts less than swapping the head.
+        tail_swap = rank_biased_overlap(list("abcde"), list("abced"), p=0.7)
+        head_swap = rank_biased_overlap(list("abcde"), list("bacde"), p=0.7)
+        assert tail_swap > head_swap
+
+    def test_bounds(self):
+        value = rank_biased_overlap(list("abcd"), list("dcba"))
+        assert 0.0 <= value <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(StatsError):
+            rank_biased_overlap(["a"], ["a"], p=1.0)
+        with pytest.raises(StatsError):
+            rank_biased_overlap(["a", "a"], ["a", "b"])
+        with pytest.raises(StatsError):
+            rank_biased_overlap(["a", "b"], ["a", "c"])
+        with pytest.raises(StatsError):
+            rank_biased_overlap(["a"], ["a", "b"])
+        with pytest.raises(StatsError):
+            rank_biased_overlap([], [])

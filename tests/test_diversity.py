@@ -1,0 +1,93 @@
+"""Unit tests for diversity/concentration indices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.stats.diversity import (
+    evenness_report,
+    gini_coefficient,
+    herfindahl_index,
+    shannon_entropy,
+    shannon_evenness,
+    simpson_index,
+)
+from repro.stats.frequency import FrequencyTable
+
+
+class TestShannon:
+    def test_uniform_maximizes_entropy(self):
+        assert shannon_entropy([5, 5, 5, 5]) == pytest.approx(np.log(4))
+
+    def test_degenerate_distribution_zero_entropy(self):
+        assert shannon_entropy([10, 0, 0]) == pytest.approx(0.0)
+
+    def test_base2(self):
+        assert shannon_entropy([1, 1], base=2) == pytest.approx(1.0)
+
+    def test_evenness_bounds(self):
+        assert shannon_evenness([5, 5, 5]) == pytest.approx(1.0)
+        assert shannon_evenness([100, 1, 1]) < 0.3
+
+    def test_single_category_even_by_convention(self):
+        assert shannon_evenness([7]) == 1.0
+
+    def test_accepts_frequency_table(self):
+        table = FrequencyTable({"a": 3, "b": 3})
+        assert shannon_evenness(table) == pytest.approx(1.0)
+
+
+class TestSimpsonHerfindahl:
+    def test_simpson_uniform(self):
+        assert simpson_index([1, 1, 1, 1]) == pytest.approx(0.75)
+
+    def test_simpson_degenerate(self):
+        assert simpson_index([9, 0]) == pytest.approx(0.0)
+
+    def test_complementarity(self):
+        counts = [3, 7, 3, 6, 6]
+        assert simpson_index(counts) + herfindahl_index(counts) == pytest.approx(1.0)
+
+
+class TestGini:
+    def test_equal_counts_zero(self):
+        assert gini_coefficient([4, 4, 4]) == pytest.approx(0.0)
+
+    def test_concentrated(self):
+        assert gini_coefficient([0, 0, 0, 100]) == pytest.approx(0.75)
+
+    def test_single_category(self):
+        assert gini_coefficient([5]) == 0.0
+
+    def test_order_invariant(self):
+        assert gini_coefficient([1, 5, 3]) == pytest.approx(
+            gini_coefficient([5, 3, 1])
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "func",
+        [shannon_entropy, shannon_evenness, simpson_index,
+         gini_coefficient, herfindahl_index],
+    )
+    def test_rejects_bad_input(self, func):
+        with pytest.raises(StatsError):
+            func([])
+        with pytest.raises(StatsError):
+            func([-1, 2])
+        with pytest.raises(StatsError):
+            func([0, 0])
+
+
+class TestReport:
+    def test_keys_and_paper_orientation(self):
+        supply = evenness_report([3, 7, 3, 6, 6])   # Fig. 2
+        demand = evenness_report([4, 11, 1, 6, 6])  # Fig. 4
+        assert set(supply) == {
+            "shannon_entropy", "shannon_evenness", "simpson_index",
+            "gini_coefficient", "herfindahl_index",
+        }
+        # The paper: supply "quite balanced", demand "much more unbalanced".
+        assert supply["shannon_evenness"] > demand["shannon_evenness"]
+        assert supply["gini_coefficient"] < demand["gini_coefficient"]

@@ -1,0 +1,85 @@
+"""Unit tests for the platform power-trace model."""
+
+import numpy as np
+import pytest
+
+from repro.continuum.energy import PowerTrace, energy_report, power_trace
+from repro.continuum.resources import Continuum, Resource, ResourceKind, default_continuum
+from repro.continuum.scheduling import HeftScheduler, Schedule, TaskPlacement
+from repro.continuum.workflow import Task, Workflow, random_workflow
+from repro.errors import ContinuumError
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    wf = random_workflow(30, seed=8)
+    continuum = default_continuum(seed=8)
+    return HeftScheduler().schedule(wf, continuum)
+
+
+class TestPowerTrace:
+    def test_energy_matches_independent_accounting(self, schedule):
+        trace = power_trace(schedule, include_idle=True)
+        assert trace.energy() == pytest.approx(schedule.total_energy(), rel=1e-9)
+
+    def test_busy_only_matches_busy_energy(self, schedule):
+        trace = power_trace(schedule, include_idle=False)
+        assert trace.energy() == pytest.approx(schedule.busy_energy(), rel=1e-9)
+
+    def test_peak_at_least_any_instant(self, schedule):
+        trace = power_trace(schedule)
+        rng = np.random.default_rng(0)
+        for t in rng.uniform(0, trace.makespan, size=20):
+            assert trace.power_at(float(t)) <= trace.peak_power() + 1e-9
+
+    def test_power_at_bounds(self, schedule):
+        trace = power_trace(schedule)
+        with pytest.raises(ContinuumError):
+            trace.power_at(-1.0)
+        with pytest.raises(ContinuumError):
+            trace.power_at(trace.makespan + 1.0)
+
+    def test_baseline_is_idle_sum(self, schedule):
+        trace = power_trace(schedule, include_idle=True)
+        idle_total = float(schedule.continuum.idle_powers.sum())
+        # Before the first task ends/starts overlapping, power >= idle sum.
+        assert trace.power.min() >= idle_total - 1e-9
+
+    def test_single_task_rectangle(self):
+        continuum = Continuum(
+            [Resource("r", ResourceKind.CLOUD, 10.0, idle_power=5.0,
+                      busy_power=50.0)]
+        )
+        wf = Workflow("w", [Task("t", 100.0)])
+        schedule = HeftScheduler().schedule(wf, continuum)
+        trace = power_trace(schedule)
+        # One 10-second busy segment at 50 W.
+        assert trace.makespan == pytest.approx(10.0)
+        assert trace.peak_power() == pytest.approx(50.0)
+        assert trace.energy() == pytest.approx(500.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ContinuumError):
+            PowerTrace(np.asarray([0.0, 1.0]), np.asarray([1.0, 2.0]))
+        with pytest.raises(ContinuumError):
+            PowerTrace(np.asarray([1.0, 0.0]), np.asarray([1.0]))
+
+
+class TestEnergyReport:
+    def test_keys_and_consistency(self, schedule):
+        report = energy_report(schedule)
+        assert report["energy"] == pytest.approx(schedule.total_energy(), rel=1e-9)
+        assert report["edp"] == pytest.approx(
+            report["energy"] * report["makespan"]
+        )
+        assert report["ed2p"] == pytest.approx(
+            report["edp"] * report["makespan"]
+        )
+        assert report["peak_power"] >= report["average_power"]
+
+    def test_tier_breakdown_sums_to_busy(self, schedule):
+        report = energy_report(schedule)
+        tier_sum = sum(
+            v for k, v in report.items() if k.startswith("energy_")
+        )
+        assert tier_sum == pytest.approx(schedule.busy_energy(), rel=1e-9)

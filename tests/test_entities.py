@@ -1,0 +1,127 @@
+"""Unit tests for the entity model."""
+
+import pytest
+
+from repro.core.entities import (
+    Application,
+    Institution,
+    InstitutionKind,
+    Reference,
+    Tool,
+    slugify,
+)
+from repro.errors import ValidationError
+
+
+class TestSlugify:
+    def test_basic(self):
+        assert slugify("Jupyter Workflow") == "jupyter-workflow"
+
+    def test_plus_sign(self):
+        assert slugify("BDMaaS+") == "bdmaas-plus"
+
+    def test_dots_and_punctuation(self):
+        assert slugify("Lapegna et al.") == "lapegna-et-al"
+
+    def test_collapses_runs(self):
+        assert slugify("a   --  b") == "a-b"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            slugify("!!!")
+
+
+class TestInstitution:
+    def test_defaults_short_name_from_key(self):
+        inst = Institution("unito", "University of Turin")
+        assert inst.short_name == "UNITO"
+        assert inst.kind is InstitutionKind.UNIVERSITY
+
+    def test_explicit_fields(self):
+        inst = Institution(
+            "cineca", "CINECA", "CINECA", InstitutionKind.COMPUTING_CENTRE, "Bologna"
+        )
+        assert inst.kind is InstitutionKind.COMPUTING_CENTRE
+        assert inst.city == "Bologna"
+
+    def test_rejects_bad_key(self):
+        with pytest.raises(ValidationError):
+            Institution("Uni To", "University of Turin")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            Institution("unito", "")
+
+    def test_frozen(self):
+        inst = Institution("unito", "University of Turin")
+        with pytest.raises(AttributeError):
+            inst.name = "other"
+
+
+class TestReference:
+    def test_roundtrip_fields(self):
+        ref = Reference("Someone, A Paper", 2021, doi="10.1/x")
+        assert ref.year == 2021
+        assert ref.doi == "10.1/x"
+
+    def test_rejects_empty_citation(self):
+        with pytest.raises(ValidationError):
+            Reference("")
+
+    def test_rejects_implausible_year(self):
+        with pytest.raises(ValidationError):
+            Reference("x", 1800)
+
+    def test_year_optional(self):
+        assert Reference("x").year is None
+
+
+class TestTool:
+    def test_directions_property(self):
+        tool = Tool("t", "T", "inst", "orchestration",
+                    secondary_directions=("big-data-management",))
+        assert tool.directions == ("orchestration", "big-data-management")
+
+    def test_rejects_primary_in_secondary(self):
+        with pytest.raises(ValidationError):
+            Tool("t", "T", "inst", "orchestration",
+                 secondary_directions=("orchestration",))
+
+    def test_rejects_missing_primary(self):
+        with pytest.raises(ValidationError):
+            Tool("t", "T", "inst", "")
+
+    def test_rejects_bad_institution_key(self):
+        with pytest.raises(ValidationError):
+            Tool("t", "T", "Bad Key", "orchestration")
+
+    def test_secondary_normalized_to_tuple(self):
+        tool = Tool("t", "T", "inst", "orchestration",
+                    secondary_directions=["energy-efficiency"])
+        assert isinstance(tool.secondary_directions, tuple)
+
+
+class TestApplication:
+    def test_section_order(self):
+        app = Application("a", "A", "3.10")
+        assert app.section_order == (3, 10)
+
+    def test_section_ordering_is_numeric(self):
+        a2 = Application("a2", "A", "3.2")
+        a10 = Application("a10", "A", "3.10")
+        assert a2.section_order < a10.section_order
+
+    def test_rejects_bad_section(self):
+        with pytest.raises(ValidationError):
+            Application("a", "A", "three.one")
+
+    def test_rejects_duplicate_selection(self):
+        with pytest.raises(ValidationError):
+            Application("a", "A", "3.1", selected_tools=("x", "x"))
+
+    def test_rejects_bad_provider_key(self):
+        with pytest.raises(ValidationError):
+            Application("a", "A", "3.1", providers=("Bad Provider",))
+
+    def test_empty_selection_allowed(self):
+        assert Application("a", "A", "3.1").selected_tools == ()

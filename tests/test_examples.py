@@ -1,0 +1,46 @@
+"""Integration smoke tests: every example script must run end to end.
+
+Each example runs as a subprocess in a temporary working directory (so
+``output/`` artifacts land in the sandbox) and its stdout is checked for
+the findings it is supposed to print.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["Orchestration", "Figure 4", "artifacts"],
+    "custom_mapping_study.py": ["after dedup", "kappa", "Shannon evenness"],
+    "continuum_scheduling.py": ["makespan", "slowdown", "Gantt"],
+    "tool_recommendation.py": ["Validation against the published Table 2",
+                               "recommended tools"],
+    "bibliometrics.py": ["Linear trend", "Top venues", "Figures written"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        cwd=tmp_path,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for fragment in CASES[script]:
+        assert fragment in result.stdout, (
+            f"{script}: {fragment!r} missing from output"
+        )
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(CASES), (
+        "examples/ and the smoke-test table diverged"
+    )

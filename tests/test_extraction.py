@@ -1,0 +1,118 @@
+"""Unit tests for data extraction and classifier cross-validation."""
+
+import pytest
+
+from repro.core.extraction import (
+    cross_validate_classifier,
+    extract_tool_candidates,
+)
+from repro.core.taxonomy import workflow_directions
+from repro.corpus.publication import Publication
+from repro.data.synthetic import synthetic_ecosystem
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def directions():
+    return workflow_directions()
+
+
+def _pub(key, title, abstract=""):
+    return Publication(key=key, title=title, abstract=abstract, year=2022)
+
+
+class TestExtraction:
+    def test_drafts_one_candidate_per_publication(self, directions):
+        pubs = [
+            _pub("p1", "A TOSCA orchestrator for multi-cloud deployment",
+                 "Deploys containers via Kubernetes across federated clouds."),
+            _pub("p2", "Energy-aware placement of virtual machines",
+                 "Minimizing the power footprint of cloud platforms."),
+        ]
+        candidates = extract_tool_candidates(pubs, directions)
+        assert len(candidates) == 2
+        assert candidates[0].tool.primary_direction == "orchestration"
+        assert candidates[1].tool.primary_direction == "energy-efficiency"
+        assert candidates[0].source == "p1"
+
+    def test_description_prefers_abstract(self, directions):
+        pub = _pub("p", "Short title about workflow orchestration",
+                   "A much longer abstract describing the system.")
+        (candidate,) = extract_tool_candidates([pub], directions)
+        assert candidate.tool.description == pub.abstract
+
+    def test_key_collision_suffixed(self, directions):
+        pubs = [
+            _pub("p1", "Workflow orchestration"),
+            _pub("p2", "Workflow orchestration"),
+        ]
+        keys = [
+            c.tool.key for c in extract_tool_candidates(pubs, directions)
+        ]
+        assert len(set(keys)) == 2
+        assert keys[1].endswith("-2")
+
+    def test_low_confidence_flagged(self, directions):
+        vague = _pub("p", "Assorted considerations on computing matters")
+        (candidate,) = extract_tool_candidates(
+            [vague], directions, review_threshold=0.9
+        )
+        assert candidate.needs_review
+
+    def test_high_confidence_not_flagged(self, directions):
+        sharp = _pub(
+            "p", "TOSCA orchestration of Kubernetes deployment and placement"
+        )
+        (candidate,) = extract_tool_candidates(
+            [sharp], directions, review_threshold=0.5
+        )
+        assert not candidate.needs_review
+
+    def test_threshold_validation(self, directions):
+        with pytest.raises(ValidationError):
+            extract_tool_candidates([], directions, review_threshold=0.0)
+
+
+class TestCrossValidation:
+    def test_synthetic_descriptions_generalize(self, directions):
+        _, tools, _, scheme = synthetic_ecosystem(n_tools=120, seed=6)
+        texts = [t.description for t in tools]
+        labels = [t.primary_direction for t in tools]
+        stats = cross_validate_classifier(texts, labels, scheme, seed=1)
+        assert stats["mean_accuracy"] > 0.7
+        assert stats["min_accuracy"] <= stats["mean_accuracy"] <= stats["max_accuracy"]
+        assert stats["folds"] == 5.0
+
+    def test_icsc_out_of_sample_accuracy(self, tools, scheme):
+        # The honest (out-of-sample) version of the replication's in-sample
+        # 0.96-1.00 numbers: 5-fold CV over 25 short texts is harder.
+        texts = [t.description for t in tools]
+        labels = [t.primary_direction for t in tools]
+        stats = cross_validate_classifier(texts, labels, scheme, seed=0)
+        assert stats["mean_accuracy"] > 0.6
+
+    def test_deterministic_under_seed(self, tools, scheme):
+        texts = [t.description for t in tools]
+        labels = [t.primary_direction for t in tools]
+        a = cross_validate_classifier(texts, labels, scheme, seed=3)
+        b = cross_validate_classifier(texts, labels, scheme, seed=3)
+        assert a == b
+
+    def test_validation(self, directions):
+        with pytest.raises(ValidationError):
+            cross_validate_classifier(["a"], ["orchestration", "extra"],
+                                      directions)
+        with pytest.raises(ValidationError):
+            cross_validate_classifier(
+                ["a", "b"], ["orchestration", "orchestration"],
+                directions, folds=1,
+            )
+        with pytest.raises(ValidationError):
+            cross_validate_classifier(
+                ["a", "b"], ["orchestration", "nope"], directions, folds=2,
+            )
+        with pytest.raises(ValidationError):
+            cross_validate_classifier(
+                ["a", "b"], ["orchestration", "orchestration"],
+                directions, folds=5,
+            )

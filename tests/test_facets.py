@@ -1,0 +1,119 @@
+"""Unit tests for multi-faceted classification and the cross-facet map."""
+
+import pytest
+
+from repro.core.classification import KeywordClassifier
+from repro.core.facets import FacetedClassification, facet_matrix, research_type_facet
+from repro.core.taxonomy import workflow_directions
+from repro.data.bibliography import paper_bibliography
+from repro.errors import TaxonomyError, UnknownCategoryError, ValidationError
+
+
+@pytest.fixture
+def faceted():
+    return FacetedClassification({
+        "direction": workflow_directions(),
+        "type": research_type_facet(),
+    })
+
+
+class TestResearchTypeFacet:
+    def test_wieringa_categories(self):
+        scheme = research_type_facet()
+        assert scheme.keys == (
+            "validation-research", "evaluation-research",
+            "solution-proposal", "philosophical", "experience",
+        )
+        assert scheme.facet.key == "research-type"
+
+    def test_classifies_a_mapping_study_as_philosophical(self):
+        classifier = KeywordClassifier(research_type_facet())
+        result = classifier.classify(
+            "A systematic mapping study building a taxonomy and roadmap "
+            "of future research directions."
+        )
+        assert result.label == "philosophical"
+
+    def test_classifies_benchmarked_prototype_as_validation(self):
+        classifier = KeywordClassifier(research_type_facet())
+        result = classifier.classify(
+            "We benchmark a prototype in simulation experiments and "
+            "evaluate synthetic workloads."
+        )
+        assert result.label == "validation-research"
+
+
+class TestFacetedClassification:
+    def test_record_and_lookup(self, faceted):
+        faceted.record("x", direction="orchestration",
+                       type="solution-proposal")
+        assert faceted.label_of("x", "direction") == "orchestration"
+        assert faceted.complete_items() == ("x",)
+
+    def test_partial_labelling(self, faceted):
+        faceted.record("x", direction="orchestration")
+        assert faceted.complete_items() == ()
+        with pytest.raises(ValidationError):
+            faceted.label_of("x", "type")
+
+    def test_relabel_rejected(self, faceted):
+        faceted.record("x", direction="orchestration")
+        with pytest.raises(ValidationError):
+            faceted.record("x", direction="energy-efficiency")
+
+    def test_unknown_facet_and_label(self, faceted):
+        with pytest.raises(TaxonomyError):
+            faceted.record("x", ghost="anything")
+        with pytest.raises(UnknownCategoryError):
+            faceted.record("x", direction="not-a-direction")
+
+    def test_needs_facets(self):
+        with pytest.raises(ValidationError):
+            FacetedClassification({})
+
+    def test_distribution(self, faceted):
+        faceted.record("a", direction="orchestration", type="solution-proposal")
+        faceted.record("b", direction="orchestration", type="philosophical")
+        table = faceted.distribution("direction")
+        assert table["orchestration"] == 2
+        assert table.total == 2
+
+
+class TestFacetMatrix:
+    def test_counts(self, faceted):
+        faceted.record("a", direction="orchestration", type="solution-proposal")
+        faceted.record("b", direction="orchestration", type="solution-proposal")
+        faceted.record("c", direction="energy-efficiency", type="philosophical")
+        matrix, rows, cols = facet_matrix(faceted, "direction", "type")
+        assert matrix.sum() == 3
+        assert matrix[rows.index("orchestration"),
+                      cols.index("solution-proposal")] == 2
+
+    def test_no_jointly_labelled_items(self, faceted):
+        faceted.record("a", direction="orchestration")
+        with pytest.raises(ValidationError):
+            facet_matrix(faceted, "direction", "type")
+
+    def test_full_map_over_bibliography(self, faceted):
+        direction_clf = KeywordClassifier(workflow_directions())
+        type_clf = KeywordClassifier(research_type_facet())
+        for pub in paper_bibliography():
+            text = pub.searchable_text()
+            faceted.record(
+                pub.key,
+                direction=direction_clf.classify(text).label,
+                type=type_clf.classify(text).label,
+            )
+        matrix, _, _ = facet_matrix(faceted, "direction", "type")
+        assert matrix.sum() == 49
+        # The map renders as the canonical SMS bubble chart.
+        from repro.viz.matrix import bubble_plot
+
+        doc = bubble_plot(
+            matrix,
+            list(workflow_directions().names),
+            list(research_type_facet().names),
+        )
+        import xml.dom.minidom
+
+        xml.dom.minidom.parseString(doc.render())

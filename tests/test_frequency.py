@@ -1,0 +1,134 @@
+"""Unit tests for frequency tables and crosstabs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.stats.frequency import FrequencyTable, crosstab
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(StatsError):
+            FrequencyTable({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(StatsError):
+            FrequencyTable({"a": -1})
+
+    def test_order_preserved(self):
+        table = FrequencyTable({"z": 1, "a": 2})
+        assert table.labels == ("z", "a")
+
+    def test_values_readonly(self):
+        table = FrequencyTable({"a": 1})
+        with pytest.raises(ValueError):
+            table.values[0] = 5
+
+    def test_from_observations(self):
+        table = FrequencyTable.from_observations(["a", "b", "a"])
+        assert table.to_dict() == {"a": 2, "b": 1}
+
+    def test_from_observations_with_order(self):
+        table = FrequencyTable.from_observations(
+            ["b"], order=["a", "b", "c"]
+        )
+        assert table.to_dict() == {"a": 0, "b": 1, "c": 0}
+
+    def test_from_observations_outside_order(self):
+        with pytest.raises(StatsError):
+            FrequencyTable.from_observations(["x"], order=["a"])
+
+    def test_from_observations_empty_no_order(self):
+        with pytest.raises(StatsError):
+            FrequencyTable.from_observations([])
+
+
+class TestAccessors:
+    @pytest.fixture
+    def table(self):
+        return FrequencyTable({"a": 3, "b": 7, "c": 0})
+
+    def test_getitem(self, table):
+        assert table["b"] == 7
+        with pytest.raises(StatsError):
+            table["nope"]
+
+    def test_total_len_contains(self, table):
+        assert table.total == 10
+        assert len(table) == 3
+        assert "a" in table and "nope" not in table
+
+    def test_shares(self, table):
+        np.testing.assert_allclose(table.shares(), [0.3, 0.7, 0.0])
+        assert table.share("b") == pytest.approx(0.7)
+
+    def test_shares_all_zero_rejected(self):
+        with pytest.raises(StatsError):
+            FrequencyTable({"a": 0}).shares()
+
+    def test_percentages(self, table):
+        assert table.percentages() == {"a": 30.0, "b": 70.0, "c": 0.0}
+
+    def test_ranked(self, table):
+        assert table.ranked() == [("b", 7), ("a", 3), ("c", 0)]
+        assert table.ranked(descending=False)[0] == ("c", 0)
+
+    def test_mode_argmin(self, table):
+        assert table.mode() == "b"
+        assert table.argmin() == "c"
+
+    def test_ties_are_stable(self):
+        table = FrequencyTable({"x": 2, "y": 2})
+        assert table.mode() == "x"  # first in table order wins
+
+    def test_nonzero(self, table):
+        assert table.nonzero().labels == ("a", "b")
+
+    def test_nonzero_all_zero(self):
+        with pytest.raises(StatsError):
+            FrequencyTable({"a": 0}).nonzero()
+
+    def test_merge(self, table):
+        merged = table.merge(FrequencyTable({"b": 1, "d": 4}))
+        assert merged.to_dict() == {"a": 3, "b": 8, "c": 0, "d": 4}
+
+    def test_equality_and_hash(self):
+        a = FrequencyTable({"x": 1, "y": 2})
+        b = FrequencyTable({"x": 1, "y": 2})
+        c = FrequencyTable({"y": 2, "x": 1})  # different order
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+
+class TestCrosstab:
+    def test_basic(self):
+        matrix, rows, cols = crosstab(
+            ["u", "u", "v"], ["x", "y", "x"]
+        )
+        assert rows == ("u", "v")
+        assert cols == ("x", "y")
+        np.testing.assert_array_equal(matrix, [[1, 1], [1, 0]])
+
+    def test_fixed_order(self):
+        matrix, rows, cols = crosstab(
+            ["u"], ["x"], row_order=["v", "u"], col_order=["y", "x"]
+        )
+        assert rows == ("v", "u")
+        np.testing.assert_array_equal(matrix, [[0, 0], [0, 1]])
+
+    def test_length_mismatch(self):
+        with pytest.raises(StatsError):
+            crosstab(["a"], [])
+
+    def test_observation_outside_order(self):
+        with pytest.raises(StatsError):
+            crosstab(["a"], ["x"], row_order=["b"])
+
+    def test_empty_needs_orders(self):
+        with pytest.raises(StatsError):
+            crosstab([], [])
+        matrix, rows, cols = crosstab([], [], row_order=["a"], col_order=["b"])
+        assert matrix.shape == (1, 1)
+        assert matrix.sum() == 0

@@ -1,0 +1,137 @@
+"""Ground-truth tests: the encoded dataset must reproduce every published number."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.analysis import coverage_histogram, supply_distribution
+from repro.data.expected import (
+    FIG2_COUNTS,
+    FIG3_HISTOGRAM,
+    FIG4_VOTES,
+    N_APPLICATION_PROVIDERS,
+    N_APPLICATIONS,
+    N_TOOL_INSTITUTIONS,
+    N_TOOLS,
+    Q2_SHARES,
+    Q3_SHARES,
+    TABLE1_CONTENT,
+    TABLE2_CONTENT,
+    TABLE2_TOTAL_SELECTIONS,
+)
+from repro.data.icsc import icsc_spokes, spoke1_structure
+
+
+class TestHeadlineCounts:
+    def test_25_tools(self, tools):
+        assert len(tools) == N_TOOLS
+
+    def test_10_applications(self, applications):
+        assert len(applications) == N_APPLICATIONS
+
+    def test_9_tool_institutions(self, tools):
+        assert len(tools.institutions()) == N_TOOL_INSTITUTIONS
+
+    def test_11_application_providers(self, applications):
+        assert len(applications.providers()) == N_APPLICATION_PROVIDERS
+
+
+class TestFig2:
+    def test_counts(self, tools, scheme):
+        assert tools.direction_counts(scheme) == FIG2_COUNTS
+
+    def test_supply_distribution_matches(self, tools, scheme):
+        table = supply_distribution(tools, scheme)
+        assert table.to_dict() == FIG2_COUNTS
+        assert table.total == N_TOOLS
+
+    def test_quoted_shares(self, tools, scheme):
+        table = supply_distribution(tools, scheme)
+        assert table.share("interactive-computing") == pytest.approx(
+            Q2_SHARES["interactive-computing"]
+        )
+        assert table.share("orchestration") == pytest.approx(
+            Q2_SHARES["orchestration"]
+        )
+
+
+class TestFig3:
+    def test_histogram(self, tools, scheme):
+        table = coverage_histogram(tools, scheme)
+        assert table.to_dict() == FIG3_HISTOGRAM
+
+    def test_majority_single_direction(self, tools):
+        coverage = tools.institution_coverage()
+        singles = sum(1 for dirs in coverage.values() if len(dirs) == 1)
+        assert singles * 2 > len(coverage)  # "more than half"
+
+    def test_nobody_spans_all_directions(self, tools, scheme):
+        coverage = tools.institution_coverage()
+        assert all(len(dirs) < len(scheme) for dirs in coverage.values())
+
+
+class TestFig4:
+    def test_votes(self, tools, applications, scheme):
+        votes = Counter()
+        for app in applications:
+            for key in app.selected_tools:
+                votes[tools[key].primary_direction] += 1
+        assert {k: votes[k] for k in scheme.keys} == FIG4_VOTES
+
+    def test_total_votes(self, selection):
+        assert selection.total_selections == TABLE2_TOTAL_SELECTIONS
+
+    def test_quoted_bounds(self, selection, tools, scheme):
+        votes = selection.votes_per_direction(tools, scheme)
+        assert votes.share("energy-efficiency") < Q3_SHARES["energy-efficiency-max"]
+        assert votes.share("orchestration") > Q3_SHARES["orchestration-min"]
+
+
+class TestTable1Content:
+    def test_full_published_classification(self, tools, scheme):
+        for direction, names in TABLE1_CONTENT.items():
+            assert tuple(t.name for t in tools.by_direction(direction)) == names
+
+
+class TestTable2Content:
+    def test_full_published_checkmarks(self, tools, applications):
+        by_section = {a.section: a for a in applications}
+        for section, names in TABLE2_CONTENT.items():
+            app = by_section[section]
+            assert tuple(tools[k].name for k in app.selected_tools) == names
+
+    def test_streamflow_has_most_votes(self, selection):
+        votes = selection.votes_per_tool()
+        assert votes.mode() == "streamflow"
+        assert votes["streamflow"] == 3
+
+
+class TestStructures:
+    def test_spoke1_has_five_flagships_two_labs(self):
+        structure = spoke1_structure()
+        assert len(structure["flagships"]) == 5
+        assert len(structure["living_labs"]) == 2
+        assert structure["financial_envelope_meur"] == 21.5
+
+    def test_fl3_coordinated_by_unipi(self):
+        structure = spoke1_structure()
+        fl3 = next(f for f in structure["flagships"] if f["key"] == "fl3")
+        assert fl3["coordinator"] == "unipi"
+
+    def test_eleven_spokes(self):
+        spokes = icsc_spokes()
+        assert len(spokes) == 11
+        assert spokes[1]["title"] == "FutureHPC & Big Data"
+        assert spokes[10]["title"] == "Quantum Computing"
+
+    def test_inferred_flags_present(self, tools):
+        inferred = [t.key for t in tools if t.institution_inferred]
+        # The reconstruction marks at least the known-ambiguous assignments.
+        assert "malaga" in inferred
+        assert "mlir" in inferred
+
+    def test_every_tool_has_description(self, tools):
+        assert all(t.description.strip() for t in tools)
+
+    def test_every_application_has_description(self, applications):
+        assert all(a.description.strip() for a in applications)

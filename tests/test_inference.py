@@ -1,0 +1,140 @@
+"""Unit tests for inferential statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.stats.frequency import FrequencyTable
+from repro.stats.inference import (
+    bootstrap_share_ci,
+    chi_square_gof,
+    chi_square_homogeneity,
+    g_test_gof,
+    permutation_tvd_test,
+    total_variation_distance,
+)
+
+
+class TestGoodnessOfFit:
+    def test_uniform_data_not_rejected(self):
+        result = chi_square_gof([100, 101, 99, 100])
+        assert result.p_value > 0.9
+        assert not result.significant()
+
+    def test_skewed_data_rejected(self):
+        result = chi_square_gof([1000, 5, 5, 5])
+        assert result.significant(0.001)
+
+    def test_custom_expected_shares(self):
+        result = chi_square_gof([80, 20], expected_shares=[0.8, 0.2])
+        assert result.p_value > 0.9
+
+    def test_expected_shares_must_sum_to_one(self):
+        with pytest.raises(StatsError):
+            chi_square_gof([1, 2], expected_shares=[0.5, 0.4])
+
+    def test_expected_shares_shape(self):
+        with pytest.raises(StatsError):
+            chi_square_gof([1, 2], expected_shares=[1.0])
+
+    def test_g_test_agrees_qualitatively(self):
+        chi = chi_square_gof([1000, 5, 5, 5])
+        g = g_test_gof([1000, 5, 5, 5])
+        assert g.significant(0.001) and chi.significant(0.001)
+
+    def test_dof(self):
+        assert chi_square_gof([1, 2, 3]).dof == 2
+
+    def test_alpha_validation(self):
+        result = chi_square_gof([10, 10])
+        with pytest.raises(StatsError):
+            result.significant(0)
+
+
+class TestHomogeneity:
+    def test_identical_distributions(self):
+        result = chi_square_homogeneity([10, 20, 30], [20, 40, 60])
+        assert result.p_value > 0.99
+
+    def test_very_different_distributions(self):
+        result = chi_square_homogeneity([100, 0, 0], [0, 0, 100])
+        assert result.significant(0.001)
+
+    def test_accepts_frequency_tables(self):
+        a = FrequencyTable({"x": 3, "y": 7})
+        b = FrequencyTable({"x": 30, "y": 70})
+        assert chi_square_homogeneity(a, b).p_value > 0.9
+
+    def test_jointly_empty_categories_dropped(self):
+        result = chi_square_homogeneity([5, 0, 5], [6, 0, 4])
+        assert result.dof == 1  # third category carries no information
+
+    def test_shape_mismatch(self):
+        with pytest.raises(StatsError):
+            chi_square_homogeneity([1, 2], [1, 2, 3])
+
+
+class TestBootstrap:
+    def test_ci_contains_point_estimate(self):
+        counts = [3, 7, 3, 6, 6]
+        low, high = bootstrap_share_ci(counts, 1, seed=1, n_resamples=2000)
+        assert low <= 7 / 25 <= high
+        assert 0.0 <= low < high <= 1.0
+
+    def test_deterministic_under_seed(self):
+        counts = [4, 11, 1, 6, 6]
+        a = bootstrap_share_ci(counts, 2, seed=9, n_resamples=1000)
+        b = bootstrap_share_ci(counts, 2, seed=9, n_resamples=1000)
+        assert a == b
+
+    def test_narrower_with_more_data(self):
+        small = bootstrap_share_ci([3, 7], 1, seed=0, n_resamples=3000)
+        big = bootstrap_share_ci([300, 700], 1, seed=0, n_resamples=3000)
+        assert (big[1] - big[0]) < (small[1] - small[0])
+
+    def test_validation(self):
+        with pytest.raises(StatsError):
+            bootstrap_share_ci([1, 2], 5)
+        with pytest.raises(StatsError):
+            bootstrap_share_ci([1, 2], 0, confidence=1.5)
+        with pytest.raises(StatsError):
+            bootstrap_share_ci([1, 2], 0, n_resamples=10)
+
+
+class TestTvdAndPermutation:
+    def test_tvd_identical_zero(self):
+        assert total_variation_distance([1, 2, 3], [2, 4, 6]) == pytest.approx(0.0)
+
+    def test_tvd_disjoint_one(self):
+        assert total_variation_distance([5, 0], [0, 5]) == pytest.approx(1.0)
+
+    def test_tvd_supply_demand(self):
+        tvd = total_variation_distance([3, 7, 3, 6, 6], [4, 11, 1, 6, 6])
+        assert tvd == pytest.approx(0.1357, abs=1e-3)
+
+    def test_permutation_identical_high_p(self):
+        result = permutation_tvd_test([30, 30, 30], [30, 30, 30],
+                                      seed=0, n_permutations=500)
+        assert result.p_value > 0.5
+
+    def test_permutation_disjoint_low_p(self):
+        result = permutation_tvd_test([200, 0], [0, 200],
+                                      seed=0, n_permutations=2000)
+        assert result.p_value < 0.01
+
+    def test_permutation_p_in_unit_interval(self):
+        result = permutation_tvd_test([3, 7, 3, 6, 6], [4, 11, 1, 6, 6],
+                                      seed=3, n_permutations=500)
+        assert 0.0 < result.p_value <= 1.0
+
+    def test_permutation_deterministic(self):
+        kwargs = dict(seed=4, n_permutations=500)
+        a = permutation_tvd_test([3, 7], [5, 5], **kwargs)
+        b = permutation_tvd_test([3, 7], [5, 5], **kwargs)
+        assert a.p_value == b.p_value
+
+    def test_rng_and_seed_mutually_exclusive_ok(self):
+        rng = np.random.default_rng(0)
+        result = permutation_tvd_test([3, 7], [5, 5], rng=rng,
+                                      n_permutations=200)
+        assert result.method == "permutation TVD"

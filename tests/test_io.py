@@ -1,0 +1,117 @@
+"""Unit tests for JSON/CSV serialization."""
+
+import json
+
+import pytest
+
+from repro.core.analysis import coverage_histogram, supply_distribution
+from repro.errors import SerializationError
+from repro.io.csvio import (
+    frequency_from_csv,
+    frequency_to_csv,
+    selection_from_csv,
+    selection_to_csv,
+)
+from repro.io.jsonio import (
+    ecosystem_from_dict,
+    ecosystem_to_dict,
+    load_ecosystem,
+    save_ecosystem,
+)
+
+
+class TestEcosystemJson:
+    def test_roundtrip(self, ecosystem, tmp_path):
+        institutions, tools, applications, scheme = ecosystem
+        path = tmp_path / "eco.json"
+        save_ecosystem(path, institutions, tools, applications, scheme)
+        loaded = load_ecosystem(path)
+        inst2, tools2, apps2, scheme2 = loaded
+        assert inst2.keys == institutions.keys
+        assert tools2.keys == tools.keys
+        assert apps2.keys == applications.keys
+        assert scheme2.keys == scheme.keys
+        for key in tools.keys:
+            assert tools2[key] == tools[key]
+        for key in applications.keys:
+            assert apps2[key] == applications[key]
+
+    def test_version_check(self, ecosystem):
+        document = ecosystem_to_dict(*ecosystem)
+        document["format_version"] = 99
+        with pytest.raises(SerializationError):
+            ecosystem_from_dict(document)
+
+    def test_malformed_document(self):
+        with pytest.raises(SerializationError):
+            ecosystem_from_dict({"format_version": 1, "scheme": {}})
+
+    def test_dangling_reference_caught_on_load(self, ecosystem):
+        document = ecosystem_to_dict(*ecosystem)
+        document["tools"][0]["institution"] = "ghost"
+        with pytest.raises(Exception):
+            ecosystem_from_dict(document)
+
+    def test_unreadable_path(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_ecosystem(tmp_path / "missing.json")
+
+    def test_json_is_pretty_and_stable(self, ecosystem, tmp_path):
+        path = tmp_path / "eco.json"
+        save_ecosystem(path, *ecosystem)
+        text = path.read_text()
+        json.loads(text)
+        assert text.endswith("\n")
+
+
+class TestFrequencyCsv:
+    def test_roundtrip_string_labels(self, tools, scheme):
+        table = supply_distribution(tools, scheme)
+        restored = frequency_from_csv(frequency_to_csv(table))
+        assert restored == table
+
+    def test_roundtrip_int_labels(self, tools, scheme):
+        table = coverage_histogram(tools, scheme)
+        restored = frequency_from_csv(frequency_to_csv(table))
+        assert restored == table  # integer keys restored as ints
+
+    def test_file_roundtrip(self, tools, scheme, tmp_path):
+        table = supply_distribution(tools, scheme)
+        path = tmp_path / "fig2.csv"
+        frequency_to_csv(table, path)
+        assert frequency_from_csv(path) == table
+
+    def test_header_required(self):
+        with pytest.raises(SerializationError):
+            frequency_from_csv("wrong,header\na,1\n")
+
+    def test_bad_count(self):
+        with pytest.raises(SerializationError):
+            frequency_from_csv("label,count\na,many\n")
+
+    def test_no_rows(self):
+        with pytest.raises(SerializationError):
+            frequency_from_csv("label,count\n")
+
+
+class TestSelectionCsv:
+    def test_roundtrip(self, selection):
+        restored = selection_from_csv(selection_to_csv(selection))
+        assert restored == selection
+
+    def test_file_roundtrip(self, selection, tmp_path):
+        path = tmp_path / "table2.csv"
+        selection_to_csv(selection, path)
+        assert selection_from_csv(path) == selection
+
+    def test_header_required(self):
+        with pytest.raises(SerializationError):
+            selection_from_csv("nottool,a\nx,1\n")
+
+    def test_non_binary_cell(self):
+        with pytest.raises(SerializationError):
+            selection_from_csv("tool,a\nx,maybe\n")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(SerializationError):
+            selection_from_csv("tool,a,b\nx,1\n")

@@ -1,0 +1,129 @@
+"""Unit tests for capability/requirement embeddings and the match model."""
+
+import numpy as np
+import pytest
+
+from repro.continuum.capabilities import capability_matrix, capability_vector
+from repro.continuum.matching import MatchModel
+from repro.continuum.requirements import requirement_matrix, requirement_vector
+from repro.errors import ValidationError
+
+
+class TestCapabilityVector:
+    def test_primary_direction_dominates(self, tools, scheme):
+        vector = capability_vector(tools["liqo"], scheme)
+        assert vector[scheme.index("orchestration")] == vector.max()
+
+    def test_l1_normalized(self, tools, scheme):
+        vector = capability_vector(tools["streamflow"], scheme)
+        assert vector.sum() == pytest.approx(1.0)
+        assert (vector >= 0).all()
+
+    def test_secondary_direction_present(self, tools, scheme):
+        vector = capability_vector(tools["streamflow"], scheme,
+                                   text_weight=0.0)
+        assert vector[scheme.index("performance-portability")] > 0
+
+    def test_structure_only_mode(self, tools, scheme):
+        vector = capability_vector(tools["liqo"], scheme, text_weight=0.0)
+        expected = np.zeros(5)
+        expected[scheme.index("orchestration")] = 1.0
+        np.testing.assert_allclose(vector, expected)
+
+    def test_validation(self, tools, scheme):
+        with pytest.raises(ValidationError):
+            capability_vector(tools["liqo"], scheme, secondary_weight=2.0)
+        with pytest.raises(ValidationError):
+            capability_vector(tools["liqo"], scheme, text_weight=1.0)
+
+    def test_matrix_shape(self, tools, scheme):
+        matrix, keys = capability_matrix(tools, scheme)
+        assert matrix.shape == (25, 5)
+        assert keys == tools.keys
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+
+
+class TestRequirementVector:
+    def test_serverledge_needs_orchestration_and_energy(self, applications, scheme):
+        vector = requirement_vector(applications["serverledge"], scheme)
+        orch = vector[scheme.index("orchestration")]
+        energy = vector[scheme.index("energy-efficiency")]
+        assert orch == vector.max()
+        assert energy > 0.05  # smoothed floor exceeded by real signal
+
+    def test_smoothing_floor(self, applications, scheme):
+        vector = requirement_vector(applications["variant-calling"], scheme,
+                                    smoothing=0.1)
+        assert (vector > 0).all()
+        assert vector.sum() == pytest.approx(1.0)
+
+    def test_no_smoothing_can_zero(self, applications, scheme):
+        vector = requirement_vector(applications["variant-calling"], scheme,
+                                    smoothing=0.0)
+        assert vector.sum() == pytest.approx(1.0)
+
+    def test_validation(self, applications, scheme):
+        with pytest.raises(ValidationError):
+            requirement_vector(applications["serverledge"], scheme,
+                               smoothing=-0.1)
+
+    def test_matrix_ordered_by_section(self, applications, scheme):
+        matrix, keys = requirement_matrix(applications, scheme)
+        assert matrix.shape == (10, 5)
+        assert keys[0] == "software-heritage-compression"
+        assert keys[-1] == "mlir-riscv"
+
+
+class TestMatchModel:
+    @pytest.fixture(scope="class")
+    def model(self, tools, applications, scheme):
+        return MatchModel(tools, applications, scheme)
+
+    def test_scores_shape_and_bounds(self, model):
+        assert model.scores.shape == (10, 25)
+        assert (model.scores >= -1e-9).all()
+
+    def test_scores_readonly(self, model):
+        with pytest.raises(ValueError):
+            model.scores[0, 0] = 1.0
+
+    def test_cardinality_evaluation_shape_claims(self, model):
+        report = model.evaluate()
+        # The matcher must reproduce the paper's headline ranking.
+        assert report.rank_match_top  # orchestration most demanded
+        assert report.agreement["f1"] >= 0.5
+        assert report.predicted.total_selections == 28
+
+    def test_energy_demand_stays_minimal(self, model):
+        report = model.evaluate()
+        assert report.predicted_votes["energy-efficiency"] <= min(
+            v for v in report.predicted_votes.values()
+        ) + 1
+
+    def test_select_top_k_deterministic(self, model):
+        k_map = {key: 2 for key in model.application_keys}
+        a = model.select_top_k(k_map)
+        b = model.select_top_k(k_map)
+        assert a == b
+        assert a.total_selections == 20
+
+    def test_select_top_k_validation(self, model):
+        with pytest.raises(ValidationError):
+            model.select_top_k({model.application_keys[0]: -1})
+
+    def test_select_threshold_monotone(self, model):
+        low = model.select_threshold(0.1).total_selections
+        high = model.select_threshold(0.6).total_selections
+        assert high <= low
+
+    def test_evaluation_mode_threshold(self, model):
+        report = model.evaluate(mode="threshold:0.45")
+        assert 0.0 <= report.agreement["f1"] <= 1.0
+
+    def test_unknown_mode(self, model):
+        with pytest.raises(ValidationError):
+            model.evaluate(mode="oracle")
+
+    def test_direction_weight_validation(self, tools, applications, scheme):
+        with pytest.raises(ValidationError):
+            MatchModel(tools, applications, scheme, direction_weight=1.5)

@@ -1,0 +1,121 @@
+"""Unit tests for the ecosystem network analysis."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.network.bipartite import (
+    institution_direction_graph,
+    project_institutions,
+    project_tools,
+    tool_application_graph,
+)
+from repro.network.metrics import (
+    centrality_ranking,
+    degree_distribution,
+    density_report,
+    integration_pairs,
+    specialization_index,
+)
+
+
+@pytest.fixture(scope="module")
+def inst_graph(tools, scheme):
+    return institution_direction_graph(tools, scheme)
+
+
+@pytest.fixture(scope="module")
+def tool_graph(tools, applications):
+    return tool_application_graph(tools, applications)
+
+
+class TestInstitutionDirectionGraph:
+    def test_node_counts(self, inst_graph):
+        institutions = [n for n, d in inst_graph.nodes(data=True)
+                        if d["bipartite"] == "institution"]
+        directions = [n for n, d in inst_graph.nodes(data=True)
+                      if d["bipartite"] == "direction"]
+        assert len(institutions) == 9
+        assert len(directions) == 5
+
+    def test_edge_weights_count_tools(self, inst_graph):
+        # UNIPI has 4 performance-portability tools.
+        assert inst_graph.edges["unipi", "performance-portability"]["weight"] == 4
+
+    def test_degree_is_fig3_data(self, inst_graph):
+        degrees = degree_distribution(inst_graph, "institution")
+        from collections import Counter
+
+        histogram = Counter(degrees.values())
+        assert dict(histogram) == {1: 5, 2: 2, 3: 1, 4: 1}
+
+
+class TestToolApplicationGraph:
+    def test_isolated_tools_kept(self, tool_graph):
+        # Tools never selected still appear (e.g. bookedslurm, torch).
+        assert "bookedslurm" in tool_graph
+        assert tool_graph.degree("bookedslurm") == 0
+
+    def test_edge_count_is_28(self, tool_graph):
+        assert tool_graph.number_of_edges() == 28
+
+    def test_streamflow_degree(self, tool_graph):
+        assert tool_graph.degree("streamflow") == 3
+
+
+class TestProjections:
+    def test_institution_projection_links_shared_directions(self, inst_graph):
+        projection = project_institutions(inst_graph)
+        # UNIFE and POLITO both do orchestration.
+        assert projection.has_edge("unife", "polito")
+
+    def test_tool_projection_weights(self, tool_graph):
+        projection = project_tools(tool_graph)
+        # ICS and ParSoDA co-selected by 3.9; nethuns+capio by 3.2 and 3.6.
+        assert projection.edges["nethuns", "capio"]["weight"] == 2
+
+    def test_integration_pairs(self, tool_graph):
+        projection = project_tools(tool_graph)
+        pairs = integration_pairs(projection, min_weight=2)
+        assert ("capio", "nethuns", 2) in pairs
+        assert ("indigo", "liqo", 2) in pairs
+        assert all(w >= 2 for _, _, w in pairs)
+
+    def test_integration_pairs_validation(self, tool_graph):
+        with pytest.raises(ValidationError):
+            integration_pairs(project_tools(tool_graph), min_weight=0)
+
+
+class TestMetrics:
+    def test_specialization_extremes(self, inst_graph):
+        # CINECA covers one direction (fully specialized).
+        assert specialization_index(inst_graph, "cineca") == pytest.approx(1.0)
+        # UNIPI covers four directions — least specialized in the dataset.
+        assert specialization_index(inst_graph, "unipi") < 0.5
+
+    def test_specialization_validation(self, inst_graph):
+        with pytest.raises(ValidationError):
+            specialization_index(inst_graph, "ghost")
+
+    def test_centrality_degree(self, tool_graph):
+        ranking = centrality_ranking(tool_graph, "tool")
+        assert ranking[0][0] == "streamflow"
+
+    def test_centrality_other_methods(self, tool_graph):
+        for method in ("betweenness", "eigenvector"):
+            ranking = centrality_ranking(tool_graph, "tool", method=method)
+            assert len(ranking) == 25
+
+    def test_centrality_unknown_method(self, tool_graph):
+        with pytest.raises(ValidationError):
+            centrality_ranking(tool_graph, "tool", method="pagerank")
+
+    def test_density_report(self, tool_graph):
+        report = density_report(tool_graph)
+        assert report["edges"] == 28.0
+        assert report["possible_edges"] == 250.0
+        assert report["density"] == pytest.approx(28 / 250)
+        assert report["components"] >= 1
+
+    def test_degree_distribution_unknown_side(self, tool_graph):
+        with pytest.raises(ValidationError):
+            degree_distribution(tool_graph, "nonexistent-side")

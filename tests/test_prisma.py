@@ -1,0 +1,70 @@
+"""Unit tests for the study-flow (PRISMA-style) accounting."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.reporting.prisma import FlowStage, StudyFlow, render_flow_diagram
+
+
+class TestStudyFlow:
+    def test_typical_flow(self):
+        flow = StudyFlow("identified", 600)
+        flow.narrow("after deduplication", 512, "duplicates")
+        flow.narrow("matched query", 49, "off-topic")
+        flow.narrow("included", 36, "failed criteria")
+        assert flow.initial == 600
+        assert flow.final == 36
+        assert flow.excluded_total() == 564
+        assert flow.retention_rate() == pytest.approx(36 / 600)
+
+    def test_exclusions_rows(self):
+        flow = StudyFlow("identified", 100)
+        flow.narrow("screened", 40, "irrelevant")
+        rows = flow.exclusions()
+        assert rows == [("screened", 60, "irrelevant")]
+
+    def test_monotonicity_enforced(self):
+        flow = StudyFlow("identified", 10)
+        with pytest.raises(ValidationError):
+            flow.narrow("grew somehow", 11)
+
+    def test_equal_count_allowed(self):
+        flow = StudyFlow("identified", 10)
+        flow.narrow("no-op stage", 10)
+        assert flow.excluded_total() == 0
+
+    def test_stage_validation(self):
+        with pytest.raises(ValidationError):
+            FlowStage("", 1)
+        with pytest.raises(ValidationError):
+            FlowStage("x", -1)
+
+    def test_retention_of_empty_start(self):
+        flow = StudyFlow("identified", 0)
+        with pytest.raises(ValidationError):
+            flow.retention_rate()
+
+    def test_summary_mentions_every_stage(self):
+        flow = StudyFlow("identified", 100)
+        flow.narrow("included", 25, "screened out")
+        text = flow.summary()
+        assert "identified: 100" in text
+        assert "included: 25" in text
+        assert "-75" in text
+
+
+class TestFlowDiagram:
+    def test_renders_wellformed(self):
+        flow = StudyFlow("identified", 600)
+        flow.narrow("deduplicated", 512, "duplicates")
+        flow.narrow("included", 36, "criteria")
+        svg = render_flow_diagram(flow).render()
+        xml.dom.minidom.parseString(svg)
+        assert "n = 600" in svg
+        assert "excluded: 476" in svg
+
+    def test_single_stage(self):
+        svg = render_flow_diagram(StudyFlow("identified", 5)).render()
+        xml.dom.minidom.parseString(svg)

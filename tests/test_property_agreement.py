@@ -1,0 +1,93 @@
+"""Property-based tests for inter-rater agreement coefficients."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.screening.agreement import (
+    cohen_kappa,
+    fleiss_kappa,
+    krippendorff_alpha,
+    observed_agreement,
+)
+
+labels = st.sampled_from(["a", "b", "c"])
+label_lists = st.lists(labels, min_size=2, max_size=60)
+
+
+class TestCohenKappaProperties:
+    @given(label_lists)
+    def test_perfect_agreement_is_one(self, seq):
+        assert cohen_kappa(seq, seq) == pytest.approx(1.0)
+
+    @given(label_lists, label_lists)
+    def test_bounded(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        kappa = cohen_kappa(a, b)
+        assert -1.0 - 1e-9 <= kappa <= 1.0 + 1e-9
+
+    @given(label_lists, label_lists)
+    def test_symmetry(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        assert cohen_kappa(a, b) == pytest.approx(cohen_kappa(b, a))
+
+    @given(label_lists, label_lists)
+    def test_kappa_leq_observed(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        po = observed_agreement(a, b)
+        kappa = cohen_kappa(a, b)
+        # kappa = (po - pe) / (1 - pe) <= po when po <= 1.
+        assert kappa <= po + 1e-9
+
+
+class TestFleissKappaProperties:
+    @given(
+        st.lists(
+            st.sampled_from([0, 1, 2]), min_size=2, max_size=40
+        ),
+        st.integers(min_value=2, max_value=5),
+    )
+    def test_unanimous_raters_is_one(self, truths, n_raters):
+        rows = [{label: n_raters} for label in truths]
+        # Degenerate: all items same category -> expected agreement 1.
+        if len({tuple(r.items()) for r in rows}) == 1:
+            assert fleiss_kappa(rows) == 1.0
+        else:
+            assert fleiss_kappa(rows) == pytest.approx(1.0)
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                    min_size=2, max_size=40))
+    def test_bounded(self, pairs):
+        rows = []
+        for a, b in pairs:
+            counts: dict[int, int] = {}
+            counts[a] = counts.get(a, 0) + 1
+            counts[b] = counts.get(b, 0) + 1
+            rows.append(counts)
+        kappa = fleiss_kappa(rows)
+        assert -1.0 - 1e-9 <= kappa <= 1.0 + 1e-9
+
+
+class TestKrippendorffProperties:
+    @given(label_lists, st.integers(min_value=2, max_value=4))
+    def test_identical_raters_is_one(self, seq, n_raters):
+        assert krippendorff_alpha([list(seq)] * n_raters) == pytest.approx(1.0)
+
+    @given(label_lists, label_lists)
+    def test_bounded(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        alpha = krippendorff_alpha([a, b])
+        assert -1.5 <= alpha <= 1.0 + 1e-9
+
+    @given(label_lists)
+    def test_missing_data_ignored_items(self, seq):
+        # Adding an item rated by a single rater must not change alpha.
+        a = list(seq) + ["a"]
+        b = list(seq) + [None]
+        base = krippendorff_alpha([list(seq), list(seq)])
+        extended = krippendorff_alpha([a, b])
+        assert extended == pytest.approx(base)

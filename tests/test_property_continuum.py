@@ -1,0 +1,107 @@
+"""Property-based tests for workflows, scheduling, and simulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.continuum.resources import default_continuum
+from repro.continuum.scheduling import (
+    EnergyAwareScheduler,
+    HeftScheduler,
+    RoundRobinScheduler,
+)
+from repro.continuum.simulate import simulate_schedule
+from repro.continuum.workflow import random_workflow
+
+workflow_params = st.tuples(
+    st.integers(min_value=1, max_value=25),   # n_tasks
+    st.floats(min_value=0.0, max_value=0.5),  # edge probability
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+continuum_seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class TestDagProperties:
+    @given(workflow_params)
+    def test_generator_always_acyclic_and_ordered(self, params):
+        n, p, seed = params
+        wf = random_workflow(n, edge_probability=p, seed=seed)
+        order = {k: i for i, k in enumerate(wf.topological_order())}
+        assert len(order) == n
+        assert all(order[a] < order[b] for a, b in wf.edges)
+
+    @given(workflow_params)
+    def test_critical_path_bounds(self, params):
+        n, p, seed = params
+        wf = random_workflow(n, edge_probability=p, seed=seed)
+        path, length = wf.critical_path()
+        assert 0 < length <= wf.total_work() + 1e-9
+        assert 1 <= len(path) <= n
+        # The path must be a chain in the DAG.
+        for a, b in zip(path, path[1:]):
+            assert b in wf.successors(a)
+
+    @given(workflow_params)
+    def test_width_profile_sums_to_n(self, params):
+        n, p, seed = params
+        wf = random_workflow(n, edge_probability=p, seed=seed)
+        assert sum(wf.width_profile().values()) == n
+
+
+class TestSchedulingProperties:
+    @given(workflow_params, continuum_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_all_schedulers_produce_valid_schedules(self, params, cseed):
+        n, p, seed = params
+        wf = random_workflow(n, edge_probability=p, seed=seed)
+        continuum = default_continuum(n_hpc=1, n_cloud=2, n_edge=2, seed=cseed)
+        for scheduler in (
+            HeftScheduler(),
+            EnergyAwareScheduler(slack=1.5),
+            RoundRobinScheduler(),
+        ):
+            schedule = scheduler.schedule(wf, continuum)
+            schedule.validate()  # dependency + exclusivity invariants
+            assert schedule.makespan > 0.0
+            assert schedule.busy_energy() > 0.0
+            assert schedule.total_energy() >= schedule.busy_energy() - 1e-9
+
+    @given(workflow_params)
+    @settings(max_examples=25, deadline=None)
+    def test_makespan_lower_bound(self, params):
+        n, p, seed = params
+        wf = random_workflow(n, edge_probability=p, seed=seed)
+        continuum = default_continuum(n_hpc=1, n_cloud=1, n_edge=1, seed=0)
+        schedule = HeftScheduler().schedule(wf, continuum)
+        # Makespan can never beat the critical path on the fastest node.
+        _, cp = wf.critical_path()
+        fastest = max(continuum.speeds)
+        assert schedule.makespan >= cp / fastest - 1e-9
+
+
+class TestSimulationProperties:
+    @given(workflow_params, continuum_seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_zero_jitter_reproduces_plan(self, params, cseed):
+        n, p, seed = params
+        wf = random_workflow(n, edge_probability=p, seed=seed)
+        continuum = default_continuum(n_hpc=1, n_cloud=2, n_edge=1, seed=cseed)
+        schedule = HeftScheduler().schedule(wf, continuum)
+        trace = simulate_schedule(schedule, jitter=0.0)
+        assert trace.makespan == pytest.approx(schedule.makespan, rel=1e-9)
+
+    @given(workflow_params, st.floats(min_value=0.05, max_value=0.8),
+           st.integers(min_value=0, max_value=99))
+    @settings(max_examples=25, deadline=None)
+    def test_jittered_execution_respects_dependencies(self, params, jitter, jseed):
+        n, p, seed = params
+        wf = random_workflow(n, edge_probability=p, seed=seed)
+        continuum = default_continuum(n_hpc=1, n_cloud=1, n_edge=1, seed=0)
+        schedule = HeftScheduler().schedule(wf, continuum)
+        trace = simulate_schedule(schedule, jitter=jitter, seed=jseed)
+        start = {t.task: t.start for t in trace.placements}
+        finish = {t.task: t.finish for t in trace.placements}
+        for a, b in wf.edges:
+            assert start[b] >= finish[a] - 1e-9
+        assert len(trace.placements) == n

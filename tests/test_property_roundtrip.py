@@ -1,0 +1,105 @@
+"""Property-based round-trip tests for serialization layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.selection import SelectionMatrix
+from repro.corpus.bibtex import publications_from_bibtex, to_bibtex
+from repro.corpus.publication import Publication
+from repro.io.csvio import (
+    frequency_from_csv,
+    frequency_to_csv,
+    selection_from_csv,
+    selection_to_csv,
+)
+from repro.stats.frequency import FrequencyTable
+
+# Safe text for titles/venues: printable, no TeX-special or control chars.
+safe_text = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters=" -:"
+    ),
+    min_size=1,
+    max_size=40,
+).map(lambda s: " ".join(s.split())).filter(bool)
+
+author = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGH", min_size=2, max_size=12
+)
+
+publications = st.builds(
+    Publication,
+    key=st.from_regex(r"[a-z][a-z0-9]{1,10}", fullmatch=True),
+    title=safe_text,
+    authors=st.lists(author, max_size=3).map(tuple),
+    year=st.one_of(st.none(), st.integers(min_value=1950, max_value=2030)),
+    venue=st.one_of(st.just(""), safe_text),
+    abstract=st.one_of(st.just(""), safe_text),
+    doi=st.one_of(st.just(""), st.from_regex(r"10\.[0-9]{4}/[a-z0-9]{1,8}",
+                                             fullmatch=True)),
+    kind=st.sampled_from(["article", "inproceedings", "misc"]),
+)
+
+
+class TestBibtexRoundtrip:
+    @given(st.lists(publications, max_size=5,
+                    unique_by=lambda p: p.key))
+    @settings(max_examples=60, deadline=None)
+    def test_core_fields_survive(self, pubs):
+        restored = publications_from_bibtex(to_bibtex(pubs))
+        assert len(restored) == len(pubs)
+        for original, back in zip(pubs, restored):
+            assert back.key == original.key
+            assert back.title == original.title
+            assert back.year == original.year
+            assert back.doi == original.doi
+            # Authors survive when present (joined with " and ").
+            assert back.authors == original.authors
+
+
+frequency_tables = st.dictionaries(
+    st.from_regex(r"[a-z][a-z0-9-]{0,12}", fullmatch=True),
+    st.integers(min_value=0, max_value=10_000),
+    min_size=1,
+    max_size=10,
+).map(FrequencyTable)
+
+
+class TestCsvRoundtrip:
+    @given(frequency_tables)
+    def test_frequency(self, table):
+        assert frequency_from_csv(frequency_to_csv(table)) == table
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_selection(self, n_tools, n_apps, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.random((n_tools, n_apps)) < 0.4
+        selection = SelectionMatrix(
+            [f"t{i}" for i in range(n_tools)],
+            [f"a{j}" for j in range(n_apps)],
+            matrix,
+        )
+        assert selection_from_csv(selection_to_csv(selection)) == selection
+
+
+class TestEcosystemJsonProperty:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_synthetic_ecosystems_roundtrip(self, seed):
+        from repro.data.synthetic import synthetic_ecosystem
+        from repro.io.jsonio import ecosystem_from_dict, ecosystem_to_dict
+
+        ecosystem = synthetic_ecosystem(
+            n_institutions=3, n_tools=6, n_applications=3, seed=seed
+        )
+        document = ecosystem_to_dict(*ecosystem)
+        inst, tools, apps, scheme = ecosystem_from_dict(document)
+        assert tools.keys == ecosystem[1].keys
+        for key in tools.keys:
+            assert tools[key] == ecosystem[1][key]

@@ -1,0 +1,127 @@
+"""Property-based tests for the statistics substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.diversity import (
+    gini_coefficient,
+    herfindahl_index,
+    shannon_evenness,
+    simpson_index,
+)
+from repro.stats.frequency import FrequencyTable
+from repro.stats.inference import total_variation_distance
+
+# Count vectors with at least one positive entry.
+counts_vectors = st.lists(
+    st.integers(min_value=0, max_value=1000), min_size=2, max_size=12
+).filter(lambda v: sum(v) > 0)
+
+positive_vectors = st.lists(
+    st.integers(min_value=1, max_value=1000), min_size=2, max_size=12
+)
+
+
+class TestFrequencyProperties:
+    @given(counts_vectors)
+    def test_shares_sum_to_one(self, values):
+        table = FrequencyTable({f"c{i}": v for i, v in enumerate(values)})
+        assert table.shares().sum() == pytest.approx(1.0)
+
+    @given(counts_vectors)
+    def test_total_equals_sum(self, values):
+        table = FrequencyTable({f"c{i}": v for i, v in enumerate(values)})
+        assert table.total == sum(values)
+
+    @given(counts_vectors, counts_vectors)
+    def test_merge_total_additive(self, a, b):
+        ta = FrequencyTable({f"c{i}": v for i, v in enumerate(a)})
+        tb = FrequencyTable({f"c{i}": v for i, v in enumerate(b)})
+        assert ta.merge(tb).total == ta.total + tb.total
+
+    @given(counts_vectors)
+    def test_ranked_is_permutation_and_sorted(self, values):
+        table = FrequencyTable({f"c{i}": v for i, v in enumerate(values)})
+        ranked = table.ranked()
+        assert sorted(v for _, v in ranked) == sorted(values)
+        assert all(
+            ranked[i][1] >= ranked[i + 1][1] for i in range(len(ranked) - 1)
+        )
+
+    @given(counts_vectors)
+    def test_mode_has_max_count(self, values):
+        table = FrequencyTable({f"c{i}": v for i, v in enumerate(values)})
+        assert table[table.mode()] == max(values)
+
+
+class TestDiversityProperties:
+    @given(counts_vectors)
+    def test_evenness_in_unit_interval(self, values):
+        assert 0.0 <= shannon_evenness(values) <= 1.0 + 1e-9
+
+    @given(counts_vectors)
+    def test_simpson_bounds(self, values):
+        k = len(values)
+        assert -1e-9 <= simpson_index(values) <= 1.0 - 1.0 / k + 1e-9
+
+    @given(counts_vectors)
+    def test_simpson_herfindahl_complementary(self, values):
+        assert simpson_index(values) + herfindahl_index(values) == pytest.approx(1.0)
+
+    @given(counts_vectors)
+    def test_gini_bounds(self, values):
+        assert -1e-9 <= gini_coefficient(values) < 1.0
+
+    @given(positive_vectors)
+    def test_uniform_scaling_invariance(self, values):
+        scaled = [v * 7 for v in values]
+        assert shannon_evenness(values) == pytest.approx(shannon_evenness(scaled))
+        assert gini_coefficient(values) == pytest.approx(gini_coefficient(scaled))
+
+    @given(st.integers(min_value=2, max_value=12),
+           st.integers(min_value=1, max_value=100))
+    def test_uniform_distribution_extremes(self, k, c):
+        uniform = [c] * k
+        assert shannon_evenness(uniform) == pytest.approx(1.0)
+        assert gini_coefficient(uniform) == pytest.approx(0.0)
+
+
+class TestTvdProperties:
+    @given(counts_vectors)
+    def test_identity_zero(self, values):
+        assert total_variation_distance(values, values) == pytest.approx(0.0)
+
+    @given(counts_vectors, counts_vectors)
+    def test_symmetry(self, a, b):
+        if len(a) != len(b):
+            b = (b * ((len(a) // len(b)) + 1))[: len(a)]
+            if sum(b) == 0:
+                b[0] = 1
+        assert total_variation_distance(a, b) == pytest.approx(
+            total_variation_distance(b, a)
+        )
+
+    @given(counts_vectors, counts_vectors, counts_vectors)
+    def test_triangle_inequality(self, a, b, c):
+        n = min(len(a), len(b), len(c))
+        if n < 2:
+            return
+        a, b, c = a[:n], b[:n], c[:n]
+        if sum(a) == 0 or sum(b) == 0 or sum(c) == 0:
+            return
+        ab = total_variation_distance(a, b)
+        bc = total_variation_distance(b, c)
+        ac = total_variation_distance(a, c)
+        assert ac <= ab + bc + 1e-9
+
+    @given(counts_vectors, counts_vectors)
+    def test_bounded_by_one(self, a, b):
+        n = min(len(a), len(b))
+        if n < 2:
+            return
+        a, b = a[:n], b[:n]
+        if sum(a) == 0 or sum(b) == 0:
+            return
+        assert total_variation_distance(a, b) <= 1.0 + 1e-9

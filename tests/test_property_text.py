@@ -1,0 +1,94 @@
+"""Property-based tests for the text substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.similarity import jaccard, levenshtein, normalized_levenshtein
+from repro.text.stem import porter_stem
+from repro.text.tokenize import ngrams, tokenize
+
+words = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=0, max_size=15)
+short_strings = st.text(
+    alphabet="abcdef ", min_size=0, max_size=20
+)
+
+
+class TestLevenshteinMetricAxioms:
+    @given(short_strings)
+    def test_identity(self, s):
+        assert levenshtein(s, s) == 0
+
+    @given(short_strings, short_strings)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_strings, short_strings)
+    def test_positivity(self, a, b):
+        d = levenshtein(a, b)
+        assert d >= 0
+        assert (d == 0) == (a == b)
+
+    @given(short_strings, short_strings, short_strings)
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(short_strings, short_strings)
+    def test_bounded_by_longer_length(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(short_strings, short_strings)
+    def test_at_least_length_difference(self, a, b):
+        assert levenshtein(a, b) >= abs(len(a) - len(b))
+
+    @given(short_strings, short_strings)
+    def test_normalized_in_unit_interval(self, a, b):
+        assert 0.0 <= normalized_levenshtein(a, b) <= 1.0
+
+
+class TestJaccardProperties:
+    @given(st.sets(st.integers(0, 20)), st.sets(st.integers(0, 20)))
+    def test_bounds_and_identity(self, a, b):
+        assert 0.0 <= jaccard(a, b) <= 1.0
+        assert jaccard(a, a) == 1.0
+
+    @given(st.sets(st.integers(0, 20)), st.sets(st.integers(0, 20)))
+    def test_symmetry(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+
+
+class TestStemmerProperties:
+    @given(words)
+    def test_never_longer(self, word):
+        assert len(porter_stem(word)) <= max(len(word), 1)
+
+    @given(words)
+    def test_deterministic(self, word):
+        assert porter_stem(word) == porter_stem(word)
+
+    @given(words)
+    def test_output_stays_lowercase_alpha(self, word):
+        stem = porter_stem(word)
+        assert stem == "" or stem.isalpha() or stem == word
+
+    @given(words.filter(lambda w: len(w) > 2))
+    def test_nonempty_stays_nonempty(self, word):
+        assert porter_stem(word)
+
+
+class TestTokenizeProperties:
+    @given(st.text(max_size=80))
+    def test_tokens_lowercase(self, text):
+        assert all(t == t.lower() for t in tokenize(text))
+
+    @given(st.text(max_size=80))
+    def test_no_empty_tokens(self, text):
+        assert all(tokenize(text))
+
+    @given(st.lists(words.filter(bool), max_size=10),
+           st.integers(min_value=1, max_value=5))
+    def test_ngram_count(self, tokens, n):
+        grams = ngrams(tokens, n)
+        assert len(grams) == max(0, len(tokens) - n + 1)
+        assert all(len(g) == n for g in grams)

@@ -1,0 +1,110 @@
+"""Unit tests for proportion intervals and comparisons."""
+
+import pytest
+
+from repro.errors import StatsError
+from repro.stats.frequency import FrequencyTable
+from repro.stats.proportions import (
+    jeffreys_interval,
+    share_table,
+    two_proportion_test,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(11, 28)
+        assert low < 11 / 28 < high
+
+    def test_bounded(self):
+        low, high = wilson_interval(0, 10)
+        assert low == 0.0 and 0 < high < 1
+        low, high = wilson_interval(10, 10)
+        assert 0 < low < 1 and high == 1.0
+
+    def test_narrower_with_more_trials(self):
+        small = wilson_interval(11, 28)
+        large = wilson_interval(110, 280)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_higher_confidence_wider(self):
+        narrow = wilson_interval(7, 25, confidence=0.90)
+        wide = wilson_interval(7, 25, confidence=0.99)
+        assert (wide[1] - wide[0]) > (narrow[1] - narrow[0])
+
+    def test_known_value(self):
+        # Canonical check: Wilson 95% for 5/10 is (0.2366, 0.7634).
+        low, high = wilson_interval(5, 10)
+        assert low == pytest.approx(0.2366, abs=1e-3)
+        assert high == pytest.approx(0.7634, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(StatsError):
+            wilson_interval(5, 0)
+        with pytest.raises(StatsError):
+            wilson_interval(-1, 10)
+        with pytest.raises(StatsError):
+            wilson_interval(11, 10)
+        with pytest.raises(StatsError):
+            wilson_interval(5, 10, confidence=1.0)
+
+
+class TestJeffreys:
+    def test_contains_point_estimate(self):
+        low, high = jeffreys_interval(11, 28)
+        assert low < 11 / 28 < high
+
+    def test_boundary_conventions(self):
+        low, _ = jeffreys_interval(0, 10)
+        _, high = jeffreys_interval(10, 10)
+        assert low == 0.0
+        assert high == 1.0
+
+    def test_similar_to_wilson_midrange(self):
+        wilson = wilson_interval(14, 28)
+        jeffreys = jeffreys_interval(14, 28)
+        assert wilson[0] == pytest.approx(jeffreys[0], abs=0.03)
+        assert wilson[1] == pytest.approx(jeffreys[1], abs=0.03)
+
+
+class TestTwoProportion:
+    def test_supply_vs_demand_not_significant(self):
+        # Orchestration: 7/25 supply vs 11/28 demand (paper data).
+        result = two_proportion_test(7, 25, 11, 28)
+        assert not result.significant()
+        assert result.method == "two-proportion z"
+
+    def test_large_difference_significant(self):
+        result = two_proportion_test(90, 100, 10, 100)
+        assert result.significant(0.001)
+
+    def test_identical_proportions(self):
+        result = two_proportion_test(5, 10, 50, 100)
+        assert result.statistic == pytest.approx(0.0)
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_degenerate_pool(self):
+        result = two_proportion_test(0, 10, 0, 20)
+        assert result.p_value == 1.0
+
+    def test_symmetry(self):
+        a = two_proportion_test(7, 25, 11, 28)
+        b = two_proportion_test(11, 28, 7, 25)
+        assert a.p_value == pytest.approx(b.p_value)
+        assert a.statistic == pytest.approx(-b.statistic)
+
+
+class TestShareTable:
+    def test_fig4_shares(self, selection, tools, scheme):
+        votes = selection.votes_per_direction(tools, scheme)
+        table = share_table(votes)
+        share, low, high = table["orchestration"]
+        assert share == pytest.approx(11 / 28)
+        assert low < share < high
+        # Energy efficiency's interval stays clearly below orchestration's.
+        assert table["energy-efficiency"][2] < low
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(StatsError):
+            share_table(FrequencyTable({"a": 0}))

@@ -1,0 +1,114 @@
+"""Unit tests for provenance records and the Gantt renderer."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.continuum.resources import default_continuum
+from repro.continuum.scheduling import HeftScheduler
+from repro.continuum.simulate import simulate_schedule
+from repro.continuum.workflow import random_workflow
+from repro.errors import RenderError, ValidationError
+from repro.reporting.provenance import (
+    ProvenanceLog,
+    ProvenanceRecord,
+    dataset_fingerprint,
+)
+from repro.viz.gantt import gantt_chart
+
+
+class TestFingerprint:
+    def test_deterministic(self, ecosystem):
+        assert dataset_fingerprint(*ecosystem) == dataset_fingerprint(*ecosystem)
+
+    def test_sensitive_to_content(self, ecosystem):
+        from repro.data.synthetic import synthetic_ecosystem
+
+        other = synthetic_ecosystem(n_tools=5, n_applications=2,
+                                    n_institutions=2, seed=0)
+        assert dataset_fingerprint(*ecosystem) != dataset_fingerprint(*other)
+
+    def test_is_sha256_hex(self, ecosystem):
+        fingerprint = dataset_fingerprint(*ecosystem)
+        assert len(fingerprint) == 64
+        int(fingerprint, 16)  # parses as hex
+
+
+class TestProvenanceLog:
+    def test_record_and_query(self):
+        log = ProvenanceLog()
+        log.record("fig2.svg", "render", inputs={"dataset": "abc"},
+                   parameters={"seed": 2023})
+        log.record("fig3.svg", "render")
+        assert len(log) == 2
+        (entry,) = log.for_artifact("fig2.svg")
+        assert entry.parameters == {"seed": 2023}
+        assert entry.library_version
+
+    def test_roundtrip(self, tmp_path):
+        log = ProvenanceLog()
+        log.record("a.svg", "render", inputs={"dataset": "ff" * 32})
+        path = tmp_path / "provenance.json"
+        log.save(path)
+        restored = ProvenanceLog.load(path)
+        assert len(restored) == 1
+        assert restored.for_artifact("a.svg")[0].inputs == {"dataset": "ff" * 32}
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(ValidationError):
+            ProvenanceLog.load(tmp_path / "nope.json")
+
+    def test_record_validation(self):
+        with pytest.raises(ValidationError):
+            ProvenanceRecord("", "step")
+        with pytest.raises(ValidationError):
+            ProvenanceRecord("a", "")
+
+    def test_render_all_artifacts_writes_sidecar(self, ecosystem, tmp_path):
+        from repro.data.icsc import spoke1_structure
+        from repro.reporting.figures import render_all_artifacts
+
+        institutions, tools, applications, scheme = ecosystem
+        artifacts = render_all_artifacts(
+            tools, applications, scheme, tmp_path,
+            spoke1=spoke1_structure(), institutions=institutions,
+        )
+        assert "provenance" in artifacts
+        log = ProvenanceLog.load(artifacts["provenance"])
+        assert len(log) == len(artifacts) - 1  # every artifact but the sidecar
+        fingerprints = {r.inputs["dataset"] for r in log}
+        assert fingerprints == {dataset_fingerprint(*ecosystem)}
+
+
+class TestGantt:
+    @pytest.fixture(scope="class")
+    def schedule(self):
+        wf = random_workflow(25, seed=6)
+        return HeftScheduler().schedule(wf, default_continuum(seed=6))
+
+    def test_renders_wellformed(self, schedule):
+        doc = gantt_chart(schedule, title="Plan")
+        xml.dom.minidom.parseString(doc.render())
+
+    def test_one_bar_per_task(self, schedule):
+        svg = gantt_chart(schedule, show_task_labels=False).render()
+        # Bars are rounded rects (rx=2); lanes/backgrounds are square.
+        assert svg.count('rx="2"') == len(schedule.workflow)
+
+    def test_realized_trace_renderable(self, schedule):
+        trace = simulate_schedule(schedule, jitter=0.3, seed=1)
+        doc = gantt_chart(schedule, placements=trace.placements,
+                          title="Realized")
+        xml.dom.minidom.parseString(doc.render())
+
+    def test_unknown_resource_rejected(self, schedule):
+        from repro.continuum.scheduling import TaskPlacement
+
+        with pytest.raises(RenderError):
+            gantt_chart(schedule, placements=[
+                TaskPlacement("x", "ghost", 0.0, 1.0)
+            ])
+
+    def test_empty_placements_rejected(self, schedule):
+        with pytest.raises(RenderError):
+            gantt_chart(schedule, placements=[])

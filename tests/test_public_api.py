@@ -1,0 +1,89 @@
+"""Package hygiene: exports, docstrings, and doctests.
+
+Guards the public surface: every ``__all__`` name must resolve, every
+public module must import cleanly, public callables must be documented,
+and the doctest examples embedded in docstrings must actually run.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PUBLIC_MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.rsplit(".", 1)[-1].startswith("_")
+)
+
+DOCTEST_MODULES = [
+    "repro.core.entities",
+    "repro.core.taxonomy",
+    "repro.core.facets",
+    "repro.corpus.publication",
+    "repro.corpus.query",
+    "repro.stats.frequency",
+    "repro.text.similarity",
+    "repro.text.stem",
+    "repro.text.tokenize",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", ()):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module_name} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_public_callables_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name in getattr(module, "__all__", ()):
+        obj = getattr(module, name)
+        if callable(obj) and getattr(obj, "__module__", "") == module_name:
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, (
+        f"{module_name}: undocumented public callables {undocumented}"
+    )
+
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_doctests_pass(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module_name} has no doctest examples"
+    assert results.failed == 0
+
+
+def test_top_level_version():
+    assert repro.__version__
+    major = int(repro.__version__.split(".")[0])
+    assert major >= 1
+
+
+def test_exception_hierarchy_is_catchable():
+    from repro.errors import ReproError
+    import repro.errors as errors_module
+
+    for name in errors_module.__all__:
+        exc_type = getattr(errors_module, name)
+        assert issubclass(exc_type, ReproError)

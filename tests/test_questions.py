@@ -1,0 +1,78 @@
+"""Unit tests for the Q1/Q2/Q3 analyzers against the paper's Sec. 4 claims."""
+
+import pytest
+
+from repro.core.questions import answer_q1, answer_q2, answer_q3
+
+
+class TestQ1:
+    @pytest.fixture(scope="class")
+    def q1(self, tools, scheme):
+        return answer_q1(tools, scheme)
+
+    def test_five_directions(self, q1):
+        assert q1.n_directions == 5
+
+    def test_tools_per_direction(self, q1):
+        assert len(q1.tools_by_direction["orchestration"]) == 7
+        assert q1.tools_by_direction["interactive-computing"] == (
+            "BookedSlurm", "ICS", "Jupyter Workflow",
+        )
+
+    def test_multi_topic_tools(self, q1):
+        assert set(q1.multi_topic_tools) == {
+            "Jupyter Workflow", "StreamFlow", "WindFlow",
+        }
+
+
+class TestQ2:
+    @pytest.fixture(scope="class")
+    def q2(self, tools, scheme):
+        return answer_q2(tools, scheme)
+
+    def test_paper_shares(self, q2):
+        assert q2.shares["interactive-computing"] == pytest.approx(0.12)
+        assert q2.shares["orchestration"] == pytest.approx(0.28)
+
+    def test_balanced(self, q2):
+        assert q2.balanced  # "the effort is quite balanced"
+
+    def test_majority_single_topic(self, q2):
+        assert q2.majority_single_topic
+        assert q2.single_topic_institutions == 5
+        assert q2.n_institutions == 9
+
+    def test_no_full_coverage(self, q2):
+        assert q2.full_coverage_institutions == 0
+
+
+class TestQ3:
+    @pytest.fixture(scope="class")
+    def q3(self, tools, applications, scheme):
+        return answer_q3(tools, applications, scheme, seed=11)
+
+    def test_vote_extremes(self, q3):
+        assert q3.top_direction == "orchestration"
+        assert q3.bottom_direction == "energy-efficiency"
+
+    def test_paper_share_bounds(self, q3):
+        assert q3.shares["energy-efficiency"] < 0.036  # "below 3.6%"
+        assert q3.shares["orchestration"] > 0.39       # "above 39%"
+
+    def test_critical_directions_are_all_but_energy(self, q3):
+        # "at least three application providers" for IC, PP, BD; orchestration
+        # trivially; only Serverledge names energy efficiency.
+        assert set(q3.critical_directions) == {
+            "interactive-computing",
+            "orchestration",
+            "performance-portability",
+            "big-data-management",
+        }
+
+    def test_critical_threshold_is_distinct_applications(self, tools, applications, scheme):
+        # With threshold 1 every direction qualifies (energy has one app).
+        q3 = answer_q3(tools, applications, scheme, critical_threshold=1)
+        assert set(q3.critical_directions) == set(scheme.keys)
+
+    def test_votes_sum(self, q3):
+        assert q3.votes.total == 28

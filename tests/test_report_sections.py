@@ -1,0 +1,39 @@
+"""Unit tests for the derived report sections."""
+
+from repro import run_icsc_study, workflow_directions
+from repro.reporting import future_work_section, study_report
+
+
+class TestFutureWork:
+    def test_integration_pairs_listed(self, tools, applications, scheme):
+        section = future_work_section(tools, applications, scheme)
+        assert "CAPIO + Nethuns" in section
+        assert "INDIGO + Liqo" in section
+        assert "co-selected by 2 applications" in section
+
+    def test_collaborations_listed(self, tools, applications, scheme):
+        section = future_work_section(tools, applications, scheme)
+        assert "UNICAL + UNITO" in section
+        # The UNIPI+UNITO pairing covers all five directions.
+        assert "UNIPI + UNITO" in section
+        assert "Energy efficiency" in section
+
+
+class TestFullReportContent:
+    def test_report_sections_present(self):
+        report = study_report(run_icsc_study(), workflow_directions())
+        for heading in (
+            "# Mapping study report",
+            "## Q1", "## Q2", "## Q3",
+            "## Simulated manual classification",
+            "## Table 1", "## Table 2",
+            "## Threats to validity",
+        ):
+            assert heading in report
+
+    def test_report_is_valid_markdown_tables(self):
+        report = study_report(run_icsc_study(), workflow_directions())
+        # Every markdown table row has balanced pipes.
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.rstrip().endswith("|")

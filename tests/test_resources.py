@@ -1,0 +1,120 @@
+"""Unit tests for the continuum resource model."""
+
+import numpy as np
+import pytest
+
+from repro.continuum.resources import (
+    Continuum,
+    Resource,
+    ResourceKind,
+    default_continuum,
+)
+from repro.errors import ContinuumError, ValidationError
+
+
+def _resource(key="r", kind=ResourceKind.CLOUD, speed=100.0, **kwargs):
+    return Resource(key, kind, speed, **kwargs)
+
+
+class TestResource:
+    def test_execution_time(self):
+        assert _resource(speed=50.0).execution_time(100.0) == pytest.approx(2.0)
+
+    def test_busy_energy(self):
+        r = _resource(busy_power=200.0)
+        assert r.busy_energy(3.0) == pytest.approx(600.0)
+
+    def test_supports(self):
+        r = _resource(capabilities={"gpu", "mpi"})
+        assert r.supports(frozenset({"gpu"}))
+        assert not r.supports(frozenset({"fpga"}))
+        assert r.supports(frozenset())
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            _resource(speed=0.0)
+        with pytest.raises(ValidationError):
+            Resource("r", ResourceKind.EDGE, 1.0, idle_power=100.0,
+                     busy_power=50.0)
+        with pytest.raises(ValidationError):
+            _resource(carbon_intensity=0.0)
+        with pytest.raises(ValidationError):
+            _resource().execution_time(-1.0)
+
+
+class TestContinuum:
+    @pytest.fixture
+    def continuum(self):
+        return Continuum(
+            [_resource("a", speed=10.0), _resource("b", speed=20.0)],
+            default_bandwidth=2.0,
+            default_latency=0.5,
+        )
+
+    def test_duplicate_resource(self):
+        with pytest.raises(ContinuumError):
+            Continuum([_resource("a"), _resource("a")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ContinuumError):
+            Continuum([])
+
+    def test_lookup(self, continuum):
+        assert continuum["a"].speed == 10.0
+        with pytest.raises(ContinuumError):
+            continuum["ghost"]
+
+    def test_vector_views(self, continuum):
+        np.testing.assert_allclose(continuum.speeds, [10.0, 20.0])
+        assert continuum.bandwidth.shape == (2, 2)
+        assert np.isinf(continuum.bandwidth[0, 0])
+        assert continuum.latency[1, 1] == 0.0
+
+    def test_transfer_time(self, continuum):
+        # latency 0.5 + 4 units / 2 per s = 2.5
+        assert continuum.transfer_time(4.0, "a", "b") == pytest.approx(2.5)
+        assert continuum.transfer_time(4.0, "a", "a") == 0.0
+        assert continuum.transfer_time(0.0, "a", "b") == pytest.approx(0.5)
+
+    def test_transfer_validation(self, continuum):
+        with pytest.raises(ContinuumError):
+            continuum.transfer_time(-1.0, "a", "b")
+
+    def test_matrix_shape_validation(self):
+        with pytest.raises(ContinuumError):
+            Continuum([_resource("a")], bandwidth=np.ones((2, 2)))
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ContinuumError):
+            Continuum(
+                [_resource("a"), _resource("b")],
+                bandwidth=np.zeros((2, 2)),
+            )
+
+    def test_by_kind(self):
+        continuum = default_continuum(n_hpc=1, n_cloud=2, n_edge=3, seed=0)
+        assert len(continuum.by_kind(ResourceKind.EDGE)) == 3
+        assert len(continuum.by_kind(ResourceKind.HPC)) == 1
+
+
+class TestDefaultContinuum:
+    def test_deterministic(self):
+        a = default_continuum(seed=5)
+        b = default_continuum(seed=5)
+        np.testing.assert_allclose(a.speeds, b.speeds)
+        np.testing.assert_allclose(a.bandwidth, b.bandwidth)
+
+    def test_tier_ordering(self):
+        continuum = default_continuum(seed=0)
+        hpc = continuum.by_kind(ResourceKind.HPC)
+        edge = continuum.by_kind(ResourceKind.EDGE)
+        assert min(r.speed for r in hpc) > max(r.speed for r in edge)
+        assert min(r.busy_power for r in hpc) > max(r.busy_power for r in edge)
+
+    def test_symmetric_links(self):
+        continuum = default_continuum(seed=3)
+        np.testing.assert_allclose(continuum.latency, continuum.latency.T)
+
+    def test_needs_a_resource(self):
+        with pytest.raises(ContinuumError):
+            default_continuum(n_hpc=0, n_cloud=0, n_edge=0)

@@ -1,0 +1,298 @@
+"""Unit tests for criteria, agreement statistics, and screening sessions."""
+
+import pytest
+
+from repro.corpus.publication import Publication
+from repro.errors import AgreementError, ScreeningError
+from repro.screening.agreement import (
+    cohen_kappa,
+    fleiss_kappa,
+    interpret_kappa,
+    krippendorff_alpha,
+    observed_agreement,
+)
+from repro.screening.criteria import (
+    has_all_keywords,
+    has_any_keyword,
+    language_is,
+    min_length,
+    predicate,
+    venue_matches,
+    year_between,
+)
+from repro.screening.review import Decision, ReviewRecord, ScreeningSession
+
+
+def _pub(key, title, year=2020, **kwargs):
+    return Publication(key=key, title=title, year=year, **kwargs)
+
+
+class TestCriteria:
+    def test_year_between(self):
+        criterion = year_between(2015, 2023)
+        assert criterion.evaluate(_pub("a", "T", 2020)).included
+        assert not criterion.evaluate(_pub("a", "T", 2010)).included
+        assert not criterion.evaluate(Publication(key="a", title="T")).included
+
+    def test_year_range_validation(self):
+        with pytest.raises(ScreeningError):
+            year_between(2023, 2015)
+
+    def test_has_any_keyword(self):
+        criterion = has_any_keyword(["workflow", "pipeline"])
+        assert criterion.evaluate(_pub("a", "A Workflow study")).included
+        assert not criterion.evaluate(_pub("a", "Unrelated")).included
+
+    def test_has_all_keywords(self):
+        criterion = has_all_keywords(["workflow", "energy"])
+        assert criterion.evaluate(
+            _pub("a", "Energy-aware workflow scheduling")
+        ).included
+        assert not criterion.evaluate(_pub("a", "Workflow survey")).included
+
+    def test_combinators_and_failure_provenance(self):
+        criterion = year_between(2015, 2023) & has_any_keyword(["workflow"])
+        outcome = criterion.evaluate(_pub("a", "Nothing relevant", 2010))
+        assert not outcome.included
+        assert len(outcome.failed) == 2
+
+    def test_or_and_not(self):
+        criterion = has_any_keyword(["survey"]) | ~year_between(2015, 2023)
+        assert criterion.evaluate(_pub("a", "A survey", 2020)).included
+        assert criterion.evaluate(_pub("a", "T", 1999)).included
+        assert not criterion.evaluate(_pub("a", "T", 2020)).included
+
+    def test_venue_matches(self):
+        criterion = venue_matches("TPDS")
+        assert criterion.evaluate(_pub("a", "T", venue="IEEE tpds")).included
+
+    def test_min_length(self):
+        criterion = min_length(3)
+        assert criterion.evaluate(_pub("a", "T", abstract="one two three")).included
+        assert not criterion.evaluate(_pub("a", "T", abstract="short")).included
+
+    def test_language_is_lenient_on_missing(self):
+        criterion = language_is("english")
+        assert criterion.evaluate(_pub("a", "T")).included
+        assert not criterion.evaluate(_pub("a", "T", language="italian")).included
+
+    def test_predicate_decorator(self):
+        @predicate("custom")
+        def custom(item):
+            return item.year == 2020
+
+        assert custom.evaluate(_pub("a", "T", 2020)).included
+        assert custom.evaluate(_pub("a", "T", 2021)).failed == ("custom",)
+
+    def test_evaluation_error_wrapped(self):
+        @predicate("explodes")
+        def explodes(item):
+            raise RuntimeError("boom")
+
+        with pytest.raises(ScreeningError):
+            explodes.evaluate(_pub("a", "T"))
+
+
+class TestCohenKappa:
+    def test_perfect(self):
+        assert cohen_kappa(["a", "b", "a"], ["a", "b", "a"]) == pytest.approx(1.0)
+
+    def test_chance_level_near_zero(self):
+        # Independent labels with balanced marginals.
+        a = ["x", "x", "y", "y"]
+        b = ["x", "y", "x", "y"]
+        assert abs(cohen_kappa(a, b)) < 1e-9
+
+    def test_known_value(self):
+        # Classic 2x2 example: po = 0.7, pe = 0.5 -> kappa = 0.4.
+        a = ["y"] * 25 + ["y"] * 25 + ["n"] * 25 + ["n"] * 25
+        b = ["y"] * 25 + ["n"] * 25 + ["y"] * 10 + ["n"] * 15 + ["y"] * 15 + ["n"] * 10
+        # Construct explicitly: counts yy=20,yn=5,ny=10,nn=15 over 50.
+        a = ["y"] * 20 + ["y"] * 5 + ["n"] * 10 + ["n"] * 15
+        b = ["y"] * 20 + ["n"] * 5 + ["y"] * 10 + ["n"] * 15
+        kappa = cohen_kappa(a, b)
+        po = 35 / 50
+        pe = (25 / 50) * (30 / 50) + (25 / 50) * (20 / 50)
+        assert kappa == pytest.approx((po - pe) / (1 - pe))
+
+    def test_single_label_degenerate(self):
+        assert cohen_kappa(["a", "a"], ["a", "a"]) == 1.0
+
+    def test_weighted_kappa_orders_matter(self):
+        a = [1, 2, 3, 1, 2, 3]
+        near = [1, 2, 2, 1, 3, 3]
+        unweighted = cohen_kappa(a, near)
+        linear = cohen_kappa(a, near, weights="linear")
+        assert linear >= unweighted
+
+    def test_unknown_weights(self):
+        with pytest.raises(AgreementError):
+            cohen_kappa(["a"], ["a"], weights="cubic")
+
+    def test_length_mismatch(self):
+        with pytest.raises(AgreementError):
+            cohen_kappa(["a"], ["a", "b"])
+
+    def test_empty(self):
+        with pytest.raises(AgreementError):
+            cohen_kappa([], [])
+
+
+class TestFleissKappa:
+    def test_perfect(self):
+        rows = [{"a": 3}, {"b": 3}, {"a": 3}]
+        assert fleiss_kappa(rows) == pytest.approx(1.0)
+
+    def test_textbook_example(self):
+        # Fleiss (1971) example yields kappa ~= 0.21.
+        import numpy as np
+
+        matrix = np.array([
+            [0, 0, 0, 0, 14],
+            [0, 2, 6, 4, 2],
+            [0, 0, 3, 5, 6],
+            [0, 3, 9, 2, 0],
+            [2, 2, 8, 1, 1],
+            [7, 7, 0, 0, 0],
+            [3, 2, 6, 3, 0],
+            [2, 5, 3, 2, 2],
+            [6, 5, 2, 1, 0],
+            [0, 2, 2, 3, 7],
+        ])
+        assert fleiss_kappa(matrix) == pytest.approx(0.2099, abs=1e-3)
+
+    def test_unequal_raters_rejected(self):
+        with pytest.raises(AgreementError):
+            fleiss_kappa([{"a": 2}, {"a": 3}])
+
+    def test_single_rater_rejected(self):
+        with pytest.raises(AgreementError):
+            fleiss_kappa([{"a": 1}, {"b": 1}])
+
+
+class TestKrippendorff:
+    def test_perfect(self):
+        ratings = [["a", "b", "c"], ["a", "b", "c"]]
+        assert krippendorff_alpha(ratings) == pytest.approx(1.0)
+
+    def test_with_missing_data(self):
+        ratings = [
+            ["a", "a", None, "b"],
+            ["a", "a", "b", "b"],
+            [None, "a", "b", "b"],
+        ]
+        alpha = krippendorff_alpha(ratings)
+        assert alpha == pytest.approx(1.0)
+
+    def test_disagreement_lowers_alpha(self):
+        good = krippendorff_alpha([["a", "b"] * 10, ["a", "b"] * 10])
+        noisy = krippendorff_alpha([["a", "b"] * 10, ["b", "a"] * 10])
+        assert noisy < good
+
+    def test_validation(self):
+        with pytest.raises(AgreementError):
+            krippendorff_alpha([["a"]])
+        with pytest.raises(AgreementError):
+            krippendorff_alpha([["a"], ["a", "b"]])
+        with pytest.raises(AgreementError):
+            krippendorff_alpha([[None], [None]])
+
+
+class TestInterpretKappa:
+    @pytest.mark.parametrize(
+        "value,label",
+        [(-0.1, "poor"), (0.1, "slight"), (0.3, "fair"), (0.5, "moderate"),
+         (0.7, "substantial"), (0.9, "almost perfect")],
+    )
+    def test_bands(self, value, label):
+        assert interpret_kappa(value) == label
+
+    def test_out_of_range(self):
+        with pytest.raises(AgreementError):
+            interpret_kappa(1.5)
+
+
+class TestScreeningSession:
+    @pytest.fixture
+    def session(self):
+        return ScreeningSession(["p1", "p2", "p3"], ["alice", "bob"])
+
+    def test_record_and_conflicts(self, session):
+        session.decide("p1", "alice", Decision.INCLUDE)
+        session.decide("p1", "bob", Decision.INCLUDE)
+        session.decide("p2", "alice", Decision.INCLUDE)
+        session.decide("p2", "bob", Decision.EXCLUDE)
+        session.decide("p3", "alice", Decision.EXCLUDE)
+        session.decide("p3", "bob", Decision.EXCLUDE)
+        assert session.conflicts() == ("p2",)
+        assert session.is_complete()
+
+    def test_double_decision_rejected(self, session):
+        session.decide("p1", "alice", Decision.INCLUDE)
+        with pytest.raises(ScreeningError):
+            session.decide("p1", "alice", Decision.EXCLUDE)
+
+    def test_resolve_majority_needs_adjudication_on_tie(self, session):
+        for item in ("p1", "p2", "p3"):
+            session.decide(item, "alice", Decision.INCLUDE)
+            session.decide(item, "bob", Decision.EXCLUDE)
+        with pytest.raises(ScreeningError):
+            session.resolve()
+        session.adjudicate("p1", Decision.INCLUDE)
+        session.adjudicate("p2", Decision.EXCLUDE)
+        session.adjudicate("p3", Decision.EXCLUDE)
+        verdicts = session.resolve()
+        assert verdicts == {"p1": True, "p2": False, "p3": False}
+
+    def test_conservative_and_liberal(self, session):
+        for item in ("p1", "p2", "p3"):
+            session.decide(item, "alice", Decision.INCLUDE)
+        session.decide("p1", "bob", Decision.INCLUDE)
+        session.decide("p2", "bob", Decision.EXCLUDE)
+        session.decide("p3", "bob", Decision.EXCLUDE)
+        conservative = session.resolve(strategy="conservative")
+        liberal = session.resolve(strategy="liberal")
+        assert conservative == {"p1": True, "p2": False, "p3": False}
+        assert liberal == {"p1": True, "p2": True, "p3": True}
+
+    def test_resolve_requires_completion(self, session):
+        session.decide("p1", "alice", Decision.INCLUDE)
+        with pytest.raises(ScreeningError):
+            session.resolve()
+
+    def test_pairwise_kappa_and_raw_agreement(self, session):
+        for item, bob_vote in zip(
+            ("p1", "p2", "p3"),
+            (Decision.INCLUDE, Decision.EXCLUDE, Decision.EXCLUDE),
+        ):
+            session.decide(item, "alice", Decision.INCLUDE if item != "p3"
+                           else Decision.EXCLUDE)
+            session.decide(item, "bob", bob_vote)
+        assert 0.0 <= session.raw_agreement("alice", "bob") <= 1.0
+        assert -1.0 <= session.pairwise_kappa("alice", "bob") <= 1.0
+
+    def test_overall_kappa(self, session):
+        for item in session.items:
+            session.decide(item, "alice", Decision.INCLUDE)
+            session.decide(item, "bob", Decision.INCLUDE)
+        assert session.overall_kappa() == pytest.approx(1.0)
+
+    def test_apply_criterion(self):
+        pubs = [
+            _pub("p1", "Workflow scheduling"),
+            _pub("p2", "Unrelated topic"),
+        ]
+        session = ScreeningSession(["p1", "p2"], ["bot"])
+        session.apply_criterion("bot", has_any_keyword(["workflow"]), pubs)
+        assert session.decisions_for("p1")["bot"] is Decision.INCLUDE
+        assert session.decisions_for("p2")["bot"] is Decision.EXCLUDE
+
+    def test_validation(self):
+        with pytest.raises(ScreeningError):
+            ScreeningSession([], ["a"])
+        with pytest.raises(ScreeningError):
+            ScreeningSession(["i"], [])
+        with pytest.raises(ScreeningError):
+            ScreeningSession(["i", "i"], ["a"])
+        with pytest.raises(ScreeningError):
+            ReviewRecord("", "a", Decision.INCLUDE)

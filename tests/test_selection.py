@@ -1,0 +1,148 @@
+"""Unit tests for the selection matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import SelectionMatrix
+from repro.errors import SelectionError
+
+
+@pytest.fixture
+def small():
+    matrix = np.array(
+        [
+            [True, False, True],
+            [False, False, False],
+            [True, True, False],
+        ]
+    )
+    return SelectionMatrix(["t1", "t2", "t3"], ["a1", "a2", "a3"], matrix)
+
+
+class TestConstruction:
+    def test_shape_mismatch(self):
+        with pytest.raises(SelectionError):
+            SelectionMatrix(["t1"], ["a1", "a2"], np.zeros((2, 2), dtype=bool))
+
+    def test_duplicate_tools(self):
+        with pytest.raises(SelectionError):
+            SelectionMatrix(["t", "t"], ["a"], np.zeros((2, 1), dtype=bool))
+
+    def test_duplicate_applications(self):
+        with pytest.raises(SelectionError):
+            SelectionMatrix(["t"], ["a", "a"], np.zeros((1, 2), dtype=bool))
+
+    def test_matrix_copied_and_readonly(self, small):
+        with pytest.raises(ValueError):
+            small.matrix[0, 0] = False
+
+    def test_from_votes(self):
+        sm = SelectionMatrix.from_votes(
+            ["t1", "t2"], ["a1"], [("a1", "t2"), ("a1", "t2")]
+        )
+        assert sm.total_selections == 1
+        assert sm.is_selected("t2", "a1")
+
+    def test_from_votes_unknown_key(self):
+        with pytest.raises(SelectionError):
+            SelectionMatrix.from_votes(["t1"], ["a1"], [("a1", "ghost")])
+
+    def test_from_catalogs_row_order_is_table1_order(self, tools, applications, scheme, selection):
+        first_rows = selection.tool_keys[:3]
+        assert first_rows == ("bookedslurm", "ics", "jupyter-workflow")
+        assert selection.application_keys[0] == "software-heritage-compression"
+
+
+class TestAccessors:
+    def test_is_selected(self, small):
+        assert small.is_selected("t1", "a1")
+        assert not small.is_selected("t2", "a1")
+
+    def test_is_selected_unknown(self, small):
+        with pytest.raises(SelectionError):
+            small.is_selected("ghost", "a1")
+
+    def test_tools_of(self, small):
+        assert small.tools_of("a1") == ("t1", "t3")
+        with pytest.raises(SelectionError):
+            small.tools_of("ghost")
+
+    def test_applications_of(self, small):
+        assert small.applications_of("t3") == ("a1", "a2")
+        assert small.applications_of("t2") == ()
+
+    def test_total(self, small):
+        assert small.total_selections == 4
+
+
+class TestMarginals:
+    def test_votes_per_tool(self, small):
+        votes = small.votes_per_tool()
+        assert votes.to_dict() == {"t1": 2, "t2": 0, "t3": 2}
+
+    def test_selections_per_application(self, small):
+        per_app = small.selections_per_application()
+        assert per_app.to_dict() == {"a1": 2, "a2": 1, "a3": 1}
+
+    def test_votes_per_direction_matches_fig4(self, selection, tools, scheme):
+        votes = selection.votes_per_direction(tools, scheme)
+        assert votes.to_dict() == {
+            "interactive-computing": 4,
+            "orchestration": 11,
+            "energy-efficiency": 1,
+            "performance-portability": 6,
+            "big-data-management": 6,
+        }
+
+
+class TestAgreement:
+    def test_identity_agreement(self, small):
+        scores = small.agreement(small)
+        assert scores["accuracy"] == 1.0
+        assert scores["f1"] == 1.0
+        assert scores["jaccard"] == 1.0
+
+    def test_disjoint_predictions(self, small):
+        inverted = SelectionMatrix(
+            small.tool_keys, small.application_keys, ~small.matrix
+        )
+        scores = small.agreement(inverted)
+        assert scores["precision"] == 0.0
+        assert scores["recall"] == 0.0
+        assert scores["f1"] == 0.0
+
+    def test_mismatched_keys_rejected(self, small):
+        other = SelectionMatrix(["x"], ["a1"], np.zeros((1, 1), dtype=bool))
+        with pytest.raises(SelectionError):
+            small.agreement(other)
+
+    def test_partial_overlap(self, small):
+        predicted = np.array(
+            [
+                [True, False, False],
+                [False, False, False],
+                [True, True, True],
+            ]
+        )
+        scores = small.agreement(
+            SelectionMatrix(small.tool_keys, small.application_keys, predicted)
+        )
+        # tp=3, fp=1, fn=1
+        assert scores["precision"] == pytest.approx(0.75)
+        assert scores["recall"] == pytest.approx(0.75)
+        assert scores["jaccard"] == pytest.approx(3 / 5)
+
+
+class TestEquality:
+    def test_equal_and_hash(self, small):
+        clone = SelectionMatrix(
+            small.tool_keys, small.application_keys, small.matrix
+        )
+        assert small == clone
+        assert hash(small) == hash(clone)
+
+    def test_not_equal_different_cells(self, small):
+        other = SelectionMatrix(
+            small.tool_keys, small.application_keys, ~small.matrix
+        )
+        assert small != other

@@ -1,0 +1,89 @@
+"""Unit tests for the leave-one-out sensitivity analysis."""
+
+import pytest
+
+from repro.core.catalog import ApplicationCatalog, ToolCatalog
+from repro.core.entities import Application, Tool
+from repro.core.sensitivity import (
+    jackknife_shares,
+    leave_one_application_out,
+    leave_one_tool_out,
+)
+from repro.errors import ValidationError
+
+
+class TestLeaveOneApplicationOut:
+    @pytest.fixture(scope="class")
+    def loo(self, tools, applications, scheme):
+        return leave_one_application_out(tools, applications, scheme)
+
+    def test_paper_ranking_is_robust(self, loo):
+        # Orchestration stays first and energy last under every removal.
+        assert loo.top_stable
+        assert loo.bottom_stable
+        assert loo.breaking_cases == ()
+
+    def test_one_perturbation_per_application(self, loo, applications):
+        assert set(loo.perturbed) == set(applications.keys)
+
+    def test_perturbed_totals(self, loo, applications):
+        for app in applications:
+            removed = loo.perturbed[app.key]
+            assert removed.total == 28 - len(app.selected_tools)
+
+    def test_max_swing_bounded(self, loo):
+        assert 0.0 < loo.max_share_swing < 0.15
+
+    def test_needs_two_applications(self, tools, scheme):
+        single = ApplicationCatalog(
+            [Application("only", "Only", "3.1",
+                         selected_tools=("streamflow",))]
+        )
+        with pytest.raises(ValidationError):
+            leave_one_application_out(tools, single, scheme)
+
+
+class TestLeaveOneToolOut:
+    def test_supply_top_is_robust(self, tools, scheme):
+        loo = leave_one_tool_out(tools, scheme)
+        assert loo.top_stable  # orchestration has a 1-tool margin over PP/BD
+
+    def test_bottom_tie_breaks(self, tools, scheme):
+        # IC and EE tie at 3 tools; removing one energy tool makes EE the
+        # unique minimum, so the bottom category is NOT stable — a genuine
+        # fragility of the supply distribution the analysis must surface.
+        loo = leave_one_tool_out(tools, scheme)
+        assert not loo.bottom_stable
+        assert set(loo.breaking_cases) == {
+            "pesos", "lapegna-et-al", "de-lucia-et-al",
+        }
+
+    def test_needs_two_tools(self, scheme):
+        single = ToolCatalog([Tool("t", "T", "inst", "orchestration")])
+        with pytest.raises(ValidationError):
+            leave_one_tool_out(single, scheme)
+
+
+class TestJackknife:
+    def test_shares_and_errors(self, tools, applications, scheme):
+        jk = jackknife_shares(tools, applications, scheme)
+        assert set(jk) == set(scheme.keys)
+        for share, se in jk.values():
+            assert 0.0 <= share <= 1.0
+            assert se >= 0.0
+        # Orchestration's point estimate is the Fig. 4 share.
+        assert jk["orchestration"][0] == pytest.approx(11 / 28)
+
+    def test_orchestration_exceeds_energy_beyond_error(self, tools, applications, scheme):
+        jk = jackknife_shares(tools, applications, scheme)
+        orch_share, orch_se = jk["orchestration"]
+        energy_share, energy_se = jk["energy-efficiency"]
+        assert orch_share - orch_se > energy_share + energy_se
+
+    def test_needs_two_applications(self, tools, scheme):
+        single = ApplicationCatalog(
+            [Application("only", "Only", "3.1",
+                         selected_tools=("streamflow",))]
+        )
+        with pytest.raises(ValidationError):
+            jackknife_shares(tools, single, scheme)

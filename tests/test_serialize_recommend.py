@@ -1,0 +1,128 @@
+"""Unit tests for workflow serialization and collaboration recommendations."""
+
+import pytest
+
+from repro.continuum.resources import default_continuum
+from repro.continuum.scheduling import HeftScheduler
+from repro.continuum.serialize import (
+    load_workflow,
+    save_workflow,
+    schedule_to_dot,
+    workflow_from_dict,
+    workflow_to_dict,
+    workflow_to_dot,
+)
+from repro.continuum.workflow import Task, Workflow, random_workflow
+from repro.errors import SerializationError, ValidationError
+from repro.network.bipartite import institution_direction_graph
+from repro.network.recommend import complementarity, recommend_collaborations
+
+
+class TestWorkflowSerialization:
+    def test_roundtrip_preserves_everything(self):
+        original = Workflow(
+            "demo",
+            [
+                Task("a", 5.0, 2.0, frozenset({"gpu"})),
+                Task("b", 3.0),
+            ],
+            [("a", "b")],
+        )
+        restored = workflow_from_dict(workflow_to_dict(original))
+        assert restored.name == original.name
+        assert restored.edges == original.edges
+        assert restored["a"].requirements == frozenset({"gpu"})
+        assert restored["b"].work == 3.0
+
+    def test_random_workflow_roundtrip(self):
+        original = random_workflow(40, seed=12)
+        restored = workflow_from_dict(workflow_to_dict(original))
+        assert restored.edges == original.edges
+        assert [t.work for t in restored] == [t.work for t in original]
+
+    def test_file_roundtrip(self, tmp_path):
+        original = random_workflow(10, seed=3)
+        path = tmp_path / "wf.json"
+        save_workflow(original, path)
+        assert load_workflow(path).edges == original.edges
+
+    def test_bad_version(self):
+        with pytest.raises(SerializationError):
+            workflow_from_dict({"format_version": 99, "name": "x", "tasks": []})
+
+    def test_malformed_document(self):
+        with pytest.raises(SerializationError):
+            workflow_from_dict({"format_version": 1, "name": "x"})
+
+    def test_cycle_rejected_on_load(self):
+        document = {
+            "format_version": 1,
+            "name": "bad",
+            "tasks": [{"key": "a", "work": 1.0}, {"key": "b", "work": 1.0}],
+            "edges": [["a", "b"], ["b", "a"]],
+        }
+        with pytest.raises(Exception):
+            workflow_from_dict(document)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_workflow(tmp_path / "absent.json")
+
+
+class TestDotExport:
+    def test_workflow_dot_structure(self):
+        wf = Workflow("d", [Task("a", 1.0, 2.0), Task("b", 1.0)], [("a", "b")])
+        dot = workflow_to_dot(wf)
+        assert dot.startswith('digraph "d" {')
+        assert '"a" -> "b" [label="2"];' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_schedule_dot_clusters_by_resource(self):
+        wf = random_workflow(8, seed=5)
+        continuum = default_continuum(n_hpc=1, n_cloud=1, n_edge=1, seed=5)
+        schedule = HeftScheduler().schedule(wf, continuum)
+        dot = schedule_to_dot(schedule)
+        used = {p.resource for p in schedule.placements}
+        for resource in used:
+            assert f'label="{resource}"' in dot
+        assert dot.count("subgraph cluster_") == len(used)
+
+    def test_dot_escaping(self):
+        wf = Workflow('has"quote', [Task("t", 1.0)])
+        dot = workflow_to_dot(wf)
+        assert 'digraph "has\\"quote"' in dot
+
+
+class TestRecommendations:
+    @pytest.fixture(scope="class")
+    def graph(self, tools, scheme):
+        return institution_direction_graph(tools, scheme)
+
+    def test_top_pair_achieves_full_coverage(self, graph, scheme):
+        recommendations = recommend_collaborations(graph, top_k=3)
+        assert recommendations, "expected at least one recommendation"
+        best = recommendations[0]
+        # UNITO (IC, OR) + UNICAL (PP, BD) is the maximal-gain pairing.
+        assert best.institutions == ("unical", "unito")
+        assert best.gain == 2
+
+    def test_unipi_unito_covers_everything(self, graph, scheme):
+        entry = complementarity(graph, "unipi", "unito")
+        assert entry.joint_coverage == frozenset(scheme.keys)
+
+    def test_zero_gain_pairs_dropped(self, graph):
+        recommendations = recommend_collaborations(graph, top_k=100)
+        assert all(r.gain > 0 for r in recommendations)
+
+    def test_scores_sorted(self, graph):
+        recommendations = recommend_collaborations(graph, top_k=100)
+        scores = [r.score for r in recommendations]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_validation(self, graph):
+        with pytest.raises(ValidationError):
+            complementarity(graph, "unito", "unito")
+        with pytest.raises(ValidationError):
+            complementarity(graph, "unito", "ghost")
+        with pytest.raises(ValidationError):
+            recommend_collaborations(graph, top_k=0)

@@ -1,0 +1,102 @@
+"""Unit tests for string/set similarity measures."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.text.similarity import (
+    cosine_counts,
+    dice,
+    jaccard,
+    levenshtein,
+    normalized_levenshtein,
+    token_sort_ratio,
+)
+
+
+def reference_levenshtein(a: str, b: str) -> int:
+    previous = list(range(len(b) + 1))
+    for i in range(1, len(a) + 1):
+        current = [i] + [0] * len(b)
+        for j in range(1, len(b) + 1):
+            current[j] = min(
+                previous[j - 1] + (a[i - 1] != b[j - 1]),
+                previous[j] + 1,
+                current[j - 1] + 1,
+            )
+        previous = current
+    return previous[len(b)]
+
+
+class TestLevenshtein:
+    def test_classic(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_identity(self):
+        assert levenshtein("same", "same") == 0
+
+    def test_empty(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+        assert levenshtein("", "") == 0
+
+    def test_symmetry(self):
+        assert levenshtein("flaw", "lawn") == levenshtein("lawn", "flaw")
+
+    def test_unicode(self):
+        assert levenshtein("caffè", "caffe") == 1
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ("streamflow", "stream flow"),
+            ("abcdabcd", "dcba"),
+            ("x" * 30, "y" * 10),
+            ("workflow", "workflows"),
+        ],
+    )
+    def test_against_reference(self, a, b):
+        assert levenshtein(a, b) == reference_levenshtein(a, b)
+
+    def test_normalized_bounds(self):
+        assert normalized_levenshtein("abc", "abc") == 0.0
+        assert normalized_levenshtein("abc", "xyz") == 1.0
+        assert normalized_levenshtein("", "") == 0.0
+
+
+class TestSetSimilarity:
+    def test_jaccard(self):
+        assert jaccard({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+        assert jaccard(set(), set()) == 1.0
+        assert jaccard({1}, set()) == 0.0
+
+    def test_dice(self):
+        assert dice({1, 2}, {2, 3}) == pytest.approx(0.5)
+        assert dice(set(), set()) == 1.0
+
+    def test_dice_geq_jaccard(self):
+        a, b = {1, 2, 3}, {2, 3, 4, 5}
+        assert dice(a, b) >= jaccard(a, b)
+
+
+class TestCosine:
+    def test_parallel(self):
+        assert cosine_counts([1, 2], [2, 4]) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_counts([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_zero_vector(self):
+        assert cosine_counts([0, 0], [1, 2]) == 0.0
+
+    def test_misaligned(self):
+        with pytest.raises(ValidationError):
+            cosine_counts([1], [1, 2])
+
+
+class TestTokenSortRatio:
+    def test_reordering_invariant(self):
+        assert token_sort_ratio("cloud HPC convergence",
+                                "HPC cloud convergence") == pytest.approx(1.0)
+
+    def test_dissimilar(self):
+        assert token_sort_ratio("alpha beta", "gamma delta") < 0.5

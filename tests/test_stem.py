@@ -1,0 +1,79 @@
+"""Unit tests for the Porter stemmer (canonical examples from Porter 1980)."""
+
+import pytest
+
+from repro.text.stem import porter_stem, stem_tokens
+
+# (word, expected stem) pairs from the examples in Porter's paper, step by step.
+CANONICAL = [
+    # Step 1a
+    ("caresses", "caress"), ("ponies", "poni"), ("ties", "ti"),
+    ("caress", "caress"), ("cats", "cat"),
+    # Step 1b
+    ("feed", "feed"), ("agreed", "agre"), ("plastered", "plaster"),
+    ("bled", "bled"), ("motoring", "motor"), ("sing", "sing"),
+    ("conflated", "conflat"), ("troubled", "troubl"), ("sized", "size"),
+    ("hopping", "hop"), ("tanned", "tan"), ("falling", "fall"),
+    ("hissing", "hiss"), ("fizzed", "fizz"), ("failing", "fail"),
+    ("filing", "file"),
+    # Step 1c
+    ("happy", "happi"), ("sky", "sky"),
+    # Step 2
+    ("relational", "relat"), ("conditional", "condit"), ("rational", "ration"),
+    ("valenci", "valenc"), ("hesitanci", "hesit"), ("digitizer", "digit"),
+    ("conformabli", "conform"), ("radicalli", "radic"),
+    ("differentli", "differ"), ("vileli", "vile"), ("analogousli", "analog"),
+    ("vietnamization", "vietnam"), ("predication", "predic"),
+    ("operator", "oper"), ("feudalism", "feudal"),
+    ("decisiveness", "decis"), ("hopefulness", "hope"),
+    ("callousness", "callous"), ("formaliti", "formal"),
+    ("sensitiviti", "sensit"), ("sensibiliti", "sensibl"),
+    # Step 3
+    ("triplicate", "triplic"), ("formative", "form"), ("formalize", "formal"),
+    ("electriciti", "electr"), ("electrical", "electr"), ("hopeful", "hope"),
+    ("goodness", "good"),
+    # Step 4
+    ("revival", "reviv"), ("allowance", "allow"), ("inference", "infer"),
+    ("airliner", "airlin"), ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"), ("defensible", "defens"), ("irritant", "irrit"),
+    ("replacement", "replac"), ("adjustment", "adjust"),
+    ("dependent", "depend"), ("adoption", "adopt"), ("homologou", "homolog"),
+    ("communism", "commun"), ("activate", "activ"),
+    ("angulariti", "angular"), ("homologous", "homolog"),
+    ("effective", "effect"), ("bowdlerize", "bowdler"),
+    # Step 5
+    ("probate", "probat"), ("rate", "rate"), ("cease", "ceas"),
+    ("controll", "control"), ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", CANONICAL)
+def test_canonical_examples(word, expected):
+    assert porter_stem(word) == expected
+
+
+class TestEdgeCases:
+    def test_short_words_unchanged(self):
+        assert porter_stem("a") == "a"
+        assert porter_stem("is") == "is"
+
+    def test_non_alpha_unchanged(self):
+        assert porter_stem("risc-v") == "risc-v"
+        assert porter_stem("2023") == "2023"
+        assert porter_stem("tf-idf") == "tf-idf"
+
+    def test_conflates_domain_variants(self):
+        assert porter_stem("orchestration") == porter_stem("orchestrate")
+        assert porter_stem("scheduling") == porter_stem("schedule")
+
+    def test_idempotent_on_dataset_vocabulary(self, tools):
+        from repro.text.tokenize import tokenize
+
+        for tool in tools:
+            for token in tokenize(tool.description):
+                once = porter_stem(token)
+                assert porter_stem(once) in (once, porter_stem(once))
+
+    def test_stem_tokens_preserves_length(self):
+        tokens = ["running", "jumps", "quickly"]
+        assert len(stem_tokens(tokens)) == 3

@@ -1,0 +1,145 @@
+"""Integration tests: protocol, staged pipeline, full ICSC replication, reporting."""
+
+import pytest
+
+from repro.core.protocol import ResearchQuestion, StudyProtocol, icsc_protocol
+from repro.core.study import MappingStudy, StudyStage, run_icsc_study
+from repro.core.taxonomy import workflow_directions
+from repro.data.icsc import icsc_applications, icsc_institutions, icsc_tools
+from repro.errors import StudyError, ValidationError
+from repro.reporting.report import study_report
+
+
+class TestProtocol:
+    def test_icsc_protocol_shape(self):
+        protocol = icsc_protocol()
+        assert len(protocol.questions) == 3
+        assert protocol.question("q2").text.startswith("Which research")
+        assert len(protocol.scheme) == 5
+
+    def test_unknown_question(self):
+        with pytest.raises(ValidationError):
+            icsc_protocol().question("q9")
+
+    def test_validation(self):
+        scheme = workflow_directions()
+        with pytest.raises(ValidationError):
+            StudyProtocol("", (ResearchQuestion("q1", "?"),), scheme)
+        with pytest.raises(ValidationError):
+            StudyProtocol("T", (), scheme)
+        with pytest.raises(ValidationError):
+            StudyProtocol(
+                "T",
+                (ResearchQuestion("q1", "?"), ResearchQuestion("q1", "again")),
+                scheme,
+            )
+
+
+class TestPipelineStaging:
+    def test_stage_transitions(self):
+        study = MappingStudy(icsc_protocol())
+        assert study.stage is StudyStage.PLANNED
+        study.collect(icsc_institutions(), icsc_tools(), icsc_applications())
+        assert study.stage is StudyStage.COLLECTED
+        study.classify()
+        assert study.stage is StudyStage.CLASSIFIED
+        study.survey()
+        assert study.stage is StudyStage.SURVEYED
+        results = study.analyze()
+        assert study.stage is StudyStage.ANALYZED
+        assert results.selection.total_selections == 28
+
+    def test_out_of_order_rejected(self):
+        study = MappingStudy(icsc_protocol())
+        with pytest.raises(StudyError):
+            study.classify()
+        with pytest.raises(StudyError):
+            study.survey()
+        with pytest.raises(StudyError):
+            study.analyze()
+
+    def test_double_collect_rejected(self):
+        study = MappingStudy(icsc_protocol())
+        study.collect(icsc_institutions(), icsc_tools(), icsc_applications())
+        with pytest.raises(StudyError):
+            study.collect(icsc_institutions(), icsc_tools(), icsc_applications())
+
+    def test_accessors_before_collect(self):
+        study = MappingStudy(icsc_protocol())
+        with pytest.raises(StudyError):
+            study.tools
+        with pytest.raises(StudyError):
+            study.responses
+
+
+class TestFullReplication:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_icsc_study(seed=2023)
+
+    def test_q1(self, results):
+        assert results.q1.n_directions == 5
+
+    def test_q2_matches_paper(self, results):
+        assert tuple(results.q2.distribution.values) == (3, 7, 3, 6, 6)
+        assert results.q2.majority_single_topic
+        assert results.q2.full_coverage_institutions == 0
+
+    def test_q3_matches_paper(self, results):
+        assert tuple(results.q3.votes.values) == (4, 11, 1, 6, 6)
+        assert results.q3.top_direction == "orchestration"
+        assert results.q3.bottom_direction == "energy-efficiency"
+
+    def test_classifier_check_ran(self, results):
+        evaluation = results.classifier_evaluation
+        assert evaluation is not None
+        assert evaluation.accuracy == 1.0
+
+    def test_tables_regenerated(self, results):
+        assert results.table1.header[1] == "Orchestration"
+        body = "\n".join("".join(r) for r in results.table2.rows)
+        assert body.count("✓") == 28
+
+    def test_report_contains_key_findings(self, results):
+        report = study_report(results, workflow_directions())
+        assert "Orchestration" in report
+        assert "28.0%" in report
+        assert "Most demanded direction: **Orchestration**" in report
+        assert "accuracy 1.00" in report
+
+    def test_deterministic(self, results):
+        again = run_icsc_study(seed=2023)
+        assert (
+            again.comparison.permutation.p_value
+            == results.comparison.permutation.p_value
+        )
+
+
+class TestArtifactRendering:
+    def test_render_all_artifacts(self, ecosystem, tmp_path):
+        from repro.data.icsc import spoke1_structure
+        from repro.reporting.figures import render_all_artifacts
+
+        _, tools, applications, scheme = ecosystem
+        artifacts = render_all_artifacts(
+            tools, applications, scheme, tmp_path, spoke1=spoke1_structure()
+        )
+        expected = {
+            "fig1", "fig2", "fig3", "fig4", "comparison",
+            "table1_md", "table1_tex", "table2_md", "table2_tex",
+            "table2_grid", "table2_csv", "fig2_csv", "fig3_csv", "fig4_csv",
+        }
+        assert expected <= set(artifacts)
+        for path in artifacts.values():
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+    def test_spoke1_figure_wellformed(self):
+        import xml.dom.minidom
+
+        from repro.data.icsc import spoke1_structure
+        from repro.reporting.figures import render_spoke1_figure
+
+        xml.dom.minidom.parseString(
+            render_spoke1_figure(spoke1_structure()).render()
+        )

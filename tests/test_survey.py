@@ -1,0 +1,195 @@
+"""Unit tests for the survey substrate."""
+
+import pytest
+
+from repro.core.selection import SelectionMatrix
+from repro.errors import ResponseValidationError, SurveyError, ValidationError
+from repro.survey.aggregate import (
+    likert_summary,
+    option_counts,
+    run_tool_selection_survey,
+    selection_matrix_from_responses,
+)
+from repro.survey.instrument import (
+    FreeTextQuestion,
+    LikertQuestion,
+    MultiChoiceQuestion,
+    Questionnaire,
+    SingleChoiceQuestion,
+    tool_selection_questionnaire,
+)
+from repro.survey.response import Response, ResponseSet
+
+
+@pytest.fixture
+def questionnaire():
+    return Questionnaire(
+        "demo",
+        "Demo survey",
+        [
+            SingleChoiceQuestion("color", "Pick one", options=("red", "blue")),
+            MultiChoiceQuestion(
+                "tools", "Pick some", options=("a", "b", "c"),
+                min_choices=1, max_choices=2, required=False,
+            ),
+            LikertQuestion("satisfaction", "Rate it", required=False),
+            FreeTextQuestion("notes", "Anything else?", required=False),
+        ],
+    )
+
+
+class TestQuestions:
+    def test_single_choice_validation(self):
+        q = SingleChoiceQuestion("k", "p", options=("x", "y"))
+        assert q.validate_answer("x") == "x"
+        with pytest.raises(ResponseValidationError):
+            q.validate_answer("z")
+        with pytest.raises(ResponseValidationError):
+            q.validate_answer(["x"])
+
+    def test_single_choice_needs_two_options(self):
+        with pytest.raises(ValidationError):
+            SingleChoiceQuestion("k", "p", options=("only",))
+
+    def test_multi_choice_bounds(self):
+        q = MultiChoiceQuestion("k", "p", options=("a", "b", "c"),
+                                min_choices=1, max_choices=2)
+        assert q.validate_answer(["a", "b"]) == ("a", "b")
+        with pytest.raises(ResponseValidationError):
+            q.validate_answer([])
+        with pytest.raises(ResponseValidationError):
+            q.validate_answer(["a", "b", "c"])
+        with pytest.raises(ResponseValidationError):
+            q.validate_answer(["a", "a"])
+        with pytest.raises(ResponseValidationError):
+            q.validate_answer("a")  # bare string is ambiguous
+
+    def test_multi_choice_bad_bounds(self):
+        with pytest.raises(ValidationError):
+            MultiChoiceQuestion("k", "p", options=("a",), min_choices=2,
+                                max_choices=1)
+
+    def test_likert(self):
+        q = LikertQuestion("k", "p", scale=5)
+        assert q.validate_answer(3) == 3
+        with pytest.raises(ResponseValidationError):
+            q.validate_answer(6)
+        with pytest.raises(ResponseValidationError):
+            q.validate_answer(True)  # bool is not a rating
+
+    def test_free_text(self):
+        q = FreeTextQuestion("k", "p", max_length=5)
+        assert q.validate_answer("  ok ") == "ok"
+        with pytest.raises(ResponseValidationError):
+            q.validate_answer("toolongtext")
+        with pytest.raises(ResponseValidationError):
+            q.validate_answer(42)
+
+    def test_free_text_required_empty(self):
+        q = FreeTextQuestion("k", "p", required=True)
+        with pytest.raises(ResponseValidationError):
+            q.validate_answer("   ")
+
+
+class TestQuestionnaire:
+    def test_duplicate_question_key(self, questionnaire):
+        with pytest.raises(SurveyError):
+            questionnaire.add(FreeTextQuestion("notes", "again"))
+
+    def test_lookup(self, questionnaire):
+        assert questionnaire["color"].prompt == "Pick one"
+        with pytest.raises(SurveyError):
+            questionnaire["ghost"]
+
+    def test_required_keys(self, questionnaire):
+        assert questionnaire.required_keys == ("color",)
+
+
+class TestResponse:
+    def test_missing_required_rejected(self, questionnaire):
+        with pytest.raises(ResponseValidationError):
+            Response(questionnaire, "r1", {"notes": "hi"})
+
+    def test_unknown_question_rejected(self, questionnaire):
+        with pytest.raises(ResponseValidationError):
+            Response(questionnaire, "r1", {"color": "red", "ghost": 1})
+
+    def test_answers_validated(self, questionnaire):
+        with pytest.raises(ResponseValidationError):
+            Response(questionnaire, "r1", {"color": "green"})
+
+    def test_lookup_and_answered(self, questionnaire):
+        response = Response(questionnaire, "r1",
+                            {"color": "red", "tools": ["a"]})
+        assert response["color"] == "red"
+        assert response.answered("tools")
+        assert not response.answered("notes")
+        with pytest.raises(SurveyError):
+            response["notes"]
+        assert response.get("notes", "none") == "none"
+
+
+class TestResponseSet:
+    def test_duplicate_respondent(self, questionnaire):
+        responses = ResponseSet(questionnaire)
+        responses.submit("r1", {"color": "red"})
+        with pytest.raises(SurveyError):
+            responses.submit("r1", {"color": "blue"})
+
+    def test_completion_rate(self, questionnaire):
+        responses = ResponseSet(questionnaire)
+        responses.submit("r1", {"color": "red", "satisfaction": 4})
+        responses.submit("r2", {"color": "blue"})
+        assert responses.completion_rate("satisfaction") == pytest.approx(0.5)
+        assert responses.completion_rate("color") == 1.0
+
+    def test_completion_rate_empty(self, questionnaire):
+        with pytest.raises(SurveyError):
+            ResponseSet(questionnaire).completion_rate("color")
+
+
+class TestAggregation:
+    def test_option_counts(self, questionnaire):
+        responses = ResponseSet(questionnaire)
+        responses.submit("r1", {"color": "red", "tools": ["a", "b"]})
+        responses.submit("r2", {"color": "red"})
+        assert option_counts(responses, "color").to_dict() == {"red": 2, "blue": 0}
+        assert option_counts(responses, "tools").to_dict() == {"a": 1, "b": 1, "c": 0}
+
+    def test_option_counts_wrong_kind(self, questionnaire):
+        responses = ResponseSet(questionnaire)
+        responses.submit("r1", {"color": "red"})
+        with pytest.raises(SurveyError):
+            option_counts(responses, "notes")
+
+    def test_likert_summary(self, questionnaire):
+        responses = ResponseSet(questionnaire)
+        responses.submit("r1", {"color": "red", "satisfaction": 4})
+        responses.submit("r2", {"color": "red", "satisfaction": 2})
+        stats = likert_summary(responses, "satisfaction")
+        assert stats["mean"] == pytest.approx(3.0)
+        assert stats["n"] == 2
+
+    def test_likert_summary_no_answers(self, questionnaire):
+        responses = ResponseSet(questionnaire)
+        responses.submit("r1", {"color": "red"})
+        with pytest.raises(SurveyError):
+            likert_summary(responses, "satisfaction")
+
+
+class TestToolSelectionSurvey:
+    def test_reproduces_table2(self, tools, applications, scheme, selection):
+        _, responses = run_tool_selection_survey(tools, applications)
+        assert len(responses) == 10
+        ordered = [
+            t.key for d in scheme.keys for t in tools.by_direction(d)
+        ]
+        matrix = selection_matrix_from_responses(
+            responses, ordered,
+            name_to_key={t.name: t.key for t in tools},
+        )
+        assert matrix == selection
+
+    def test_questionnaire_covers_all_tools(self, tools):
+        questionnaire = tool_selection_questionnaire([t.name for t in tools])
+        assert len(questionnaire["selected-tools"].options) == 25

@@ -1,0 +1,122 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.core.catalog import validate_ecosystem
+from repro.core.classification import KeywordClassifier, evaluate_classifier
+from repro.corpus.dedup import find_duplicates
+from repro.data.synthetic import (
+    synthetic_corpus,
+    synthetic_ecosystem,
+    synthetic_ratings,
+)
+from repro.errors import ValidationError
+from repro.screening.agreement import fleiss_kappa
+
+
+class TestSyntheticEcosystem:
+    def test_validates(self):
+        institutions, tools, applications, scheme = synthetic_ecosystem(seed=1)
+        validate_ecosystem(institutions, tools, applications, scheme)
+        assert len(tools) == 25
+        assert len(applications) == 10
+
+    def test_deterministic(self):
+        _, tools_a, _, _ = synthetic_ecosystem(seed=3)
+        _, tools_b, _, _ = synthetic_ecosystem(seed=3)
+        assert [t.description for t in tools_a] == [t.description for t in tools_b]
+
+    def test_different_seeds_differ(self):
+        _, tools_a, _, _ = synthetic_ecosystem(seed=1)
+        _, tools_b, _, _ = synthetic_ecosystem(seed=2)
+        assert [t.primary_direction for t in tools_a] != [
+            t.primary_direction for t in tools_b
+        ]
+
+    def test_descriptions_carry_signal(self):
+        _, tools, _, scheme = synthetic_ecosystem(n_tools=100, seed=5)
+        classifier = KeywordClassifier(scheme)
+        predictions = classifier.classify_many([t.description for t in tools])
+        gold = [t.primary_direction for t in tools]
+        evaluation = evaluate_classifier(predictions, gold, scheme)
+        assert evaluation.accuracy > 0.7
+
+    def test_every_application_selects_something(self):
+        _, _, applications, _ = synthetic_ecosystem(
+            seed=7, selection_rate=0.0
+        )
+        assert all(len(a.selected_tools) >= 1 for a in applications)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            synthetic_ecosystem(n_tools=0)
+        with pytest.raises(ValidationError):
+            synthetic_ecosystem(selection_rate=1.5)
+
+
+class TestSyntheticCorpus:
+    def test_size_and_determinism(self):
+        a = synthetic_corpus(50, seed=2)
+        b = synthetic_corpus(50, seed=2)
+        assert len(a) == 50
+        assert [p.title for p in a] == [p.title for p in b]
+
+    def test_injected_duplicates_found(self):
+        corpus = synthetic_corpus(100, seed=4, duplicate_fraction=0.2)
+        clusters = find_duplicates(list(corpus))
+        clustered = sum(len(c) for c in clusters)
+        # 20 duplicates injected; most should be recovered.
+        assert clustered >= 30  # 15+ clusters of >= 2
+
+    def test_no_duplicates_by_default(self):
+        corpus = synthetic_corpus(60, seed=1)
+        clusters = find_duplicates(list(corpus))
+        # Titles carry a unique index, so no spurious merges.
+        assert clusters == []
+
+    def test_year_range_respected(self):
+        corpus = synthetic_corpus(40, seed=0, year_range=(2010, 2012))
+        lo, hi = corpus.year_range()
+        assert lo >= 2010 and hi <= 2013  # +1 from duplicate mutation absent here
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            synthetic_corpus(0)
+        with pytest.raises(ValidationError):
+            synthetic_corpus(10, duplicate_fraction=1.0)
+        with pytest.raises(ValidationError):
+            synthetic_corpus(10, year_range=(2020, 2010))
+
+
+class TestSyntheticRatings:
+    def test_shape(self):
+        ratings = synthetic_ratings(50, 3, 4, seed=0)
+        assert len(ratings) == 3
+        assert all(len(r) == 50 for r in ratings)
+
+    def test_agreement_monotone_in_parameter(self):
+        def kappa_at(agreement):
+            ratings = synthetic_ratings(
+                400, 3, 5, agreement=agreement, seed=9
+            )
+            rows = []
+            for i in range(400):
+                counts = {}
+                for rater in ratings:
+                    counts[rater[i]] = counts.get(rater[i], 0) + 1
+                rows.append(counts)
+            return fleiss_kappa(rows)
+
+        assert kappa_at(0.95) > kappa_at(0.6) > kappa_at(0.3)
+
+    def test_perfect_agreement(self):
+        ratings = synthetic_ratings(30, 2, 3, agreement=1.0, seed=1)
+        assert ratings[0] == ratings[1]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            synthetic_ratings(0)
+        with pytest.raises(ValidationError):
+            synthetic_ratings(10, 1)
+        with pytest.raises(ValidationError):
+            synthetic_ratings(10, 2, 5, agreement=1.5)

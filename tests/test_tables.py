@@ -1,0 +1,107 @@
+"""Unit tests for table rendering and the Table 1/2 generators."""
+
+import pytest
+
+from repro.errors import RenderError
+from repro.tables.render import TextTable
+from repro.tables.table1 import build_table1, table1_columns
+from repro.tables.table2 import build_table2
+
+
+class TestTextTable:
+    def test_row_length_enforced(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(RenderError):
+            table.add_row(["only-one"])
+
+    def test_needs_columns(self):
+        with pytest.raises(RenderError):
+            TextTable([])
+
+    def test_to_text_aligned(self):
+        table = TextTable(["name", "n"], [["alpha", "1"], ["b", "22"]])
+        lines = table.to_text().splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_to_markdown(self):
+        table = TextTable(["a|x", "b"], [["1", "2"]], caption="Cap")
+        md = table.to_markdown()
+        assert "**Cap**" in md
+        assert "a\\|x" in md
+        assert "| 1 | 2 |" in md
+
+    def test_to_latex_escapes(self):
+        table = TextTable(["A & B"], [["50%"]], caption="C_1")
+        tex = table.to_latex()
+        assert r"A \& B" in tex
+        assert r"50\%" in tex
+        assert r"\caption{C\_1}" in tex
+        assert r"\begin{table}" in tex
+
+    def test_to_latex_no_caption_is_bare_tabular(self):
+        tex = TextTable(["a"], [["x"]]).to_latex()
+        assert r"\begin{table}" not in tex
+        assert r"\begin{tabular}{l}" in tex
+
+    def test_column_access(self):
+        table = TextTable(["a", "b"], [["1", "2"], ["3", "4"]])
+        assert table.column(1) == ("2", "4")
+        with pytest.raises(RenderError):
+            table.column(5)
+
+
+class TestTable1:
+    def test_columns_match_published(self, tools, scheme):
+        columns = table1_columns(tools, scheme)
+        assert columns["energy-efficiency"] == (
+            "PESOS", "Lapegna et al.", "De Lucia et al.",
+        )
+
+    def test_structure(self, tools, scheme):
+        table = build_table1(tools, scheme)
+        assert table.header == scheme.names
+        assert len(table.rows) == 7  # orchestration is the deepest column
+        # First row is the first tool of each direction.
+        assert table.rows[0] == (
+            "BookedSlurm", "TORCH", "PESOS", "FastFlow", "ParSoDA",
+        )
+        # Short columns padded with blanks.
+        assert table.rows[6] == ("", "MoveQUIC", "", "", "")
+
+    def test_renders_everywhere(self, tools, scheme):
+        table = build_table1(tools, scheme)
+        assert "BookedSlurm" in table.to_text()
+        assert "BookedSlurm" in table.to_markdown()
+        assert "BookedSlurm" in table.to_latex()
+
+
+class TestTable2:
+    def test_checkmark_count(self, tools, applications, scheme):
+        table = build_table2(tools, applications, scheme)
+        body = "\n".join("".join(row) for row in table.rows)
+        assert body.count("✓") == 28
+
+    def test_header_sections(self, tools, applications, scheme):
+        table = build_table2(tools, applications, scheme)
+        assert table.header[2:] == tuple(
+            a.section for a in applications.ordered()
+        )
+
+    def test_direction_label_only_on_first_row(self, tools, applications, scheme):
+        table = build_table2(tools, applications, scheme)
+        direction_cells = table.column(0)
+        non_empty = [c for c in direction_cells if c]
+        assert non_empty == [
+            "Interactive computing", "Orchestration", "Energy efficiency",
+            "Performance portability", "Big Data management",
+        ]
+
+    def test_streamflow_row(self, tools, applications, scheme):
+        table = build_table2(tools, applications, scheme)
+        row = next(r for r in table.rows if r[1] == "StreamFlow")
+        checked_sections = [
+            table.header[i] for i, cell in enumerate(row) if cell == "✓"
+        ]
+        assert checked_sections == ["3.2", "3.3", "3.10"]

@@ -1,0 +1,123 @@
+"""Unit tests for classification schemes."""
+
+import pytest
+
+from repro.core.taxonomy import (
+    Category,
+    ClassificationScheme,
+    DIRECTION_KEYS,
+    Facet,
+    workflow_directions,
+)
+from repro.errors import TaxonomyError, UnknownCategoryError, ValidationError
+
+
+class TestCategory:
+    def test_keywords_lowercased(self):
+        cat = Category("k", "K", keywords=("TOSCA", "FaaS"))
+        assert cat.keywords == ("tosca", "faas")
+        assert cat.matches_keyword("Tosca")
+
+    def test_rejects_uppercase_key(self):
+        with pytest.raises(ValidationError):
+            Category("Key", "K")
+
+    def test_rejects_key_with_space(self):
+        with pytest.raises(ValidationError):
+            Category("a key", "K")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            Category("k", "")
+
+
+class TestFacet:
+    def test_valid(self):
+        facet = Facet("research-direction", "Research direction")
+        assert facet.key == "research-direction"
+
+    def test_rejects_bad_key(self):
+        with pytest.raises(ValidationError):
+            Facet("Research Direction", "x")
+
+
+class TestClassificationScheme:
+    def test_order_preserved(self):
+        scheme = ClassificationScheme(
+            [Category("b", "B"), Category("a", "A")]
+        )
+        assert scheme.keys == ("b", "a")
+        assert scheme.names == ("B", "A")
+
+    def test_duplicate_key_rejected(self):
+        scheme = ClassificationScheme([Category("a", "A")])
+        with pytest.raises(TaxonomyError):
+            scheme.add(Category("a", "A2"))
+
+    def test_getitem_unknown(self):
+        scheme = ClassificationScheme([Category("a", "A")])
+        with pytest.raises(UnknownCategoryError):
+            scheme["nope"]
+
+    def test_unknown_category_str_is_readable(self):
+        scheme = ClassificationScheme([Category("a", "A")])
+        try:
+            scheme["nope"]
+        except UnknownCategoryError as exc:
+            assert "nope" in str(exc)
+
+    def test_index(self):
+        scheme = workflow_directions()
+        assert scheme.index("orchestration") == 1
+        with pytest.raises(UnknownCategoryError):
+            scheme.index("nope")
+
+    def test_validate_passes_and_fails(self):
+        scheme = workflow_directions()
+        assert scheme.validate(["orchestration"]) == ("orchestration",)
+        with pytest.raises(UnknownCategoryError):
+            scheme.validate(["orchestration", "nope"])
+
+    def test_keyword_index_conflict(self):
+        scheme = ClassificationScheme(
+            [
+                Category("a", "A", keywords=("shared",)),
+                Category("b", "B", keywords=("shared",)),
+            ]
+        )
+        with pytest.raises(TaxonomyError):
+            scheme.keyword_index()
+
+    def test_keyword_index_maps_owner(self):
+        scheme = workflow_directions()
+        index = scheme.keyword_index()
+        assert index["tosca"] == "orchestration"
+        assert index["jupyter"] == "interactive-computing"
+
+    def test_subscheme(self):
+        scheme = workflow_directions()
+        sub = scheme.subscheme(["energy-efficiency", "orchestration"])
+        assert sub.keys == ("energy-efficiency", "orchestration")
+        assert len(sub) == 2
+
+    def test_contains_and_len(self):
+        scheme = workflow_directions()
+        assert "orchestration" in scheme
+        assert "nope" not in scheme
+        assert len(scheme) == 5
+
+
+class TestWorkflowDirections:
+    def test_five_directions_in_paper_order(self):
+        scheme = workflow_directions()
+        assert scheme.keys == DIRECTION_KEYS
+        assert scheme.names[0] == "Interactive computing"
+        assert scheme.names[-1] == "Big Data management"
+
+    def test_every_category_has_keywords_and_description(self):
+        for category in workflow_directions():
+            assert category.keywords
+            assert category.description
+
+    def test_facet_set(self):
+        assert workflow_directions().facet.key == "research-direction"

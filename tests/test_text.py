@@ -1,0 +1,127 @@
+"""Unit tests for tokenization, stopwords, and keyword extraction."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.text.keywords import Keyword, extract_keywords, keyword_overlap
+from repro.text.stopwords import STOPWORDS, is_stopword, remove_stopwords
+from repro.text.tokenize import ngrams, sentences, tokenize, word_spans
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("HPC Cloud") == ["hpc", "cloud"]
+
+    def test_compound_splitting(self):
+        assert tokenize("multi-cloud") == ["multi-cloud", "multi", "cloud"]
+
+    def test_compound_splitting_disabled(self):
+        assert tokenize("multi-cloud", split_compounds=False) == ["multi-cloud"]
+
+    def test_apostrophes_kept(self):
+        assert "provider's" in tokenize("the provider's view")
+
+    def test_numbers(self):
+        assert tokenize("RISC-V 2023") == ["risc-v", "risc", "v", "2023"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_punctuation_stripped(self):
+        assert tokenize("a, b; c!") == ["a", "b", "c"]
+
+
+class TestWordSpans:
+    def test_spans_cover_tokens(self):
+        text = "Cloud HPC"
+        spans = list(word_spans(text))
+        assert spans == [("cloud", 0, 5), ("hpc", 6, 9)]
+
+
+class TestSentences:
+    def test_splits_on_terminal_punctuation(self):
+        text = "First sentence. Second one! Third?"
+        assert len(sentences(text)) == 3
+
+    def test_abbreviation_not_split_without_capital(self):
+        text = "approx. values are fine."
+        assert len(sentences(text)) == 1
+
+    def test_empty(self):
+        assert sentences("   ") == []
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_n_larger_than_input(self):
+        assert ngrams(["a"], 3) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+
+class TestStopwords:
+    def test_function_words(self):
+        assert is_stopword("The")
+        assert is_stopword("and")
+
+    def test_boilerplate_words(self):
+        assert is_stopword("paper")
+        assert is_stopword("novel")
+
+    def test_content_words_kept(self):
+        assert not is_stopword("workflow")
+        assert not is_stopword("orchestration")
+
+    def test_remove_preserves_order(self):
+        assert remove_stopwords(["the", "workflow", "is", "fast"]) == [
+            "workflow", "fast",
+        ]
+
+    def test_frozen(self):
+        assert isinstance(STOPWORDS, frozenset)
+
+
+class TestKeywords:
+    TEXT = (
+        "Scientific workflow orchestration targets the computing continuum. "
+        "Workflow orchestration requires placement algorithms. "
+        "Placement algorithms optimize energy consumption."
+    )
+
+    def test_extracts_multiword_phrases(self):
+        keywords = extract_keywords(self.TEXT, top_k=5)
+        phrases = [k.phrase for k in keywords]
+        assert any("workflow orchestration" in p for p in phrases)
+
+    def test_top_k_limits(self):
+        assert len(extract_keywords(self.TEXT, top_k=2)) == 2
+
+    def test_deterministic(self):
+        a = extract_keywords(self.TEXT)
+        b = extract_keywords(self.TEXT)
+        assert a == b
+
+    def test_empty_text(self):
+        assert extract_keywords("the of and") == []
+
+    def test_max_words_cap(self):
+        keywords = extract_keywords(self.TEXT, max_words=1)
+        assert all(len(k.phrase.split()) == 1 for k in keywords)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            extract_keywords(self.TEXT, top_k=0)
+        with pytest.raises(ValidationError):
+            extract_keywords(self.TEXT, max_words=0)
+        with pytest.raises(ValidationError):
+            Keyword("", 1.0, 1)
+
+    def test_overlap(self):
+        a = extract_keywords(self.TEXT)
+        assert keyword_overlap(a, a) == 1.0
+        assert keyword_overlap(a, []) == 0.0
+        assert keyword_overlap([], []) == 1.0

@@ -1,0 +1,137 @@
+"""Unit tests for temporal trend analysis and the line chart."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.corpus.publication import Publication
+from repro.corpus.trends import (
+    category_year_matrix,
+    cumulative_series,
+    fit_linear_trend,
+    yearly_series,
+)
+from repro.data.bibliography import paper_bibliography
+from repro.errors import RenderError, StatsError
+from repro.stats.frequency import FrequencyTable
+from repro.viz.lines import line_chart
+
+
+def _pub(key, year, title="T"):
+    return Publication(key=key, title=title, year=year)
+
+
+class TestYearlySeries:
+    def test_zero_filled_range(self):
+        series = yearly_series([_pub("a", 2019), _pub("b", 2021),
+                                _pub("c", 2021)])
+        assert series.to_dict() == {2019: 1, 2020: 0, 2021: 2}
+
+    def test_explicit_bounds_clip(self):
+        series = yearly_series(
+            [_pub("a", 2000), _pub("b", 2020)], first=2019, last=2021
+        )
+        assert series.to_dict() == {2019: 0, 2020: 1, 2021: 0}
+
+    def test_yearless_skipped(self):
+        series = yearly_series(
+            [_pub("a", 2020), Publication(key="b", title="T")]
+        )
+        assert series.total == 1
+
+    def test_no_years_rejected(self):
+        with pytest.raises(StatsError):
+            yearly_series([Publication(key="a", title="T")])
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(StatsError):
+            yearly_series([_pub("a", 2020)], first=2021, last=2020)
+
+    def test_paper_bibliography_spans_2000_2023(self):
+        series = yearly_series(paper_bibliography())
+        assert series.labels[0] == 2000
+        assert series.labels[-1] == 2023
+        assert series.total == 49
+
+
+class TestCumulative:
+    def test_monotone_and_total(self):
+        series = yearly_series([_pub("a", 2019), _pub("b", 2021)])
+        cumulative = cumulative_series(series)
+        values = list(cumulative.values)
+        assert values == sorted(values)
+        assert values[-1] == series.total
+
+
+class TestCategoryYearMatrix:
+    def test_shape_and_counts(self):
+        pubs = [_pub("a", 2020, "workflow x"), _pub("b", 2020, "energy y"),
+                _pub("c", 2021, "workflow z")]
+        matrix, cats, years = category_year_matrix(
+            pubs,
+            lambda p: "wf" if "workflow" in p.title else "en",
+            ["wf", "en"],
+        )
+        assert matrix.shape == (2, 2)
+        assert years == (2020, 2021)
+        assert matrix[0, 0] == 1 and matrix[0, 1] == 1 and matrix[1, 0] == 1
+
+    def test_category_outside_order_rejected(self):
+        with pytest.raises(StatsError):
+            category_year_matrix(
+                [_pub("a", 2020)], lambda p: "ghost", ["known"]
+            )
+
+
+class TestTrendFit:
+    def test_perfect_linear(self):
+        series = FrequencyTable({2019: 2, 2020: 4, 2021: 6, 2022: 8})
+        fit = fit_linear_trend(series)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(8.0)  # count at series end
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(2) == pytest.approx(12.0)
+
+    def test_flat_series(self):
+        fit = fit_linear_trend(FrequencyTable({2019: 5, 2020: 5, 2021: 5}))
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_too_short(self):
+        with pytest.raises(StatsError):
+            fit_linear_trend(FrequencyTable({2020: 3}))
+
+    def test_bibliography_trend_is_growing(self):
+        series = yearly_series(paper_bibliography(), first=2014, last=2023)
+        fit = fit_linear_trend(series)
+        assert fit.slope > 0  # recent workflow research accelerates
+
+
+class TestLineChart:
+    def test_renders_wellformed(self):
+        series = yearly_series([_pub(f"p{i}", 2015 + i % 6)
+                                for i in range(20)])
+        doc = line_chart(
+            {"per year": series, "cumulative": cumulative_series(series)},
+            title="Trend", x_label="year", y_label="publications",
+        )
+        xml.dom.minidom.parseString(doc.render())
+
+    def test_needs_numeric_labels(self):
+        with pytest.raises(RenderError):
+            line_chart({"s": FrequencyTable({"a": 1, "b": 2})})
+
+    def test_needs_two_points(self):
+        with pytest.raises(RenderError):
+            line_chart({"s": FrequencyTable({2020: 1})})
+
+    def test_mismatched_series(self):
+        with pytest.raises(RenderError):
+            line_chart({
+                "a": FrequencyTable({2020: 1, 2021: 2}),
+                "b": FrequencyTable({2019: 1, 2020: 2}),
+            })
+
+    def test_empty(self):
+        with pytest.raises(RenderError):
+            line_chart({})

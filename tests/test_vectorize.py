@@ -1,0 +1,88 @@
+"""Unit tests for the TF-IDF model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.text.vectorize import TfidfModel, preprocess
+
+
+DOCS = [
+    "Workflow orchestration across cloud and HPC environments.",
+    "Energy efficient placement of virtual machines.",
+    "Stream processing on multicore architectures for big data.",
+    "Workflow scheduling and orchestration with energy constraints.",
+]
+
+
+class TestPreprocess:
+    def test_removes_stopwords_and_stems(self):
+        tokens = preprocess("The orchestration of workflows")
+        assert "the" not in tokens
+        assert "of" not in tokens
+        assert any(t.startswith("orchestr") for t in tokens)
+
+    def test_stemming_optional(self):
+        tokens = preprocess("running workflows", stem=False)
+        assert "running" in tokens
+
+
+class TestTfidfModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return TfidfModel(DOCS)
+
+    def test_matrix_shape_and_norms(self, model):
+        assert model.matrix.shape[0] == len(DOCS)
+        norms = np.linalg.norm(model.matrix, axis=1)
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-9)
+
+    def test_self_similarity_highest(self, model):
+        sims = model.similarity(DOCS)
+        for i in range(len(DOCS)):
+            assert sims[i, i] == pytest.approx(sims[i].max())
+
+    def test_related_docs_more_similar(self, model):
+        sims = model.similarity([DOCS[0]])[0]
+        # Doc 3 shares "workflow orchestration energy"; doc 1 shares nothing.
+        assert sims[3] > sims[1]
+
+    def test_out_of_vocabulary_query(self, model):
+        row = model.transform(["zzz qqq entirely unseen"])[0]
+        assert np.all(row == 0.0)
+
+    def test_pairwise_symmetric(self, model):
+        pairwise = model.pairwise_similarity()
+        np.testing.assert_allclose(pairwise, pairwise.T, atol=1e-12)
+        np.testing.assert_allclose(np.diag(pairwise), 1.0)
+
+    def test_top_terms(self, model):
+        terms = model.top_terms(1, k=3)
+        assert 1 <= len(terms) <= 3
+        words = [t for t, _ in terms]
+        assert any(w.startswith("energi") or w.startswith("placem")
+                   or w.startswith("virtual") or w.startswith("machin")
+                   for w in words)
+
+    def test_top_terms_validation(self, model):
+        with pytest.raises(ValidationError):
+            model.top_terms(99)
+        with pytest.raises(ValidationError):
+            model.top_terms(0, k=0)
+
+    def test_min_df_prunes(self):
+        model = TfidfModel(DOCS, min_df=2)
+        # Only terms in >= 2 docs survive; "multicore" appears once.
+        assert all(not term.startswith("multicor") for term in model.vocabulary)
+
+    def test_min_df_too_high(self):
+        with pytest.raises(ValidationError):
+            TfidfModel(["unique words here", "totally different text"], min_df=2)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValidationError):
+            TfidfModel([])
+
+    def test_sublinear_off(self):
+        model = TfidfModel(DOCS, sublinear_tf=False)
+        assert model.matrix.shape[0] == len(DOCS)

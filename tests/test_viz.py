@@ -1,0 +1,196 @@
+"""Unit tests for the visualization substrate (SVG + ASCII)."""
+
+import math
+import xml.dom.minidom
+
+import pytest
+
+from repro.errors import RenderError
+from repro.stats.frequency import FrequencyTable
+from repro.viz.ascii import ascii_distribution, ascii_histogram, ascii_matrix
+from repro.viz.bars import bar_chart, grouped_bar_chart
+from repro.viz.matrix import bubble_plot, selection_grid
+from repro.viz.palette import (
+    CATEGORICAL,
+    direction_colors,
+    sequential,
+    text_contrast,
+)
+from repro.viz.pie import pie_chart
+from repro.viz.svg import SvgDocument, arc_path, polar_point
+
+
+def assert_well_formed(svg_text: str) -> None:
+    xml.dom.minidom.parseString(svg_text)
+
+
+class TestSvgDocument:
+    def test_render_is_well_formed(self):
+        doc = SvgDocument(100, 60)
+        doc.rect(0, 0, 100, 60, fill="#fff")
+        doc.line(0, 0, 100, 60)
+        doc.circle(50, 30, 10, fill="#000")
+        doc.text(50, 30, "hi & <bye>", anchor="middle")
+        assert_well_formed(doc.render())
+
+    def test_escaping(self):
+        doc = SvgDocument(10, 10)
+        doc.text(0, 0, "<&>")
+        rendered = doc.render()
+        assert "&lt;&amp;&gt;" in rendered
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(RenderError):
+            SvgDocument(0, 10)
+
+    def test_invalid_anchor(self):
+        with pytest.raises(RenderError):
+            SvgDocument(10, 10).text(0, 0, "x", anchor="center")
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "out.svg"
+        SvgDocument(10, 10).save(path)
+        assert_well_formed(path.read_text())
+
+
+class TestGeometry:
+    def test_polar_point_clock_convention(self):
+        x, y = polar_point(0, 0, 1, 0)
+        assert (x, y) == pytest.approx((0, -1))  # 12 o'clock
+        x, y = polar_point(0, 0, 1, math.pi / 2)
+        assert (x, y) == pytest.approx((1, 0))  # 3 o'clock
+
+    def test_arc_path_half_circle(self):
+        path = arc_path(0, 0, 10, 0, math.pi)
+        assert path.startswith("M 0 0 L")
+        assert "A 10 10" in path
+
+    def test_arc_path_full_circle(self):
+        path = arc_path(0, 0, 10, 0, 2 * math.pi)
+        assert path.count("A") == 2  # two half arcs
+
+    def test_arc_path_validation(self):
+        with pytest.raises(RenderError):
+            arc_path(0, 0, 10, 1.0, 0.5)
+
+
+class TestPalette:
+    def test_direction_colors_stable(self):
+        colors = direction_colors(("a", "b"))
+        assert colors["a"] == CATEGORICAL[0]
+        assert colors["b"] == CATEGORICAL[1]
+
+    def test_direction_colors_cycles(self):
+        keys = tuple(f"k{i}" for i in range(10))
+        colors = direction_colors(keys)
+        assert colors["k7"] == CATEGORICAL[0]
+
+    def test_sequential_bounds(self):
+        assert sequential(0.0) == "#deebf7"
+        assert sequential(1.0) == "#08519c"
+        with pytest.raises(RenderError):
+            sequential(1.5)
+
+    def test_text_contrast(self):
+        assert text_contrast("#ffffff") == "#000000"
+        assert text_contrast("#000000") == "#ffffff"
+        with pytest.raises(RenderError):
+            text_contrast("#fff")
+
+
+class TestCharts:
+    @pytest.fixture
+    def table(self):
+        return FrequencyTable({"a": 3, "b": 7, "c": 0})
+
+    def test_pie_chart(self, table):
+        doc = pie_chart(table, title="Pie", show_percentages=True)
+        text = doc.render()
+        assert_well_formed(text)
+        assert "Pie" in text
+        assert ">7 (70%)<" in text
+
+    def test_pie_all_zero_rejected(self):
+        with pytest.raises(RenderError):
+            pie_chart(FrequencyTable({"a": 0}))
+
+    def test_bar_chart(self, table):
+        doc = bar_chart(table, title="Bars", x_label="x", y_label="y")
+        text = doc.render()
+        assert_well_formed(text)
+        assert "Bars" in text
+
+    def test_bar_chart_fig3(self, tools, scheme):
+        from repro.core.analysis import coverage_histogram
+
+        doc = bar_chart(coverage_histogram(tools, scheme))
+        assert_well_formed(doc.render())
+
+    def test_grouped_bars(self, table):
+        other = FrequencyTable({"a": 1, "b": 2, "c": 5})
+        doc = grouped_bar_chart({"s1": table, "s2": other}, title="Cmp")
+        assert_well_formed(doc.render())
+
+    def test_grouped_bars_mismatched_categories(self, table):
+        with pytest.raises(RenderError):
+            grouped_bar_chart({"s1": table,
+                               "s2": FrequencyTable({"x": 1})})
+
+    def test_grouped_bars_empty(self):
+        with pytest.raises(RenderError):
+            grouped_bar_chart({})
+
+
+class TestMatrixPlots:
+    def test_selection_grid(self, selection, tools, applications):
+        doc = selection_grid(
+            selection,
+            row_names={t.key: t.name for t in tools},
+            col_names={a.key: a.section for a in applications.ordered()},
+            row_groups={t.key: t.primary_direction for t in tools},
+        )
+        text = doc.render()
+        assert_well_formed(text)
+        assert text.count("✓") == 28
+
+    def test_bubble_plot(self):
+        import numpy as np
+
+        doc = bubble_plot(
+            np.array([[3, 0], [1, 5]]), ["r1", "r2"], ["c1", "c2"],
+            title="Bubbles",
+        )
+        assert_well_formed(doc.render())
+
+    def test_bubble_plot_validation(self):
+        import numpy as np
+
+        with pytest.raises(RenderError):
+            bubble_plot(np.zeros((2, 2)), ["a", "b"], ["c", "d"])
+        with pytest.raises(RenderError):
+            bubble_plot(np.ones((2, 2)), ["a"], ["c", "d"])
+
+
+class TestAscii:
+    def test_distribution(self, tools, scheme):
+        from repro.core.analysis import supply_distribution
+
+        text = ascii_distribution(supply_distribution(tools, scheme))
+        assert "28.0%" in text  # orchestration share
+        assert "█" in text
+
+    def test_distribution_validation(self):
+        with pytest.raises(RenderError):
+            ascii_distribution(FrequencyTable({"a": 1}), width=2)
+
+    def test_histogram(self, tools, scheme):
+        from repro.core.analysis import coverage_histogram
+
+        text = ascii_histogram(coverage_histogram(tools, scheme),
+                               x_label="dirs", y_label="insts")
+        assert "insts" in text
+        assert "5" in text.splitlines()[1]  # peak tick
+
+    def test_matrix(self, selection):
+        text = ascii_matrix(selection)
+        assert text.count("x") >= 28
