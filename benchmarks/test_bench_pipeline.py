@@ -1,0 +1,117 @@
+"""Pipeline benchmark: cold vs warm cache, serial vs parallel execution.
+
+The :mod:`repro.pipeline` runner exists so that benchmarks, figure
+regeneration, and repeated CLI calls stop recomputing the study from
+scratch.  This benchmark quantifies the two headline effects:
+
+* **cold vs warm cache** — a second `run_icsc_pipeline` with identical
+  parameters must execute zero stages and run ≥ 5× faster end to end;
+* **serial vs parallel** — the independent stages (classify/survey; the
+  figure fan-out) produce identical results on the thread pool and the
+  deterministic serial path.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import report
+
+from repro.pipeline import ArtifactCache
+from repro.pipeline.study import run_icsc_pipeline
+
+
+def _timed(fn, repeats: int) -> float:
+    """Best-of-*repeats* wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_pipeline_cold_vs_warm(benchmark, tmp_path):
+    """Warm-cache study runs must be ≥ 5× faster than cold-cache runs."""
+    def cold_run(index: int):
+        return run_icsc_pipeline(cache=ArtifactCache(tmp_path / f"c{index}"))
+
+    cold_times = []
+    for index in range(5):
+        start = time.perf_counter()
+        _, run = cold_run(index)
+        cold_times.append(time.perf_counter() - start)
+        assert len(run.executed) == 4  # genuinely cold: every stage ran
+    cold = min(cold_times)
+
+    warm_cache = ArtifactCache(tmp_path / "warm")
+    run_icsc_pipeline(cache=warm_cache)  # prime
+    warm = _timed(lambda: run_icsc_pipeline(cache=warm_cache), repeats=20)
+
+    results, warm_run = benchmark(
+        lambda: run_icsc_pipeline(cache=warm_cache)
+    )
+    assert warm_run.executed == ()  # the warm path recomputes nothing
+    assert len(warm_run.cached) == 4
+    assert results.q3.top_direction == "orchestration"
+
+    speedup = cold / warm
+    report(
+        "Pipeline — cold vs warm artifact cache",
+        [
+            f"cold (best of 5):  {cold * 1e3:8.3f} ms  (4 stages executed)",
+            f"warm (best of 20): {warm * 1e3:8.3f} ms  (0 stages executed)",
+            f"speedup:           {speedup:8.1f}x",
+        ],
+    )
+    assert speedup >= 5.0, (
+        f"warm cache only {speedup:.1f}x faster than cold (< 5x)"
+    )
+
+
+def test_bench_pipeline_warm_disk_restart(benchmark, tmp_path):
+    """A fresh process (new cache handle) stays warm off the disk layer."""
+    run_icsc_pipeline(cache=ArtifactCache(tmp_path))  # some earlier process
+
+    def restarted_run():
+        return run_icsc_pipeline(cache=ArtifactCache(tmp_path))
+
+    _, run = benchmark(restarted_run)
+    assert run.executed == ()
+    report(
+        "Pipeline — warm restart from on-disk artifacts",
+        [f"stages executed: {len(run.executed)}, "
+         f"from cache: {len(run.cached)}"],
+    )
+
+
+def test_bench_pipeline_serial_vs_parallel(benchmark, tmp_path):
+    """Thread-pool execution matches the deterministic serial fallback."""
+    serial_results, serial_run = run_icsc_pipeline(cache=ArtifactCache())
+    serial = _timed(
+        lambda: run_icsc_pipeline(cache=ArtifactCache()), repeats=3
+    )
+    parallel = _timed(
+        lambda: run_icsc_pipeline(cache=ArtifactCache(), parallel=True),
+        repeats=3,
+    )
+    parallel_results, parallel_run = benchmark(
+        lambda: run_icsc_pipeline(cache=ArtifactCache(), parallel=True)
+    )
+    assert set(parallel_run.executed) == set(serial_run.executed)
+    assert (
+        parallel_results.q2.distribution.to_dict()
+        == serial_results.q2.distribution.to_dict()
+    )
+    assert (
+        parallel_results.comparison.permutation.p_value
+        == serial_results.comparison.permutation.p_value
+    )
+    report(
+        "Pipeline — serial vs parallel stage execution",
+        [
+            f"serial:   {serial * 1e3:8.3f} ms",
+            f"parallel: {parallel * 1e3:8.3f} ms "
+            "(classify ∥ survey; identical results)",
+        ],
+    )

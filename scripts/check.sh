@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Run the repro test suite from ANY working directory.
+#
+# The seed shipped with `PYTHONPATH=src` — a relative path that stops
+# resolving the moment a test (or a user) runs from a different cwd.
+# This script pins PYTHONPATH to the repo's absolute src/ directory and
+# passes pytest absolute paths, so it behaves identically from the repo
+# root, from /tmp, or from CI's checkout directory.
+#
+# Usage:
+#   scripts/check.sh                 # full tier-1 suite
+#   scripts/check.sh tests/test_x.py # any pytest selection (repo-relative
+#                                    # or absolute paths both work)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+export PYTHONPATH="${REPO_ROOT}/src${PYTHONPATH:+:${PYTHONPATH}}"
+
+if [ "$#" -eq 0 ]; then
+    set -- "${REPO_ROOT}/tests"
+else
+    # Resolve repo-relative selections (tests/test_x.py[::node]) so they
+    # work regardless of the caller's cwd.
+    args=()
+    for arg in "$@"; do
+        file="${arg%%::*}"
+        if [ "${arg#-}" = "${arg}" ] && [ ! -e "${file}" ] \
+            && [ -e "${REPO_ROOT}/${file}" ]; then
+            arg="${REPO_ROOT}/${arg}"
+        fi
+        args+=("${arg}")
+    done
+    set -- "${args[@]}"
+fi
+
+exec python -m pytest "$@" --rootdir="${REPO_ROOT}" -q

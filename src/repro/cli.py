@@ -45,6 +45,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_pipeline_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--parallel", action="store_true",
+            help="run independent pipeline stages concurrently",
+        )
+        command.add_argument(
+            "--cache-dir", type=Path, default=None,
+            help="persist stage artifacts to this directory "
+                 "(default: in-memory cache, or $REPRO_CACHE_DIR)",
+        )
+        command.add_argument(
+            "--no-cache", action="store_true",
+            help="recompute every stage, ignoring cached artifacts",
+        )
+
     replicate = sub.add_parser(
         "replicate", help="run the full ICSC mapping study"
     )
@@ -53,6 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None,
         help="directory for the report and figure artifacts",
     )
+    add_pipeline_options(replicate)
 
     sub.add_parser("report", help="print the markdown study report")
 
@@ -60,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
         "figures", help="regenerate every figure/table artifact"
     )
     figures.add_argument("--output", type=Path, required=True)
+    add_pipeline_options(figures)
 
     sub.add_parser("validate", help="validate the encoded dataset")
 
@@ -83,13 +100,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_cache(args: argparse.Namespace):
+    """The artifact cache a subcommand should run against."""
+    from repro.pipeline import ArtifactCache
+    from repro.pipeline.study import process_cache
+
+    if getattr(args, "no_cache", False):
+        return ArtifactCache()  # ephemeral: dedups within the run only
+    if getattr(args, "cache_dir", None) is not None:
+        return ArtifactCache(args.cache_dir)
+    return process_cache()
+
+
 def _cmd_replicate(args: argparse.Namespace) -> int:
-    from repro import run_icsc_study, workflow_directions
-    from repro.data import icsc_ecosystem, spoke1_structure
-    from repro.reporting import render_all_artifacts, study_report
+    from repro import workflow_directions
+    from repro.pipeline.study import render_icsc_artifacts, run_icsc_pipeline
+    from repro.reporting import study_report
     from repro.viz import ascii_distribution
 
-    results = run_icsc_study(seed=args.seed)
+    cache = _resolve_cache(args)
+    results, run = run_icsc_pipeline(
+        seed=args.seed, cache=cache, parallel=args.parallel
+    )
     scheme = workflow_directions()
     names = dict(zip(scheme.keys, scheme.names))
     print("Fig. 2 — tool distribution")
@@ -110,12 +142,14 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         (args.output / "report.md").write_text(
             study_report(results, scheme), encoding="utf-8"
         )
-        _, tools, applications, _ = icsc_ecosystem()
-        artifacts = render_all_artifacts(
-            tools, applications, scheme, args.output,
-            spoke1=spoke1_structure(),
+        artifacts = render_icsc_artifacts(
+            args.output, cache=cache, parallel=args.parallel
         )
         print(f"wrote report.md and {len(artifacts)} artifacts to {args.output}")
+    print(
+        f"pipeline: {len(run.executed)} stage(s) executed, "
+        f"{len(run.cached)} from cache"
+    )
     return 0
 
 
@@ -128,12 +162,10 @@ def _cmd_report(_: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    from repro.data import icsc_ecosystem, spoke1_structure
-    from repro.reporting import render_all_artifacts
+    from repro.pipeline.study import render_icsc_artifacts
 
-    _, tools, applications, scheme = icsc_ecosystem()
-    artifacts = render_all_artifacts(
-        tools, applications, scheme, args.output, spoke1=spoke1_structure()
+    artifacts = render_icsc_artifacts(
+        args.output, cache=_resolve_cache(args), parallel=args.parallel
     )
     for name in sorted(artifacts):
         print(f"{name}: {artifacts[name]}")
@@ -215,10 +247,19 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
 
 def _cmd_export(args: argparse.Namespace) -> int:
     if args.json is not None:
-        from repro.data import icsc_ecosystem
         from repro.io.jsonio import save_ecosystem
+        from repro.pipeline.study import build_icsc_pipeline, process_cache
 
-        save_ecosystem(args.json, *icsc_ecosystem())
+        collected = build_icsc_pipeline().run(
+            ["collect"], cache=process_cache()
+        )["collect"]
+        save_ecosystem(
+            args.json,
+            collected["institutions"],
+            collected["tools"],
+            collected["applications"],
+            collected["protocol"].scheme,
+        )
         print(f"wrote {args.json}")
         return 0
     from repro.data.bibliography import bibliography_bibtex
@@ -241,9 +282,14 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except BrokenPipeError:
         # Downstream pager/head closed the pipe: conventional silent exit.
         try:
@@ -251,6 +297,9 @@ def main(argv: list[str] | None = None) -> int:
         except OSError:
             pass
         return 0
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -48,7 +48,80 @@ from repro.tables.render import TextTable
 from repro.tables.table1 import build_table1
 from repro.tables.table2 import build_table2
 
-__all__ = ["StudyStage", "StudyResults", "MappingStudy", "run_icsc_study"]
+__all__ = [
+    "StudyStage",
+    "StudyResults",
+    "MappingStudy",
+    "run_icsc_study",
+    "classify_tools",
+    "survey_selection",
+    "analyze_study",
+]
+
+
+def classify_tools(
+    tools: ToolCatalog, scheme
+) -> ClassifierEvaluation | None:
+    """Cross-check the collected labels with the keyword classifier.
+
+    Re-derives each described tool's direction from its description and
+    scores the agreement with the published (manual) labels — the
+    simulated-manual-classification experiment.  Returns ``None`` when no
+    tool carries a description.
+    """
+    classifier = KeywordClassifier(scheme)
+    described = [t for t in tools if t.description.strip()]
+    if not described:
+        return None
+    predictions = classifier.classify_many([t.description for t in described])
+    return evaluate_classifier(
+        predictions, [t.primary_direction for t in described], scheme
+    )
+
+
+def survey_selection(
+    tools: ToolCatalog, applications: ApplicationCatalog, scheme
+) -> tuple[ResponseSet, SelectionMatrix]:
+    """Run the tool-selection survey and build the Table 2 matrix."""
+    _, responses = run_tool_selection_survey(tools, applications)
+    ordered_tools = [
+        t.key
+        for direction in scheme.keys
+        for t in tools.by_direction(direction)
+    ]
+    matrix = selection_matrix_from_responses(
+        responses,
+        ordered_tools,
+        name_to_key={t.name: t.key for t in tools},
+    )
+    return responses, matrix
+
+
+def analyze_study(
+    tools: ToolCatalog,
+    applications: ApplicationCatalog,
+    selection: SelectionMatrix,
+    scheme,
+    *,
+    seed: int = 2023,
+    classifier_evaluation: ClassifierEvaluation | None = None,
+) -> StudyResults:
+    """Answer the research questions and regenerate every artifact."""
+    q1 = answer_q1(tools, scheme)
+    q2 = answer_q2(tools, scheme)
+    q3 = answer_q3(tools, applications, scheme, seed=seed)
+    return StudyResults(
+        q1=q1,
+        q2=q2,
+        q3=q3,
+        table1=build_table1(tools, scheme),
+        table2=build_table2(
+            tools, applications, scheme, selection=selection
+        ),
+        selection=selection,
+        comparison=q3.comparison,
+        classifier_evaluation=classifier_evaluation,
+    )
 
 
 class StudyStage(Enum):
@@ -212,17 +285,9 @@ class MappingStudy:
         self._require(StudyStage.COLLECTED)
         assert self._tools is not None
         if check_with_classifier:
-            classifier = KeywordClassifier(self.protocol.scheme)
-            described = [t for t in self._tools if t.description.strip()]
-            if described:
-                predictions = classifier.classify_many(
-                    [t.description for t in described]
-                )
-                self._classifier_evaluation = evaluate_classifier(
-                    predictions,
-                    [t.primary_direction for t in described],
-                    self.protocol.scheme,
-                )
+            self._classifier_evaluation = classify_tools(
+                self._tools, self.protocol.scheme
+            )
         self.stage = StudyStage.CLASSIFIED
         return self
 
@@ -232,19 +297,9 @@ class MappingStudy:
         """Run the tool-selection survey and build the selection matrix."""
         self._require(StudyStage.CLASSIFIED)
         assert self._tools is not None and self._applications is not None
-        _, responses = run_tool_selection_survey(self._tools, self._applications)
-        self._responses = responses
-        ordered_tools = [
-            t.key
-            for direction in self.protocol.scheme.keys
-            for t in self._tools.by_direction(direction)
-        ]
-        matrix = selection_matrix_from_responses(
-            responses,
-            ordered_tools,
-            name_to_key={t.name: t.key for t in self._tools},
+        self._responses, self._selection = survey_selection(
+            self._tools, self._applications, self.protocol.scheme
         )
-        self._selection = matrix
         self.stage = StudyStage.SURVEYED
         return self
 
@@ -258,21 +313,12 @@ class MappingStudy:
             and self._applications is not None
             and self._selection is not None
         )
-        scheme = self.protocol.scheme
-        q1 = answer_q1(self._tools, scheme)
-        q2 = answer_q2(self._tools, scheme)
-        q3 = answer_q3(self._tools, self._applications, scheme, seed=seed)
-        results = StudyResults(
-            q1=q1,
-            q2=q2,
-            q3=q3,
-            table1=build_table1(self._tools, scheme),
-            table2=build_table2(
-                self._tools, self._applications, scheme,
-                selection=self._selection,
-            ),
-            selection=self._selection,
-            comparison=q3.comparison,
+        results = analyze_study(
+            self._tools,
+            self._applications,
+            self._selection,
+            self.protocol.scheme,
+            seed=seed,
             classifier_evaluation=self._classifier_evaluation,
         )
         self.stage = StudyStage.ANALYZED
@@ -305,16 +351,21 @@ class MappingStudy:
         return self._responses
 
 
-def run_icsc_study(*, seed: int = 2023) -> StudyResults:
-    """Replay the paper's full pipeline on the encoded ICSC dataset."""
-    from repro.data.icsc import (
-        icsc_applications,
-        icsc_institutions,
-        icsc_tools,
-    )
+def run_icsc_study(
+    *,
+    seed: int = 2023,
+    cache=None,
+    parallel: bool = False,
+) -> StudyResults:
+    """Replay the paper's full pipeline on the encoded ICSC dataset.
 
-    study = MappingStudy(icsc_protocol())
-    study.collect(icsc_institutions(), icsc_tools(), icsc_applications())
-    study.classify()
-    study.survey()
-    return study.analyze(seed=seed)
+    Runs on the :mod:`repro.pipeline` stage DAG: repeated invocations with
+    identical parameters are served from a process-wide artifact cache
+    without recomputing any stage.  Pass an explicit
+    :class:`~repro.pipeline.ArtifactCache` (e.g. disk-backed) via *cache*,
+    or ``parallel=True`` to run independent stages concurrently.
+    """
+    from repro.pipeline.study import run_icsc_pipeline
+
+    results, _ = run_icsc_pipeline(seed=seed, cache=cache, parallel=parallel)
+    return results

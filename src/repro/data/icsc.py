@@ -20,6 +20,8 @@ single research direction, and none covering all five.
 
 from __future__ import annotations
 
+from functools import lru_cache as _lru_cache
+
 from repro.core.catalog import (
     ApplicationCatalog,
     InstitutionRegistry,
@@ -50,7 +52,23 @@ __all__ = [
     "icsc_ecosystem",
     "spoke1_structure",
     "icsc_spokes",
+    "dataset_version",
 ]
+
+
+@_lru_cache(maxsize=1)
+def dataset_version() -> str:
+    """A content-address of the encoded dataset: SHA-256 of this module.
+
+    Used by :mod:`repro.pipeline` as the data-version component of stage
+    cache keys, so editing the encoded dataset automatically invalidates
+    every cached artifact derived from it.
+    """
+    import hashlib
+    from pathlib import Path
+
+    source = Path(__file__).read_bytes()
+    return hashlib.sha256(source).hexdigest()[:16]
 
 _UNIVERSITY = InstitutionKind.UNIVERSITY
 _CENTRE = InstitutionKind.RESEARCH_CENTRE

@@ -32,6 +32,10 @@ __all__ = [
     "RenderError",
     "SerializationError",
     "StudyError",
+    "PipelineError",
+    "PipelineDefinitionError",
+    "StageExecutionError",
+    "CacheError",
 ]
 
 
@@ -145,3 +149,19 @@ class SerializationError(ReproError):
 
 class StudyError(ReproError):
     """The mapping-study pipeline was driven through an invalid transition."""
+
+
+class PipelineError(ReproError):
+    """Base class for :mod:`repro.pipeline` runner errors."""
+
+
+class PipelineDefinitionError(PipelineError):
+    """A pipeline DAG is malformed (cycle, unknown dependency, duplicate)."""
+
+
+class StageExecutionError(PipelineError):
+    """A pipeline stage raised while executing."""
+
+
+class CacheError(PipelineError):
+    """An artifact cache miss, unusable key, or corrupt stored artifact."""

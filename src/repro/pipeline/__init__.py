@@ -1,0 +1,50 @@
+"""Cached, parallel, resumable pipeline execution for mapping studies.
+
+The substrate the rest of the library runs on:
+
+* :mod:`repro.pipeline.runner` — :class:`Stage`/:class:`Pipeline`, a DAG
+  runner with content-addressed skipping, thread-pool parallelism, and a
+  deterministic serial fallback;
+* :mod:`repro.pipeline.cache` — :class:`ArtifactCache`, a two-layer
+  (memory + optional disk) content-addressed artifact store, and
+  :func:`stable_digest`, the canonical hashing primitive;
+* :mod:`repro.pipeline.manifest` — :class:`RunManifest`, the crash-safe
+  ledger behind resume;
+* :mod:`repro.pipeline.study` — the ICSC study DAG
+  (``collect → {classify, survey} → analyze [→ render]``) that
+  :func:`repro.run_icsc_study`, the CLI, and the reporting layer share.
+
+Quickstart
+----------
+>>> from repro.pipeline import ArtifactCache, run_icsc_pipeline
+>>> cache = ArtifactCache()                    # or ArtifactCache("/some/dir")
+>>> results, first = run_icsc_pipeline(cache=cache)
+>>> results.q3.top_direction
+'orchestration'
+>>> _, second = run_icsc_pipeline(cache=cache)  # warm: nothing recomputes
+>>> second.executed
+()
+"""
+
+from repro.pipeline.cache import ArtifactCache, stable_digest
+from repro.pipeline.manifest import RunManifest
+from repro.pipeline.runner import Pipeline, PipelineResult, Stage
+from repro.pipeline.study import (
+    build_icsc_pipeline,
+    render_icsc_artifacts,
+    run_icsc_pipeline,
+    stage_execution_counts,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "Pipeline",
+    "PipelineResult",
+    "RunManifest",
+    "Stage",
+    "build_icsc_pipeline",
+    "render_icsc_artifacts",
+    "run_icsc_pipeline",
+    "stable_digest",
+    "stage_execution_counts",
+]

@@ -1,0 +1,228 @@
+"""Content-addressed artifact cache for pipeline stage outputs.
+
+Stage outputs are stored under a deterministic hexadecimal *key* computed
+by :func:`stable_digest` from the stage's code-version tag, its parameters,
+and the keys of its inputs (see :meth:`~repro.pipeline.runner.Pipeline`).
+Because the key transitively covers everything that can change a stage's
+output, a key hit is a correctness-preserving skip: the cached value *is*
+the value the stage would recompute.
+
+The cache is layered:
+
+* an in-memory dict, always on, so repeated lookups within one process
+  never touch the disk (and the cache works with no directory at all);
+* an optional on-disk layer (``directory=...``) persisting pickled
+  artifacts across processes, written atomically (``tmp`` + ``os.replace``)
+  so a crash mid-write can never leave a truncated artifact behind.
+
+Hit/miss/store counters make cache behaviour assertable in tests and
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.errors import CacheError
+
+__all__ = ["stable_digest", "ArtifactCache"]
+
+#: Bump when the on-disk pickle layout changes incompatibly.
+CACHE_FORMAT = "1"
+
+_MISSING = object()
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce *value* to a JSON-serializable canonical form.
+
+    Mappings are key-sorted, sets are sorted, tuples become lists, paths
+    become POSIX strings, and enums collapse to their value.  Anything
+    else must already be a JSON scalar; otherwise the value cannot take
+    part in a deterministic cache key and :class:`CacheError` is raised.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Path):
+        return value.as_posix()
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, Mapping):
+        return {
+            str(key): _canonical(val)
+            for key, val in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_canonical(item) for item in value)
+    if isinstance(value, enum.Enum):
+        return _canonical(value.value)
+    raise CacheError(
+        f"value of type {type(value).__name__!r} cannot take part in a "
+        "deterministic cache key; use JSON-compatible parameters"
+    )
+
+
+def stable_digest(*parts: Any) -> str:
+    """SHA-256 hex digest of *parts* under canonical JSON serialization.
+
+    Deterministic across processes and platforms: mappings are key-sorted,
+    containers normalized, and the JSON encoder emits no whitespace.
+
+    >>> stable_digest({"b": 1, "a": 2}) == stable_digest({"a": 2, "b": 1})
+    True
+    >>> stable_digest("x") != stable_digest("y")
+    True
+    """
+    payload = json.dumps(
+        [_canonical(part) for part in parts],
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """A content-addressed artifact store with an optional disk layer.
+
+    Parameters
+    ----------
+    directory:
+        Directory for the persistent layer.  ``None`` (the default) keeps
+        the cache purely in memory — still useful for intra-process reuse
+        and for the deterministic fallback path.
+
+    Examples
+    --------
+    >>> cache = ArtifactCache()
+    >>> key = stable_digest("stage", {"seed": 1})
+    >>> cache.store(key, [1, 2, 3])
+    >>> cache.load(key)
+    [1, 2, 3]
+    >>> cache.hits, cache.misses, cache.stores
+    (1, 0, 1)
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self._memory: dict[str, Any] = {}
+        self._directory: Path | None = None
+        if directory is not None:
+            self._directory = Path(directory)
+            self._directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- layout -----------------------------------------------------------------
+
+    @property
+    def directory(self) -> Path | None:
+        """The persistent layer's directory (``None`` if memory-only)."""
+        return self._directory
+
+    def _path(self, key: str) -> Path:
+        assert self._directory is not None
+        return self._directory / f"{key}.v{CACHE_FORMAT}.pkl"
+
+    # -- queries ----------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self._directory is not None and self._path(key).exists()
+
+    def __len__(self) -> int:
+        return len(set(self.keys()))
+
+    def keys(self) -> Iterator[str]:
+        """Every key present in either layer (may yield duplicates' union)."""
+        seen = set(self._memory)
+        yield from seen
+        if self._directory is not None:
+            for path in self._directory.glob(f"*.v{CACHE_FORMAT}.pkl"):
+                key = path.name.split(".", 1)[0]
+                if key not in seen:
+                    yield key
+
+    # -- access -----------------------------------------------------------------
+
+    def load(self, key: str) -> Any:
+        """Return the artifact stored under *key* (counts a hit or miss).
+
+        Raises :class:`~repro.errors.CacheError` on a miss or if the
+        on-disk artifact cannot be unpickled (corruption is reported, not
+        silently treated as a miss, so callers can decide to purge).
+        """
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        if self._directory is not None:
+            path = self._path(key)
+            if path.exists():
+                try:
+                    with path.open("rb") as handle:
+                        value = pickle.load(handle)
+                except Exception as exc:
+                    # Unpickling corrupt bytes can raise nearly anything
+                    # (ValueError, AttributeError, ImportError, ...).
+                    raise CacheError(
+                        f"cache artifact {path.name} is unreadable: {exc}"
+                    ) from exc
+                self._memory[key] = value
+                self.hits += 1
+                return value
+        self.misses += 1
+        raise CacheError(f"cache miss for key {key[:12]}…")
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Like :meth:`load` but returning *default* on a miss."""
+        try:
+            return self.load(key)
+        except CacheError:
+            return default
+
+    def store(self, key: str, value: Any) -> None:
+        """Persist *value* under *key* in every layer, atomically on disk."""
+        self._memory[key] = value
+        self.stores += 1
+        if self._directory is None:
+            return
+        path = self._path(key)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self._directory, prefix=f".{key[:12]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def evict(self, key: str) -> None:
+        """Drop *key* from every layer (a no-op if absent)."""
+        self._memory.pop(key, None)
+        if self._directory is not None:
+            try:
+                self._path(key).unlink()
+            except FileNotFoundError:
+                pass
+
+    def clear(self) -> None:
+        """Drop every artifact and reset the counters."""
+        for key in list(self.keys()):
+            self.evict(key)
+        self._memory.clear()
+        self.hits = self.misses = self.stores = 0

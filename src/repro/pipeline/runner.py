@@ -1,0 +1,395 @@
+"""The stage-DAG pipeline runner: caching, parallelism, resume.
+
+A :class:`Pipeline` is a directed acyclic graph of named :class:`Stage`\\ s.
+Each stage is a pure function of its dependencies' outputs and its own
+parameters, which buys three properties for free:
+
+* **content-addressed caching** — every stage gets a deterministic key
+  (:meth:`Pipeline.stage_keys`) hashing its code-version tag, parameters,
+  and — transitively, through its dependencies' keys — everything upstream.
+  A key hit in the :class:`~repro.pipeline.cache.ArtifactCache` skips the
+  stage with no loss of fidelity;
+* **parallel execution** — independent stages run concurrently on a
+  thread pool (``parallel=True``), with a deterministic serial fallback
+  that executes stages in stable topological order;
+* **crash-safe resume** — a :class:`~repro.pipeline.manifest.RunManifest`
+  records each completion as it happens, so a re-run after an interruption
+  restarts from the last finished stage.
+
+Example
+-------
+>>> double = Stage("double", lambda inputs, x: x * 2, params={"x": 21})
+>>> shout = Stage("shout", lambda inputs: f"{inputs['double']}!", deps=("double",))
+>>> result = Pipeline([double, shout]).run()
+>>> result["shout"]
+'42!'
+>>> result.executed
+('double', 'shout')
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import (
+    CacheError,
+    PipelineDefinitionError,
+    StageExecutionError,
+)
+from repro.pipeline.cache import ArtifactCache, stable_digest
+from repro.pipeline.manifest import RunManifest
+
+__all__ = ["Stage", "Pipeline", "PipelineResult"]
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named node of a pipeline DAG.
+
+    Attributes
+    ----------
+    name:
+        Unique stage name within the pipeline.
+    fn:
+        ``fn(inputs, **params)`` where *inputs* maps each dependency name
+        to that stage's output.  Must be deterministic in its arguments.
+    deps:
+        Names of the stages whose outputs this stage consumes.
+    params:
+        Keyword parameters for *fn*; part of the cache key, so they must
+        be JSON-canonicalizable (see
+        :func:`~repro.pipeline.cache.stable_digest`).
+    version:
+        Code-version tag; bump when *fn*'s behaviour changes so stale
+        cached artifacts are not reused.
+    validate:
+        Optional predicate over a cached value; if it returns False the
+        stage re-executes (e.g. a render stage whose output files were
+        deleted out from under the cache).
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    deps: tuple[str, ...] = ()
+    params: Mapping[str, Any] = field(default_factory=dict)
+    version: str = "1"
+    validate: Callable[[Any], bool] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise PipelineDefinitionError("stage name must be a non-empty string")
+        object.__setattr__(self, "deps", tuple(self.deps))
+        object.__setattr__(self, "params", dict(self.params))
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of one :meth:`Pipeline.run`.
+
+    Attributes
+    ----------
+    outputs:
+        Target stage name → output value.
+    executed:
+        Names of stages actually computed this run, in completion order.
+    cached:
+        Names of stages satisfied from the cache (skipped).
+    keys:
+        Stage name → content-addressed cache key, for every needed stage.
+    """
+
+    outputs: dict[str, Any]
+    executed: tuple[str, ...]
+    cached: tuple[str, ...]
+    keys: dict[str, str]
+
+    def __getitem__(self, name: str) -> Any:
+        return self.outputs[name]
+
+
+class Pipeline:
+    """A DAG of :class:`Stage`\\ s executable with caching and parallelism.
+
+    Parameters
+    ----------
+    stages:
+        The stages; dependency names must refer to other stages in the
+        same pipeline and the graph must be acyclic.
+    name, version:
+        Identify the pipeline (and its code generation) inside cache keys
+        and the run key, so two different pipelines never collide in a
+        shared cache.
+    """
+
+    def __init__(
+        self,
+        stages: Iterable[Stage],
+        *,
+        name: str = "pipeline",
+        version: str = "1",
+    ) -> None:
+        self.name = name
+        self.version = version
+        self.stages: dict[str, Stage] = {}
+        for stage in stages:
+            if stage.name in self.stages:
+                raise PipelineDefinitionError(
+                    f"duplicate stage name {stage.name!r}"
+                )
+            self.stages[stage.name] = stage
+        for stage in self.stages.values():
+            for dep in stage.deps:
+                if dep not in self.stages:
+                    raise PipelineDefinitionError(
+                        f"stage {stage.name!r} depends on unknown stage {dep!r}"
+                    )
+        self._order = self._topological_order()
+
+    # -- structure ---------------------------------------------------------------
+
+    def _topological_order(self) -> tuple[str, ...]:
+        """Kahn's algorithm, stable in declaration order (deterministic)."""
+        declared = list(self.stages)
+        remaining_deps = {
+            name: set(stage.deps) for name, stage in self.stages.items()
+        }
+        dependents: dict[str, list[str]] = {name: [] for name in declared}
+        for name, stage in self.stages.items():
+            for dep in stage.deps:
+                dependents[dep].append(name)
+        order: list[str] = []
+        ready = [name for name in declared if not remaining_deps[name]]
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for dependent in dependents[name]:
+                remaining_deps[dependent].discard(name)
+                if not remaining_deps[dependent]:
+                    ready.append(dependent)
+            ready.sort(key=declared.index)
+        if len(order) != len(declared):
+            cyclic = sorted(set(declared) - set(order))
+            raise PipelineDefinitionError(
+                f"pipeline has a dependency cycle through {cyclic}"
+            )
+        return tuple(order)
+
+    @property
+    def order(self) -> tuple[str, ...]:
+        """Deterministic topological execution order of all stages."""
+        return self._order
+
+    def stage_keys(self) -> dict[str, str]:
+        """Content-addressed cache key for every stage.
+
+        A stage's key hashes the pipeline identity, the stage's name,
+        version tag, and parameters, and its dependencies' keys — so any
+        upstream change (code tag, parameter, added dependency) changes
+        every downstream key and invalidates exactly the affected suffix
+        of the DAG.
+        """
+        keys: dict[str, str] = {}
+        for name in self._order:
+            stage = self.stages[name]
+            keys[name] = stable_digest(
+                {
+                    "pipeline": self.name,
+                    "pipeline_version": self.version,
+                    "stage": stage.name,
+                    "stage_version": stage.version,
+                    "params": stage.params,
+                    "inputs": {dep: keys[dep] for dep in stage.deps},
+                }
+            )
+        return keys
+
+    def run_key(self) -> str:
+        """Digest of the whole pipeline configuration (for manifests)."""
+        keys = self.stage_keys()
+        return stable_digest({"pipeline": self.name, "stages": keys})
+
+    def _closure(self, targets: Sequence[str]) -> set[str]:
+        needed: set[str] = set()
+        frontier = list(targets)
+        while frontier:
+            name = frontier.pop()
+            if name in needed:
+                continue
+            if name not in self.stages:
+                raise PipelineDefinitionError(f"unknown target stage {name!r}")
+            needed.add(name)
+            frontier.extend(self.stages[name].deps)
+        return needed
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(
+        self,
+        targets: Sequence[str] | None = None,
+        *,
+        cache: ArtifactCache | None = None,
+        manifest: RunManifest | None = None,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> PipelineResult:
+        """Execute the pipeline and return a :class:`PipelineResult`.
+
+        Parameters
+        ----------
+        targets:
+            Stages whose outputs are wanted (default: all stages).  Only
+            the dependency closure of the targets is considered.
+        cache:
+            Artifact cache consulted before executing any stage.  When
+            omitted, an ephemeral in-memory cache still deduplicates
+            within the run.
+        manifest:
+            Optional run ledger for crash-safe resume; bound to this
+            pipeline's :meth:`run_key` (a manifest of a different
+            configuration is discarded).
+        parallel:
+            Execute independent stages concurrently on a thread pool.
+            ``False`` is the deterministic serial fallback.
+        max_workers:
+            Thread-pool width (default: CPU count, capped at 8).
+        """
+        if targets is None:
+            targets = list(self.stages)
+        cache = cache if cache is not None else ArtifactCache()
+        keys = self.stage_keys()
+        if manifest is not None:
+            manifest.begin(self.run_key())
+
+        needed = self._closure(targets)
+        order = [name for name in self._order if name in needed]
+
+        results: dict[str, Any] = {}
+        executed: list[str] = []
+        cached: list[str] = []
+
+        # Planning pass: decide, in topological order, which stages must
+        # actually run.  A cached stage is skipped lazily — its value is
+        # only loaded if a running dependent (or a target) needs it.
+        must_run: list[str] = []
+        for name in order:
+            stage = self.stages[name]
+            hit = keys[name] in cache
+            if hit and stage.validate is not None:
+                value = cache.get(keys[name], _MISSING)
+                if value is not _MISSING and stage.validate(value):
+                    results[name] = value
+                else:
+                    hit = False
+            if hit:
+                cached.append(name)
+            else:
+                must_run.append(name)
+
+        def materialize(name: str) -> None:
+            """Load a planned-cached stage's value, recomputing on rot.
+
+            A corrupt or vanished on-disk artifact (the key was present
+            at planning time but the value is unreadable now) must not
+            kill the run: the stage is recomputed from its inputs — the
+            cache is an accelerator, never a point of failure.
+            """
+            if name in results:
+                return
+            try:
+                results[name] = cache.load(keys[name])
+                return
+            except CacheError:
+                cache.evict(keys[name])
+            for dep in self.stages[name].deps:
+                materialize(dep)
+            record(name, execute(name))
+            if name in cached:
+                cached.remove(name)
+
+        def execute(name: str) -> Any:
+            stage = self.stages[name]
+            inputs = {dep: results[dep] for dep in stage.deps}
+            try:
+                return stage.fn(inputs, **stage.params)
+            except Exception as exc:
+                raise StageExecutionError(
+                    f"stage {name!r} failed: {exc}"
+                ) from exc
+
+        def record(name: str, value: Any) -> None:
+            cache.store(keys[name], value)
+            results[name] = value
+            executed.append(name)
+            if manifest is not None:
+                manifest.mark_complete(name, keys[name])
+
+        # Materialize cached inputs of stages that will run.
+        running = set(must_run)
+        for name in must_run:
+            for dep in self.stages[name].deps:
+                if dep not in running:
+                    materialize(dep)
+
+        if not parallel or len(must_run) <= 1:
+            for name in must_run:
+                record(name, execute(name))
+        else:
+            self._run_parallel(must_run, execute, record, max_workers)
+
+        for name in targets:
+            materialize(name)
+        return PipelineResult(
+            outputs={name: results[name] for name in targets},
+            executed=tuple(executed),
+            cached=tuple(cached),
+            keys={name: keys[name] for name in order},
+        )
+
+    def _run_parallel(
+        self,
+        must_run: list[str],
+        execute: Callable[[str], Any],
+        record: Callable[[str, Any], None],
+        max_workers: int | None,
+    ) -> None:
+        """Schedule *must_run* stages on a thread pool as deps complete."""
+        running = set(must_run)
+        waiting_on = {
+            name: {dep for dep in self.stages[name].deps if dep in running}
+            for name in must_run
+        }
+        dependents: dict[str, list[str]] = {name: [] for name in must_run}
+        for name in must_run:
+            for dep in waiting_on[name]:
+                dependents[dep].append(name)
+        if max_workers is None:
+            max_workers = min(8, os.cpu_count() or 1)
+        ready = [name for name in must_run if not waiting_on[name]]
+        failure: StageExecutionError | None = None
+        with concurrent.futures.ThreadPoolExecutor(max_workers) as pool:
+            futures = {pool.submit(execute, name): name for name in ready}
+            while futures:
+                done, _ = concurrent.futures.wait(
+                    futures, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    name = futures.pop(future)
+                    try:
+                        value = future.result()
+                    except StageExecutionError as exc:
+                        failure = failure or exc
+                        continue
+                    if failure is not None:
+                        continue  # drain in-flight work, submit nothing new
+                    record(name, value)
+                    for dependent in dependents[name]:
+                        waiting_on[dependent].discard(name)
+                        if not waiting_on[dependent]:
+                            futures[pool.submit(execute, dependent)] = dependent
+        if failure is not None:
+            raise failure

@@ -1,0 +1,47 @@
+"""Smoke test for ``scripts/check.sh``: the suite must run from any cwd.
+
+Guards the bug class fixed in this repo's first green PR: a relative
+``PYTHONPATH=src`` (or relative pytest paths) silently breaking as soon
+as tests run from outside the repo root.  The script is exercised from a
+temporary directory with ``PYTHONPATH`` scrubbed from the environment —
+exactly the situation that broke the seed's example tests.
+
+The subset run here (a handful of fast pipeline unit tests) deliberately
+excludes this module, so the check cannot recurse into itself.
+"""
+
+import os
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECK_SH = REPO_ROOT / "scripts" / "check.sh"
+
+# Fast, dependency-light selection proving imports and collection work.
+SMOKE_SELECTION = "tests/test_pipeline.py::TestPipelineRun"
+
+
+@pytest.mark.skipif(shutil.which("bash") is None, reason="bash unavailable")
+def test_check_script_runs_from_foreign_cwd(tmp_path):
+    env = {k: v for k, v in os.environ.items() if k != "PYTHONPATH"}
+    result = subprocess.run(
+        ["bash", str(CHECK_SH), SMOKE_SELECTION],
+        capture_output=True,
+        text=True,
+        cwd=tmp_path,  # decidedly not the repo root
+        env=env,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"check.sh failed from {tmp_path}:\n{result.stdout[-2000:]}"
+        f"\n{result.stderr[-2000:]}"
+    )
+    assert "passed" in result.stdout or "." in result.stdout
+
+
+def test_check_script_is_executable():
+    assert CHECK_SH.exists()
+    assert os.access(CHECK_SH, os.X_OK), "scripts/check.sh must be chmod +x"

@@ -3,15 +3,22 @@
 Each example runs as a subprocess in a temporary working directory (so
 ``output/`` artifacts land in the sandbox) and its stdout is checked for
 the findings it is supposed to print.
+
+The subprocess environment pins ``PYTHONPATH`` to the repo's *absolute*
+``src`` directory: the examples must import :mod:`repro` regardless of
+the inherited environment or the current working directory (a relative
+``PYTHONPATH=src`` would silently stop resolving under ``cwd=tmp_path``).
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
 
 CASES = {
     "quickstart.py": ["Orchestration", "Figure 4", "artifacts"],
@@ -20,7 +27,20 @@ CASES = {
     "tool_recommendation.py": ["Validation against the published Table 2",
                                "recommended tools"],
     "bibliometrics.py": ["Linear trend", "Top venues", "Figures written"],
+    "pipeline_caching.py": ["cold run", "warm run", "stages executed",
+                            "resumed run"],
 }
+
+
+def example_env() -> dict[str, str]:
+    """Subprocess env whose ``PYTHONPATH`` works from any working directory."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    inherited = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src if not inherited else os.pathsep.join([src, inherited])
+    )
+    return env
 
 
 @pytest.mark.parametrize("script", sorted(CASES))
@@ -30,6 +50,7 @@ def test_example_runs(script, tmp_path):
         capture_output=True,
         text=True,
         cwd=tmp_path,
+        env=example_env(),
         timeout=300,
     )
     assert result.returncode == 0, result.stderr[-2000:]
