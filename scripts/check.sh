@@ -9,12 +9,22 @@
 #
 # Usage:
 #   scripts/check.sh                 # full tier-1 suite
+#   scripts/check.sh --bench         # tier-1 suite + benchmarks/ suite
 #   scripts/check.sh tests/test_x.py # any pytest selection (repo-relative
 #                                    # or absolute paths both work)
+#
+# --bench appends the benchmarks/ suite (timing assertions and the
+# telemetry no-op-overhead guard) to whatever selection runs.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 export PYTHONPATH="${REPO_ROOT}/src${PYTHONPATH:+:${PYTHONPATH}}"
+
+RUN_BENCH=0
+if [ "${1:-}" = "--bench" ]; then
+    RUN_BENCH=1
+    shift
+fi
 
 if [ "$#" -eq 0 ]; then
     set -- "${REPO_ROOT}/tests"
@@ -31,6 +41,10 @@ else
         args+=("${arg}")
     done
     set -- "${args[@]}"
+fi
+
+if [ "${RUN_BENCH}" -eq 1 ]; then
+    set -- "$@" "${REPO_ROOT}/benchmarks"
 fi
 
 exec python -m pytest "$@" --rootdir="${REPO_ROOT}" -q

@@ -9,6 +9,11 @@ Subcommands
 ``replicate``
     Run the full ICSC study, print the key findings, and (optionally)
     write the report and all figure/table artifacts to a directory.
+    ``--profile`` prints a per-stage profile report (wall/CPU time,
+    cache hit ratios) and ``--trace-out PATH`` saves a Chrome
+    ``chrome://tracing`` trace of the run.
+``trace PATH``
+    Render a saved Chrome trace as an ASCII timeline in the terminal.
 ``report``
     Print the full markdown study report to stdout.
 ``figures --output DIR``
@@ -69,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the report and figure artifacts",
     )
     add_pipeline_options(replicate)
+    replicate.add_argument(
+        "--profile", action="store_true",
+        help="record telemetry and print a per-stage profile report",
+    )
+    replicate.add_argument(
+        "--trace-out", type=Path, default=None, metavar="PATH",
+        help="write a Chrome trace (chrome://tracing) of the run "
+             "(implies telemetry recording)",
+    )
 
     sub.add_parser("report", help="print the markdown study report")
 
@@ -90,6 +104,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     recommend.add_argument("text", help="the application description")
     recommend.add_argument("-k", type=int, default=5, help="tools to list")
+
+    trace = sub.add_parser(
+        "trace", help="render a saved Chrome trace as an ASCII timeline"
+    )
+    trace.add_argument("path", type=Path, help="trace file (JSON)")
+    trace.add_argument(
+        "--width", type=int, default=60,
+        help="timeline width in characters (default 60)",
+    )
 
     export = sub.add_parser("export", help="dump datasets to disk")
     group = export.add_mutually_exclusive_group(required=True)
@@ -118,9 +141,15 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     from repro.reporting import study_report
     from repro.viz import ascii_distribution
 
+    telemetry = None
+    if args.profile or args.trace_out is not None:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
     cache = _resolve_cache(args)
     results, run = run_icsc_pipeline(
-        seed=args.seed, cache=cache, parallel=args.parallel
+        seed=args.seed, cache=cache, parallel=args.parallel,
+        telemetry=telemetry,
     )
     scheme = workflow_directions()
     names = dict(zip(scheme.keys, scheme.names))
@@ -143,13 +172,25 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
             study_report(results, scheme), encoding="utf-8"
         )
         artifacts = render_icsc_artifacts(
-            args.output, cache=cache, parallel=args.parallel
+            args.output, cache=cache, parallel=args.parallel,
+            telemetry=telemetry,
         )
         print(f"wrote report.md and {len(artifacts)} artifacts to {args.output}")
     print(
         f"pipeline: {len(run.executed)} stage(s) executed, "
         f"{len(run.cached)} from cache"
     )
+    if telemetry is not None:
+        from repro.telemetry import profile_report, write_chrome_trace
+
+        if args.profile:
+            cache_stats = cache.stats() if hasattr(cache, "stats") else None
+            print()
+            print(profile_report(telemetry, cache_stats=cache_stats))
+        if args.trace_out is not None:
+            path = write_chrome_trace(telemetry, args.trace_out)
+            print(f"wrote Chrome trace to {path} "
+                  "(open in chrome://tracing or ui.perfetto.dev)")
     return 0
 
 
@@ -245,6 +286,14 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import load_chrome_trace, render_trace
+
+    events = load_chrome_trace(args.path)
+    print(render_trace(events, width=max(10, args.width)))
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     if args.json is not None:
         from repro.io.jsonio import save_ecosystem
@@ -276,6 +325,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "classify": _cmd_classify,
     "recommend": _cmd_recommend,
+    "trace": _cmd_trace,
     "export": _cmd_export,
 }
 

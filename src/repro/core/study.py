@@ -356,6 +356,7 @@ def run_icsc_study(
     seed: int = 2023,
     cache=None,
     parallel: bool = False,
+    telemetry=None,
 ) -> StudyResults:
     """Replay the paper's full pipeline on the encoded ICSC dataset.
 
@@ -363,9 +364,13 @@ def run_icsc_study(
     identical parameters are served from a process-wide artifact cache
     without recomputing any stage.  Pass an explicit
     :class:`~repro.pipeline.ArtifactCache` (e.g. disk-backed) via *cache*,
-    or ``parallel=True`` to run independent stages concurrently.
+    ``parallel=True`` to run independent stages concurrently, or a
+    :class:`repro.telemetry.Telemetry` as *telemetry* to record spans and
+    pipeline metrics for profiling.
     """
     from repro.pipeline.study import run_icsc_pipeline
 
-    results, _ = run_icsc_pipeline(seed=seed, cache=cache, parallel=parallel)
+    results, _ = run_icsc_pipeline(
+        seed=seed, cache=cache, parallel=parallel, telemetry=telemetry
+    )
     return results

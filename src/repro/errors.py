@@ -36,6 +36,7 @@ __all__ = [
     "PipelineDefinitionError",
     "StageExecutionError",
     "CacheError",
+    "TelemetryError",
 ]
 
 
@@ -165,3 +166,7 @@ class StageExecutionError(PipelineError):
 
 class CacheError(PipelineError):
     """An artifact cache miss, unusable key, or corrupt stored artifact."""
+
+
+class TelemetryError(ReproError):
+    """A :mod:`repro.telemetry` misuse or unreadable trace/metric data."""

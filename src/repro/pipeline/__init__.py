@@ -14,6 +14,11 @@ The substrate the rest of the library runs on:
   (``collect → {classify, survey} → analyze [→ render]``) that
   :func:`repro.run_icsc_study`, the CLI, and the reporting layer share.
 
+Every entry point accepts ``telemetry=`` (a
+:class:`repro.telemetry.Telemetry`) to record per-stage spans and
+pipeline metrics; see :mod:`repro.telemetry` and ``repro replicate
+--profile``.
+
 Quickstart
 ----------
 >>> from repro.pipeline import ArtifactCache, run_icsc_pipeline

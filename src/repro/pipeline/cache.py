@@ -15,8 +15,12 @@ The cache is layered:
   artifacts across processes, written atomically (``tmp`` + ``os.replace``)
   so a crash mid-write can never leave a truncated artifact behind.
 
-Hit/miss/store counters make cache behaviour assertable in tests and
-benchmarks.
+Hit/miss/store/eviction counters make cache behaviour assertable in
+tests and benchmarks; :meth:`ArtifactCache.stats` snapshots them (plus
+the on-disk footprint) for the profile report, and binding a
+:class:`repro.telemetry.Telemetry` via ``telemetry=`` (or letting
+``Pipeline.run`` bind one for the duration of a traced run) mirrors the
+counters into its ``cache.*`` metrics.
 """
 
 from __future__ import annotations
@@ -100,6 +104,12 @@ class ArtifactCache:
         Directory for the persistent layer.  ``None`` (the default) keeps
         the cache purely in memory — still useful for intra-process reuse
         and for the deterministic fallback path.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`; when bound, every
+        hit/miss/store/eviction (and the bytes written to disk) is also
+        counted into its ``cache.*`` metrics.  ``Pipeline.run`` binds an
+        unbound cache to its own telemetry for the duration of a traced
+        run.
 
     Examples
     --------
@@ -112,15 +122,27 @@ class ArtifactCache:
     (1, 0, 1)
     """
 
-    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        *,
+        telemetry=None,
+    ) -> None:
         self._memory: dict[str, Any] = {}
         self._directory: Path | None = None
         if directory is not None:
             self._directory = Path(directory)
             self._directory.mkdir(parents=True, exist_ok=True)
+        self.telemetry = telemetry
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
+
+    def _count(self, metric: str, amount: int = 1) -> None:
+        """Mirror an internal counter into the bound telemetry, if any."""
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(f"cache.{metric}").inc(amount)
 
     # -- layout -----------------------------------------------------------------
 
@@ -164,6 +186,7 @@ class ArtifactCache:
         """
         if key in self._memory:
             self.hits += 1
+            self._count("hits")
             return self._memory[key]
         if self._directory is not None:
             path = self._path(key)
@@ -179,8 +202,10 @@ class ArtifactCache:
                     ) from exc
                 self._memory[key] = value
                 self.hits += 1
+                self._count("hits")
                 return value
         self.misses += 1
+        self._count("misses")
         raise CacheError(f"cache miss for key {key[:12]}…")
 
     def get(self, key: str, default: Any = None) -> Any:
@@ -194,6 +219,7 @@ class ArtifactCache:
         """Persist *value* under *key* in every layer, atomically on disk."""
         self._memory[key] = value
         self.stores += 1
+        self._count("stores")
         if self._directory is None:
             return
         path = self._path(key)
@@ -203,7 +229,9 @@ class ArtifactCache:
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            written = os.path.getsize(tmp_name)
             os.replace(tmp_name, path)
+            self._count("bytes_written", written)
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -212,17 +240,58 @@ class ArtifactCache:
             raise
 
     def evict(self, key: str) -> None:
-        """Drop *key* from every layer (a no-op if absent)."""
-        self._memory.pop(key, None)
+        """Drop *key* from every layer (a no-op if absent).
+
+        Counts an eviction when something was actually dropped — e.g.
+        the runner purging a corrupt on-disk artifact before recomputing
+        the stage — so :meth:`stats` exposes how often cache rot (or
+        explicit invalidation) occurred.
+        """
+        dropped = self._memory.pop(key, _MISSING) is not _MISSING
         if self._directory is not None:
             try:
                 self._path(key).unlink()
+                dropped = True
             except FileNotFoundError:
                 pass
+        if dropped:
+            self.evictions += 1
+            self._count("evictions")
 
     def clear(self) -> None:
         """Drop every artifact and reset the counters."""
         for key in list(self.keys()):
             self.evict(key)
         self._memory.clear()
-        self.hits = self.misses = self.stores = 0
+        self.hits = self.misses = self.stores = self.evictions = 0
+
+    # -- introspection -----------------------------------------------------------
+
+    def disk_bytes(self) -> int:
+        """Total size of the on-disk artifacts, in bytes (0 if memory-only)."""
+        if self._directory is None:
+            return 0
+        return sum(
+            path.stat().st_size
+            for path in self._directory.glob(f"*.v{CACHE_FORMAT}.pkl")
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """A snapshot of cache behaviour for reports and tests.
+
+        Keys: ``hits``, ``misses``, ``stores``, ``evictions`` (lifetime
+        counters), ``entries`` (distinct keys currently present),
+        ``disk_bytes`` (on-disk footprint), and ``directory`` (the
+        persistent layer's path, or ``None``).
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "entries": len(self),
+            "disk_bytes": self.disk_bytes(),
+            "directory": (
+                str(self._directory) if self._directory is not None else None
+            ),
+        }

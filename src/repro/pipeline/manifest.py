@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 from repro.errors import PipelineError
@@ -38,6 +39,12 @@ class RunManifest:
     path:
         File the ledger lives at.  Parent directories are created on the
         first write.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`; when bound, every
+        ledger write is counted (``manifest.writes``) and timed
+        (``manifest.write_seconds``), making resume-ledger overhead
+        visible in the profile.  ``Pipeline.run`` binds an unbound
+        manifest to its own telemetry for the duration of a traced run.
 
     Examples
     --------
@@ -52,8 +59,11 @@ class RunManifest:
     True
     """
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    def __init__(
+        self, path: str | os.PathLike, *, telemetry=None
+    ) -> None:
         self.path = Path(path)
+        self.telemetry = telemetry
         self.run_key: str | None = None
         self._completed: dict[str, str] = {}
         self._load()
@@ -105,6 +115,7 @@ class RunManifest:
     # -- persistence -------------------------------------------------------------
 
     def _write(self) -> None:
+        started = time.perf_counter()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "format": _FORMAT,
@@ -124,3 +135,9 @@ class RunManifest:
             except OSError:
                 pass
             raise
+        if self.telemetry is not None:
+            metrics = self.telemetry.metrics
+            metrics.counter("manifest.writes").inc()
+            metrics.histogram("manifest.write_seconds").observe(
+                time.perf_counter() - started
+            )

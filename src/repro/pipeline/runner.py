@@ -16,6 +16,12 @@ parameters, which buys three properties for free:
   records each completion as it happens, so a re-run after an interruption
   restarts from the last finished stage.
 
+Passing ``telemetry=`` (a :class:`repro.telemetry.Telemetry`) records a
+span per stage — wall time, per-thread CPU time, executed-vs-cached
+outcome — under one run-level span, plus the pipeline metrics (stage
+duration histogram, cache counters, achieved parallelism).  The default
+is a shared no-op whose cost is a few attribute lookups per stage.
+
 Example
 -------
 >>> double = Stage("double", lambda inputs, x: x * 2, params={"x": 21})
@@ -41,6 +47,7 @@ from repro.errors import (
 )
 from repro.pipeline.cache import ArtifactCache, stable_digest
 from repro.pipeline.manifest import RunManifest
+from repro.telemetry.hooks import Telemetry, ensure as _ensure_telemetry
 
 __all__ = ["Stage", "Pipeline", "PipelineResult"]
 
@@ -236,6 +243,7 @@ class Pipeline:
         manifest: RunManifest | None = None,
         parallel: bool = False,
         max_workers: int | None = None,
+        telemetry: Telemetry | None = None,
     ) -> PipelineResult:
         """Execute the pipeline and return a :class:`PipelineResult`.
 
@@ -257,10 +265,58 @@ class Pipeline:
             ``False`` is the deterministic serial fallback.
         max_workers:
             Thread-pool width (default: CPU count, capped at 8).
+        telemetry:
+            Optional :class:`~repro.telemetry.Telemetry`: records a span
+            per stage (plus the run and cache-hit events) and the
+            pipeline metrics.  The default ``None`` is a shared no-op
+            whose overhead is a few attribute lookups per stage (guarded
+            by ``benchmarks/test_bench_telemetry.py``).  While the run
+            is traced, an unbound *cache*/*manifest* is temporarily
+            bound to the same telemetry so ``cache.*`` and
+            ``manifest.*`` metrics land in one registry.
         """
+        tel = _ensure_telemetry(telemetry)
         if targets is None:
             targets = list(self.stages)
         cache = cache if cache is not None else ArtifactCache()
+
+        # Bind collaborators to this run's telemetry (restored on exit).
+        rebind = []
+        if tel.enabled:
+            for collaborator in (cache, manifest):
+                if (
+                    collaborator is not None
+                    and getattr(collaborator, "telemetry", None) is None
+                ):
+                    collaborator.telemetry = tel
+                    rebind.append(collaborator)
+        try:
+            with tel.tracer.span(
+                "pipeline.run",
+                pipeline=self.name,
+                version=self.version,
+                targets=tuple(targets),
+                parallel=parallel,
+            ) as run_span:
+                return self._run_traced(
+                    targets, cache, manifest, parallel, max_workers,
+                    tel, run_span,
+                )
+        finally:
+            for collaborator in rebind:
+                collaborator.telemetry = None
+
+    def _run_traced(
+        self,
+        targets: Sequence[str],
+        cache: ArtifactCache,
+        manifest: RunManifest | None,
+        parallel: bool,
+        max_workers: int | None,
+        tel: Telemetry,
+        run_span,
+    ) -> PipelineResult:
+        """The :meth:`run` body, executing under the run-level span."""
         keys = self.stage_keys()
         if manifest is not None:
             manifest.begin(self.run_key())
@@ -271,6 +327,12 @@ class Pipeline:
         results: dict[str, Any] = {}
         executed: list[str] = []
         cached: list[str] = []
+
+        metrics = tel.metrics
+        stage_seconds = metrics.histogram("pipeline.stage_seconds")
+        executed_count = metrics.counter("pipeline.stages_executed")
+        cached_count = metrics.counter("pipeline.stages_cached")
+        inflight = metrics.gauge("pipeline.parallelism")
 
         # Planning pass: decide, in topological order, which stages must
         # actually run.  A cached stage is skipped lazily — its value is
@@ -287,6 +349,13 @@ class Pipeline:
                     hit = False
             if hit:
                 cached.append(name)
+                if tel.enabled:
+                    cached_count.inc()
+                    with tel.tracer.span(
+                        f"stage:{name}", parent=run_span,
+                        stage=name, outcome="cached",
+                    ):
+                        pass
             else:
                 must_run.append(name)
 
@@ -314,12 +383,23 @@ class Pipeline:
         def execute(name: str) -> Any:
             stage = self.stages[name]
             inputs = {dep: results[dep] for dep in stage.deps}
+            inflight.add(1)
             try:
-                return stage.fn(inputs, **stage.params)
-            except Exception as exc:
-                raise StageExecutionError(
-                    f"stage {name!r} failed: {exc}"
-                ) from exc
+                with tel.tracer.span(
+                    f"stage:{name}", parent=run_span,
+                    stage=name, outcome="executed",
+                ) as span:
+                    try:
+                        value = stage.fn(inputs, **stage.params)
+                    except Exception as exc:
+                        raise StageExecutionError(
+                            f"stage {name!r} failed: {exc}"
+                        ) from exc
+                stage_seconds.observe(span.duration or 0.0)
+                executed_count.inc()
+                return value
+            finally:
+                inflight.add(-1)
 
         def record(name: str, value: Any) -> None:
             cache.store(keys[name], value)

@@ -230,13 +230,16 @@ def run_icsc_pipeline(
     manifest: RunManifest | None = None,
     parallel: bool = False,
     max_workers: int | None = None,
+    telemetry=None,
 ) -> tuple[Any, PipelineResult]:
     """Run the ICSC study DAG; returns ``(StudyResults, PipelineResult)``.
 
     With the default *cache* (the process-wide one), a second invocation
     with identical parameters executes zero stages — inspect
     ``PipelineResult.executed``/``.cached`` or
-    :func:`stage_execution_counts` to observe it.
+    :func:`stage_execution_counts` to observe it.  Pass a
+    :class:`repro.telemetry.Telemetry` as *telemetry* to record spans
+    and pipeline metrics (see ``repro replicate --profile``).
     """
     pipeline = build_icsc_pipeline(
         seed=seed, check_with_classifier=check_with_classifier
@@ -247,6 +250,7 @@ def run_icsc_pipeline(
         manifest=manifest,
         parallel=parallel,
         max_workers=max_workers,
+        telemetry=telemetry,
     )
     return run["analyze"], run
 
@@ -258,6 +262,7 @@ def render_icsc_artifacts(
     cache: ArtifactCache | None = None,
     manifest: RunManifest | None = None,
     parallel: bool = False,
+    telemetry=None,
 ) -> dict[str, Path]:
     """Render the full artifact set through the cached pipeline.
 
@@ -272,5 +277,6 @@ def render_icsc_artifacts(
         cache=cache if cache is not None else process_cache(),
         manifest=manifest,
         parallel=parallel,
+        telemetry=telemetry,
     )
     return {name: Path(path) for name, path in run["render"].items()}

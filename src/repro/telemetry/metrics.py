@@ -1,0 +1,322 @@
+"""Counters, gauges, and histograms behind a :class:`MetricsRegistry`.
+
+Three instrument kinds cover the pipeline's observability needs:
+
+* :class:`Counter` — monotonically increasing totals (cache hits, bytes
+  written);
+* :class:`Gauge` — a settable level with a high-watermark, used with
+  :meth:`Gauge.add` as an in-flight counter whose ``max`` is the
+  parallelism actually achieved;
+* :class:`Histogram` — fixed-bucket distribution of observations (stage
+  durations) with numpy-backed percentile summaries.
+
+All instruments are thread-safe (one lock per instrument), and every
+instrument has a zero-overhead null twin so the disabled-telemetry path
+costs nothing (see :mod:`repro.telemetry.hooks`).
+
+>>> registry = MetricsRegistry.for_pipeline()
+>>> registry.counter("cache.hits").inc()
+1
+>>> registry.histogram("pipeline.stage_seconds").observe(0.25)
+>>> registry.snapshot()["cache.hits"]["value"]
+1
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Sequence
+
+from repro.errors import TelemetryError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_SECONDS_BUCKETS",
+    "PIPELINE_METRICS",
+]
+
+#: Default histogram buckets for durations in seconds: 1 ms … 30 s.
+DEFAULT_SECONDS_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0,
+)
+
+#: The metrics :meth:`MetricsRegistry.for_pipeline` pre-registers, with
+#: the instrument kind each name maps to.
+PIPELINE_METRICS = {
+    "pipeline.stage_seconds": "histogram",
+    "pipeline.stages_executed": "counter",
+    "pipeline.stages_cached": "counter",
+    "pipeline.parallelism": "gauge",
+    "cache.hits": "counter",
+    "cache.misses": "counter",
+    "cache.stores": "counter",
+    "cache.evictions": "counter",
+    "cache.bytes_written": "counter",
+    "manifest.writes": "counter",
+}
+
+
+class Counter:
+    """A thread-safe monotonically increasing total."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int | float = 1) -> int | float:
+        """Add *amount* (must be >= 0); returns the new total."""
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    @property
+    def value(self) -> int | float:
+        """The current total."""
+        return self._value
+
+    def summary(self) -> dict[str, Any]:
+        """Snapshot: ``{"kind": "counter", "value": ...}``."""
+        return {"kind": self.kind, "value": self._value}
+
+
+class Gauge:
+    """A thread-safe settable level tracking its high-watermark.
+
+    ``set`` records an absolute level; ``add`` moves it relatively —
+    ``add(+1)``/``add(-1)`` around a work item turns the gauge into an
+    in-flight counter whose :attr:`max` is the peak concurrency reached.
+    """
+
+    __slots__ = ("name", "_lock", "_value", "_max")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._max = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the level to *value*."""
+        with self._lock:
+            self._value = value
+            self._max = max(self._max, value)
+
+    def add(self, delta: float) -> float:
+        """Move the level by *delta*; returns the new level."""
+        with self._lock:
+            self._value += delta
+            self._max = max(self._max, self._value)
+            return self._value
+
+    @property
+    def value(self) -> float:
+        """The current level."""
+        return self._value
+
+    @property
+    def max(self) -> float:
+        """The highest level ever reached."""
+        return self._max
+
+    def summary(self) -> dict[str, Any]:
+        """Snapshot: ``{"kind": "gauge", "value": ..., "max": ...}``."""
+        return {"kind": self.kind, "value": self._value, "max": self._max}
+
+
+class Histogram:
+    """Fixed-bucket distribution with numpy-backed percentile summaries.
+
+    Observations are counted into fixed buckets (``bounds`` are upper
+    edges; one overflow bucket catches the rest) *and* retained raw, so
+    :meth:`percentile` can answer exactly.  Retention is capped — after
+    *max_samples* raw values the reservoir stops growing (bucket counts
+    and totals stay exact) — keeping memory bounded on hot paths.
+    """
+
+    __slots__ = (
+        "name", "_lock", "bounds", "_bucket_counts",
+        "_samples", "_max_samples", "_count", "_total", "_max",
+    )
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        bounds: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+        max_samples: int = 4096,
+    ) -> None:
+        ordered = tuple(float(b) for b in bounds)
+        if not ordered or any(
+            b2 <= b1 for b1, b2 in zip(ordered, ordered[1:])
+        ):
+            raise TelemetryError(
+                f"histogram {name!r} bucket bounds must be strictly "
+                f"increasing and non-empty: {bounds!r}"
+            )
+        self.name = name
+        self._lock = threading.Lock()
+        self.bounds = ordered
+        self._bucket_counts = [0] * (len(ordered) + 1)
+        self._samples: list[float] = []
+        self._max_samples = max_samples
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = 0
+        for index, bound in enumerate(self.bounds):  # noqa: B007
+            if value <= bound:
+                break
+        else:
+            index = len(self.bounds)
+        with self._lock:
+            self._bucket_counts[index] += 1
+            self._count += 1
+            self._total += value
+            self._max = max(self._max, value)
+            if len(self._samples) < self._max_samples:
+                self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        """How many observations were recorded."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self._total / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> dict[str, int]:
+        """Counts per bucket, keyed by ``"<=bound"`` (plus ``"+inf"``)."""
+        with self._lock:
+            counts = list(self._bucket_counts)
+        labels = [f"<={bound:g}" for bound in self.bounds] + ["+inf"]
+        return dict(zip(labels, counts))
+
+    def percentile(self, q: float | Sequence[float]) -> Any:
+        """The *q*-th percentile(s) of retained observations (numpy).
+
+        Raises :class:`~repro.errors.TelemetryError` on an empty
+        histogram — an empty distribution has no percentiles.
+        """
+        import numpy as np
+
+        with self._lock:
+            if not self._samples:
+                raise TelemetryError(
+                    f"histogram {self.name!r} has no observations"
+                )
+            values = np.asarray(self._samples)
+        result = np.percentile(values, q)
+        if isinstance(q, (int, float)):
+            return float(result)
+        return [float(v) for v in result]
+
+    def summary(self) -> dict[str, Any]:
+        """Snapshot with count/mean/max and p50/p90/p99 when non-empty."""
+        summary: dict[str, Any] = {
+            "kind": self.kind,
+            "count": self._count,
+            "total": self._total,
+            "mean": self.mean,
+            "max": self._max,
+            "buckets": self.bucket_counts(),
+        }
+        if self._count:
+            p50, p90, p99 = self.percentile([50, 90, 99])
+            summary.update({"p50": p50, "p90": p90, "p99": p99})
+        return summary
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and snapshottable.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first call
+    for a name creates the instrument, later calls return the same one.
+    Asking for an existing name as a different kind is a
+    :class:`~repro.errors.TelemetryError` (it would silently split the
+    data).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Any] = {}
+
+    @classmethod
+    def for_pipeline(cls) -> "MetricsRegistry":
+        """A registry with every :data:`PIPELINE_METRICS` pre-registered."""
+        registry = cls()
+        for name, kind in PIPELINE_METRICS.items():
+            getattr(registry, kind)(name)
+        return registry
+
+    def _get_or_create(self, name: str, kind: str, factory) -> Any:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise TelemetryError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {kind}"
+                    )
+                return existing
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under *name* (created on first use)."""
+        return self._get_or_create(name, "counter", lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under *name* (created on first use)."""
+        return self._get_or_create(name, "gauge", lambda: Gauge(name))
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        bounds: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Histogram:
+        """The histogram registered under *name* (created on first use)."""
+        return self._get_or_create(
+            name, "histogram", lambda: Histogram(name, bounds=bounds)
+        )
+
+    def names(self) -> tuple[str, ...]:
+        """Every registered metric name, sorted."""
+        with self._lock:
+            return tuple(sorted(self._instruments))
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Name → :meth:`summary` for every registered instrument."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {
+            name: instruments[name].summary() for name in sorted(instruments)
+        }

@@ -1,0 +1,111 @@
+"""The span model: one timed, tagged, tree-linked unit of work.
+
+A :class:`Span` records what the tracer measured for one operation —
+wall-clock interval, CPU time consumed by the executing thread, free-form
+tags, and a link to its parent span — and a :class:`SpanBuffer` collects
+finished spans from any number of threads.  Both are deliberately dumb
+data carriers: all timing policy lives in
+:class:`~repro.telemetry.tracer.Tracer`, and all interpretation in the
+exporters (:mod:`repro.telemetry.export`) and the profile report
+(:mod:`repro.telemetry.profile`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["Span", "SpanBuffer"]
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) unit of traced work.
+
+    Attributes
+    ----------
+    name:
+        Operation name (e.g. ``"stage:analyze"``).
+    span_id:
+        Identifier unique within the owning tracer.
+    parent_id:
+        ``span_id`` of the enclosing span, or ``None`` for a root.
+    start:
+        Wall-clock start, in seconds relative to the tracer's epoch.
+    duration:
+        Wall-clock seconds from start to finish; ``None`` while open.
+    cpu_time:
+        CPU seconds consumed by the executing thread between start and
+        finish; ``None`` while open.
+    thread_id:
+        ``threading.get_ident()`` of the thread the span ran on.
+    tags:
+        Free-form key → value annotations (stage name, outcome, ...).
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None = None
+    start: float = 0.0
+    duration: float | None = None
+    cpu_time: float | None = None
+    thread_id: int = 0
+    tags: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float | None:
+        """Wall-clock finish relative to the tracer epoch (``None`` if open)."""
+        if self.duration is None:
+            return None
+        return self.start + self.duration
+
+    def to_event(self) -> dict[str, Any]:
+        """A JSON-serializable record of this span (for NDJSON export)."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start,
+            "duration_s": self.duration,
+            "cpu_s": self.cpu_time,
+            "thread_id": self.thread_id,
+            "tags": dict(self.tags),
+        }
+
+
+class SpanBuffer:
+    """A thread-safe append-only buffer of finished spans.
+
+    Parallel pipeline stages finish on worker threads; every finish
+    appends under one lock, so concurrent tracing never loses or tears a
+    span.  Iteration snapshots the buffer (finish order), so exporters
+    can run while tracing continues.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+
+    def append(self, span: Span) -> None:
+        """Record a finished span."""
+        with self._lock:
+            self._spans.append(span)
+
+    def snapshot(self) -> tuple[Span, ...]:
+        """The finished spans so far, in finish order (a copy)."""
+        with self._lock:
+            return tuple(self._spans)
+
+    def clear(self) -> None:
+        """Drop every recorded span."""
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.snapshot())

@@ -15,6 +15,18 @@ class TestParser:
             build_parser().parse_args(["--version"])
         assert info.value.code == 0
 
+    def test_version_exit_code_through_main(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["frobnicate"])
+        assert info.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
 
 class TestValidate:
     def test_ok(self, capsys):
@@ -62,6 +74,49 @@ class TestReplicate:
         assert (tmp_path / "report.md").exists()
         assert (tmp_path / "fig2_tool_distribution.svg").exists()
         assert (tmp_path / "table2.md").exists()
+
+    def test_profile_prints_stage_table(self, tmp_path, capsys):
+        assert main(
+            ["replicate", "--profile", "--cache-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Profile —" in out
+        for stage in ("collect", "classify", "survey", "analyze"):
+            assert stage in out
+        assert "cache:" in out
+
+    def test_trace_out_writes_chrome_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            ["replicate", "--trace-out", str(trace_path),
+             "--cache-dir", str(tmp_path / "cache")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote Chrome trace" in out
+        import json
+
+        payload = json.loads(trace_path.read_text())
+        names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert "pipeline.run" in names
+        assert "stage:analyze" in names
+
+
+class TestTrace:
+    def test_renders_saved_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            ["replicate", "--trace-out", str(trace_path),
+             "--cache-dir", str(tmp_path / "cache")]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_path), "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline.run" in out
+        assert "stage:collect" in out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 1
+        assert "error" in capsys.readouterr().err
 
 
 class TestReport:

@@ -29,6 +29,9 @@ CASES = {
     "bibliometrics.py": ["Linear trend", "Top venues", "Figures written"],
     "pipeline_caching.py": ["cold run", "warm run", "stages executed",
                             "resumed run"],
+    "pipeline_profiling.py": ["span tree", "peak active screeners",
+                              "stage duration percentiles",
+                              "Chrome trace written"],
 }
 
 

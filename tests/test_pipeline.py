@@ -315,6 +315,108 @@ class TestPipelineRun:
         assert isinstance(pickle.loads(pickle.dumps(run)), PipelineResult)
 
 
+class TestParallelFailure:
+    """Failure semantics under ``parallel=True``: a raising stage must
+    surface a :class:`StageExecutionError` naming the stage, dependents
+    must never execute, and the manifest must stay resumable."""
+
+    @staticmethod
+    def _build(survey_fn, executions):
+        """collect → {survey, classify} → analyze, with execution tracking."""
+        def tracked(name, fn):
+            def wrapper(inputs, **params):
+                executions.append(name)
+                return fn(inputs, **params)
+            return wrapper
+
+        return Pipeline(
+            [
+                Stage("collect", tracked("collect", lambda i: [1, 2, 3])),
+                Stage("survey", survey_fn, deps=("collect",)),
+                Stage(
+                    "classify",
+                    tracked("classify", lambda i: len(i["collect"])),
+                    deps=("collect",),
+                ),
+                Stage(
+                    "analyze",
+                    tracked("analyze", lambda i: sum(i["survey"])),
+                    deps=("survey", "classify"),
+                ),
+            ],
+            name="parallel-failure",
+        )
+
+    def test_error_names_the_failing_stage(self):
+        def crash(inputs, **params):
+            raise RuntimeError("simulated parallel crash")
+
+        executions: list[str] = []
+        pipeline = self._build(crash, executions)
+        with pytest.raises(StageExecutionError, match="stage 'survey' failed"):
+            pipeline.run(parallel=True, max_workers=4)
+
+    def test_dependents_of_failed_stage_never_execute(self):
+        def crash(inputs, **params):
+            raise RuntimeError("boom")
+
+        executions: list[str] = []
+        pipeline = self._build(crash, executions)
+        with pytest.raises(StageExecutionError):
+            pipeline.run(parallel=True, max_workers=4)
+        assert "analyze" not in executions  # dependent was skipped
+        assert "collect" in executions
+
+    def test_manifest_stays_resumable_after_parallel_failure(self, tmp_path):
+        """A parallel crash leaves a consistent ledger; the re-run skips
+        the recorded prefix and completes."""
+        def crash(inputs, **params):
+            raise RuntimeError("boom")
+
+        executions: list[str] = []
+        broken = self._build(crash, executions)
+        cache_dir = tmp_path / "cache"
+        with pytest.raises(StageExecutionError):
+            broken.run(
+                cache=ArtifactCache(cache_dir),
+                manifest=RunManifest(tmp_path / "run.json"),
+                parallel=True,
+                max_workers=4,
+            )
+        ledger = RunManifest(tmp_path / "run.json")
+        assert "collect" in ledger.completed  # prefix recorded
+        assert "survey" not in ledger.completed
+        assert "analyze" not in ledger.completed
+
+        # "Restart the process" with the survey stage fixed (same name,
+        # version, and params -> same cache key, so records still match).
+        collect_runs_before = executions.count("collect")
+        survey = lambda i: [x * 10 for x in i["collect"]]  # noqa: E731
+        rerun = self._build(survey, executions).run(
+            cache=ArtifactCache(cache_dir),
+            manifest=RunManifest(tmp_path / "run.json"),
+            parallel=True,
+            max_workers=4,
+        )
+        assert rerun["analyze"] == 60
+        assert executions.count("collect") == collect_runs_before  # resumed
+
+    def test_first_failure_wins_with_multiple_raising_stages(self):
+        def crash(inputs, **params):
+            raise RuntimeError("boom")
+
+        pipeline = Pipeline(
+            [
+                Stage("a", crash),
+                Stage("b", crash),
+                Stage("c", lambda i: 1),
+            ],
+            name="multi-failure",
+        )
+        with pytest.raises(StageExecutionError, match="failed: boom"):
+            pipeline.run(parallel=True, max_workers=4)
+
+
 class TestStudyPipeline:
     @pytest.fixture(autouse=True)
     def fresh_process_cache(self):

@@ -29,6 +29,8 @@ DOCTEST_MODULES = [
     "repro.text.similarity",
     "repro.text.stem",
     "repro.text.tokenize",
+    "repro.telemetry",
+    "repro.telemetry.tracer",
 ]
 
 
