@@ -56,10 +56,15 @@ def _null_instrumentation_once() -> None:
     metrics.counter("pipeline.stages_executed")
     cached = metrics.counter("pipeline.stages_cached")
     metrics.gauge("pipeline.parallelism")
+    log = tel.log  # the structured-logger lookup the runner performs
     with tel.tracer.span("pipeline.run", pipeline="icsc-study"):
         for name in STAGES:
             if tel.enabled:  # cached-stage spans are gated off entirely
                 cached.inc()
+        # pipeline.plan / pipeline.finish log events are enabled-gated.
+        for _ in range(2):
+            if tel.enabled:
+                log.info("pipeline.plan")
 
 
 def test_bench_telemetry_noop_overhead(benchmark, tmp_path):

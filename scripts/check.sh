@@ -10,21 +10,36 @@
 # Usage:
 #   scripts/check.sh                 # full tier-1 suite
 #   scripts/check.sh --bench         # tier-1 suite + benchmarks/ suite
+#   scripts/check.sh --gate          # suite, then record + regression gate
 #   scripts/check.sh tests/test_x.py # any pytest selection (repo-relative
 #                                    # or absolute paths both work)
 #
 # --bench appends the benchmarks/ suite (timing assertions and the
-# telemetry no-op-overhead guard) to whatever selection runs.
+# telemetry no-op-overhead guard) to whatever selection runs; each
+# benchmark module's timings are aggregated into output/BENCH_<name>.json
+# (see benchmarks/conftest.py), usable as `repro runs compare --bench`
+# baselines.
+#
+# --gate runs the selected suite, records a study run into the ledger at
+# output/runs/ (`repro replicate --record`), then compares it against the
+# previous ledger entries (`repro runs compare`) and exits with the
+# watchdog's verdict: 0 = clean, 3 = result drift, 4 = confirmed perf
+# regression.  The first recorded run has nothing to compare against and
+# gates clean.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 export PYTHONPATH="${REPO_ROOT}/src${PYTHONPATH:+:${PYTHONPATH}}"
 
 RUN_BENCH=0
-if [ "${1:-}" = "--bench" ]; then
-    RUN_BENCH=1
-    shift
-fi
+RUN_GATE=0
+while :; do
+    case "${1:-}" in
+        --bench) RUN_BENCH=1; shift ;;
+        --gate)  RUN_GATE=1; shift ;;
+        *) break ;;
+    esac
+done
 
 if [ "$#" -eq 0 ]; then
     set -- "${REPO_ROOT}/tests"
@@ -47,4 +62,19 @@ if [ "${RUN_BENCH}" -eq 1 ]; then
     set -- "$@" "${REPO_ROOT}/benchmarks"
 fi
 
-exec python -m pytest "$@" --rootdir="${REPO_ROOT}" -q
+if [ "${RUN_GATE}" -eq 0 ]; then
+    exec python -m pytest "$@" --rootdir="${REPO_ROOT}" -q
+fi
+
+python -m pytest "$@" --rootdir="${REPO_ROOT}" -q
+
+RUNS_DIR="${REPRO_RUNS_DIR:-${REPO_ROOT}/output/runs}"
+python -m repro replicate --record --runs-dir "${RUNS_DIR}" >/dev/null
+
+# Exit with the watchdog verdict (0 clean, 3 drift, 4 perf regression).
+# With a single recorded run there is nothing to compare; that exits 0.
+set +e
+python -m repro runs compare --runs-dir "${RUNS_DIR}"
+verdict=$?
+set -e
+exit "${verdict}"

@@ -26,6 +26,13 @@ Subcommands
     Rank the 25 catalogue tools for a new application description.
 ``export (--json PATH | --bibtex PATH)``
     Dump the dataset as JSON, or the paper bibliography as BibTeX.
+``runs list|show|compare|gc``
+    Inspect and gate on the persistent run ledger (``repro.obs``).
+    ``replicate --record`` appends a run; ``runs compare`` exits with a
+    machine-readable verdict for CI gating: 0 = no drift and no
+    confirmed slowdown, 3 = result drift (artifact values changed),
+    4 = confirmed perf regression.  ``scripts/check.sh --gate`` wires
+    the whole record→compare loop into one command.
 """
 
 from __future__ import annotations
@@ -83,6 +90,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome trace (chrome://tracing) of the run "
              "(implies telemetry recording)",
     )
+    replicate.add_argument(
+        "--record", action="store_true",
+        help="append this run (stage timings, artifact digests) to the "
+             "run ledger for `repro runs compare` (implies telemetry "
+             "recording)",
+    )
+    replicate.add_argument(
+        "--runs-dir", type=Path, default=None, metavar="DIR",
+        help="run-ledger directory (default: $REPRO_RUNS_DIR or "
+             "~/.cache/repro/runs)",
+    )
 
     sub.add_parser("report", help="print the markdown study report")
 
@@ -120,6 +138,89 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument(
         "--bibtex", type=Path, help="write the paper bibliography as BibTeX"
     )
+
+    runs = sub.add_parser(
+        "runs",
+        help="inspect the run ledger and gate on cross-run regressions",
+        description="Inspect the persistent run ledger written by "
+                    "`repro replicate --record`.",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    def add_runs_dir(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--runs-dir", type=Path, default=None, metavar="DIR",
+            help="run-ledger directory (default: $REPRO_RUNS_DIR or "
+                 "~/.cache/repro/runs)",
+        )
+
+    runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    add_runs_dir(runs_list)
+    runs_list.add_argument(
+        "-n", type=int, default=0, metavar="N",
+        help="show only the newest N runs (default: all)",
+    )
+    runs_list.add_argument(
+        "--json", action="store_true", help="emit NDJSON instead of a table"
+    )
+
+    runs_show = runs_sub.add_parser("show", help="show one recorded run")
+    add_runs_dir(runs_show)
+    runs_show.add_argument(
+        "run_id", nargs="?", default=None,
+        help="run id or unique prefix (default: the newest run)",
+    )
+    runs_show.add_argument(
+        "--json", action="store_true", help="emit the full record as JSON"
+    )
+
+    runs_compare = runs_sub.add_parser(
+        "compare",
+        help="compare two runs (or bench suites); exit 0/3/4",
+        description="Compare the newest run against its predecessor(s) "
+                    "and exit with a machine-readable verdict.",
+        epilog="exit codes: 0 = no value drift, no confirmed slowdown "
+               "(benign-ordering findings allowed); 3 = result drift — an "
+               "artifact's values changed; 4 = confirmed perf regression; "
+               "1 = error (empty ledger, unknown run id); 2 = usage.",
+    )
+    add_runs_dir(runs_compare)
+    runs_compare.add_argument(
+        "baseline", nargs="?", default=None,
+        help="baseline run id/prefix (default: the candidate's predecessor)",
+    )
+    runs_compare.add_argument(
+        "candidate", nargs="?", default=None,
+        help="candidate run id/prefix (default: the newest run)",
+    )
+    runs_compare.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="use up to N baseline records as the significance window "
+             "(default 5; 1 disables the significance test)",
+    )
+    runs_compare.add_argument(
+        "--max-slowdown", type=float, default=0.5, metavar="FRAC",
+        help="fractional slowdown budget per stage (default 0.5 = +50%%)",
+    )
+    runs_compare.add_argument(
+        "--bench", nargs=2, type=Path, default=None,
+        metavar=("BASELINE", "CANDIDATE"),
+        help="compare two output/BENCH_<suite>.json files from "
+             "scripts/check.sh --bench instead of ledger runs",
+    )
+    runs_compare.add_argument(
+        "--json", action="store_true",
+        help="emit the comparison as JSON (exit code still applies)",
+    )
+
+    runs_gc = runs_sub.add_parser(
+        "gc", help="prune the ledger to the newest N runs"
+    )
+    add_runs_dir(runs_gc)
+    runs_gc.add_argument(
+        "--keep", type=int, required=True, metavar="N",
+        help="how many of the newest runs to keep",
+    )
     return parser
 
 
@@ -142,14 +243,19 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     from repro.viz import ascii_distribution
 
     telemetry = None
-    if args.profile or args.trace_out is not None:
+    if args.profile or args.trace_out is not None or args.record:
         from repro.telemetry import Telemetry
 
         telemetry = Telemetry()
+    registry = None
+    if args.record:
+        from repro.obs import RunRegistry
+
+        registry = RunRegistry(args.runs_dir, logger=telemetry.log)
     cache = _resolve_cache(args)
     results, run = run_icsc_pipeline(
         seed=args.seed, cache=cache, parallel=args.parallel,
-        telemetry=telemetry,
+        telemetry=telemetry, registry=registry,
     )
     scheme = workflow_directions()
     names = dict(zip(scheme.keys, scheme.names))
@@ -191,6 +297,12 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
             path = write_chrome_trace(telemetry, args.trace_out)
             print(f"wrote Chrome trace to {path} "
                   "(open in chrome://tracing or ui.perfetto.dev)")
+    if registry is not None:
+        newest = registry.last(1)[0]
+        print(
+            f"recorded run {newest.run_id} "
+            f"({len(newest.artifacts)} artifacts) to {registry.path}"
+        )
     return 0
 
 
@@ -318,6 +430,129 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import RunRegistry, compare_bench_suites, compare_runs
+
+    registry = RunRegistry(args.runs_dir)
+
+    if args.runs_command == "list":
+        records = registry.runs()
+        if args.n > 0:
+            records = records[-args.n:]
+        if args.json:
+            for record in records:
+                print(json.dumps(record.to_dict(), sort_keys=True))
+            return 0
+        if not records:
+            print(f"no runs recorded in {registry.path}")
+            return 0
+        print(f"{'run id':<26} {'kind':<14} {'created (UTC)':<21} "
+              f"{'wall':>9} artifacts")
+        for record in records:
+            print(
+                f"{record.run_id:<26} {record.kind:<14} "
+                f"{record.created_utc:<21} {record.wall_s:>8.3f}s "
+                f"{len(record.artifacts)}"
+            )
+        return 0
+
+    if args.runs_command == "show":
+        if args.run_id is not None:
+            record = registry.get(args.run_id)
+        else:
+            newest = registry.last(1)
+            if not newest:
+                print(f"error: no runs recorded in {registry.path}",
+                      file=sys.stderr)
+                return 1
+            record = newest[0]
+        if args.json:
+            print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+            return 0
+        print(f"run      {record.run_id} ({record.kind})")
+        print(f"created  {record.created_utc}")
+        print(f"dataset  {record.dataset_version[:16]}…")
+        print(f"config   {record.config_digest[:16]}…")
+        print(f"wall     {record.wall_s:.3f}s")
+        for name in sorted(record.stages):
+            stats = record.stages[name]
+            print(
+                f"  stage {name:<10} wall {stats.wall_s:>8.3f}s  "
+                f"cpu {stats.cpu_s:>8.3f}s  exec {stats.executions}  "
+                f"hit-ratio {stats.hit_ratio:.2f}"
+            )
+        for name in sorted(record.metrics):
+            print(f"  metric {name} = {record.metrics[name]:g}")
+        for name in sorted(record.artifacts):
+            digest_value = record.artifacts[name]
+            print(
+                f"  artifact {name:<18} sha256 {digest_value.sha256[:16]}… "
+                f"({digest_value.n_items} items)"
+            )
+        return 0
+
+    if args.runs_command == "compare":
+        if args.bench is not None:
+            payloads = []
+            for path in args.bench:
+                try:
+                    payloads.append(
+                        json.loads(path.read_text(encoding="utf-8"))
+                    )
+                except (OSError, json.JSONDecodeError) as exc:
+                    print(f"error: cannot read bench file {path}: {exc}",
+                          file=sys.stderr)
+                    return 1
+            comparison = compare_bench_suites(
+                payloads[0], payloads[1], max_slowdown=args.max_slowdown
+            )
+        else:
+            if args.window < 1:
+                print("error: --window must be >= 1", file=sys.stderr)
+                return 1
+            records = registry.runs()
+            if args.candidate is not None:
+                candidate = registry.get(args.candidate)
+            elif records:
+                candidate = records[-1]
+            else:
+                print(f"error: no runs recorded in {registry.path}",
+                      file=sys.stderr)
+                return 1
+            if args.baseline is not None:
+                baseline: list = [registry.get(args.baseline)]
+            else:
+                # Ledger position, not timestamps, decides "earlier":
+                # successive runs can share a second-resolution stamp.
+                position = max(
+                    i for i, r in enumerate(records)
+                    if r.run_id == candidate.run_id
+                )
+                earlier = records[:position]
+                if not earlier:
+                    print(
+                        "nothing to compare against: "
+                        f"{candidate.run_id} is the only run in the ledger"
+                    )
+                    return 0
+                baseline = earlier[-args.window:]
+            comparison = compare_runs(
+                baseline, candidate, max_slowdown=args.max_slowdown
+            )
+        if args.json:
+            print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(comparison.report())
+        return comparison.exit_code()
+
+    assert args.runs_command == "gc"
+    dropped = registry.gc(args.keep)
+    print(f"dropped {dropped} ledger line(s), kept the newest {args.keep}")
+    return 0
+
+
 _COMMANDS = {
     "replicate": _cmd_replicate,
     "report": _cmd_report,
@@ -327,6 +562,7 @@ _COMMANDS = {
     "recommend": _cmd_recommend,
     "trace": _cmd_trace,
     "export": _cmd_export,
+    "runs": _cmd_runs,
 }
 
 

@@ -16,6 +16,12 @@ The replay is a *list-scheduling replay*: tasks run in dependency
 its resource is free — the plan fixes the task→resource mapping, reality
 fixes the timing.  Returned metrics quantify the fault-tolerance cost:
 failure count, retries, lost work, and makespan inflation.
+
+Passing ``telemetry=`` traces the replay (``simulate_failures`` span),
+logs every killed attempt (``sim.failure``), and mirrors the cost into
+the ``sim.failures_injected`` / ``sim.retries`` / ``sim.migrations`` /
+``sim.events`` counters that :func:`repro.obs.build_simulation_record`
+lifts into the run ledger.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ import numpy as np
 from repro.continuum.resources import Continuum
 from repro.continuum.scheduling import Schedule, TaskPlacement
 from repro.errors import ContinuumError
+from repro.telemetry import ensure
 
 __all__ = ["FailureTrace", "simulate_with_failures"]
 
@@ -72,12 +79,16 @@ class _FailureClock:
         self._next: dict[str, float] = {
             key: float(rng.exponential(mtbf)) for key in keys
         }
+        #: Failures that fired (harmless idle reboots included) — the
+        #: ``sim.failures_injected`` counter.
+        self.consumed = 0
 
     def next_failure(self, resource: str) -> float:
         return self._next[resource]
 
     def consume(self, resource: str) -> None:
         """The pending failure happened; sample the next one."""
+        self.consumed += 1
         self._next[resource] += float(self._rng.exponential(self._mtbf))
 
     def advance_past(self, resource: str, time: float) -> None:
@@ -99,6 +110,7 @@ def simulate_with_failures(
     policy: str = "restart",
     seed: int | None = None,
     max_attempts: int = 50,
+    telemetry=None,
 ) -> FailureTrace:
     """Replay *schedule* with exponential failures of rate ``1/mtbf``.
 
@@ -117,6 +129,14 @@ def simulate_with_failures(
     max_attempts:
         Abort with :class:`ContinuumError` if one task fails this often —
         guards against ``mtbf`` far below task durations.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`; when bound the replay
+        is traced (``simulate_failures`` span), every killed attempt is
+        logged (``sim.failure``), and the counters
+        ``sim.failures_injected`` (failures fired, harmless idle reboots
+        included), ``sim.retries`` (attempts killed mid-execution),
+        ``sim.migrations``, ``sim.events`` (attempts started) and
+        ``sim.tasks`` feed the run-ledger metrics snapshot.
     """
     if mtbf <= 0:
         raise ContinuumError("mtbf must be > 0")
@@ -127,6 +147,53 @@ def simulate_with_failures(
     if max_attempts < 1:
         raise ContinuumError("max_attempts must be >= 1")
 
+    tel = ensure(telemetry)
+    if not tel.enabled:
+        return _replay(schedule, mtbf, repair_time, policy, seed, max_attempts, tel)[0]
+    with tel.tracer.span(
+        "simulate_failures",
+        policy=policy,
+        mtbf=mtbf,
+        tasks=len(schedule.workflow),
+    ) as span:
+        trace, injected, attempts = _replay(
+            schedule, mtbf, repair_time, policy, seed, max_attempts, tel
+        )
+        span.tags.update(
+            makespan=trace.makespan,
+            failures=trace.n_failures,
+            migrations=trace.n_migrations,
+        )
+        metrics = tel.metrics
+        metrics.counter("sim.failures_injected").inc(injected)
+        metrics.counter("sim.retries").inc(trace.n_failures)
+        metrics.counter("sim.migrations").inc(trace.n_migrations)
+        metrics.counter("sim.events").inc(attempts)
+        metrics.counter("sim.tasks").inc(len(trace.placements))
+        tel.log.info(
+            "sim.finish",
+            tasks=len(trace.placements),
+            events=attempts,
+            failures_injected=injected,
+            retries=trace.n_failures,
+            migrations=trace.n_migrations,
+            makespan=trace.makespan,
+            slowdown=trace.slowdown,
+            lost_work=trace.lost_work,
+        )
+    return trace
+
+
+def _replay(
+    schedule: Schedule,
+    mtbf: float,
+    repair_time: float,
+    policy: str,
+    seed: int | None,
+    max_attempts: int,
+    tel,
+) -> tuple[FailureTrace, int, int]:
+    """The replay loop; returns (trace, failures fired, attempts started)."""
     workflow = schedule.workflow
     continuum: Continuum = schedule.continuum
     rng = np.random.default_rng(seed)
@@ -137,6 +204,7 @@ def simulate_with_failures(
     n_failures = 0
     n_migrations = 0
     lost_work = 0.0
+    attempts_started = 0
 
     def data_ready(task_key: str, on_resource: str) -> float:
         ready = 0.0
@@ -163,6 +231,7 @@ def simulate_with_failures(
                     f"task {task_key!r} failed {attempts} times; "
                     f"mtbf={mtbf} is too small for its duration"
                 )
+            attempts_started += 1
             resource = continuum[resource_key]
             duration = resource.execution_time(task.work)
             start = max(
@@ -184,6 +253,16 @@ def simulate_with_failures(
             lost_work += failure - start
             clock.consume(resource_key)
             resource_free[resource_key] = failure + repair_time
+            if tel.enabled:
+                tel.log.debug(
+                    "sim.failure",
+                    task=task_key,
+                    resource=resource_key,
+                    at=failure,
+                    lost=failure - start,
+                    attempt=attempts,
+                    policy=policy,
+                )
             if policy == "migrate":
                 # Earliest-finish feasible resource for the retry.
                 candidates = []
@@ -210,7 +289,7 @@ def simulate_with_failures(
         for task_key, placement in finished.items()
         if placement.resource != schedule[task_key].resource
     )
-    return FailureTrace(
+    trace = FailureTrace(
         placements=tuple(
             sorted(finished.values(), key=lambda p: (p.start, p.task))
         ),
@@ -220,3 +299,4 @@ def simulate_with_failures(
         n_migrations=n_migrations,
         lost_work=float(lost_work),
     )
+    return trace, clock.consumed, attempts_started

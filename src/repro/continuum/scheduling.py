@@ -14,10 +14,16 @@ Implements the scheduling layer the paper's orchestration tools motivate:
 All schedulers honour task requirements versus resource capabilities and
 return a :class:`Schedule` with per-task timing and the three figures of
 merit: makespan, energy, and carbon.
+
+Every ``schedule()`` accepts an optional ``telemetry=`` keyword: when
+bound, the placement runs inside a ``schedule.<name>`` span and emits a
+``schedule.finish`` log event (scheduler, task count, makespan).  The
+default is the shared zero-overhead null telemetry.
 """
 
 from __future__ import annotations
 
+import functools
 from bisect import insort
 from collections.abc import Mapping
 from dataclasses import dataclass
@@ -27,6 +33,7 @@ import numpy as np
 from repro.continuum.resources import Continuum
 from repro.continuum.workflow import Workflow
 from repro.errors import SchedulingError
+from repro.telemetry import ensure
 
 __all__ = [
     "TaskPlacement",
@@ -195,6 +202,38 @@ def _feasible_resources(workflow: Workflow, continuum: Continuum) -> dict[str, l
     return feasible
 
 
+def _traced_schedule(name: str):
+    """Wrap a ``schedule()`` method with optional telemetry.
+
+    The wrapped method grows a keyword-only ``telemetry=`` parameter.
+    ``None`` (the default) resolves to the null telemetry and takes the
+    undecorated fast path; a real :class:`~repro.telemetry.Telemetry`
+    traces the placement as a ``schedule.<name>`` span and logs a
+    ``schedule.finish`` event.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(self, workflow, continuum, *, telemetry=None):
+            tel = ensure(telemetry)
+            if not tel.enabled:
+                return fn(self, workflow, continuum)
+            with tel.tracer.span(f"schedule.{name}", tasks=len(workflow)) as span:
+                schedule = fn(self, workflow, continuum)
+                span.tags.update(makespan=schedule.makespan)
+                tel.log.info(
+                    "schedule.finish",
+                    scheduler=name,
+                    tasks=len(workflow),
+                    makespan=schedule.makespan,
+                )
+                return schedule
+
+        return wrapper
+
+    return decorate
+
+
 class HeftScheduler:
     """Heterogeneous Earliest Finish Time list scheduling."""
 
@@ -230,6 +269,7 @@ class HeftScheduler:
             ranks[key] = mean_exec + best
         return ranks
 
+    @_traced_schedule("heft")
     def schedule(self, workflow: Workflow, continuum: Continuum) -> Schedule:
         """Place every task; returns a validated :class:`Schedule`."""
         feasible = _feasible_resources(workflow, continuum)
@@ -286,6 +326,7 @@ class EnergyAwareScheduler:
             raise SchedulingError(f"slack must be >= 1.0, got {slack}")
         self.slack = slack
 
+    @_traced_schedule("energy")
     def schedule(self, workflow: Workflow, continuum: Continuum) -> Schedule:
         """Place every task; returns a validated :class:`Schedule`."""
         feasible = _feasible_resources(workflow, continuum)
@@ -338,6 +379,7 @@ class RoundRobinScheduler:
     resource timeline allow.
     """
 
+    @_traced_schedule("round_robin")
     def schedule(self, workflow: Workflow, continuum: Continuum) -> Schedule:
         """Place every task; returns a validated :class:`Schedule`."""
         feasible = _feasible_resources(workflow, continuum)

@@ -9,6 +9,13 @@ meet a noisy reality) and backs the robustness benchmark.
 The engine is a classic event-driven simulator: a heap of task-completion
 events, tasks becoming ready when all inputs have arrived, resources
 processing one task at a time in plan order.
+
+Passing ``telemetry=`` wraps the run in a ``simulate`` span, counts
+``sim.events`` / ``sim.tasks``, and emits a ``sim.finish`` log event —
+the metrics snapshot :func:`repro.obs.build_simulation_record` lifts
+into the run ledger.  The default (``None``) is the zero-overhead null
+telemetry; event-loop bookkeeping stays local either way and is flushed
+once at the end.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from repro.continuum.resources import Continuum
 from repro.continuum.scheduling import Schedule, TaskPlacement
 from repro.continuum.workflow import Workflow
 from repro.errors import ContinuumError
+from repro.telemetry import ensure
 
 __all__ = ["ExecutionTrace", "simulate_schedule"]
 
@@ -61,6 +69,7 @@ def simulate_schedule(
     jitter: float = 0.0,
     seed: int | None = None,
     rng: np.random.Generator | None = None,
+    telemetry=None,
 ) -> ExecutionTrace:
     """Execute *schedule* event-by-event with multiplicative duration jitter.
 
@@ -75,6 +84,10 @@ def simulate_schedule(
         noise).
     seed, rng:
         Randomness control (provide one, not both).
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`; when bound the run is
+        traced (``simulate`` span), counted (``sim.events``, ``sim.tasks``)
+        and logged (``sim.finish``).
 
     Returns
     -------
@@ -87,6 +100,36 @@ def simulate_schedule(
         raise ContinuumError("provide either seed or rng, not both")
     if rng is None:
         rng = np.random.default_rng(seed)
+    tel = ensure(telemetry)
+    if not tel.enabled:
+        return _simulate(schedule, jitter, rng)
+    with tel.tracer.span(
+        "simulate", tasks=len(schedule.workflow), jitter=jitter
+    ) as span:
+        trace, n_events = _simulate_counted(schedule, jitter, rng)
+        span.tags.update(makespan=trace.makespan, events=n_events)
+        tel.metrics.counter("sim.events").inc(n_events)
+        tel.metrics.counter("sim.tasks").inc(len(trace.placements))
+        tel.log.info(
+            "sim.finish",
+            tasks=len(trace.placements),
+            events=n_events,
+            makespan=trace.makespan,
+            slowdown=trace.slowdown,
+        )
+    return trace
+
+
+def _simulate(
+    schedule: Schedule, jitter: float, rng: np.random.Generator
+) -> ExecutionTrace:
+    """The uninstrumented hot path (null-telemetry callers land here)."""
+    return _simulate_counted(schedule, jitter, rng)[0]
+
+
+def _simulate_counted(
+    schedule: Schedule, jitter: float, rng: np.random.Generator
+) -> tuple[ExecutionTrace, int]:
     workflow: Workflow = schedule.workflow
     continuum: Continuum = schedule.continuum
 
@@ -135,7 +178,9 @@ def simulate_schedule(
     for resource_key in continuum.keys:
         try_start(resource_key, 0.0)
 
+    n_events = 0
     while heap:
+        n_events += 1
         now, _, task_key = heapq.heappop(heap)
         placement = finished[task_key]
         for succ in workflow.successors(task_key):
@@ -163,7 +208,7 @@ def simulate_schedule(
         continuum[p.resource].busy_power * p.duration
         for p in finished.values()
     )
-    return ExecutionTrace(
+    trace = ExecutionTrace(
         placements=tuple(
             sorted(finished.values(), key=lambda p: (p.start, p.task))
         ),
@@ -171,3 +216,4 @@ def simulate_schedule(
         planned_makespan=schedule.makespan,
         busy_energy=float(busy_energy),
     )
+    return trace, n_events

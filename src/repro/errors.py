@@ -37,6 +37,7 @@ __all__ = [
     "StageExecutionError",
     "CacheError",
     "TelemetryError",
+    "LedgerError",
 ]
 
 
@@ -170,3 +171,12 @@ class CacheError(PipelineError):
 
 class TelemetryError(ReproError):
     """A :mod:`repro.telemetry` misuse or unreadable trace/metric data."""
+
+
+class LedgerError(ReproError):
+    """A :mod:`repro.obs` run-ledger misuse (unknown run id, empty ledger).
+
+    Note: a *corrupt ledger line* is deliberately NOT an error — the
+    registry skips it with a warning (mirroring the corrupt-artifact
+    recovery in :mod:`repro.pipeline.cache`), so a torn write can never
+    take the whole run history down."""

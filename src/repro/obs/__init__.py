@@ -1,0 +1,75 @@
+"""Cross-run observability: the run ledger and the regression watchdog.
+
+Where :mod:`repro.telemetry` gives a *single* run eyes, :mod:`repro.obs`
+gives the project memory:
+
+* :mod:`repro.obs.record` — :class:`RunRecord`, a structured snapshot of
+  one run (identity, per-stage timings lifted from telemetry, SHA-256
+  digests of every produced artifact) plus the builders that digest real
+  study/simulation runs;
+* :mod:`repro.obs.registry` — :class:`RunRegistry`, the append-only
+  NDJSON ledger under ``--runs-dir`` / ``$REPRO_RUNS_DIR`` /
+  ``~/.cache/repro/runs`` with skip-and-warn corrupt-line recovery and
+  an explicit :meth:`~RunRegistry.gc` retention policy;
+* :mod:`repro.obs.compare` — :func:`compare_runs`, the watchdog that
+  flags result drift (value vs benign-ordering, via dual digests) and
+  perf regressions (significance-tested over baseline windows), with a
+  machine-readable exit-code contract for CI gating.
+
+Quickstart
+----------
+>>> import tempfile
+>>> from repro.obs import RunRegistry, RunRecord, compare_runs
+>>> with tempfile.TemporaryDirectory() as tmp:
+...     registry = RunRegistry(tmp)
+...     a = registry.record(RunRecord("a", "demo", "2026-01-01T00:00:00Z"))
+...     b = registry.record(RunRecord("b", "demo", "2026-01-01T00:01:00Z"))
+...     compare_runs(a, b).exit_code()
+0
+
+On the command line: ``repro replicate --record`` then
+``repro runs list|show|compare|gc`` (see ``repro runs --help``), or
+``scripts/check.sh --gate`` for the record→compare→gate loop in one step.
+"""
+
+from repro.obs.compare import (
+    EXIT_DRIFT,
+    EXIT_OK,
+    EXIT_PERF,
+    ArtifactDrift,
+    PerfDelta,
+    RunComparison,
+    compare_bench_suites,
+    compare_runs,
+)
+from repro.obs.record import (
+    ArtifactDigest,
+    RunRecord,
+    StageStats,
+    build_simulation_record,
+    build_study_record,
+    digest_items,
+    study_artifacts,
+)
+from repro.obs.registry import LEDGER_NAME, RunRegistry, default_runs_dir
+
+__all__ = [
+    "EXIT_DRIFT",
+    "EXIT_OK",
+    "EXIT_PERF",
+    "LEDGER_NAME",
+    "ArtifactDigest",
+    "ArtifactDrift",
+    "PerfDelta",
+    "RunComparison",
+    "RunRecord",
+    "RunRegistry",
+    "StageStats",
+    "build_simulation_record",
+    "build_study_record",
+    "compare_bench_suites",
+    "compare_runs",
+    "default_runs_dir",
+    "digest_items",
+    "study_artifacts",
+]

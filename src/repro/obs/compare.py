@@ -1,0 +1,422 @@
+"""The cross-run regression watchdog: :func:`compare_runs`.
+
+Compares a candidate :class:`~repro.obs.record.RunRecord` against a
+baseline (one record, or a window of records whose per-stage durations
+become significance samples) and classifies what changed:
+
+* **result drift** — an artifact digest mismatch.  Ordered digest
+  differs but the order-insensitive ``content_sha256`` matches →
+  ``benign-ordering`` (reported, not fatal by default); both differ →
+  ``value`` drift (fatal).  Artifacts appearing/disappearing are
+  ``added``/``removed`` drift.  When the two runs' ``dataset_version``
+  or ``config_digest`` differ, digest changes are *expected* — they are
+  reported as ``expected-change`` and do not fail the gate;
+* **perf regression** — a stage (or the whole run) slowed beyond
+  ``max_slowdown``.  With a multi-record baseline window the slowdown
+  must also be statistically significant under
+  :func:`repro.stats.inference.permutation_mean_test`; a single-record
+  baseline falls back to the threshold plus an absolute-seconds floor so
+  scheduler noise on millisecond stages cannot flake a CI gate.
+
+Exit-code contract (machine-readable, used by ``repro runs compare``
+and ``scripts/check.sh --gate``):
+
+====  =============================================================
+code  meaning
+====  =============================================================
+0     no value drift, no confirmed slowdown (benign findings allowed)
+3     result drift (an artifact's values changed)
+4     confirmed perf regression (no value drift)
+====  =============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.errors import LedgerError
+from repro.obs.record import RunRecord
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_DRIFT",
+    "EXIT_PERF",
+    "PerfDelta",
+    "ArtifactDrift",
+    "RunComparison",
+    "compare_runs",
+    "compare_bench_suites",
+]
+
+#: Everything matched (benign-ordering findings allowed).
+EXIT_OK = 0
+#: An artifact's values changed between the runs.
+EXIT_DRIFT = 3
+#: A stage (or the run) slowed beyond the threshold, confirmed.
+EXIT_PERF = 4
+
+#: Ignore slowdowns whose absolute cost is below this (seconds) when no
+#: significance test is possible — millisecond noise is not a regression.
+MIN_ABS_SLOWDOWN_S = 0.05
+
+
+@dataclass(frozen=True, slots=True)
+class PerfDelta:
+    """One stage's timing change between baseline and candidate."""
+
+    stage: str
+    baseline_s: float
+    candidate_s: float
+    p_value: float | None = None
+
+    @property
+    def ratio(self) -> float:
+        """candidate / baseline (``inf`` for a 0-second baseline)."""
+        if self.baseline_s <= 0.0:
+            return float("inf") if self.candidate_s > 0.0 else 1.0
+        return self.candidate_s / self.baseline_s
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "baseline_s": self.baseline_s,
+            "candidate_s": self.candidate_s,
+            "ratio": self.ratio,
+            "p_value": self.p_value,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class ArtifactDrift:
+    """One artifact whose fingerprint changed between the runs.
+
+    ``kind`` is one of ``"value"``, ``"benign-ordering"``, ``"added"``,
+    ``"removed"``, ``"expected-change"``.
+    """
+
+    artifact: str
+    kind: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"artifact": self.artifact, "kind": self.kind}
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """Outcome of one watchdog comparison."""
+
+    baseline_id: str
+    candidate_id: str
+    drift: tuple[ArtifactDrift, ...] = ()
+    regressions: tuple[PerfDelta, ...] = ()
+    improvements: tuple[PerfDelta, ...] = ()
+    notes: tuple[str, ...] = ()
+
+    @property
+    def value_drift(self) -> tuple[ArtifactDrift, ...]:
+        """The drift findings that fail the gate."""
+        return tuple(
+            d for d in self.drift if d.kind in ("value", "added", "removed")
+        )
+
+    @property
+    def ok(self) -> bool:
+        """True when the gate passes (exit code 0)."""
+        return not self.value_drift and not self.regressions
+
+    def exit_code(self) -> int:
+        """The machine-readable verdict (see the module docstring)."""
+        if self.value_drift:
+            return EXIT_DRIFT
+        if self.regressions:
+            return EXIT_PERF
+        return EXIT_OK
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "baseline_id": self.baseline_id,
+            "candidate_id": self.candidate_id,
+            "exit_code": self.exit_code(),
+            "ok": self.ok,
+            "drift": [d.to_dict() for d in self.drift],
+            "regressions": [r.to_dict() for r in self.regressions],
+            "improvements": [r.to_dict() for r in self.improvements],
+            "notes": list(self.notes),
+        }
+
+    def report(self) -> str:
+        """A human-readable verdict block."""
+        lines = [
+            f"compare {self.baseline_id} -> {self.candidate_id}: "
+            + ("OK" if self.ok else "FAIL")
+        ]
+        for finding in self.drift:
+            marker = "!" if finding.kind in ("value", "added", "removed") else "~"
+            lines.append(f"  {marker} drift [{finding.kind}] {finding.artifact}")
+        for delta in self.regressions:
+            sig = (
+                f", p={delta.p_value:.4f}" if delta.p_value is not None else ""
+            )
+            lines.append(
+                f"  ! slower [{delta.stage}] {delta.baseline_s * 1e3:.2f} ms "
+                f"-> {delta.candidate_s * 1e3:.2f} ms "
+                f"(x{delta.ratio:.2f}{sig})"
+            )
+        for delta in self.improvements:
+            lines.append(
+                f"  + faster [{delta.stage}] {delta.baseline_s * 1e3:.2f} ms "
+                f"-> {delta.candidate_s * 1e3:.2f} ms (x{delta.ratio:.2f})"
+            )
+        for note in self.notes:
+            lines.append(f"  . {note}")
+        if len(lines) == 1:
+            lines.append("  . no drift, no slowdown")
+        return "\n".join(lines)
+
+
+def _classify_drift(
+    baseline: RunRecord, candidate: RunRecord, expected: bool
+) -> list[ArtifactDrift]:
+    findings: list[ArtifactDrift] = []
+    names = sorted(set(baseline.artifacts) | set(candidate.artifacts))
+    for name in names:
+        base = baseline.artifacts.get(name)
+        cand = candidate.artifacts.get(name)
+        if base is None:
+            findings.append(ArtifactDrift(name, "added"))
+        elif cand is None:
+            findings.append(ArtifactDrift(name, "removed"))
+        elif base.sha256 != cand.sha256:
+            if expected:
+                findings.append(ArtifactDrift(name, "expected-change"))
+            elif base.content_sha256 == cand.content_sha256:
+                findings.append(ArtifactDrift(name, "benign-ordering"))
+            else:
+                findings.append(ArtifactDrift(name, "value"))
+    if expected:
+        # Presence changes are also expected across a config/data change.
+        findings = [
+            ArtifactDrift(f.artifact, "expected-change")
+            if f.kind in ("added", "removed")
+            else f
+            for f in findings
+        ]
+    return findings
+
+
+def _stage_samples(
+    window: Sequence[RunRecord], stage: str
+) -> list[float]:
+    """Wall-duration samples of *stage* across a baseline window."""
+    return [
+        record.stages[stage].wall_s
+        for record in window
+        if stage in record.stages and record.stages[stage].executions >= 0
+    ]
+
+
+def compare_runs(
+    baseline: RunRecord | Sequence[RunRecord],
+    candidate: RunRecord,
+    *,
+    max_slowdown: float = 0.5,
+    min_abs_s: float = MIN_ABS_SLOWDOWN_S,
+    alpha: float = 0.05,
+    seed: int = 2023,
+) -> RunComparison:
+    """Flag perf deltas and result drift between *baseline* and *candidate*.
+
+    Parameters
+    ----------
+    baseline:
+        One :class:`RunRecord`, or a window of them (oldest first).  With
+        a window of >= 2 records, a stage's slowdown must be significant
+        under :func:`~repro.stats.inference.permutation_mean_test` at
+        level *alpha* (the last window record is the headline baseline in
+        the report).
+    candidate:
+        The run under test.
+    max_slowdown:
+        Fractional slowdown budget: 0.5 flags stages more than 50% slower
+        than baseline.
+    min_abs_s:
+        Absolute floor (seconds): a "regression" cheaper than this is
+        noise, not a finding — applied only when no significance test
+        is possible (single-record baseline).
+    """
+    if isinstance(baseline, RunRecord):
+        window: list[RunRecord] = [baseline]
+    else:
+        window = list(baseline)
+    if not window:
+        raise LedgerError("compare_runs needs at least one baseline record")
+    if max_slowdown <= 0:
+        raise LedgerError("max_slowdown must be > 0")
+    head = window[-1]
+
+    notes: list[str] = []
+    expected = False
+    if head.dataset_version != candidate.dataset_version:
+        expected = True
+        notes.append(
+            "dataset_version changed "
+            f"({head.dataset_version[:12]}… -> "
+            f"{candidate.dataset_version[:12]}…): digest changes expected"
+        )
+    if head.config_digest != candidate.config_digest:
+        expected = True
+        notes.append(
+            "config_digest changed: digest changes expected"
+        )
+    if head.kind != candidate.kind:
+        notes.append(
+            f"comparing different run kinds ({head.kind} vs {candidate.kind})"
+        )
+
+    drift = _classify_drift(head, candidate, expected)
+
+    regressions: list[PerfDelta] = []
+    improvements: list[PerfDelta] = []
+    stages = sorted(set(head.stages) & set(candidate.stages))
+    use_significance = len(window) >= 2
+    for stage in stages:
+        base_stat = head.stages[stage]
+        cand_stat = candidate.stages[stage]
+        # Only executed-vs-executed comparisons are meaningful: a stage
+        # served from cache measures the cache, not the stage.
+        if base_stat.executions != cand_stat.executions:
+            notes.append(
+                f"stage {stage!r}: execution counts differ "
+                f"({base_stat.executions} vs {cand_stat.executions}); "
+                "timing not compared"
+            )
+            continue
+        delta = PerfDelta(stage, base_stat.wall_s, cand_stat.wall_s)
+        if delta.ratio > 1.0 + max_slowdown:
+            if use_significance:
+                samples = _stage_samples(window, stage)
+                p_value = _significant_slowdown(
+                    samples, cand_stat.wall_s, alpha=alpha, seed=seed
+                )
+                if p_value is not None:
+                    regressions.append(
+                        PerfDelta(
+                            stage, base_stat.wall_s, cand_stat.wall_s,
+                            p_value=p_value,
+                        )
+                    )
+            elif cand_stat.wall_s - base_stat.wall_s >= min_abs_s:
+                regressions.append(delta)
+        elif delta.ratio < 1.0 / (1.0 + max_slowdown) and (
+            base_stat.wall_s - cand_stat.wall_s >= min_abs_s
+        ):
+            improvements.append(delta)
+
+    # Whole-run wall clock, same rules.
+    if head.wall_s > 0.0 and candidate.wall_s > 0.0:
+        run_delta = PerfDelta("<run>", head.wall_s, candidate.wall_s)
+        if run_delta.ratio > 1.0 + max_slowdown:
+            if use_significance:
+                samples = [r.wall_s for r in window if r.wall_s > 0.0]
+                p_value = _significant_slowdown(
+                    samples, candidate.wall_s, alpha=alpha, seed=seed
+                )
+                if p_value is not None:
+                    regressions.append(
+                        PerfDelta(
+                            "<run>", head.wall_s, candidate.wall_s,
+                            p_value=p_value,
+                        )
+                    )
+            elif candidate.wall_s - head.wall_s >= min_abs_s:
+                regressions.append(run_delta)
+
+    return RunComparison(
+        baseline_id=head.run_id,
+        candidate_id=candidate.run_id,
+        drift=tuple(drift),
+        regressions=tuple(regressions),
+        improvements=tuple(improvements),
+        notes=tuple(notes),
+    )
+
+
+def _significant_slowdown(
+    samples: Sequence[float], candidate_s: float, *, alpha: float, seed: int
+) -> float | None:
+    """p-value when *candidate_s* is a significant slowdown, else ``None``.
+
+    With fewer than 2 positive baseline samples the permutation test is
+    undefined, so nothing can be confirmed — return ``None`` (the
+    threshold alone is not evidence).
+    """
+    values = [s for s in samples if s > 0.0]
+    if len(values) < 2:
+        return None
+    from repro.stats.inference import permutation_mean_test
+
+    # The candidate is a single observation; duplicate it so the test is
+    # well-posed (conservative: within-candidate variance is zero, so
+    # significance is driven entirely by the baseline spread).
+    result = permutation_mean_test(
+        values, [candidate_s, candidate_s], seed=seed
+    )
+    if result.statistic > 0.0 and result.p_value < alpha:
+        return result.p_value
+    return None
+
+
+# -- benchmark-suite baselines -----------------------------------------------------
+
+
+def compare_bench_suites(
+    baseline: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    *,
+    max_slowdown: float = 0.5,
+    min_abs_s: float = 1e-4,
+) -> RunComparison:
+    """Compare two ``output/BENCH_<suite>.json`` payloads.
+
+    The per-suite files written by ``scripts/check.sh --bench`` (see
+    ``benchmarks/conftest.py``) carry a ``results`` mapping of
+    benchmark name → timing stats; this adapts them to the same
+    :class:`RunComparison` surface as ledger runs, so a bench file can
+    serve as the baseline source for ``repro runs compare --bench``.
+    """
+    base_results = baseline.get("results")
+    cand_results = candidate.get("results")
+    if not isinstance(base_results, Mapping) or not isinstance(
+        cand_results, Mapping
+    ):
+        raise LedgerError(
+            "bench payloads need a 'results' mapping "
+            "(regenerate with scripts/check.sh --bench)"
+        )
+    regressions: list[PerfDelta] = []
+    improvements: list[PerfDelta] = []
+    notes: list[str] = []
+    for name in sorted(set(base_results) | set(cand_results)):
+        base = base_results.get(name)
+        cand = cand_results.get(name)
+        if base is None or cand is None:
+            notes.append(f"benchmark {name!r} present in only one suite")
+            continue
+        base_s = float(base.get("min_s", base.get("mean_s", 0.0)))
+        cand_s = float(cand.get("min_s", cand.get("mean_s", 0.0)))
+        delta = PerfDelta(name, base_s, cand_s)
+        if delta.ratio > 1.0 + max_slowdown and cand_s - base_s >= min_abs_s:
+            regressions.append(delta)
+        elif (
+            delta.ratio < 1.0 / (1.0 + max_slowdown)
+            and base_s - cand_s >= min_abs_s
+        ):
+            improvements.append(delta)
+    return RunComparison(
+        baseline_id=str(baseline.get("suite", "bench-baseline")),
+        candidate_id=str(candidate.get("suite", "bench-candidate")),
+        regressions=tuple(regressions),
+        improvements=tuple(improvements),
+        notes=tuple(notes),
+    )

@@ -197,6 +197,11 @@ class ArtifactCache:
                 except Exception as exc:
                     # Unpickling corrupt bytes can raise nearly anything
                     # (ValueError, AttributeError, ImportError, ...).
+                    if self.telemetry is not None:
+                        self.telemetry.log.warning(
+                            "cache.corrupt", key=key[:12],
+                            path=path.name, reason=str(exc),
+                        )
                     raise CacheError(
                         f"cache artifact {path.name} is unreadable: {exc}"
                     ) from exc
@@ -257,6 +262,8 @@ class ArtifactCache:
         if dropped:
             self.evictions += 1
             self._count("evictions")
+            if self.telemetry is not None:
+                self.telemetry.log.warning("cache.evict", key=key[:12])
 
     def clear(self) -> None:
         """Drop every artifact and reset the counters."""

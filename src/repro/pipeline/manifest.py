@@ -141,3 +141,8 @@ class RunManifest:
             metrics.histogram("manifest.write_seconds").observe(
                 time.perf_counter() - started
             )
+            self.telemetry.log.debug(
+                "manifest.write",
+                path=str(self.path),
+                completed=len(self._completed),
+            )

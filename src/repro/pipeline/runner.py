@@ -19,8 +19,11 @@ parameters, which buys three properties for free:
 Passing ``telemetry=`` (a :class:`repro.telemetry.Telemetry`) records a
 span per stage — wall time, per-thread CPU time, executed-vs-cached
 outcome — under one run-level span, plus the pipeline metrics (stage
-duration histogram, cache counters, achieved parallelism).  The default
-is a shared no-op whose cost is a few attribute lookups per stage.
+duration histogram, cache counters, achieved parallelism) and
+span-correlated structured log events (``pipeline.plan``,
+``stage.start``/``finish``/``error``, ``cache.rot``,
+``pipeline.finish``) on ``telemetry.log``.  The default is a shared
+no-op whose cost is a few attribute lookups per stage.
 
 Example
 -------
@@ -323,6 +326,7 @@ class Pipeline:
 
         needed = self._closure(targets)
         order = [name for name in self._order if name in needed]
+        log = tel.log
 
         results: dict[str, Any] = {}
         executed: list[str] = []
@@ -358,6 +362,15 @@ class Pipeline:
                         pass
             else:
                 must_run.append(name)
+        if tel.enabled:
+            log.info(
+                "pipeline.plan",
+                pipeline=self.name,
+                targets=list(targets),
+                must_run=must_run,
+                cached=list(cached),
+                parallel=parallel,
+            )
 
         def materialize(name: str) -> None:
             """Load a planned-cached stage's value, recomputing on rot.
@@ -372,7 +385,12 @@ class Pipeline:
             try:
                 results[name] = cache.load(keys[name])
                 return
-            except CacheError:
+            except CacheError as exc:
+                if tel.enabled:
+                    log.warning(
+                        "cache.rot", stage=name,
+                        key=keys[name][:12], reason=str(exc),
+                    )
                 cache.evict(keys[name])
             for dep in self.stages[name].deps:
                 materialize(dep)
@@ -389,14 +407,26 @@ class Pipeline:
                     f"stage:{name}", parent=run_span,
                     stage=name, outcome="executed",
                 ) as span:
+                    if tel.enabled:
+                        log.debug("stage.start", stage=name)
                     try:
                         value = stage.fn(inputs, **stage.params)
                     except Exception as exc:
+                        if tel.enabled:
+                            log.error(
+                                "stage.error", stage=name,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
                         raise StageExecutionError(
                             f"stage {name!r} failed: {exc}"
                         ) from exc
                 stage_seconds.observe(span.duration or 0.0)
                 executed_count.inc()
+                if tel.enabled:
+                    log.debug(
+                        "stage.finish", stage=name,
+                        wall_s=span.duration, cpu_s=span.cpu_time,
+                    )
                 return value
             finally:
                 inflight.add(-1)
@@ -423,6 +453,13 @@ class Pipeline:
 
         for name in targets:
             materialize(name)
+        if tel.enabled:
+            log.info(
+                "pipeline.finish",
+                pipeline=self.name,
+                executed=list(executed),
+                cached=list(cached),
+            )
         return PipelineResult(
             outputs={name: results[name] for name in targets},
             executed=tuple(executed),

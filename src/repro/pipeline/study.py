@@ -231,6 +231,7 @@ def run_icsc_pipeline(
     parallel: bool = False,
     max_workers: int | None = None,
     telemetry=None,
+    registry=None,
 ) -> tuple[Any, PipelineResult]:
     """Run the ICSC study DAG; returns ``(StudyResults, PipelineResult)``.
 
@@ -240,6 +241,11 @@ def run_icsc_pipeline(
     :func:`stage_execution_counts` to observe it.  Pass a
     :class:`repro.telemetry.Telemetry` as *telemetry* to record spans
     and pipeline metrics (see ``repro replicate --profile``).
+
+    Pass a :class:`repro.obs.RunRegistry` as *registry* to append a
+    :class:`~repro.obs.RunRecord` of this run (stage timings from
+    *telemetry*, SHA-256 digests of every result artifact) to the run
+    ledger — the input ``repro runs compare`` gates on.
     """
     pipeline = build_icsc_pipeline(
         seed=seed, check_with_classifier=check_with_classifier
@@ -252,7 +258,19 @@ def run_icsc_pipeline(
         max_workers=max_workers,
         telemetry=telemetry,
     )
-    return run["analyze"], run
+    results = run["analyze"]
+    if registry is not None:
+        from repro.obs import build_study_record
+
+        registry.record(
+            build_study_record(
+                results,
+                run,
+                telemetry=telemetry,
+                meta={"seed": seed, "parallel": parallel},
+            )
+        )
+    return results, run
 
 
 def render_icsc_artifacts(

@@ -9,7 +9,10 @@ produce by chance.  This module provides:
   homogeneity tests (scipy-backed, with small-sample guards);
 * seeded bootstrap confidence intervals for category shares;
 * an exact-by-simulation permutation test for the difference of two
-  categorical distributions (total-variation statistic).
+  categorical distributions (total-variation statistic);
+* a permutation test for a difference of means between two continuous
+  samples — the significance primitive behind the cross-run perf
+  watchdog (:func:`repro.obs.compare_runs`).
 
 All randomized routines take an explicit ``rng`` or ``seed`` so results are
 reproducible, per the HPC guide's determinism rule.
@@ -34,6 +37,7 @@ __all__ = [
     "bootstrap_share_ci",
     "total_variation_distance",
     "permutation_tvd_test",
+    "permutation_mean_test",
 ]
 
 CountsLike = FrequencyTable | Sequence[int] | np.ndarray
@@ -214,3 +218,52 @@ def permutation_tvd_test(
     # Add-one smoothing keeps the p-value a valid permutation p-value.
     p_value = (1.0 + (tvd >= observed - 1e-12).sum()) / (n_permutations + 1.0)
     return TestResult(observed, float(p_value), 0, "permutation TVD")
+
+
+def permutation_mean_test(
+    a: Sequence[float] | np.ndarray,
+    b: Sequence[float] | np.ndarray,
+    *,
+    n_permutations: int = 10_000,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> TestResult:
+    """Permutation test for a difference in means of two continuous samples.
+
+    The workhorse of the cross-run regression watchdog
+    (:func:`repro.obs.compare_runs`): per-stage duration samples from two
+    windows of runs are exchangeable under the null hypothesis of "no
+    perf change", so the reference distribution of ``mean(b) - mean(a)``
+    is built by reshuffling the pooled observations into two groups of
+    the original sizes (fully vectorized: one permuted matrix).  The
+    p-value is two-sided with add-one smoothing.
+
+    Each sample needs >= 2 observations; with fewer there is no
+    within-group variance to test against (:class:`StatsError`).
+    """
+    va = np.asarray(a, dtype=np.float64).ravel()
+    vb = np.asarray(b, dtype=np.float64).ravel()
+    if va.size < 2 or vb.size < 2:
+        raise StatsError("each sample needs >= 2 observations")
+    if not (np.isfinite(va).all() and np.isfinite(vb).all()):
+        raise StatsError("samples must be finite")
+    if n_permutations < 100:
+        raise StatsError("need at least 100 permutations")
+    if rng is not None and seed is not None:
+        raise StatsError("provide either seed or rng, not both")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    observed = float(vb.mean() - va.mean())
+    pooled = np.concatenate([va, vb])
+    if np.ptp(pooled) == 0.0:
+        # All observations identical: no variability, no evidence of change.
+        return TestResult(observed, 1.0, 0, "permutation mean")
+    idx = np.argsort(rng.random((n_permutations, pooled.size)), axis=1)
+    shuffled = pooled[idx]
+    mean_a = shuffled[:, : va.size].mean(axis=1)
+    mean_b = shuffled[:, va.size :].mean(axis=1)
+    deltas = np.abs(mean_b - mean_a)
+    p_value = (1.0 + (deltas >= abs(observed) - 1e-15).sum()) / (
+        n_permutations + 1.0
+    )
+    return TestResult(observed, float(p_value), 0, "permutation mean")

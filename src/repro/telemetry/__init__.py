@@ -13,6 +13,9 @@ The observability layer the scaling work measures itself with:
   Chrome ``chrome://tracing`` trace files;
 * :mod:`repro.telemetry.profile` — the plain-text profile report (top
   stages by self time, cache hit ratios) and an ASCII trace renderer;
+* :mod:`repro.telemetry.log` — :class:`StructuredLogger`, leveled
+  span-correlated NDJSON log events with a zero-overhead
+  :data:`NULL_LOGGER` twin;
 * :mod:`repro.telemetry.hooks` — the :class:`Telemetry` facade the
   pipeline takes via ``telemetry=``, and its zero-overhead
   :data:`NULL_TELEMETRY` default.
@@ -46,6 +49,13 @@ from repro.telemetry.hooks import (
     Telemetry,
     ensure,
 )
+from repro.telemetry.log import (
+    LOG_LEVELS,
+    LogEvent,
+    NULL_LOGGER,
+    NullLogger,
+    StructuredLogger,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -66,15 +76,20 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LOG_LEVELS",
+    "LogEvent",
     "MetricsRegistry",
+    "NULL_LOGGER",
     "NULL_TELEMETRY",
     "NULL_TRACER",
+    "NullLogger",
     "NullTelemetry",
     "NullTracer",
     "PIPELINE_METRICS",
     "Span",
     "SpanBuffer",
     "StageProfile",
+    "StructuredLogger",
     "Telemetry",
     "Tracer",
     "chrome_trace",

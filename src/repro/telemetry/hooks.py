@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Sequence
 
+from repro.telemetry.log import NULL_LOGGER, NullLogger, StructuredLogger
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import NULL_TRACER, NullTracer, Tracer
 
@@ -126,6 +127,10 @@ class Telemetry:
         The :class:`~repro.telemetry.metrics.MetricsRegistry`; by default
         pre-registered with the pipeline metrics
         (:data:`~repro.telemetry.metrics.PIPELINE_METRICS`).
+    log:
+        The :class:`~repro.telemetry.log.StructuredLogger` recording
+        leveled NDJSON events; by default bound to :attr:`tracer` so
+        events carry the emitting thread's current span id.
 
     Examples
     --------
@@ -146,10 +151,14 @@ class Telemetry:
         *,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        log: StructuredLogger | None = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = (
             metrics if metrics is not None else MetricsRegistry.for_pipeline()
+        )
+        self.log = (
+            log if log is not None else StructuredLogger(tracer=self.tracer)
         )
 
 
@@ -169,6 +178,7 @@ class NullTelemetry(Telemetry):
         self.metrics: NullMetricsRegistry = (  # type: ignore[assignment]
             NullMetricsRegistry()
         )
+        self.log: NullLogger = NULL_LOGGER  # type: ignore[assignment]
 
 
 #: Process-wide shared disabled telemetry.

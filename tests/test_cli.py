@@ -154,3 +154,148 @@ class TestExport:
     def test_mutually_exclusive(self):
         with pytest.raises(SystemExit):
             main(["export"])
+
+
+class TestRuns:
+    """The run-ledger subcommands and their exit-code contract
+    (0 = clean, 3 = result drift, 4 = perf regression, 1 = errors)."""
+
+    @staticmethod
+    def _record_run(tmp_path, capsys):
+        assert main(
+            ["replicate", "--record", "--runs-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recorded run" in out
+        return out
+
+    def test_replicate_record_then_list_and_show(self, tmp_path, capsys):
+        self._record_run(tmp_path, capsys)
+        assert main(["runs", "list", "--runs-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "icsc-study" in out
+        assert main(["runs", "show", "--runs-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "artifact table1" in out
+        assert "stage analyze" in out
+
+    def test_show_json_round_trips(self, tmp_path, capsys):
+        import json
+
+        self._record_run(tmp_path, capsys)
+        assert main(
+            ["runs", "show", "--runs-dir", str(tmp_path), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "icsc-study"
+        assert set(payload["artifacts"]) >= {"table1", "fig2_distribution"}
+
+    def test_identical_runs_compare_exit_0(self, tmp_path, capsys):
+        """Acceptance: two `replicate --record` runs on unchanged data
+        produce identical digests and a clean gate."""
+        self._record_run(tmp_path, capsys)
+        self._record_run(tmp_path, capsys)
+        assert main(["runs", "compare", "--runs-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "drift" not in out.replace("no drift", "")
+
+    def test_single_run_compares_clean(self, tmp_path, capsys):
+        self._record_run(tmp_path, capsys)
+        assert main(["runs", "compare", "--runs-dir", str(tmp_path)]) == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_perturbed_run_exits_3_naming_the_artifact(
+        self, tmp_path, capsys
+    ):
+        """Acceptance: a perturbed dataset artifact gates non-zero and
+        names what changed."""
+        import json
+
+        from repro.obs import RunRegistry, digest_items
+
+        self._record_run(tmp_path, capsys)
+        self._record_run(tmp_path, capsys)
+        # Perturb the newest record's Table 1 digest in the ledger.
+        registry = RunRegistry(tmp_path)
+        records = registry.runs()
+        tampered = records[-1].to_dict()
+        tampered["artifacts"]["table1"] = digest_items(
+            [["tampered", 1]]
+        ).to_dict()
+        lines = [json.dumps(r.to_dict(), sort_keys=True) for r in records[:-1]]
+        lines.append(json.dumps(tampered, sort_keys=True))
+        registry.path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+        assert main(["runs", "compare", "--runs-dir", str(tmp_path)]) == 3
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "value" in out
+
+    def test_compare_json_carries_exit_code(self, tmp_path, capsys):
+        import json
+
+        self._record_run(tmp_path, capsys)
+        self._record_run(tmp_path, capsys)
+        assert main(
+            ["runs", "compare", "--runs-dir", str(tmp_path), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 0
+        assert payload["ok"] is True
+
+    def test_compare_bench_perf_regression_exits_4(self, tmp_path, capsys):
+        import json
+
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        base.write_text(
+            json.dumps({"results": {"bench_x": {"min_s": 0.01}}})
+        )
+        cand.write_text(
+            json.dumps({"results": {"bench_x": {"min_s": 0.10}}})
+        )
+        assert main(
+            ["runs", "compare", "--bench", str(base), str(cand),
+             "--runs-dir", str(tmp_path)]
+        ) == 4
+        assert "slower" in capsys.readouterr().out
+
+    def test_gc_prunes_to_keep(self, tmp_path, capsys):
+        self._record_run(tmp_path, capsys)
+        self._record_run(tmp_path, capsys)
+        self._record_run(tmp_path, capsys)
+        assert main(
+            ["runs", "gc", "--runs-dir", str(tmp_path), "--keep", "1"]
+        ) == 0
+        assert "dropped 2" in capsys.readouterr().out
+        assert main(["runs", "list", "--runs-dir", str(tmp_path)]) == 0
+        listing = capsys.readouterr().out
+        assert listing.count("icsc-study") == 1
+
+    def test_empty_ledger_errors_exit_1(self, tmp_path, capsys):
+        assert main(["runs", "show", "--runs-dir", str(tmp_path)]) == 1
+        assert "no runs recorded" in capsys.readouterr().err
+        assert main(["runs", "compare", "--runs-dir", str(tmp_path)]) == 1
+        assert "no runs recorded" in capsys.readouterr().err
+
+    def test_unknown_run_id_errors_exit_1(self, tmp_path, capsys):
+        self._record_run(tmp_path, capsys)
+        assert main(
+            ["runs", "show", "zzz-does-not-exist",
+             "--runs-dir", str(tmp_path)]
+        ) == 1
+        assert "no run" in capsys.readouterr().err
+
+    def test_exit_codes_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["runs", "compare", "--help"])
+        assert info.value.code == 0
+        text = " ".join(capsys.readouterr().out.split())  # undo line wraps
+        assert "3 = result drift" in text
+        assert "4 = confirmed perf regression" in text
+
+    def test_runs_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["runs"])
+        assert info.value.code == 2

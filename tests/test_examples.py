@@ -32,6 +32,10 @@ CASES = {
     "pipeline_profiling.py": ["span tree", "peak active screeners",
                               "stage duration percentiles",
                               "Chrome trace written"],
+    "run_ledger.py": ["Recording two study runs", "ledger:",
+                      "clean compare", "result drift -> exit code 3",
+                      "perf regression -> exit code 4",
+                      "Structured NDJSON log"],
 }
 
 

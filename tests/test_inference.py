@@ -10,6 +10,7 @@ from repro.stats.inference import (
     chi_square_gof,
     chi_square_homogeneity,
     g_test_gof,
+    permutation_mean_test,
     permutation_tvd_test,
     total_variation_distance,
 )
@@ -138,3 +139,46 @@ class TestTvdAndPermutation:
         result = permutation_tvd_test([3, 7], [5, 5], rng=rng,
                                       n_permutations=200)
         assert result.method == "permutation TVD"
+
+
+class TestPermutationMean:
+    """Difference-in-means permutation test backing the run watchdog."""
+
+    def test_shifted_samples_low_p(self):
+        a = [1.00, 1.02, 0.98, 1.01, 0.99, 1.00]
+        b = [3.00, 3.01, 2.99, 3.02, 2.98, 3.00]
+        result = permutation_mean_test(a, b, seed=0, n_permutations=2000)
+        assert result.statistic == pytest.approx(2.0, abs=0.05)
+        assert result.p_value < 0.01
+
+    def test_same_distribution_high_p(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(1.0, 0.1, size=20)
+        b = rng.normal(1.0, 0.1, size=20)
+        result = permutation_mean_test(a, b, seed=1, n_permutations=2000)
+        assert result.p_value > 0.05
+
+    def test_all_identical_observations_p_one(self):
+        result = permutation_mean_test([2.0, 2.0, 2.0], [2.0, 2.0],
+                                       seed=0, n_permutations=200)
+        assert result.p_value == 1.0
+        assert result.statistic == 0.0
+
+    def test_deterministic_under_seed(self):
+        kwargs = dict(seed=5, n_permutations=500)
+        a = permutation_mean_test([1.0, 1.1, 0.9], [1.4, 1.5, 1.3], **kwargs)
+        b = permutation_mean_test([1.0, 1.1, 0.9], [1.4, 1.5, 1.3], **kwargs)
+        assert a.p_value == b.p_value
+
+    def test_too_few_observations_raise(self):
+        with pytest.raises(StatsError):
+            permutation_mean_test([1.0], [1.0, 2.0])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(StatsError):
+            permutation_mean_test([1.0, float("nan")], [1.0, 2.0])
+
+    def test_seed_and_rng_mutually_exclusive(self):
+        with pytest.raises(StatsError):
+            permutation_mean_test([1.0, 2.0], [1.0, 2.0],
+                                  seed=0, rng=np.random.default_rng(0))

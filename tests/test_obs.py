@@ -1,0 +1,462 @@
+"""Unit tests for :mod:`repro.obs`: the run ledger (:class:`RunRegistry`),
+record building/digesting, and the :func:`compare_runs` watchdog."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import LedgerError
+from repro.obs import (
+    EXIT_DRIFT,
+    EXIT_OK,
+    EXIT_PERF,
+    ArtifactDigest,
+    RunRecord,
+    RunRegistry,
+    StageStats,
+    build_simulation_record,
+    build_study_record,
+    compare_bench_suites,
+    compare_runs,
+    default_runs_dir,
+    digest_items,
+    study_artifacts,
+)
+from repro.telemetry import StructuredLogger, Telemetry
+
+
+def make_record(run_id: str, **overrides) -> RunRecord:
+    """A small, fully-populated record for ledger/compare tests."""
+    payload = {
+        "run_id": run_id,
+        "kind": "test",
+        "created_utc": f"2026-01-01T00:00:{int(run_id[-2:]) % 60:02d}Z"
+        if run_id[-2:].isdigit()
+        else "2026-01-01T00:00:00Z",
+        "dataset_version": "data-v1",
+        "config_digest": "config-v1",
+        "wall_s": 1.0,
+        "stages": {"collect": StageStats(wall_s=0.5, cpu_s=0.4, executions=1)},
+        "metrics": {"cache.hits": 3.0},
+        "artifacts": {"table1": digest_items([["a", 1], ["b", 2]])},
+        "meta": {"seed": "2023"},
+    }
+    payload.update(overrides)
+    return RunRecord(**payload)
+
+
+class TestDigestItems:
+    def test_identical_items_identical_digests(self):
+        a = digest_items([{"x": 1}, {"y": 2}])
+        b = digest_items([{"x": 1}, {"y": 2}])
+        assert a == b
+        assert a.n_items == 2
+
+    def test_dict_key_order_never_fakes_drift(self):
+        a = digest_items([{"x": 1, "y": 2}])
+        b = digest_items([{"y": 2, "x": 1}])
+        assert a.sha256 == b.sha256
+
+    def test_reordering_changes_only_ordered_digest(self):
+        a = digest_items([["r1"], ["r2"]])
+        b = digest_items([["r2"], ["r1"]])
+        assert a.sha256 != b.sha256
+        assert a.content_sha256 == b.content_sha256
+
+    def test_value_change_changes_both_digests(self):
+        a = digest_items([["r1", 1]])
+        b = digest_items([["r1", 2]])
+        assert a.sha256 != b.sha256
+        assert a.content_sha256 != b.content_sha256
+
+
+class TestRunRecordRoundTrip:
+    def test_to_dict_from_dict_round_trips(self):
+        record = make_record("r01")
+        clone = RunRecord.from_dict(record.to_dict())
+        assert clone == record
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            RunRecord.from_dict({"kind": "no-run-id"})
+        with pytest.raises(ValueError):
+            RunRecord.from_dict({"run_id": "x", "stages": "not-a-mapping"})
+
+    def test_stage_stats_hit_ratio(self):
+        assert StageStats(executions=1, cache_hits=3).hit_ratio == 0.75
+        assert StageStats().hit_ratio is None
+
+
+class TestRunRegistry:
+    def test_record_and_read_back(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record(make_record("r01"))
+        registry.record(make_record("r02"))
+        assert [r.run_id for r in registry.runs()] == ["r01", "r02"]
+        assert [r.run_id for r in registry.last(1)] == ["r02"]
+
+    def test_get_by_id_and_unique_prefix(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record(make_record("20260101T000001Z-aaaa1111"))
+        registry.record(make_record("20260102T000001Z-bbbb2222"))
+        assert registry.get("20260102").run_id.endswith("bbbb2222")
+        with pytest.raises(LedgerError, match="ambiguous"):
+            registry.get("2026")
+        with pytest.raises(LedgerError, match="no run"):
+            registry.get("nope")
+
+    def test_corrupt_line_skipped_with_warning(self, tmp_path):
+        logger = StructuredLogger()
+        registry = RunRegistry(tmp_path, logger=logger)
+        registry.record(make_record("r01"))
+        with registry.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"torn": "li\n')  # torn final write
+            handle.write("not json at all\n")
+        registry.record(make_record("r02"))
+        assert [r.run_id for r in registry.runs()] == ["r01", "r02"]
+        warnings = [
+            e for e in logger.events() if e.event == "ledger.corrupt_line"
+        ]
+        assert len(warnings) == 2
+        assert warnings[0].level == "warning"
+        assert warnings[0].fields["line"] == 2
+
+    def test_missing_ledger_reads_empty(self, tmp_path):
+        registry = RunRegistry(tmp_path / "never-written")
+        assert registry.runs() == []
+        assert registry.gc(keep=3) == 0
+
+    def test_default_runs_dir_honours_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "env-runs"))
+        assert default_runs_dir() == tmp_path / "env-runs"
+        monkeypatch.delenv("REPRO_RUNS_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_runs_dir() == tmp_path / "xdg" / "repro" / "runs"
+
+
+class TestRegistryGc:
+    def test_gc_keeps_newest_n(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        for i in range(5):
+            registry.record(make_record(f"r{i:02d}"))
+        assert registry.gc(keep=2) == 3
+        assert [r.run_id for r in registry.runs()] == ["r03", "r04"]
+
+    def test_gc_drops_corrupt_lines_and_counts_them(self, tmp_path):
+        logger = StructuredLogger()
+        registry = RunRegistry(tmp_path, logger=logger)
+        registry.record(make_record("r01"))
+        with registry.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"truncated": \n')
+        registry.record(make_record("r02"))
+        registry.record(make_record("r03"))
+        # 4 lines on disk; keep 2 readable records -> 2 dropped
+        # (the oldest record and the corrupt line).
+        assert registry.gc(keep=2) == 2
+        assert [r.run_id for r in registry.runs()] == ["r02", "r03"]
+        # The rewritten ledger is fully parseable.
+        lines = registry.path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)
+
+    def test_gc_keep_zero_empties_the_ledger(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record(make_record("r01"))
+        assert registry.gc(keep=0) == 1
+        assert registry.runs() == []
+
+    def test_gc_rejects_negative_keep(self, tmp_path):
+        with pytest.raises(LedgerError):
+            RunRegistry(tmp_path).gc(keep=-1)
+
+
+class TestCompareDrift:
+    def test_identical_records_exit_ok(self):
+        a, b = make_record("r01"), make_record("r02")
+        comparison = compare_runs(a, b)
+        assert comparison.ok
+        assert comparison.exit_code() == EXIT_OK
+
+    def test_value_drift_exits_3(self):
+        a = make_record("r01")
+        b = make_record(
+            "r02", artifacts={"table1": digest_items([["a", 1], ["b", 999]])}
+        )
+        comparison = compare_runs(a, b)
+        assert [d.kind for d in comparison.drift] == ["value"]
+        assert comparison.exit_code() == EXIT_DRIFT
+        assert "table1" in comparison.report()
+
+    def test_benign_ordering_is_reported_but_passes(self):
+        a = make_record("r01")
+        b = make_record(
+            "r02", artifacts={"table1": digest_items([["b", 2], ["a", 1]])}
+        )
+        comparison = compare_runs(a, b)
+        assert [d.kind for d in comparison.drift] == ["benign-ordering"]
+        assert comparison.exit_code() == EXIT_OK
+
+    def test_added_and_removed_artifacts_fail_the_gate(self):
+        a = make_record("r01")
+        b = make_record(
+            "r02",
+            artifacts={
+                "table1": digest_items([["a", 1], ["b", 2]]),
+                "fig9": digest_items([["new"]]),
+            },
+        )
+        comparison = compare_runs(a, b)
+        assert {d.kind for d in comparison.drift} == {"added"}
+        assert comparison.exit_code() == EXIT_DRIFT
+
+    def test_dataset_change_makes_drift_expected(self):
+        a = make_record("r01")
+        b = make_record(
+            "r02",
+            dataset_version="data-v2",
+            artifacts={"table1": digest_items([["changed"]])},
+        )
+        comparison = compare_runs(a, b)
+        assert [d.kind for d in comparison.drift] == ["expected-change"]
+        assert comparison.exit_code() == EXIT_OK
+        assert any("dataset_version changed" in n for n in comparison.notes)
+
+
+class TestComparePerf:
+    def test_single_baseline_flags_large_absolute_slowdown(self):
+        a = make_record(
+            "r01",
+            stages={"collect": StageStats(wall_s=1.0, executions=1)},
+        )
+        b = make_record(
+            "r02",
+            stages={"collect": StageStats(wall_s=2.0, executions=1)},
+        )
+        comparison = compare_runs(a, b)
+        assert [r.stage for r in comparison.regressions] == ["collect"]
+        assert comparison.exit_code() == EXIT_PERF
+
+    def test_millisecond_noise_is_not_a_regression(self):
+        a = make_record(
+            "r01", wall_s=0.002,
+            stages={"collect": StageStats(wall_s=0.001, executions=1)},
+        )
+        b = make_record(
+            "r02", wall_s=0.006,
+            stages={"collect": StageStats(wall_s=0.003, executions=1)},
+        )
+        assert compare_runs(a, b).exit_code() == EXIT_OK
+
+    def test_cached_vs_executed_stages_are_not_compared(self):
+        a = make_record(
+            "r01",
+            stages={"collect": StageStats(wall_s=1.0, executions=1)},
+        )
+        b = make_record(
+            "r02",
+            stages={
+                "collect": StageStats(wall_s=0.001, executions=0, cache_hits=1)
+            },
+        )
+        comparison = compare_runs(a, b)
+        assert comparison.exit_code() == EXIT_OK
+        assert any("execution counts differ" in n for n in comparison.notes)
+
+    def test_window_requires_significance(self):
+        # A noisy baseline window: the candidate is within the spread,
+        # so the ratio threshold alone must not flag it.
+        window = [
+            make_record(
+                f"r{i:02d}",
+                stages={
+                    "collect": StageStats(wall_s=w, executions=1)
+                },
+            )
+            for i, w in enumerate([0.5, 2.2, 0.6, 2.4, 0.7])
+        ]
+        candidate = make_record(
+            "r99",
+            stages={"collect": StageStats(wall_s=1.2, executions=1)},
+        )
+        comparison = compare_runs(window, candidate)
+        assert comparison.exit_code() == EXIT_OK
+
+    def test_window_confirms_consistent_slowdown(self):
+        window = [
+            make_record(
+                f"r{i:02d}",
+                stages={"collect": StageStats(wall_s=w, executions=1)},
+            )
+            for i, w in enumerate([1.00, 1.02, 0.98, 1.01, 0.99])
+        ]
+        candidate = make_record(
+            "r99",
+            stages={"collect": StageStats(wall_s=3.0, executions=1)},
+        )
+        comparison = compare_runs(window, candidate)
+        assert comparison.exit_code() == EXIT_PERF
+        (delta,) = comparison.regressions
+        assert delta.p_value is not None and delta.p_value < 0.05
+
+    def test_improvements_are_reported_not_fatal(self):
+        a = make_record(
+            "r01",
+            stages={"collect": StageStats(wall_s=2.0, executions=1)},
+        )
+        b = make_record(
+            "r02",
+            stages={"collect": StageStats(wall_s=0.5, executions=1)},
+        )
+        comparison = compare_runs(a, b)
+        assert [i.stage for i in comparison.improvements] == ["collect"]
+        assert comparison.exit_code() == EXIT_OK
+
+    def test_empty_baseline_raises(self):
+        with pytest.raises(LedgerError):
+            compare_runs([], make_record("r01"))
+
+
+class TestCompareBenchSuites:
+    def test_identical_suites_pass(self):
+        payload = {
+            "suite": "corpus",
+            "results": {"test_a": {"min_s": 0.01, "mean_s": 0.012}},
+        }
+        assert compare_bench_suites(payload, payload).exit_code() == EXIT_OK
+
+    def test_slowdown_flags_perf_exit(self):
+        base = {"results": {"test_a": {"min_s": 0.010}}}
+        cand = {"results": {"test_a": {"min_s": 0.100}}}
+        comparison = compare_bench_suites(base, cand)
+        assert comparison.exit_code() == EXIT_PERF
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(LedgerError, match="results"):
+            compare_bench_suites({"benchmark": "x"}, {"results": {}})
+
+
+class TestStudyRecords:
+    """Acceptance: two identical study runs digest identically; a
+    perturbed result digests differently and fails the gate."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro import run_icsc_study
+
+        return run_icsc_study()
+
+    def test_artifact_set_covers_the_paper_outputs(self, results):
+        artifacts = study_artifacts(results)
+        assert set(artifacts) == {
+            "table1", "table2", "fig2_distribution", "fig3_coverage",
+            "fig4_votes", "supply_shares", "demand_shares",
+            "report_sections",
+        }
+        assert all(a.n_items > 0 for a in artifacts.values())
+
+    def test_identical_runs_compare_clean(self, results, tmp_path):
+        registry = RunRegistry(tmp_path)
+        a = registry.record(build_study_record(results))
+        b = registry.record(build_study_record(results))
+        assert a.artifacts == b.artifacts
+        assert a.run_id != b.run_id
+        comparison = compare_runs(*registry.last(2))
+        assert comparison.exit_code() == EXIT_OK
+        assert not comparison.drift
+
+    def test_perturbed_results_fail_the_gate(self, results, tmp_path):
+        baseline = build_study_record(results)
+        perturbed = build_study_record(results)
+        # Simulate value drift in one artifact (a changed Fig. 2 series).
+        artifacts = dict(perturbed.artifacts)
+        artifacts["fig2_distribution"] = digest_items([["tampered", 99]])
+        perturbed = RunRecord(
+            run_id=perturbed.run_id,
+            kind=perturbed.kind,
+            created_utc=perturbed.created_utc,
+            dataset_version=perturbed.dataset_version,
+            config_digest=perturbed.config_digest,
+            wall_s=perturbed.wall_s,
+            stages=perturbed.stages,
+            metrics=perturbed.metrics,
+            artifacts=artifacts,
+            meta=perturbed.meta,
+        )
+        comparison = compare_runs(baseline, perturbed)
+        assert comparison.exit_code() == EXIT_DRIFT
+        assert [d.artifact for d in comparison.value_drift] == [
+            "fig2_distribution"
+        ]
+
+    def test_telemetry_lifts_stage_stats(self, tmp_path):
+        from repro.pipeline import ArtifactCache
+        from repro.pipeline.study import run_icsc_pipeline
+
+        tel = Telemetry()
+        registry = RunRegistry(tmp_path)
+        results, run = run_icsc_pipeline(
+            cache=ArtifactCache(), telemetry=tel, registry=registry
+        )
+        (record,) = registry.runs()
+        assert record.kind == "icsc-study"
+        assert set(record.stages) == {
+            "collect", "classify", "survey", "analyze"
+        }
+        assert all(s.executions == 1 for s in record.stages.values())
+        assert record.wall_s > 0.0
+        assert record.config_digest
+        assert record.metrics["pipeline.stages_executed"] == 4.0
+
+
+class TestSimulationRecords:
+    def test_simulation_record_carries_failure_metrics(self, tmp_path):
+        from repro.continuum import HeftScheduler, default_continuum
+        from repro.continuum.failures import simulate_with_failures
+        from repro.continuum.workflow import random_workflow
+
+        tel = Telemetry()
+        continuum = default_continuum()
+        workflow = random_workflow(n_tasks=12, seed=7)
+        schedule = HeftScheduler().schedule(
+            workflow, continuum, telemetry=tel
+        )
+        trace = simulate_with_failures(
+            schedule,
+            mtbf=schedule.makespan / 3,
+            repair_time=1.0,
+            policy="migrate",
+            seed=11,
+            telemetry=tel,
+        )
+        record = build_simulation_record(trace, telemetry=tel)
+        assert record.kind == "continuum-sim"
+        assert record.artifacts["placements"].n_items == len(workflow)
+        assert record.metrics["sim.makespan"] == trace.makespan
+        assert record.metrics["sim.tasks"] == float(len(workflow))
+        assert record.metrics["sim.retries"] == float(trace.n_failures)
+        assert record.metrics["sim.failures_injected"] >= float(
+            trace.n_failures
+        )
+        registry = RunRegistry(tmp_path)
+        registry.record(record)
+        assert registry.last(1)[0].metrics == record.metrics
+
+    def test_seeded_simulations_record_identical_placements(self):
+        from repro.continuum import HeftScheduler, default_continuum
+        from repro.continuum.simulate import simulate_schedule
+        from repro.continuum.workflow import random_workflow
+
+        continuum = default_continuum()
+        workflow = random_workflow(n_tasks=10, seed=3)
+        schedule = HeftScheduler().schedule(workflow, continuum)
+        a = build_simulation_record(
+            simulate_schedule(schedule, jitter=0.1, seed=5)
+        )
+        b = build_simulation_record(
+            simulate_schedule(schedule, jitter=0.1, seed=5)
+        )
+        assert a.artifacts == b.artifacts
+        assert compare_runs(a, b).exit_code() == EXIT_OK

@@ -416,6 +416,53 @@ class TestParallelFailure:
         with pytest.raises(StageExecutionError, match="failed: boom"):
             pipeline.run(parallel=True, max_workers=4)
 
+    def test_parallel_run_emits_wellformed_span_attributed_ndjson(self):
+        """Concurrent stages logging through one StructuredLogger must
+        produce one parseable NDJSON line per event — no interleaving —
+        and every stage event must carry its own stage span's id."""
+        import io
+        import json
+        import time
+
+        from repro.telemetry import StructuredLogger, Telemetry
+        from repro.telemetry.tracer import Tracer
+
+        stream = io.StringIO()
+        tracer = Tracer()
+        tel = Telemetry(
+            tracer=tracer,
+            log=StructuredLogger(tracer=tracer, stream=stream),
+        )
+
+        def slow_survey(inputs, **params):
+            time.sleep(0.005)  # force genuine stage overlap
+            return [x * 10 for x in inputs["collect"]]
+
+        executions: list[str] = []
+        pipeline = self._build(slow_survey, executions)
+        pipeline.run(parallel=True, max_workers=4, telemetry=tel)
+
+        lines = stream.getvalue().splitlines()
+        payloads = [json.loads(line) for line in lines]  # all parse
+        assert all(p["type"] == "log" for p in payloads)
+
+        # Stage events are attributed to the emitting stage's span.
+        span_of = {
+            span.tags.get("stage"): span.span_id
+            for span in tracer.spans()
+            if span.name.startswith("stage:")
+        }
+        starts = [p for p in payloads if p["event"] == "stage.start"]
+        assert {p["fields"]["stage"] for p in starts} == {
+            "collect", "survey", "classify", "analyze"
+        }
+        for payload in starts:
+            assert payload["span_id"] == span_of[payload["fields"]["stage"]]
+        # survey/classify ran on worker threads: more than one thread id.
+        assert len({p["thread_id"] for p in starts}) > 1
+        # The in-memory buffer and the stream agree line for line.
+        assert len(tel.log.events()) == len(lines)
+
 
 class TestStudyPipeline:
     @pytest.fixture(autouse=True)

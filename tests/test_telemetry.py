@@ -11,9 +11,13 @@ import pytest
 from repro.errors import StageExecutionError, TelemetryError
 from repro.pipeline import ArtifactCache, Pipeline, RunManifest, Stage
 from repro.telemetry import (
+    LOG_LEVELS,
+    NULL_LOGGER,
     NULL_TELEMETRY,
     MetricsRegistry,
+    NullLogger,
     NullTelemetry,
+    StructuredLogger,
     Telemetry,
     Tracer,
     chrome_trace,
@@ -489,3 +493,135 @@ class TestProfileReport:
         assert "stage:join" in text
         assert "#" in text
         assert render_trace([]) == "(empty trace)"
+
+
+class TestStructuredLogger:
+    def test_events_record_level_name_and_fields(self):
+        log = StructuredLogger()
+        log.info("cache.miss", key="abc", n=3)
+        (event,) = log.events()
+        assert event.event == "cache.miss"
+        assert event.level == "info"
+        assert event.fields == {"key": "abc", "n": 3}
+        assert event.thread_id == threading.get_ident()
+        assert event.span_id is None
+
+    def test_level_filtering(self):
+        log = StructuredLogger(level="warning")
+        assert log.debug("dropped") is None
+        assert log.info("dropped") is None
+        assert log.warning("kept") is not None
+        assert log.error("kept.too") is not None
+        assert [e.event for e in log.events()] == ["kept", "kept.too"]
+        assert [e.event for e in log.events(min_level="error")] == [
+            "kept.too"
+        ]
+
+    def test_unknown_level_raises(self):
+        log = StructuredLogger()
+        with pytest.raises(TelemetryError, match="unknown log level"):
+            log.log("loud", "x")
+        with pytest.raises(TelemetryError):
+            StructuredLogger(level="shouty")
+
+    def test_span_correlation(self):
+        tracer = Tracer()
+        log = StructuredLogger(tracer=tracer)
+        log.info("outside")
+        with tracer.span("stage:collect") as span:
+            log.info("inside")
+        events = {e.event: e for e in log.events()}
+        assert events["outside"].span_id is None
+        assert events["inside"].span_id == span.span_id
+
+    def test_ndjson_lines_parse_and_nest_fields(self):
+        log = StructuredLogger()
+        log.warning("cache.evict", key="abc123")
+        (line,) = log.lines()
+        payload = json.loads(line)
+        assert payload["type"] == "log"
+        assert payload["event"] == "cache.evict"
+        assert payload["fields"] == {"key": "abc123"}
+
+    def test_stream_receives_one_line_per_event(self):
+        import io
+
+        stream = io.StringIO()
+        log = StructuredLogger(stream=stream)
+        log.info("one")
+        log.info("two")
+        lines = stream.getvalue().splitlines()
+        assert [json.loads(line)["event"] for line in lines] == [
+            "one", "two"
+        ]
+
+    def test_write_ndjson_and_clear(self, tmp_path):
+        log = StructuredLogger()
+        log.info("a")
+        path = log.write_ndjson(tmp_path / "sub" / "events.ndjson")
+        assert path.read_text(encoding="utf-8").count("\n") == 1
+        log.clear()
+        assert log.events() == ()
+
+    def test_levels_table_is_ordered(self):
+        assert (
+            LOG_LEVELS["debug"]
+            < LOG_LEVELS["info"]
+            < LOG_LEVELS["warning"]
+            < LOG_LEVELS["error"]
+        )
+
+    def test_null_logger_is_inert(self):
+        assert not NULL_LOGGER.enabled
+        assert NULL_LOGGER.debug("x", a=1) is None
+        assert NULL_LOGGER.events() == ()
+        assert NULL_LOGGER.lines() == []
+        NULL_LOGGER.clear()
+        assert isinstance(NULL_LOGGER, NullLogger)
+
+    def test_telemetry_facade_binds_logger_to_its_tracer(self):
+        tel = Telemetry()
+        assert isinstance(tel.log, StructuredLogger)
+        assert tel.log.tracer is tel.tracer
+        assert isinstance(NULL_TELEMETRY.log, NullLogger)
+
+
+class TestRunnerLogEvents:
+    def test_traced_run_narrates_plan_stages_and_finish(self):
+        tel, _, _, _ = _traced_diamond_run()
+        events = [e.event for e in tel.log.events()]
+        assert events[0] == "pipeline.plan"
+        assert events[-1] == "pipeline.finish"
+        assert events.count("stage.start") == 4
+        assert events.count("stage.finish") == 4
+        plan = tel.log.events()[0]
+        assert plan.fields["must_run"] == ["base", "left", "right", "join"]
+
+    def test_stage_error_is_logged_before_raising(self):
+        tel = Telemetry()
+        pipeline = Pipeline(
+            [Stage("boom", lambda inputs: 1 / 0)], name="log-error"
+        )
+        with pytest.raises(StageExecutionError):
+            pipeline.run(cache=ArtifactCache(), telemetry=tel)
+        errors = [e for e in tel.log.events() if e.level == "error"]
+        assert [e.event for e in errors] == ["stage.error"]
+        assert "ZeroDivisionError" in errors[0].fields["error"]
+
+    def test_cache_corruption_is_logged(self, tmp_path):
+        tel = Telemetry()
+        pipeline = Pipeline(
+            [Stage("stage", lambda inputs: [1, 2])], name="log-rot"
+        )
+        cache = ArtifactCache(tmp_path)
+        pipeline.run(cache=cache, telemetry=tel)
+        # Corrupt the on-disk artifact, drop the memory layer, re-run.
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"corrupt")
+        fresh = ArtifactCache(tmp_path)
+        result = pipeline.run(cache=fresh, telemetry=tel)
+        assert result.executed == ("stage",)
+        events = [e.event for e in tel.log.events()]
+        assert "cache.corrupt" in events
+        assert "cache.rot" in events
+        assert "cache.evict" in events
