@@ -26,6 +26,13 @@ Subcommands
     Rank the 25 catalogue tools for a new application description.
 ``export (--json PATH | --bibtex PATH)``
     Dump the dataset as JSON, or the paper bibliography as BibTeX.
+``sweep``
+    Run a Monte-Carlo sweep (:mod:`repro.continuum.montecarlo`) of a
+    synthetic workflow fleet over a ``scheduler × mtbf × jitter × policy``
+    grid with seeded replications; print a per-cell statistics table.
+    ``--grid "scheduler=heft,energy;mtbf=50,200;jitter=0.1"`` sets the
+    grid axes, ``--json PATH`` dumps the full aggregation, caching and
+    ledger options mirror ``replicate``.
 ``runs list|show|compare|gc``
     Inspect and gate on the persistent run ledger (``repro.obs``).
     ``replicate --record`` appends a run; ``runs compare`` exits with a
@@ -137,6 +144,58 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--json", type=Path, help="write the ecosystem as JSON")
     group.add_argument(
         "--bibtex", type=Path, help="write the paper bibliography as BibTeX"
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a Monte-Carlo sweep over the continuum simulators",
+        description="Run a scheduler × mtbf × jitter × policy grid of "
+                    "seeded Monte-Carlo replications over a synthetic "
+                    "workflow fleet. Results are bit-identical for a "
+                    "given --seed regardless of --workers.",
+    )
+    sweep.add_argument(
+        "--grid", default="scheduler=heft", metavar="SPEC",
+        help="grid axes as 'key=v1,v2;key=v1' with keys scheduler "
+             "(heft|energy|round_robin), mtbf (floats or 'none'), jitter "
+             "(floats), policy (restart|migrate); omitted axes default "
+             "to scheduler=heft;mtbf=none;jitter=0;policy=restart",
+    )
+    sweep.add_argument(
+        "--fleet", type=int, default=3, metavar="N",
+        help="synthetic workflows in the fleet (default 3)",
+    )
+    sweep.add_argument(
+        "--replications", type=int, default=100, metavar="R",
+        help="Monte-Carlo replications per grid cell (default 100)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=0, metavar="W",
+        help="worker processes (default 0 = serial; same results either way)",
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="write the full per-cell aggregation as JSON",
+    )
+    sweep.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="persist computed grid cells to this directory "
+             "(re-running an identical sweep then executes zero simulations)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every grid cell, ignoring cached cells",
+    )
+    sweep.add_argument(
+        "--record", action="store_true",
+        help="append this sweep (cell digests, replication counters) to "
+             "the run ledger (implies telemetry recording)",
+    )
+    sweep.add_argument(
+        "--runs-dir", type=Path, default=None, metavar="DIR",
+        help="run-ledger directory (default: $REPRO_RUNS_DIR or "
+             "~/.cache/repro/runs)",
     )
 
     runs = sub.add_parser(
@@ -430,6 +489,112 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_grid(text: str) -> dict[str, tuple]:
+    """Parse a ``--grid`` axis spec into SweepSpec keyword values."""
+    from repro.errors import MonteCarloError
+
+    axes: dict[str, tuple] = {
+        "schedulers": ("heft",),
+        "mtbfs": (None,),
+        "jitters": (0.0,),
+        "policies": ("restart",),
+    }
+    plural = {
+        "scheduler": "schedulers",
+        "mtbf": "mtbfs",
+        "jitter": "jitters",
+        "policy": "policies",
+    }
+    for entry in filter(None, (part.strip() for part in text.split(";"))):
+        key, sep, raw = entry.partition("=")
+        key = key.strip().lower()
+        if not sep or key not in plural:
+            raise MonteCarloError(
+                f"bad --grid entry {entry!r}; expected "
+                "scheduler=.../mtbf=.../jitter=.../policy=..."
+            )
+        values = [v.strip() for v in raw.split(",") if v.strip()]
+        if not values:
+            raise MonteCarloError(f"--grid axis {key!r} has no values")
+        if key in ("mtbf", "jitter"):
+            try:
+                axes[plural[key]] = tuple(
+                    None if key == "mtbf" and v.lower() == "none" else float(v)
+                    for v in values
+                )
+            except ValueError:
+                raise MonteCarloError(
+                    f"--grid axis {key!r} needs numeric values, got {raw!r}"
+                ) from None
+        else:
+            axes[plural[key]] = tuple(values)
+    return axes
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.continuum import SweepSpec, default_continuum, run_sweep
+    from repro.data import synthetic_workflows
+    from repro.errors import MonteCarloError
+    from repro.pipeline import ArtifactCache
+
+    if args.fleet < 1:
+        raise MonteCarloError("--fleet must be >= 1")
+    telemetry = None
+    registry = None
+    if args.record:
+        from repro.obs import RunRegistry
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        registry = RunRegistry(args.runs_dir, logger=telemetry.log)
+    cache = None
+    if not args.no_cache:
+        cache = ArtifactCache(args.cache_dir, telemetry=telemetry)
+
+    spec = SweepSpec(
+        workflows=synthetic_workflows(args.fleet, seed=args.seed),
+        continuum=default_continuum(seed=args.seed),
+        replications=args.replications,
+        seed=args.seed,
+        **_parse_grid(args.grid),
+    )
+    result = run_sweep(
+        spec, workers=args.workers, cache=cache,
+        telemetry=telemetry, registry=registry,
+    )
+
+    header = (
+        f"{'cell':<52} {'mk mean':>9} {'mk p99':>9} "
+        f"{'slowdown':>9} {'retries':>8}"
+    )
+    print(header)
+    for stats in result.cells:
+        makespan = stats.metrics["makespan"]
+        print(
+            f"{stats.cell.cell_id:<52} {makespan.mean:>9.3f} "
+            f"{makespan.p99:>9.3f} {stats.metrics['slowdown'].mean:>9.3f} "
+            f"{stats.metrics['retries'].mean:>8.2f}"
+        )
+    print(
+        f"{len(result.cells)} cell(s) × {spec.replications} replication(s): "
+        f"{len(result.computed)} computed, {len(result.cached)} from cache "
+        f"({result.n_replications_run} simulations run)"
+    )
+    if args.json is not None:
+        import json
+
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.json}")
+    if registry is not None:
+        newest = registry.last(1)[0]
+        print(f"recorded run {newest.run_id} to {registry.path}")
+    return 0
+
+
 def _cmd_runs(args: argparse.Namespace) -> int:
     import json
 
@@ -562,6 +727,7 @@ _COMMANDS = {
     "recommend": _cmd_recommend,
     "trace": _cmd_trace,
     "export": _cmd_export,
+    "sweep": _cmd_sweep,
     "runs": _cmd_runs,
 }
 

@@ -4,6 +4,19 @@ from repro.continuum.capabilities import capability_matrix, capability_vector
 from repro.continuum.energy import PowerTrace, energy_report, power_trace
 from repro.continuum.failures import FailureTrace, simulate_with_failures
 from repro.continuum.matching import MatchModel, MatchReport
+from repro.continuum.montecarlo import (
+    CellSpec,
+    CellStats,
+    FixedHistogram,
+    MetricSummary,
+    ReplicationResult,
+    RunningStat,
+    SimulationContext,
+    SweepResult,
+    SweepSpec,
+    replicate_once,
+    run_sweep,
+)
 from repro.continuum.requirements import requirement_matrix, requirement_vector
 from repro.continuum.resources import (
     Continuum,
@@ -19,6 +32,8 @@ from repro.continuum.scheduling import (
     TaskPlacement,
 )
 from repro.continuum.serialize import (
+    continuum_from_dict,
+    continuum_to_dict,
     load_workflow,
     save_workflow,
     schedule_to_dot,
@@ -35,20 +50,29 @@ from repro.continuum.workflow import (
 )
 
 __all__ = [
+    "CellSpec",
+    "CellStats",
     "Continuum",
     "EnergyAwareScheduler",
     "ExecutionTrace",
     "FailureTrace",
+    "FixedHistogram",
     "HeftScheduler",
     "MatchModel",
     "MatchReport",
+    "MetricSummary",
     "PowerTrace",
     "energy_report",
     "power_trace",
+    "ReplicationResult",
     "Resource",
     "ResourceKind",
     "RoundRobinScheduler",
+    "RunningStat",
     "Schedule",
+    "SimulationContext",
+    "SweepResult",
+    "SweepSpec",
     "Task",
     "TaskPlacement",
     "Workflow",
@@ -59,8 +83,12 @@ __all__ = [
     "random_workflow",
     "requirement_matrix",
     "requirement_vector",
+    "replicate_once",
+    "run_sweep",
     "simulate_schedule",
     "simulate_with_failures",
+    "continuum_from_dict",
+    "continuum_to_dict",
     "load_workflow",
     "save_workflow",
     "schedule_to_dot",

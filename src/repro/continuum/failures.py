@@ -109,6 +109,7 @@ def simulate_with_failures(
     repair_time: float,
     policy: str = "restart",
     seed: int | None = None,
+    rng: np.random.Generator | None = None,
     max_attempts: int = 50,
     telemetry=None,
 ) -> FailureTrace:
@@ -126,6 +127,11 @@ def simulate_with_failures(
         ``"restart"`` or ``"migrate"`` (see module docstring).
     seed:
         Seeds both the failure process and migration tie-breaks.
+    rng:
+        Pre-built generator, as an alternative to *seed* (at most one of
+        the two) — lets batch drivers like
+        :mod:`repro.continuum.montecarlo` hand in per-replication
+        spawned streams.
     max_attempts:
         Abort with :class:`ContinuumError` if one task fails this often —
         guards against ``mtbf`` far below task durations.
@@ -146,10 +152,14 @@ def simulate_with_failures(
         raise ContinuumError(f"unknown policy {policy!r}")
     if max_attempts < 1:
         raise ContinuumError("max_attempts must be >= 1")
+    if rng is not None and seed is not None:
+        raise ContinuumError("provide either seed or rng, not both")
+    if rng is None:
+        rng = np.random.default_rng(seed)
 
     tel = ensure(telemetry)
     if not tel.enabled:
-        return _replay(schedule, mtbf, repair_time, policy, seed, max_attempts, tel)[0]
+        return _replay(schedule, mtbf, repair_time, policy, rng, max_attempts, tel)[0]
     with tel.tracer.span(
         "simulate_failures",
         policy=policy,
@@ -157,7 +167,7 @@ def simulate_with_failures(
         tasks=len(schedule.workflow),
     ) as span:
         trace, injected, attempts = _replay(
-            schedule, mtbf, repair_time, policy, seed, max_attempts, tel
+            schedule, mtbf, repair_time, policy, rng, max_attempts, tel
         )
         span.tags.update(
             makespan=trace.makespan,
@@ -189,14 +199,13 @@ def _replay(
     mtbf: float,
     repair_time: float,
     policy: str,
-    seed: int | None,
+    rng: np.random.Generator,
     max_attempts: int,
     tel,
 ) -> tuple[FailureTrace, int, int]:
     """The replay loop; returns (trace, failures fired, attempts started)."""
     workflow = schedule.workflow
     continuum: Continuum = schedule.continuum
-    rng = np.random.default_rng(seed)
     clock = _FailureClock(continuum.keys, mtbf, rng)
 
     resource_free: dict[str, float] = {key: 0.0 for key in continuum.keys}

@@ -1,0 +1,1056 @@
+"""Monte-Carlo sweep engine: batched, process-parallel continuum experiments.
+
+The one-shot simulators (:func:`repro.continuum.simulate.simulate_schedule`,
+:func:`repro.continuum.failures.simulate_with_failures`) answer "what does
+one noisy execution of this plan look like?".  The questions the paper's Q3
+analysis raises — how do schedulers compare *in distribution* across
+failure rates, jitter levels, and a fleet of workflows — need thousands of
+replications per grid cell.  Paying the simulators' per-call setup (object
+construction, string-keyed lookups, validation) thousands of times makes
+that sweep orders of magnitude slower than the arithmetic it performs.
+
+This module is the batched engine, in four layers:
+
+1. **Per-replication speedup** — :class:`SimulationContext` hoists every
+   schedule invariant out of the replication loop: integer-indexed
+   adjacency, per-task durations on every resource, a precomputed
+   ``task × src × dst`` transfer-cost table, the plan's start order, and
+   the feasibility sets the migrate policy scans.  One replication then
+   runs on flat lists of floats and ints.  The replay is *bit-identical*
+   to the one-shot simulators (see the determinism contract below).
+2. **Process parallelism** — :func:`run_sweep` fans replication chunks out
+   over a ``ProcessPoolExecutor`` (the pure-Python replay loop is
+   GIL-bound, so threads cannot scale it).  Workers receive the schedules
+   once (pool initializer), build contexts lazily, and return raw
+   per-replication metric tuples.
+3. **Streaming aggregation** — the parent folds replications into
+   :class:`RunningStat` (Welford mean/variance, min/max) and
+   :class:`FixedHistogram` (fixed-bucket counts with interpolated
+   p50/p90/p99) accumulators per grid cell, so memory stays O(buckets) —
+   constant in the replication count.
+4. **Integration** — grid cells are content-addressed: an
+   :class:`~repro.pipeline.cache.ArtifactCache` hit skips every
+   simulation of an already-computed cell; telemetry spans/counters and
+   optional :class:`~repro.obs.RunRegistry` recording ride along; the
+   ``repro sweep`` CLI command drives the whole thing.
+
+Determinism contract
+--------------------
+Replication ``j`` of a grid cell draws from a dedicated
+``np.random.SeedSequence`` child derived from ``(spec.seed, cell
+identity)`` — NOT from a shared stream — so results are bit-identical
+regardless of worker count, chunk size, serial fallback, or which other
+cells share the grid, and the first ``R`` replications of a larger run
+reproduce a smaller run exactly.  The parent merges chunk results in
+replication order, which pins the floating-point fold order.  Against the
+one-shot simulators, one replication with generator ``g`` reproduces
+``simulate_with_failures(schedule, ..., rng=g)`` bit-for-bit when
+``jitter == 0``, and ``simulate_schedule(schedule, jitter=j, rng=g)``
+when ``mtbf is None`` (batch draws of NumPy ``Generator`` consume the
+stream exactly like the equivalent scalar sequence).
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.continuum.resources import Continuum
+from repro.continuum.scheduling import (
+    EnergyAwareScheduler,
+    HeftScheduler,
+    RoundRobinScheduler,
+    Schedule,
+)
+from repro.continuum.workflow import Workflow
+from repro.errors import ContinuumError, MonteCarloError
+from repro.telemetry import ensure
+
+__all__ = [
+    "ENGINE_VERSION",
+    "SCHEDULERS",
+    "METRIC_NAMES",
+    "ReplicationResult",
+    "SimulationContext",
+    "replicate_once",
+    "RunningStat",
+    "FixedHistogram",
+    "MetricSummary",
+    "CellSpec",
+    "CellStats",
+    "SweepSpec",
+    "SweepResult",
+    "run_sweep",
+]
+
+#: Bump when the replay semantics or the aggregation layout change —
+#: part of every cell's cache key, so stale cached cells can never leak
+#: into a sweep computed by a newer engine.
+ENGINE_VERSION = "1"
+
+#: Scheduler registry the sweep grid selects from by name.
+SCHEDULERS: dict[str, Any] = {
+    "heft": HeftScheduler,
+    "energy": EnergyAwareScheduler,
+    "round_robin": RoundRobinScheduler,
+}
+
+#: Per-replication metrics every grid cell aggregates, in fold order.
+METRIC_NAMES = ("makespan", "slowdown", "retries", "migrations", "lost_work")
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicationResult:
+    """One replication's figures of merit (no placements: streaming-sized)."""
+
+    makespan: float
+    slowdown: float
+    retries: int
+    migrations: int
+    lost_work: float
+
+    def as_tuple(self) -> tuple[float, float, int, int, float]:
+        return (
+            self.makespan,
+            self.slowdown,
+            self.retries,
+            self.migrations,
+            self.lost_work,
+        )
+
+
+class SimulationContext:
+    """Schedule invariants hoisted out of the replication loop.
+
+    Everything a replication needs that does not depend on the random
+    stream is computed once here: integer task/resource indices, the
+    plan's start order, per-task durations on every resource (IEEE-equal
+    to ``Resource.execution_time``), the plan's own placement durations
+    (for the jitter-only path, where ``simulate_schedule`` multiplies the
+    *placement* duration), predecessor adjacency, the full
+    ``task × src × dst`` transfer-cost table (IEEE-equal to
+    ``Continuum.transfer_time``), feasibility sets, and the
+    key-sorted resource ranks that break migrate-policy ties exactly like
+    the string comparison in :func:`simulate_with_failures`.
+    """
+
+    __slots__ = (
+        "schedule",
+        "n_tasks",
+        "n_resources",
+        "order",
+        "planned_res",
+        "plan_dur",
+        "dur",
+        "transfer",
+        "preds",
+        "feasible",
+        "res_rank",
+        "planned_makespan",
+    )
+
+    def __init__(self, schedule: Schedule) -> None:
+        workflow: Workflow = schedule.workflow
+        continuum: Continuum = schedule.continuum
+        task_keys = workflow.task_keys
+        tindex = {key: i for i, key in enumerate(task_keys)}
+        res_keys = continuum.keys
+        rindex = {key: i for i, key in enumerate(res_keys)}
+
+        self.schedule = schedule
+        self.n_tasks = len(task_keys)
+        self.n_resources = len(res_keys)
+        #: Plan start order as task indices (a valid topological order —
+        #: the schedule validated that successors start after predecessors).
+        self.order = [tindex[p.task] for p in schedule.placements]
+        self.planned_res = [0] * self.n_tasks
+        self.plan_dur = [0.0] * self.n_tasks
+        for key in task_keys:
+            placement = schedule[key]
+            self.planned_res[tindex[key]] = rindex[placement.resource]
+            self.plan_dur[tindex[key]] = placement.duration
+
+        works = np.asarray([t.work for t in workflow], dtype=np.float64)
+        speeds = continuum.speeds
+        #: dur[task][resource] == Resource.execution_time(task.work).
+        self.dur = (works[:, None] / speeds[None, :]).tolist()
+
+        outputs = np.asarray(
+            [t.output_size for t in workflow], dtype=np.float64
+        )
+        lat, bw = continuum.latency, continuum.bandwidth
+        # transfer[task][src][dst] == Continuum.transfer_time(output, src,
+        # dst): the diagonal is free (latency 0, bandwidth inf) and a zero
+        # output costs latency only — the same IEEE division either way.
+        self.transfer = (
+            lat[None, :, :] + outputs[:, None, None] / bw[None, :, :]
+        ).tolist()
+
+        self.preds = [
+            [tindex[p] for p in workflow.predecessors(key)]
+            for key in task_keys
+        ]
+        self.feasible = [
+            [
+                rindex[r.key]
+                for r in continuum
+                if r.supports(workflow[key].requirements)
+            ]
+            for key in task_keys
+        ]
+        # simulate_with_failures breaks earliest-finish ties on the
+        # resource *key string*; ranks reproduce that order on ints.
+        rank_of = {key: i for i, key in enumerate(sorted(res_keys))}
+        self.res_rank = [rank_of[key] for key in res_keys]
+        self.planned_makespan = schedule.makespan
+
+
+def replicate_once(
+    context: SimulationContext,
+    *,
+    mtbf: float | None = None,
+    repair_time: float = 0.0,
+    policy: str = "restart",
+    jitter: float = 0.0,
+    max_attempts: int = 50,
+    rng: np.random.Generator,
+) -> ReplicationResult:
+    """Run one replication against a precomputed context.
+
+    With ``mtbf=None`` this is the jitter-only replay (bit-identical
+    makespan to :func:`~repro.continuum.simulate.simulate_schedule`);
+    with a finite ``mtbf`` it is the failure replay (bit-identical to
+    :func:`~repro.continuum.failures.simulate_with_failures` when
+    ``jitter == 0``).  Draw order: the per-task jitter factors first
+    (task insertion order), then the per-resource initial failure times
+    (continuum key order), then one exponential per consumed failure.
+    """
+    _validate_cell_params(
+        mtbf=mtbf, repair_time=repair_time, policy=policy, jitter=jitter,
+        max_attempts=max_attempts,
+    )
+    return _replicate(
+        context, mtbf, repair_time, policy == "migrate", jitter,
+        max_attempts, rng,
+    )
+
+
+def _validate_cell_params(
+    *,
+    mtbf: float | None,
+    repair_time: float,
+    policy: str,
+    jitter: float,
+    max_attempts: int,
+) -> None:
+    if mtbf is not None and not mtbf > 0:
+        raise MonteCarloError("mtbf must be > 0 (or None for no failures)")
+    if repair_time < 0:
+        raise MonteCarloError("repair_time must be >= 0")
+    if policy not in ("restart", "migrate"):
+        raise MonteCarloError(f"unknown policy {policy!r}")
+    if jitter < 0:
+        raise MonteCarloError("jitter must be >= 0")
+    if max_attempts < 1:
+        raise MonteCarloError("max_attempts must be >= 1")
+
+
+def _replicate(
+    ctx: SimulationContext,
+    mtbf: float | None,
+    repair_time: float,
+    migrate: bool,
+    jitter: float,
+    max_attempts: int,
+    rng: np.random.Generator,
+) -> ReplicationResult:
+    """The replication hot loop: flat lists, integer indices, local names."""
+    n_tasks = ctx.n_tasks
+    order = ctx.order
+    planned_res = ctx.planned_res
+    preds = ctx.preds
+    dur_table = ctx.dur
+    plan_dur = ctx.plan_dur
+    transfer = ctx.transfer
+    feasible = ctx.feasible
+    res_rank = ctx.res_rank
+    exponential = rng.exponential
+
+    factors = (
+        rng.lognormal(mean=0.0, sigma=jitter, size=n_tasks).tolist()
+        if jitter
+        else None
+    )
+    clocked = mtbf is not None
+    next_failure = (
+        exponential(mtbf, size=ctx.n_resources).tolist() if clocked else None
+    )
+    resource_free = [0.0] * ctx.n_resources
+    fin_time = [0.0] * n_tasks
+    fin_res = list(planned_res)
+    n_failures = 0
+    lost_work = 0.0
+
+    for ti in order:
+        res = planned_res[ti]
+        task_preds = preds[ti]
+        # The jitter-only path multiplies the *placement* duration, like
+        # simulate_schedule; the failure replay recomputes work/speed,
+        # like simulate_with_failures (equal up to float noise).
+        durations = dur_table[ti]
+        attempts = 0
+        while True:
+            if attempts >= max_attempts:
+                raise ContinuumError(
+                    f"task #{ti} failed {attempts} times; "
+                    f"mtbf={mtbf} is too small for its duration"
+                )
+            duration = plan_dur[ti] if not clocked else durations[res]
+            if factors is not None:
+                duration *= factors[ti]
+            ready = 0.0
+            for p in task_preds:
+                arrival = fin_time[p] + transfer[p][fin_res[p]][res]
+                if arrival > ready:
+                    ready = arrival
+            start = resource_free[res]
+            if ready > start:
+                start = ready
+            if not clocked:
+                finish = start + duration
+                resource_free[res] = finish
+                fin_time[ti] = finish
+                fin_res[ti] = res
+                break
+            # Idle failures are harmless reboots: skip any that elapsed
+            # before the attempt starts (_FailureClock.advance_past).
+            failure = next_failure[res]
+            while failure < start:
+                failure += float(exponential(mtbf))
+            if failure >= start + duration:
+                next_failure[res] = failure
+                finish = start + duration
+                resource_free[res] = finish
+                fin_time[ti] = finish
+                fin_res[ti] = res
+                break
+            # The attempt dies at the failure instant.
+            attempts += 1
+            n_failures += 1
+            lost_work += failure - start
+            next_failure[res] = failure + float(exponential(mtbf))
+            resource_free[res] = failure + repair_time
+            if migrate:
+                best: tuple[float, int] | None = None
+                best_res = res
+                for r in feasible[ti]:
+                    retry_ready = 0.0
+                    for p in task_preds:
+                        arrival = fin_time[p] + transfer[p][fin_res[p]][r]
+                        if arrival > retry_ready:
+                            retry_ready = arrival
+                    retry_start = resource_free[r]
+                    if retry_ready > retry_start:
+                        retry_start = retry_ready
+                    candidate = (retry_start + durations[r], res_rank[r])
+                    if best is None or candidate < best:
+                        best = candidate
+                        best_res = r
+                res = best_res
+
+    makespan = max(fin_time)
+    migrations = 0
+    for ti in range(n_tasks):
+        if fin_res[ti] != planned_res[ti]:
+            migrations += 1
+    return ReplicationResult(
+        makespan=makespan,
+        slowdown=makespan / ctx.planned_makespan,
+        retries=n_failures,
+        migrations=migrations,
+        lost_work=lost_work,
+    )
+
+
+# -- streaming aggregation ----------------------------------------------------
+
+
+class RunningStat:
+    """Welford mean/variance accumulator with min/max, O(1) memory.
+
+    The fold order is fixed by the caller (replication order), which pins
+    the floating-point result bit-for-bit across worker counts.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); 0.0 with fewer than two observations."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class FixedHistogram:
+    """Fixed-bucket histogram with interpolated quantiles, O(buckets) memory.
+
+    Values are clamped into ``[lo, hi]`` — quantile resolution is bounded
+    by the bucket width (tails saturate at the edges), while the exact
+    moments live in the paired :class:`RunningStat`.  Buckets are linear
+    or geometric; counts are integers, so the histogram is trivially
+    order-independent.
+    """
+
+    __slots__ = ("edges", "counts", "_log")
+
+    def __init__(
+        self, lo: float, hi: float, n_buckets: int, *, log: bool = False
+    ) -> None:
+        if not hi > lo:
+            raise MonteCarloError("histogram needs hi > lo")
+        if n_buckets < 1:
+            raise MonteCarloError("histogram needs >= 1 bucket")
+        if log and lo <= 0:
+            raise MonteCarloError("log-spaced histogram needs lo > 0")
+        self._log = log
+        if log:
+            self.edges = np.geomspace(lo, hi, n_buckets + 1)
+        else:
+            self.edges = np.linspace(lo, hi, n_buckets + 1)
+        self.counts = np.zeros(n_buckets, dtype=np.int64)
+
+    def add(self, value: float) -> None:
+        index = int(np.searchsorted(self.edges, value, side="right")) - 1
+        if index < 0:
+            index = 0
+        elif index >= self.counts.size:
+            index = self.counts.size - 1
+        self.counts[index] += 1
+
+    @property
+    def count(self) -> int:
+        return int(self.counts.sum())
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile estimate from the bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise MonteCarloError(f"quantile must be in [0, 1], got {q}")
+        total = self.count
+        if total == 0:
+            raise MonteCarloError("quantile of an empty histogram")
+        target = q * total
+        cumulative = np.cumsum(self.counts)
+        index = int(np.searchsorted(cumulative, target, side="left"))
+        if index >= self.counts.size:
+            index = self.counts.size - 1
+        below = float(cumulative[index - 1]) if index > 0 else 0.0
+        inside = float(self.counts[index])
+        fraction = (target - below) / inside if inside else 0.0
+        lo, hi = float(self.edges[index]), float(self.edges[index + 1])
+        return lo + (hi - lo) * min(max(fraction, 0.0), 1.0)
+
+
+@dataclass(frozen=True, slots=True)
+class MetricSummary:
+    """One metric's distribution over a grid cell's replications."""
+
+    count: int
+    mean: float
+    std: float
+    min: float
+    max: float
+    p50: float
+    p90: float
+    p99: float
+
+    def to_dict(self) -> dict[str, float | int]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MetricSummary":
+        return cls(
+            count=int(payload["count"]),
+            mean=float(payload["mean"]),
+            std=float(payload["std"]),
+            min=float(payload["min"]),
+            max=float(payload["max"]),
+            p50=float(payload["p50"]),
+            p90=float(payload["p90"]),
+            p99=float(payload["p99"]),
+        )
+
+
+class _CellAggregate:
+    """Streams one cell's replications into stats + histograms."""
+
+    def __init__(self, planned_makespan: float) -> None:
+        self.stats = {name: RunningStat() for name in METRIC_NAMES}
+        span = max(planned_makespan, 1e-12)
+        self.histograms = {
+            # Slowdown >= 1 under pure failures; jitter can shrink it, so
+            # the geometric range opens well below 1.
+            "slowdown": FixedHistogram(0.25, 256.0, 128, log=True),
+            "makespan": FixedHistogram(
+                0.25 * span, 256.0 * span, 128, log=True
+            ),
+            "retries": FixedHistogram(0.0, 256.0, 256),
+            "migrations": FixedHistogram(0.0, 256.0, 256),
+            "lost_work": FixedHistogram(0.0, 64.0 * span, 256),
+        }
+
+    def add(self, values: tuple[float, float, int, int, float]) -> None:
+        for name, value in zip(METRIC_NAMES, values):
+            self.stats[name].add(value)
+            self.histograms[name].add(value)
+
+    def summaries(self) -> dict[str, MetricSummary]:
+        out: dict[str, MetricSummary] = {}
+        for name in METRIC_NAMES:
+            stat = self.stats[name]
+            histogram = self.histograms[name]
+            out[name] = MetricSummary(
+                count=stat.count,
+                mean=stat.mean,
+                std=stat.std,
+                min=stat.min,
+                max=stat.max,
+                p50=histogram.quantile(0.50),
+                p90=histogram.quantile(0.90),
+                p99=histogram.quantile(0.99),
+            )
+        return out
+
+
+# -- grid cells ----------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class CellSpec:
+    """One grid cell: a workflow × scheduler × failure/jitter condition."""
+
+    workflow: str
+    scheduler: str
+    mtbf: float | None
+    jitter: float
+    policy: str
+
+    @property
+    def cell_id(self) -> str:
+        mtbf = "none" if self.mtbf is None else f"{self.mtbf:g}"
+        return (
+            f"{self.workflow}|{self.scheduler}|mtbf={mtbf}"
+            f"|jitter={self.jitter:g}|policy={self.policy}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workflow": self.workflow,
+            "scheduler": self.scheduler,
+            "mtbf": self.mtbf,
+            "jitter": self.jitter,
+            "policy": self.policy,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class CellStats:
+    """Aggregated outcome of one grid cell."""
+
+    cell: CellSpec
+    replications: int
+    planned_makespan: float
+    metrics: dict[str, MetricSummary]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "cell": self.cell.to_dict(),
+            "cell_id": self.cell.cell_id,
+            "replications": self.replications,
+            "planned_makespan": self.planned_makespan,
+            "metrics": {
+                name: summary.to_dict()
+                for name, summary in self.metrics.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CellStats":
+        cell = payload["cell"]
+        return cls(
+            cell=CellSpec(
+                workflow=str(cell["workflow"]),
+                scheduler=str(cell["scheduler"]),
+                mtbf=None if cell["mtbf"] is None else float(cell["mtbf"]),
+                jitter=float(cell["jitter"]),
+                policy=str(cell["policy"]),
+            ),
+            replications=int(payload["replications"]),
+            planned_makespan=float(payload["planned_makespan"]),
+            metrics={
+                str(name): MetricSummary.from_dict(summary)
+                for name, summary in payload["metrics"].items()
+            },
+        )
+
+
+# -- sweep specification --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A full Monte-Carlo experiment grid.
+
+    The grid is the cross product ``workflows × schedulers × mtbfs ×
+    jitters × policies``; every cell runs ``replications`` seeded
+    replications.  ``chunk_size`` shapes the parallel fan-out only — it
+    can never change results (see the module determinism contract).
+    """
+
+    workflows: tuple[Workflow, ...]
+    continuum: Continuum
+    schedulers: tuple[str, ...] = ("heft",)
+    mtbfs: tuple[float | None, ...] = (None,)
+    jitters: tuple[float, ...] = (0.0,)
+    policies: tuple[str, ...] = ("restart",)
+    repair_time: float = 1.0
+    max_attempts: int = 50
+    replications: int = 100
+    seed: int = 0
+    chunk_size: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.workflows:
+            raise MonteCarloError("sweep needs at least one workflow")
+        names = [w.name for w in self.workflows]
+        if len(set(names)) != len(names):
+            raise MonteCarloError("workflow names must be unique in a sweep")
+        if not self.schedulers:
+            raise MonteCarloError("sweep needs at least one scheduler")
+        for name in self.schedulers:
+            if name not in SCHEDULERS:
+                raise MonteCarloError(
+                    f"unknown scheduler {name!r}; "
+                    f"choose from {sorted(SCHEDULERS)}"
+                )
+        if not self.mtbfs or not self.jitters or not self.policies:
+            raise MonteCarloError("mtbfs, jitters, and policies must be non-empty")
+        if self.replications < 1:
+            raise MonteCarloError("replications must be >= 1")
+        if self.chunk_size < 1:
+            raise MonteCarloError("chunk_size must be >= 1")
+        for mtbf in self.mtbfs:
+            for jitter in self.jitters:
+                for policy in self.policies:
+                    _validate_cell_params(
+                        mtbf=mtbf, repair_time=self.repair_time,
+                        policy=policy, jitter=jitter,
+                        max_attempts=self.max_attempts,
+                    )
+
+    def cells(self) -> tuple[CellSpec, ...]:
+        """The grid cells in deterministic enumeration order."""
+        return tuple(
+            CellSpec(
+                workflow=workflow.name, scheduler=scheduler,
+                mtbf=mtbf, jitter=jitter, policy=policy,
+            )
+            for workflow in self.workflows
+            for scheduler in self.schedulers
+            for mtbf in self.mtbfs
+            for jitter in self.jitters
+            for policy in self.policies
+        )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of :func:`run_sweep`.
+
+    ``computed``/``cached`` partition the grid's cell ids by whether
+    their replications ran in this call or came from the artifact cache;
+    ``n_replications_run`` counts the simulations actually executed.
+    """
+
+    cells: tuple[CellStats, ...]
+    computed: tuple[str, ...]
+    cached: tuple[str, ...]
+    n_replications_run: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "engine_version": ENGINE_VERSION,
+            "cells": [cell.to_dict() for cell in self.cells],
+            "computed": list(self.computed),
+            "cached": list(self.cached),
+            "n_replications_run": self.n_replications_run,
+        }
+
+
+# -- fingerprints and cache keys -------------------------------------------------
+
+
+def _workflow_fingerprint(workflow: Workflow) -> str:
+    from repro.continuum.serialize import workflow_to_dict
+    from repro.pipeline.cache import stable_digest
+
+    return stable_digest(workflow_to_dict(workflow))
+
+
+def _continuum_fingerprint(continuum: Continuum) -> str:
+    from repro.continuum.serialize import continuum_to_dict
+    from repro.pipeline.cache import stable_digest
+
+    return stable_digest(continuum_to_dict(continuum))
+
+
+def _cell_identity(spec: SweepSpec, cell: CellSpec,
+                   fingerprints: Mapping[str, str],
+                   continuum_fp: str) -> dict[str, Any]:
+    """Everything that pins a cell's random streams (not the rep count)."""
+    return {
+        "engine": ENGINE_VERSION,
+        "seed": spec.seed,
+        "workflow": fingerprints[cell.workflow],
+        "continuum": continuum_fp,
+        "scheduler": cell.scheduler,
+        "mtbf": cell.mtbf,
+        "jitter": cell.jitter,
+        "policy": cell.policy,
+        "repair_time": spec.repair_time,
+        "max_attempts": spec.max_attempts,
+    }
+
+
+def _cell_entropy(identity: Mapping[str, Any]) -> int:
+    """The SeedSequence entropy word a cell's replications derive from.
+
+    Content-addressed: a cell's streams depend only on its own identity,
+    never on its position in the grid, so identical cells in different
+    sweeps produce identical replications (and cache hits are sound).
+    """
+    from repro.pipeline.cache import stable_digest
+
+    return int(stable_digest(identity)[:32], 16)
+
+
+def _replication_rng(entropy: int, rep_index: int) -> np.random.Generator:
+    """The dedicated generator for replication *rep_index* of a cell."""
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy, spawn_key=(rep_index,))
+    )
+
+
+# -- worker protocol --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _CellTask:
+    """One cell's work order, as shipped to (or run by) a worker."""
+
+    schedule_index: int
+    mtbf: float | None
+    jitter: float
+    policy: str
+    repair_time: float
+    max_attempts: int
+    entropy: int
+
+
+# Worker-global state, set once per process by the pool initializer; the
+# serial fallback uses the same two functions in-process.
+_WORKER_SCHEDULES: list[Schedule] = []
+_WORKER_TASKS: list[_CellTask] = []
+_WORKER_CONTEXTS: dict[int, SimulationContext] = {}
+
+
+def _worker_init(schedules: list[Schedule], tasks: list[_CellTask]) -> None:
+    global _WORKER_SCHEDULES, _WORKER_TASKS, _WORKER_CONTEXTS
+    _WORKER_SCHEDULES = schedules
+    _WORKER_TASKS = tasks
+    _WORKER_CONTEXTS = {}
+
+
+def _worker_chunk(
+    args: tuple[int, int, int],
+) -> list[tuple[float, float, int, int, float]]:
+    """Run replications [start, start+count) of one cell task.
+
+    Returns raw metric tuples in replication order; every replication
+    owns a spawned generator, so execution placement is irrelevant.
+    """
+    task_index, start, count = args
+    task = _WORKER_TASKS[task_index]
+    context = _WORKER_CONTEXTS.get(task.schedule_index)
+    if context is None:
+        context = SimulationContext(_WORKER_SCHEDULES[task.schedule_index])
+        _WORKER_CONTEXTS[task.schedule_index] = context
+    migrate = task.policy == "migrate"
+    return [
+        _replicate(
+            context, task.mtbf, task.repair_time, migrate, task.jitter,
+            task.max_attempts, _replication_rng(task.entropy, rep),
+        ).as_tuple()
+        for rep in range(start, start + count)
+    ]
+
+
+# -- the sweep driver --------------------------------------------------------------
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: int = 0,
+    cache=None,
+    telemetry=None,
+    registry=None,
+) -> SweepResult:
+    """Run the full Monte-Carlo grid of *spec*.
+
+    Parameters
+    ----------
+    spec:
+        The experiment grid (see :class:`SweepSpec`).
+    workers:
+        Process-pool size for the replication fan-out.  ``0`` or ``1``
+        runs the deterministic serial path in-process; results are
+        bit-identical either way.
+    cache:
+        Optional :class:`~repro.pipeline.cache.ArtifactCache`.  Grid
+        cells are content-addressed (engine version, seed, workflow and
+        continuum fingerprints, cell condition, replication count): a hit
+        skips every simulation of that cell.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; when bound the
+        sweep is traced (``sweep`` span with per-scheduler ``schedule.*``
+        child spans), counted (``mc.replications``, ``mc.cells_computed``,
+        ``mc.cells_cached``), and logged (``sweep.finish``).
+    registry:
+        Optional :class:`~repro.obs.RunRegistry`; when given, the sweep
+        appends a ``mc-sweep`` :class:`~repro.obs.RunRecord` (cell
+        digests, replication counters) to the run ledger.
+
+    Returns
+    -------
+    SweepResult
+        Per-cell streaming statistics plus the computed/cached split.
+    """
+    if workers < 0:
+        raise MonteCarloError("workers must be >= 0")
+    tel = ensure(telemetry)
+    if not tel.enabled:
+        return _run_sweep(spec, workers, cache, tel, registry)
+    cells = spec.cells()
+    with tel.tracer.span(
+        "sweep",
+        cells=len(cells),
+        replications=spec.replications,
+        workers=workers,
+    ) as span:
+        result = _run_sweep(spec, workers, cache, tel, registry)
+        span.tags.update(
+            computed=len(result.computed),
+            cached=len(result.cached),
+        )
+        tel.log.info(
+            "sweep.finish",
+            cells=len(result.cells),
+            computed=len(result.computed),
+            cached=len(result.cached),
+            replications_run=result.n_replications_run,
+        )
+    return result
+
+
+def _run_sweep(
+    spec: SweepSpec, workers: int, cache, tel, registry
+) -> SweepResult:
+    from repro.pipeline.cache import stable_digest
+
+    cells = spec.cells()
+    workflow_of = {w.name: w for w in spec.workflows}
+    fingerprints = {
+        w.name: _workflow_fingerprint(w) for w in spec.workflows
+    }
+    continuum_fp = _continuum_fingerprint(spec.continuum)
+
+    # Content-addressed cache lookup per cell.
+    identities = {
+        cell.cell_id: _cell_identity(spec, cell, fingerprints, continuum_fp)
+        for cell in cells
+    }
+    cache_keys = {
+        cell.cell_id: stable_digest(
+            "montecarlo-cell",
+            identities[cell.cell_id],
+            spec.replications,
+        )
+        for cell in cells
+    }
+    stats_of: dict[str, CellStats] = {}
+    cached_ids: list[str] = []
+    misses: list[CellSpec] = []
+    for cell in cells:
+        payload = (
+            cache.get(cache_keys[cell.cell_id]) if cache is not None else None
+        )
+        if payload is not None:
+            stats_of[cell.cell_id] = CellStats.from_dict(payload)
+            cached_ids.append(cell.cell_id)
+        else:
+            misses.append(cell)
+
+    replications_run = 0
+    if misses:
+        # Schedule once per (workflow, scheduler) pair actually needed.
+        schedules: list[Schedule] = []
+        schedule_index: dict[tuple[str, str], int] = {}
+        for cell in misses:
+            pair = (cell.workflow, cell.scheduler)
+            if pair not in schedule_index:
+                scheduler = SCHEDULERS[cell.scheduler]()
+                schedule_index[pair] = len(schedules)
+                schedules.append(
+                    scheduler.schedule(
+                        workflow_of[cell.workflow], spec.continuum,
+                        telemetry=tel if tel.enabled else None,
+                    )
+                )
+
+        tasks = [
+            _CellTask(
+                schedule_index=schedule_index[(cell.workflow, cell.scheduler)],
+                mtbf=cell.mtbf,
+                jitter=cell.jitter,
+                policy=cell.policy,
+                repair_time=spec.repair_time,
+                max_attempts=spec.max_attempts,
+                entropy=_cell_entropy(identities[cell.cell_id]),
+            )
+            for cell in misses
+        ]
+        # Chunked fan-out: (task, start, count) triples in deterministic
+        # order; the merge below folds chunk results back in replication
+        # order per cell, so chunking never shows in the numbers.
+        chunks: list[tuple[int, int, int]] = []
+        for task_index in range(len(tasks)):
+            for start in range(0, spec.replications, spec.chunk_size):
+                count = min(spec.chunk_size, spec.replications - start)
+                chunks.append((task_index, start, count))
+
+        if workers > 1:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_worker_init,
+                initargs=(schedules, tasks),
+            ) as pool:
+                chunk_results = pool.map(_worker_chunk, chunks)
+                aggregates = _fold(misses, schedules, schedule_index,
+                                   chunks, chunk_results)
+        else:
+            _worker_init(schedules, tasks)
+            chunk_results = map(_worker_chunk, chunks)
+            aggregates = _fold(misses, schedules, schedule_index,
+                               chunks, chunk_results)
+
+        for cell in misses:
+            aggregate, planned = aggregates[cell.cell_id]
+            stats = CellStats(
+                cell=cell,
+                replications=spec.replications,
+                planned_makespan=planned,
+                metrics=aggregate.summaries(),
+            )
+            stats_of[cell.cell_id] = stats
+            replications_run += spec.replications
+            if cache is not None:
+                cache.store(cache_keys[cell.cell_id], stats.to_dict())
+
+    result = SweepResult(
+        cells=tuple(stats_of[cell.cell_id] for cell in cells),
+        computed=tuple(cell.cell_id for cell in misses),
+        cached=tuple(cached_ids),
+        n_replications_run=replications_run,
+    )
+    if tel.enabled:
+        metrics = tel.metrics
+        metrics.counter("mc.replications").inc(replications_run)
+        metrics.counter("mc.cells_computed").inc(len(result.computed))
+        metrics.counter("mc.cells_cached").inc(len(result.cached))
+    if registry is not None:
+        from repro.obs import build_sweep_record
+
+        registry.record(
+            build_sweep_record(
+                result,
+                telemetry=tel if tel.enabled else None,
+                config_digest=stable_digest(
+                    sorted(cache_keys.values())
+                ),
+                meta={
+                    "seed": spec.seed,
+                    "replications": spec.replications,
+                    "workers": workers,
+                },
+            )
+        )
+    return result
+
+
+def _fold(
+    misses: Sequence[CellSpec],
+    schedules: Sequence[Schedule],
+    schedule_index: Mapping[tuple[str, str], int],
+    chunks: Sequence[tuple[int, int, int]],
+    chunk_results,
+) -> dict[str, tuple[_CellAggregate, float]]:
+    """Merge chunk results into per-cell aggregates, in replication order.
+
+    ``chunk_results`` arrives in submission order (``Executor.map``
+    preserves it), and chunks were submitted cell-major / start-minor,
+    so simply folding in arrival order reproduces the serial fold.
+    """
+    aggregates: dict[str, tuple[_CellAggregate, float]] = {}
+    for cell in misses:
+        planned = schedules[
+            schedule_index[(cell.workflow, cell.scheduler)]
+        ].makespan
+        aggregates[cell.cell_id] = (_CellAggregate(planned), planned)
+    for (task_index, _, _), values in zip(chunks, chunk_results):
+        aggregate, _ = aggregates[misses[task_index].cell_id]
+        for row in values:
+            aggregate.add(row)
+    return aggregates

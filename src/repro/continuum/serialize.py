@@ -11,6 +11,9 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+import numpy as np
+
+from repro.continuum.resources import Continuum, Resource, ResourceKind
 from repro.continuum.scheduling import Schedule
 from repro.continuum.workflow import Task, Workflow
 from repro.errors import SerializationError
@@ -18,6 +21,8 @@ from repro.errors import SerializationError
 __all__ = [
     "workflow_to_dict",
     "workflow_from_dict",
+    "continuum_to_dict",
+    "continuum_from_dict",
     "save_workflow",
     "load_workflow",
     "workflow_to_dot",
@@ -66,6 +71,68 @@ def workflow_from_dict(data: dict) -> Workflow:
         return Workflow(data["name"], tasks, edges)
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(f"malformed workflow document: {exc}") from exc
+
+
+def continuum_to_dict(continuum: Continuum) -> dict:
+    """Serialize a continuum to a JSON-compatible dict.
+
+    The diagonal of the bandwidth matrix is ``inf`` in memory (local
+    transfers are free); it is emitted as ``1.0`` to stay strict-JSON —
+    the :class:`~repro.continuum.resources.Continuum` constructor
+    overwrites both diagonals anyway, so the round-trip is exact.
+    """
+    bandwidth = continuum.bandwidth.copy()
+    np.fill_diagonal(bandwidth, 1.0)
+    latency = continuum.latency.copy()
+    np.fill_diagonal(latency, 0.0)
+    return {
+        "format_version": FORMAT_VERSION,
+        "resources": [
+            {
+                "key": r.key,
+                "kind": r.kind.value,
+                "speed": r.speed,
+                "idle_power": r.idle_power,
+                "busy_power": r.busy_power,
+                "capabilities": sorted(r.capabilities),
+                "carbon_intensity": r.carbon_intensity,
+            }
+            for r in continuum
+        ],
+        "bandwidth": bandwidth.tolist(),
+        "latency": latency.tolist(),
+    }
+
+
+def continuum_from_dict(data: dict) -> Continuum:
+    """Deserialize a continuum written by :func:`continuum_to_dict`."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported continuum format_version {version!r}"
+        )
+    try:
+        resources = [
+            Resource(
+                entry["key"],
+                ResourceKind(entry["kind"]),
+                float(entry["speed"]),
+                idle_power=float(entry.get("idle_power", 50.0)),
+                busy_power=float(entry.get("busy_power", 200.0)),
+                capabilities=frozenset(entry.get("capabilities", ())),
+                carbon_intensity=float(entry.get("carbon_intensity", 1.0)),
+            )
+            for entry in data["resources"]
+        ]
+        return Continuum(
+            resources,
+            bandwidth=data["bandwidth"],
+            latency=data["latency"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"malformed continuum document: {exc}"
+        ) from exc
 
 
 def save_workflow(workflow: Workflow, path: str | Path) -> None:

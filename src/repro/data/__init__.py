@@ -8,6 +8,12 @@ from repro.data.icsc import (
     icsc_tools,
     spoke1_structure,
 )
+from repro.data.synthetic import (
+    synthetic_corpus,
+    synthetic_ecosystem,
+    synthetic_ratings,
+    synthetic_workflows,
+)
 
 __all__ = [
     "icsc_applications",
@@ -16,4 +22,8 @@ __all__ = [
     "icsc_spokes",
     "icsc_tools",
     "spoke1_structure",
+    "synthetic_corpus",
+    "synthetic_ecosystem",
+    "synthetic_ratings",
+    "synthetic_workflows",
 ]

@@ -11,7 +11,10 @@ validation as the real dataset:
 * :func:`synthetic_corpus` — bibliographic records with optional injected
   near-duplicates, for dedup and query benchmarks;
 * :func:`synthetic_ratings` — multi-rater label matrices with a controlled
-  agreement level, for kappa benchmarks.
+  agreement level, for kappa benchmarks;
+* :func:`synthetic_workflows` — a fleet of workflow DAGs mixing random
+  graphs and fork-join pipelines, the substrate for Monte-Carlo sweeps
+  (:mod:`repro.continuum.montecarlo`).
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ __all__ = [
     "synthetic_ecosystem",
     "synthetic_corpus",
     "synthetic_ratings",
+    "synthetic_workflows",
     "DIRECTION_PHRASES",
 ]
 
@@ -168,6 +172,73 @@ def synthetic_ecosystem(
             )
         )
     return institutions, tools, applications, scheme
+
+
+def synthetic_workflows(
+    n_workflows: int = 6,
+    *,
+    size_range: tuple[int, int] = (20, 80),
+    edge_probability: float = 0.15,
+    work_range: tuple[float, float] = (1.0, 100.0),
+    output_range: tuple[float, float] = (0.0, 2.0),
+    pipeline_fraction: float = 0.33,
+    seed: int = 0,
+) -> tuple:
+    """Generate a fleet of workflow DAGs for Monte-Carlo sweeps.
+
+    The fleet mixes the two canonical scheduling-benchmark shapes:
+    ``round(n * pipeline_fraction)`` fork-join pipelines
+    (:func:`~repro.continuum.workflow.layered_workflow`) and random DAGs
+    (:func:`~repro.continuum.workflow.random_workflow`) for the rest.
+    Each workflow gets its own sub-seed derived from *seed*, a unique
+    name (``wf-000-random`` / ``wf-001-pipeline`` ...), and a task count
+    drawn uniformly from ``size_range``; determinism under *seed* makes
+    fleets safe to use in content-addressed sweep cache keys.
+
+    Returns a tuple of :class:`~repro.continuum.workflow.Workflow` — the
+    shape :class:`~repro.continuum.montecarlo.SweepSpec` expects.
+    """
+    from repro.continuum.workflow import layered_workflow, random_workflow
+
+    if n_workflows < 1:
+        raise ValidationError("n_workflows must be >= 1")
+    if not 1 <= size_range[0] <= size_range[1]:
+        raise ValidationError("size_range must satisfy 1 <= lo <= hi")
+    if not 0.0 <= pipeline_fraction <= 1.0:
+        raise ValidationError("pipeline_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    n_pipelines = int(round(n_workflows * pipeline_fraction))
+
+    workflows = []
+    for i in range(n_workflows):
+        n_tasks = int(rng.integers(size_range[0], size_range[1] + 1))
+        sub_seed = int(rng.integers(2**31))
+        if i < n_pipelines:
+            # Factor the size into layers × width near the golden split
+            # (more layers than width: pipelines are long, not wide).
+            width = max(1, int(round(np.sqrt(n_tasks / 2.0))))
+            n_layers = max(2, n_tasks // width)
+            workflows.append(
+                layered_workflow(
+                    n_layers,
+                    width,
+                    work=float(np.mean(work_range)),
+                    output_size=float(np.mean(output_range)),
+                    name=f"wf-{i:03d}-pipeline",
+                )
+            )
+        else:
+            workflows.append(
+                random_workflow(
+                    n_tasks,
+                    edge_probability=edge_probability,
+                    seed=sub_seed,
+                    work_range=work_range,
+                    output_range=output_range,
+                    name=f"wf-{i:03d}-random",
+                )
+            )
+    return tuple(workflows)
 
 
 _TITLE_NOUNS = (

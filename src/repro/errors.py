@@ -29,6 +29,7 @@ __all__ = [
     "ContinuumError",
     "SchedulingError",
     "WorkflowGraphError",
+    "MonteCarloError",
     "RenderError",
     "SerializationError",
     "StudyError",
@@ -139,6 +140,10 @@ class SchedulingError(ContinuumError):
 
 class WorkflowGraphError(ContinuumError):
     """A workflow DAG is malformed (cycle, dangling dependency, ...)."""
+
+
+class MonteCarloError(ContinuumError):
+    """A Monte-Carlo sweep specification or aggregation misuse."""
 
 
 class RenderError(ReproError):

@@ -48,6 +48,7 @@ from repro.obs.record import (
     StageStats,
     build_simulation_record,
     build_study_record,
+    build_sweep_record,
     digest_items,
     study_artifacts,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "StageStats",
     "build_simulation_record",
     "build_study_record",
+    "build_sweep_record",
     "compare_bench_suites",
     "compare_runs",
     "default_runs_dir",

@@ -40,6 +40,7 @@ __all__ = [
     "metrics_of_interest",
     "build_study_record",
     "build_simulation_record",
+    "build_sweep_record",
 ]
 
 #: Bump when the serialized record layout changes incompatibly.
@@ -59,6 +60,9 @@ _LEDGER_METRICS = (
     "sim.failures_injected",
     "sim.retries",
     "sim.migrations",
+    "mc.replications",
+    "mc.cells_computed",
+    "mc.cells_cached",
 )
 
 
@@ -434,5 +438,43 @@ def build_simulation_record(
         stages=stage_stats_from_telemetry(telemetry),
         metrics=metrics,
         artifacts={"placements": digest_items(placements)},
+        meta={str(k): str(v) for k, v in (meta or {}).items()},
+    )
+
+
+def build_sweep_record(
+    result: Any,
+    *,
+    telemetry: Any = None,
+    config_digest: str = "",
+    kind: str = "mc-sweep",
+    meta: Mapping[str, Any] | None = None,
+) -> RunRecord:
+    """A :class:`RunRecord` for one Monte-Carlo sweep.
+
+    The digested artifact is the full per-cell statistics table of a
+    :class:`~repro.continuum.montecarlo.SweepResult` — deterministic for
+    a given spec, so the watchdog can flag drift in the sweep's numbers
+    like it does for study tables.  Counters (``mc.replications``,
+    ``mc.cells_computed``, ``mc.cells_cached``) ride in from telemetry;
+    the same counts are recorded directly from the result so a record is
+    complete even for untraced sweeps.
+    """
+    cell_rows = [cell.to_dict() for cell in result.cells]
+    metrics = metrics_of_interest(telemetry)
+    metrics["mc.cells"] = float(len(result.cells))
+    metrics["mc.cells_computed"] = float(len(result.computed))
+    metrics["mc.cells_cached"] = float(len(result.cached))
+    metrics["mc.replications"] = float(result.n_replications_run)
+    return RunRecord(
+        run_id=new_run_id(config_digest or cell_rows),
+        kind=kind,
+        created_utc=_utc_now(),
+        dataset_version="",
+        config_digest=config_digest,
+        wall_s=_run_wall_seconds(telemetry),
+        stages=stage_stats_from_telemetry(telemetry),
+        metrics=metrics,
+        artifacts={"cells": digest_items(cell_rows)},
         meta={str(k): str(v) for k, v in (meta or {}).items()},
     )

@@ -156,6 +156,80 @@ class TestExport:
             main(["export"])
 
 
+class TestSweep:
+    GRID = "scheduler=heft,round_robin;mtbf=50,none;jitter=0.1"
+
+    def test_prints_cell_table(self, capsys):
+        assert main(
+            ["sweep", "--grid", self.GRID, "--fleet", "2",
+             "--replications", "10", "--seed", "3", "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mtbf=50" in out and "mtbf=none" in out
+        assert "8 cell(s) × 10 replication(s)" in out
+        assert "80 simulations run" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "sweep.json"
+        assert main(
+            ["sweep", "--fleet", "1", "--replications", "5",
+             "--grid", "mtbf=40", "--json", str(target), "--no-cache"]
+        ) == 0
+        payload = json.loads(target.read_text())
+        assert len(payload["cells"]) == 1
+        assert payload["cells"][0]["replications"] == 5
+        assert payload["cells"][0]["metrics"]["makespan"]["count"] == 5
+
+    def test_cache_dir_warm_rerun_executes_zero_simulations(
+        self, tmp_path, capsys
+    ):
+        argv = ["sweep", "--fleet", "1", "--replications", "8",
+                "--grid", "mtbf=40", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert "1 computed, 0 from cache" in capsys.readouterr().out
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 computed, 1 from cache (0 simulations run)" in out
+
+    def test_workers_match_serial(self, tmp_path, capsys):
+        import json
+
+        a, b = tmp_path / "serial.json", tmp_path / "parallel.json"
+        base = ["sweep", "--fleet", "1", "--replications", "6",
+                "--grid", "mtbf=40", "--seed", "5", "--no-cache"]
+        assert main(base + ["--workers", "0", "--json", str(a)]) == 0
+        assert main(base + ["--workers", "2", "--json", str(b)]) == 0
+        assert (
+            json.loads(a.read_text())["cells"]
+            == json.loads(b.read_text())["cells"]
+        )
+
+    def test_record_appends_to_ledger(self, tmp_path, capsys):
+        assert main(
+            ["sweep", "--fleet", "1", "--replications", "5",
+             "--grid", "mtbf=40", "--no-cache",
+             "--record", "--runs-dir", str(tmp_path)]
+        ) == 0
+        assert "recorded run" in capsys.readouterr().out
+        assert main(["runs", "list", "--runs-dir", str(tmp_path)]) == 0
+        assert "mc-sweep" in capsys.readouterr().out
+
+    def test_bad_grid_errors_exit_1(self, capsys):
+        assert main(["sweep", "--grid", "flux=9", "--no-cache"]) == 1
+        assert "bad --grid entry" in capsys.readouterr().err
+        assert main(["sweep", "--grid", "mtbf=fast", "--no-cache"]) == 1
+        assert "numeric" in capsys.readouterr().err
+        assert main(["sweep", "--grid", "scheduler=alien",
+                     "--no-cache"]) == 1
+        assert "unknown scheduler" in capsys.readouterr().err
+
+    def test_bad_fleet_errors_exit_1(self, capsys):
+        assert main(["sweep", "--fleet", "0", "--no-cache"]) == 1
+        assert "--fleet" in capsys.readouterr().err
+
+
 class TestRuns:
     """The run-ledger subcommands and their exit-code contract
     (0 = clean, 3 = result drift, 4 = perf regression, 1 = errors)."""

@@ -1,11 +1,12 @@
 """Unit tests for failure injection."""
 
+import numpy as np
 import pytest
 
-from repro.continuum.failures import simulate_with_failures
+from repro.continuum.failures import _FailureClock, simulate_with_failures
 from repro.continuum.resources import default_continuum
 from repro.continuum.scheduling import HeftScheduler
-from repro.continuum.workflow import random_workflow
+from repro.continuum.workflow import layered_workflow, random_workflow
 from repro.errors import ContinuumError
 
 
@@ -98,6 +99,152 @@ class TestUnderFailures:
         b = simulate_with_failures(schedule, mtbf=2.0, repair_time=0.5, seed=9)
         assert a.makespan == b.makespan
         assert a.n_failures == b.n_failures
+
+
+class TestFailureClock:
+    """The per-resource Poisson clock, especially idle-time semantics."""
+
+    def test_initial_draws_are_per_resource_exponentials(self):
+        rng = np.random.default_rng(0)
+        clock = _FailureClock(("a", "b"), 10.0, rng)
+        expected = np.random.default_rng(0).exponential(10.0, size=2)
+        assert clock.next_failure("a") == expected[0]
+        assert clock.next_failure("b") == expected[1]
+        assert clock.consumed == 0
+
+    def test_consume_advances_one_clock_only(self):
+        clock = _FailureClock(("a", "b"), 10.0, np.random.default_rng(1))
+        before_a = clock.next_failure("a")
+        before_b = clock.next_failure("b")
+        clock.consume("a")
+        assert clock.next_failure("a") > before_a
+        assert clock.next_failure("b") == before_b
+        assert clock.consumed == 1
+
+    def test_advance_past_skips_idle_failures(self):
+        """Failures that elapsed while a resource sat idle are harmless
+        reboots: they are consumed (counted) and never kill an attempt."""
+        clock = _FailureClock(("a",), 5.0, np.random.default_rng(2))
+        horizon = clock.next_failure("a") + 40.0
+        clock.advance_past("a", horizon)
+        assert clock.next_failure("a") >= horizon
+        assert clock.consumed >= 1
+
+    def test_advance_past_before_next_failure_is_a_no_op(self):
+        clock = _FailureClock(("a",), 5.0, np.random.default_rng(3))
+        pending = clock.next_failure("a")
+        clock.advance_past("a", pending * 0.5)
+        assert clock.next_failure("a") == pending
+        assert clock.consumed == 0
+
+    def test_advance_past_exact_boundary_keeps_failure_pending(self):
+        """`advance_past` uses strict <: a failure at exactly the attempt
+        start stays pending and can still kill the attempt."""
+        clock = _FailureClock(("a",), 5.0, np.random.default_rng(4))
+        pending = clock.next_failure("a")
+        clock.advance_past("a", pending)
+        assert clock.next_failure("a") == pending
+        assert clock.consumed == 0
+
+    def test_idle_failures_do_not_inflate_retry_count(self):
+        """A single short task on a schedule with long idle gaps: idle
+        failures fire (consumed), but n_failures counts only killed
+        attempts."""
+        wf = layered_workflow(2, 1, work=1.0, output_size=0.0)
+        continuum = default_continuum(n_hpc=1, n_cloud=0, n_edge=0, seed=0)
+        schedule = HeftScheduler().schedule(wf, continuum)
+        trace = simulate_with_failures(
+            schedule, mtbf=1e9, repair_time=0.0, seed=0
+        )
+        assert trace.n_failures == 0
+
+
+class TestNearZeroMtbf:
+    """Retry/migration paths under an MTBF close to task durations."""
+
+    @pytest.fixture(scope="class")
+    def light_schedule(self):
+        # Homogeneous fast nodes keep every task duration well under 2×
+        # the MTBF below: failures are frequent but each retry keeps a
+        # fair success chance, so the replay terminates inside
+        # max_attempts.
+        wf = random_workflow(30, seed=8, output_range=(0.0, 0.05))
+        continuum = default_continuum(n_hpc=3, n_cloud=0, n_edge=0, seed=8)
+        return HeftScheduler().schedule(wf, continuum)
+
+    def test_restart_retries_until_success(self, light_schedule):
+        trace = simulate_with_failures(
+            light_schedule, mtbf=0.05, repair_time=0.01,
+            policy="restart", seed=2, max_attempts=500,
+        )
+        assert trace.n_failures > len(light_schedule.workflow)
+        assert trace.n_migrations == 0
+        assert trace.lost_work > 0.0
+        assert trace.slowdown > 1.0
+        assert len(trace.placements) == len(light_schedule.workflow)
+
+    def test_migrate_actually_migrates(self, light_schedule):
+        trace = simulate_with_failures(
+            light_schedule, mtbf=0.05, repair_time=5.0,
+            policy="migrate", seed=2, max_attempts=500,
+        )
+        assert trace.n_failures > 0
+        assert trace.n_migrations > 0
+        assert len(trace.placements) == len(light_schedule.workflow)
+
+    def test_migrated_placements_are_feasible(self):
+        wf = random_workflow(30, seed=8, output_range=(0.0, 0.05))
+        # Pin a requirement so only HPC nodes are feasible; migration
+        # must never place the task outside the feasible set.
+        from repro.continuum.workflow import Task, Workflow
+
+        pinned = Workflow(
+            "pinned",
+            [
+                Task(t.key, t.work, t.output_size, frozenset({"gpu"}))
+                for t in wf
+            ],
+            list(wf.edges),
+        )
+        continuum = default_continuum(seed=8)
+        schedule = HeftScheduler().schedule(pinned, continuum)
+        trace = simulate_with_failures(
+            schedule, mtbf=0.5, repair_time=5.0,
+            policy="migrate", seed=3, max_attempts=500,
+        )
+        gpu_nodes = {
+            r.key for r in continuum if r.supports(frozenset({"gpu"}))
+        }
+        assert trace.n_failures > 0
+        assert all(p.resource in gpu_nodes for p in trace.placements)
+
+    def test_max_attempts_still_guards_migrate(self, light_schedule):
+        with pytest.raises(ContinuumError):
+            simulate_with_failures(
+                light_schedule, mtbf=1e-6, repair_time=0.0,
+                policy="migrate", seed=1, max_attempts=5,
+            )
+
+
+class TestRngParameter:
+    def test_rng_equivalent_to_seed(self, schedule):
+        by_seed = simulate_with_failures(
+            schedule, mtbf=2.0, repair_time=0.5, seed=9
+        )
+        by_rng = simulate_with_failures(
+            schedule, mtbf=2.0, repair_time=0.5,
+            rng=np.random.default_rng(9),
+        )
+        assert by_rng.makespan == by_seed.makespan
+        assert by_rng.n_failures == by_seed.n_failures
+        assert by_rng.lost_work == by_seed.lost_work
+
+    def test_seed_and_rng_mutually_exclusive(self, schedule):
+        with pytest.raises(ContinuumError, match="not both"):
+            simulate_with_failures(
+                schedule, mtbf=2.0, repair_time=0.5,
+                seed=0, rng=np.random.default_rng(0),
+            )
 
 
 class TestValidation:

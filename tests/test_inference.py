@@ -101,6 +101,17 @@ class TestBootstrap:
         with pytest.raises(StatsError):
             bootstrap_share_ci([1, 2], 0, n_resamples=10)
 
+    def test_seed_and_rng_mutually_exclusive(self):
+        with pytest.raises(StatsError, match="not both"):
+            bootstrap_share_ci([3, 7], 1, seed=0,
+                               rng=np.random.default_rng(0))
+
+    def test_rng_alone_accepted(self):
+        low, high = bootstrap_share_ci(
+            [3, 7], 1, rng=np.random.default_rng(1), n_resamples=500
+        )
+        assert 0.0 <= low < high <= 1.0
+
 
 class TestTvdAndPermutation:
     def test_tvd_identical_zero(self):
@@ -139,6 +150,12 @@ class TestTvdAndPermutation:
         result = permutation_tvd_test([3, 7], [5, 5], rng=rng,
                                       n_permutations=200)
         assert result.method == "permutation TVD"
+
+    def test_seed_and_rng_mutually_exclusive(self):
+        with pytest.raises(StatsError, match="not both"):
+            permutation_tvd_test([3, 7], [5, 5], seed=0,
+                                 rng=np.random.default_rng(0),
+                                 n_permutations=200)
 
 
 class TestPermutationMean:

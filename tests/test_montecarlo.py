@@ -1,0 +1,449 @@
+"""Unit tests for the Monte-Carlo sweep engine."""
+
+import numpy as np
+import pytest
+
+from repro.continuum import (
+    CellStats,
+    FixedHistogram,
+    HeftScheduler,
+    RunningStat,
+    SimulationContext,
+    SweepSpec,
+    continuum_from_dict,
+    continuum_to_dict,
+    default_continuum,
+    random_workflow,
+    replicate_once,
+    run_sweep,
+    simulate_schedule,
+    simulate_with_failures,
+)
+from repro.errors import ContinuumError, MonteCarloError
+from repro.pipeline import ArtifactCache
+
+
+@pytest.fixture(scope="module")
+def continuum():
+    return default_continuum(n_hpc=2, n_cloud=3, n_edge=5, seed=11)
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return random_workflow(60, seed=11, output_range=(0.0, 0.3))
+
+
+@pytest.fixture(scope="module")
+def schedule(workflow, continuum):
+    return HeftScheduler().schedule(workflow, continuum)
+
+
+@pytest.fixture(scope="module")
+def context(schedule):
+    return SimulationContext(schedule)
+
+
+class TestReplicationEquivalence:
+    """The batched replay must be bit-identical to the one-shot simulators
+    — this anchors every speedup claim to the reference semantics."""
+
+    @pytest.mark.parametrize("policy", ["restart", "migrate"])
+    def test_matches_simulate_with_failures(self, schedule, context, policy):
+        for seed in range(10):
+            trace = simulate_with_failures(
+                schedule, mtbf=60.0, repair_time=2.0, policy=policy,
+                seed=seed,
+            )
+            result = replicate_once(
+                context, mtbf=60.0, repair_time=2.0, policy=policy,
+                rng=np.random.default_rng(seed),
+            )
+            assert result.makespan == trace.makespan
+            assert result.slowdown == trace.slowdown
+            assert result.retries == trace.n_failures
+            assert result.migrations == trace.n_migrations
+            assert result.lost_work == trace.lost_work
+
+    def test_matches_simulate_schedule_jitter(self, schedule, context):
+        for seed in range(10):
+            trace = simulate_schedule(schedule, jitter=0.25, seed=seed)
+            result = replicate_once(
+                context, jitter=0.25, rng=np.random.default_rng(seed)
+            )
+            assert result.makespan == trace.makespan
+
+    def test_no_noise_reproduces_plan(self, schedule, context):
+        result = replicate_once(context, rng=np.random.default_rng(0))
+        assert result.makespan == schedule.makespan
+        assert result.slowdown == 1.0
+        assert result.retries == 0
+        assert result.migrations == 0
+
+    def test_near_zero_mtbf_aborts(self, context):
+        with pytest.raises(ContinuumError):
+            replicate_once(
+                context, mtbf=1e-6, repair_time=0.0, max_attempts=5,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_parameter_validation(self, context):
+        rng = np.random.default_rng(0)
+        with pytest.raises(MonteCarloError):
+            replicate_once(context, mtbf=0.0, rng=rng)
+        with pytest.raises(MonteCarloError):
+            replicate_once(context, mtbf=1.0, repair_time=-1.0, rng=rng)
+        with pytest.raises(MonteCarloError):
+            replicate_once(context, policy="pray", rng=rng)
+        with pytest.raises(MonteCarloError):
+            replicate_once(context, jitter=-0.1, rng=rng)
+        with pytest.raises(MonteCarloError):
+            replicate_once(context, max_attempts=0, rng=rng)
+
+
+class TestRunningStat:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        values = rng.lognormal(0.0, 1.0, size=500)
+        stat = RunningStat()
+        for v in values:
+            stat.add(float(v))
+        assert stat.count == 500
+        assert stat.mean == pytest.approx(values.mean(), rel=1e-12)
+        assert stat.variance == pytest.approx(values.var(ddof=1), rel=1e-12)
+        assert stat.std == pytest.approx(values.std(ddof=1), rel=1e-12)
+        assert stat.min == values.min()
+        assert stat.max == values.max()
+
+    def test_degenerate_counts(self):
+        stat = RunningStat()
+        assert stat.variance == 0.0
+        stat.add(4.0)
+        assert stat.mean == 4.0
+        assert stat.variance == 0.0
+
+
+class TestFixedHistogram:
+    def test_quantiles_track_numpy_within_bucket_width(self):
+        rng = np.random.default_rng(5)
+        values = rng.uniform(0.0, 100.0, size=5000)
+        hist = FixedHistogram(0.0, 100.0, 200)
+        for v in values:
+            hist.add(float(v))
+        width = 100.0 / 200
+        for q in (0.5, 0.9, 0.99):
+            assert hist.quantile(q) == pytest.approx(
+                np.quantile(values, q), abs=2 * width
+            )
+
+    def test_out_of_range_clamps_to_edge_buckets(self):
+        hist = FixedHistogram(0.0, 10.0, 10)
+        hist.add(-5.0)
+        hist.add(50.0)
+        assert hist.counts[0] == 1
+        assert hist.counts[-1] == 1
+        assert hist.count == 2
+
+    def test_log_buckets(self):
+        hist = FixedHistogram(0.1, 100.0, 30, log=True)
+        hist.add(1.0)
+        assert hist.count == 1
+        assert 0.1 <= hist.quantile(0.5) <= 100.0
+
+    def test_validation(self):
+        with pytest.raises(MonteCarloError):
+            FixedHistogram(1.0, 1.0, 10)
+        with pytest.raises(MonteCarloError):
+            FixedHistogram(0.0, 1.0, 0)
+        with pytest.raises(MonteCarloError):
+            FixedHistogram(0.0, 1.0, 10, log=True)
+        hist = FixedHistogram(0.0, 1.0, 10)
+        with pytest.raises(MonteCarloError):
+            hist.quantile(0.5)  # empty
+        hist.add(0.5)
+        with pytest.raises(MonteCarloError):
+            hist.quantile(1.5)
+
+
+class TestSweepSpecValidation:
+    def test_rejects_empty_and_unknown(self, workflow, continuum):
+        with pytest.raises(MonteCarloError):
+            SweepSpec(workflows=(), continuum=continuum)
+        with pytest.raises(MonteCarloError):
+            SweepSpec(workflows=(workflow,), continuum=continuum,
+                      schedulers=("alien",))
+        with pytest.raises(MonteCarloError):
+            SweepSpec(workflows=(workflow,), continuum=continuum,
+                      replications=0)
+        with pytest.raises(MonteCarloError):
+            SweepSpec(workflows=(workflow,), continuum=continuum,
+                      mtbfs=(0.0,))
+        with pytest.raises(MonteCarloError):
+            SweepSpec(workflows=(workflow,), continuum=continuum,
+                      policies=("pray",))
+        with pytest.raises(MonteCarloError):
+            SweepSpec(workflows=(workflow,), continuum=continuum,
+                      chunk_size=0)
+
+    def test_rejects_duplicate_workflow_names(self, workflow, continuum):
+        with pytest.raises(MonteCarloError):
+            SweepSpec(workflows=(workflow, workflow), continuum=continuum)
+
+    def test_cells_enumerate_full_grid(self, workflow, continuum):
+        spec = SweepSpec(
+            workflows=(workflow,), continuum=continuum,
+            schedulers=("heft", "energy"), mtbfs=(None, 50.0),
+            jitters=(0.0, 0.1), policies=("restart", "migrate"),
+        )
+        cells = spec.cells()
+        assert len(cells) == 16
+        assert len({c.cell_id for c in cells}) == 16
+
+
+class TestSweepDeterminism:
+    @pytest.fixture(scope="class")
+    def spec(self, workflow, continuum):
+        return SweepSpec(
+            workflows=(workflow,), continuum=continuum,
+            schedulers=("heft", "round_robin"), mtbfs=(None, 50.0),
+            jitters=(0.0, 0.1), policies=("restart",),
+            replications=20, seed=7, chunk_size=7,
+        )
+
+    def test_parallel_bit_identical_to_serial(self, spec):
+        serial = run_sweep(spec, workers=0)
+        parallel = run_sweep(spec, workers=2)
+        assert serial.to_dict()["cells"] == parallel.to_dict()["cells"]
+
+    def test_chunking_never_changes_results(self, spec):
+        rechunked = SweepSpec(
+            workflows=spec.workflows, continuum=spec.continuum,
+            schedulers=spec.schedulers, mtbfs=spec.mtbfs,
+            jitters=spec.jitters, policies=spec.policies,
+            replications=spec.replications, seed=spec.seed, chunk_size=3,
+        )
+        assert (
+            run_sweep(spec).to_dict()["cells"]
+            == run_sweep(rechunked).to_dict()["cells"]
+        )
+
+    def test_cell_streams_do_not_depend_on_grid_shape(
+        self, workflow, continuum, spec
+    ):
+        """A cell's statistics are content-addressed: the same cell inside
+        a smaller grid produces bit-identical numbers."""
+        small = SweepSpec(
+            workflows=(workflow,), continuum=continuum,
+            schedulers=("heft",), mtbfs=(50.0,), jitters=(0.0,),
+            policies=("restart",), replications=20, seed=7,
+        )
+        full = {c.cell.cell_id: c for c in run_sweep(spec).cells}
+        for stats in run_sweep(small).cells:
+            assert stats.to_dict() == full[stats.cell.cell_id].to_dict()
+
+    def test_seed_changes_results(self, spec, workflow, continuum):
+        reseeded = SweepSpec(
+            workflows=spec.workflows, continuum=spec.continuum,
+            schedulers=spec.schedulers, mtbfs=spec.mtbfs,
+            jitters=spec.jitters, policies=spec.policies,
+            replications=spec.replications, seed=8,
+        )
+        a = run_sweep(spec).cells
+        b = run_sweep(reseeded).cells
+        noisy = [c.cell_id for c in spec.cells() if c.mtbf or c.jitter]
+        assert any(
+            x.metrics["makespan"].mean != y.metrics["makespan"].mean
+            for x, y in zip(a, b)
+            if x.cell.cell_id in noisy
+        )
+
+    def test_replication_workers_invalid(self, spec):
+        with pytest.raises(MonteCarloError):
+            run_sweep(spec, workers=-1)
+
+
+class TestSweepAggregation:
+    def test_summaries_match_naive_replications(self, workflow, continuum):
+        """The streamed Welford aggregate equals numpy over the raw
+        per-replication values recomputed via the one-shot simulator."""
+        from repro.continuum.montecarlo import (
+            _cell_entropy,
+            _cell_identity,
+            _continuum_fingerprint,
+            _replication_rng,
+            _workflow_fingerprint,
+        )
+
+        spec = SweepSpec(
+            workflows=(workflow,), continuum=continuum,
+            schedulers=("heft",), mtbfs=(40.0,), policies=("restart",),
+            replications=60, seed=3,
+        )
+        result = run_sweep(spec)
+        stats = result.cells[0]
+
+        schedule = HeftScheduler().schedule(workflow, continuum)
+        cell = spec.cells()[0]
+        entropy = _cell_entropy(_cell_identity(
+            spec, cell,
+            {workflow.name: _workflow_fingerprint(workflow)},
+            _continuum_fingerprint(continuum),
+        ))
+        makespans = []
+        retries = []
+        for rep in range(spec.replications):
+            trace = simulate_with_failures(
+                schedule, mtbf=40.0, repair_time=spec.repair_time,
+                policy="restart", rng=_replication_rng(entropy, rep),
+            )
+            makespans.append(trace.makespan)
+            retries.append(trace.n_failures)
+        summary = stats.metrics["makespan"]
+        assert summary.count == 60
+        assert summary.mean == pytest.approx(np.mean(makespans), rel=1e-12)
+        assert summary.std == pytest.approx(
+            np.std(makespans, ddof=1), rel=1e-9
+        )
+        assert summary.min == min(makespans)
+        assert summary.max == max(makespans)
+        assert stats.metrics["retries"].mean == pytest.approx(
+            np.mean(retries), rel=1e-12
+        )
+
+    def test_prefix_stability_in_replications(self, workflow, continuum):
+        """The first R replications of a larger run are the same draws —
+        min/max over a prefix are bounded by the superset's."""
+        base = dict(
+            workflows=(workflow,), continuum=continuum,
+            schedulers=("heft",), mtbfs=(40.0,), seed=3,
+        )
+        small = run_sweep(SweepSpec(replications=20, **base)).cells[0]
+        big = run_sweep(SweepSpec(replications=40, **base)).cells[0]
+        assert small.metrics["makespan"].min >= big.metrics["makespan"].min
+        assert small.metrics["makespan"].max <= big.metrics["makespan"].max
+
+    def test_cellstats_round_trips(self, workflow, continuum):
+        spec = SweepSpec(
+            workflows=(workflow,), continuum=continuum,
+            mtbfs=(50.0,), replications=10, seed=1,
+        )
+        stats = run_sweep(spec).cells[0]
+        assert CellStats.from_dict(stats.to_dict()) == stats
+
+
+class TestSweepCache:
+    def test_warm_cache_runs_zero_simulations(self, workflow, continuum):
+        spec = SweepSpec(
+            workflows=(workflow,), continuum=continuum,
+            schedulers=("heft", "round_robin"), mtbfs=(None, 50.0),
+            replications=15, seed=2,
+        )
+        cache = ArtifactCache()
+        cold = run_sweep(spec, cache=cache)
+        assert cold.n_replications_run == 4 * 15
+        assert len(cold.computed) == 4 and not cold.cached
+        warm = run_sweep(spec, cache=cache)
+        assert warm.n_replications_run == 0
+        assert len(warm.cached) == 4 and not warm.computed
+        assert warm.to_dict()["cells"] == cold.to_dict()["cells"]
+
+    def test_on_disk_cache_survives_processes(self, workflow, continuum,
+                                              tmp_path):
+        spec = SweepSpec(
+            workflows=(workflow,), continuum=continuum,
+            mtbfs=(50.0,), replications=10, seed=4,
+        )
+        cold = run_sweep(spec, cache=ArtifactCache(tmp_path))
+        warm = run_sweep(spec, cache=ArtifactCache(tmp_path))
+        assert warm.n_replications_run == 0
+        assert warm.to_dict()["cells"] == cold.to_dict()["cells"]
+
+    def test_changed_spec_misses(self, workflow, continuum):
+        cache = ArtifactCache()
+        base = dict(
+            workflows=(workflow,), continuum=continuum,
+            mtbfs=(50.0,), replications=10,
+        )
+        run_sweep(SweepSpec(seed=1, **base), cache=cache)
+        reseeded = run_sweep(SweepSpec(seed=2, **base), cache=cache)
+        assert reseeded.n_replications_run == 10
+        grown = run_sweep(
+            SweepSpec(seed=1, **{**base, "replications": 11}), cache=cache
+        )
+        assert grown.n_replications_run == 11
+
+
+class TestSweepIntegration:
+    def test_telemetry_counters_and_span(self, workflow, continuum):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        spec = SweepSpec(
+            workflows=(workflow,), continuum=continuum,
+            mtbfs=(50.0,), replications=12, seed=0,
+        )
+        run_sweep(spec, cache=ArtifactCache(), telemetry=telemetry)
+        snapshot = telemetry.metrics.snapshot()
+        assert snapshot["mc.replications"]["value"] == 12
+        assert snapshot["mc.cells_computed"]["value"] == 1
+        names = {span.name for span in telemetry.tracer.spans()}
+        assert "sweep" in names
+        assert "schedule.heft" in names
+
+    def test_registry_records_sweep(self, workflow, continuum, tmp_path):
+        from repro.obs import RunRegistry
+
+        registry = RunRegistry(tmp_path)
+        spec = SweepSpec(
+            workflows=(workflow,), continuum=continuum,
+            mtbfs=(50.0,), replications=8, seed=0,
+        )
+        run_sweep(spec, registry=registry)
+        record = registry.last(1)[0]
+        assert record.kind == "mc-sweep"
+        assert record.metrics["mc.replications"] == 8.0
+        assert record.artifacts["cells"].n_items == 1
+        assert record.config_digest
+
+    def test_sweep_record_artifact_digest_is_deterministic(
+        self, workflow, continuum, tmp_path
+    ):
+        from repro.obs import RunRegistry
+
+        registry = RunRegistry(tmp_path)
+        spec = SweepSpec(
+            workflows=(workflow,), continuum=continuum,
+            mtbfs=(50.0,), replications=8, seed=0,
+        )
+        run_sweep(spec, registry=registry)
+        run_sweep(spec, registry=registry)
+        first, second = registry.last(2)
+        assert (
+            first.artifacts["cells"].sha256
+            == second.artifacts["cells"].sha256
+        )
+
+
+class TestContinuumSerialization:
+    def test_round_trip(self, continuum):
+        clone = continuum_from_dict(continuum_to_dict(continuum))
+        assert clone.keys == continuum.keys
+        assert np.array_equal(clone.bandwidth, continuum.bandwidth)
+        assert np.array_equal(clone.latency, continuum.latency)
+        for key in continuum.keys:
+            assert clone[key] == continuum[key]
+
+    def test_dict_is_strict_json(self, continuum):
+        import json
+
+        payload = json.dumps(continuum_to_dict(continuum), allow_nan=False)
+        assert continuum_from_dict(json.loads(payload)).keys == continuum.keys
+
+    def test_version_and_malformed_rejected(self, continuum):
+        from repro.errors import SerializationError
+
+        with pytest.raises(SerializationError):
+            continuum_from_dict({"format_version": 99})
+        bad = continuum_to_dict(continuum)
+        del bad["resources"]
+        with pytest.raises(SerializationError):
+            continuum_from_dict(bad)

@@ -9,6 +9,7 @@ from repro.data.synthetic import (
     synthetic_corpus,
     synthetic_ecosystem,
     synthetic_ratings,
+    synthetic_workflows,
 )
 from repro.errors import ValidationError
 from repro.screening.agreement import fleiss_kappa
@@ -120,3 +121,58 @@ class TestSyntheticRatings:
             synthetic_ratings(10, 1)
         with pytest.raises(ValidationError):
             synthetic_ratings(10, 2, 5, agreement=1.5)
+
+
+class TestSyntheticWorkflows:
+    def test_fleet_shape_and_names_unique(self):
+        fleet = synthetic_workflows(6, seed=0)
+        assert len(fleet) == 6
+        names = [w.name for w in fleet]
+        assert len(set(names)) == 6
+
+    def test_mixes_pipelines_and_random_dags(self):
+        fleet = synthetic_workflows(6, pipeline_fraction=0.5, seed=1)
+        pipelines = [w for w in fleet if "pipeline" in w.name]
+        randoms = [w for w in fleet if "random" in w.name]
+        assert len(pipelines) == 3 and len(randoms) == 3
+        # Fork-join pipelines have full inter-layer wiring; random DAGs
+        # have sparse forward edges.
+        assert all(len(w.edges) > 0 for w in pipelines)
+
+    def test_sizes_within_range(self):
+        fleet = synthetic_workflows(
+            8, size_range=(10, 20), pipeline_fraction=0.0, seed=2
+        )
+        assert all(10 <= len(w) <= 20 for w in fleet)
+
+    def test_deterministic_under_seed(self):
+        from repro.continuum import workflow_to_dict
+
+        a = synthetic_workflows(5, seed=3)
+        b = synthetic_workflows(5, seed=3)
+        assert [workflow_to_dict(w) for w in a] == [
+            workflow_to_dict(w) for w in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = synthetic_workflows(5, pipeline_fraction=0.0, seed=1)
+        b = synthetic_workflows(5, pipeline_fraction=0.0, seed=2)
+        assert [len(w) for w in a] != [len(w) for w in b] or [
+            w.edges for w in a
+        ] != [w.edges for w in b]
+
+    def test_schedulable_on_default_continuum(self):
+        from repro.continuum import HeftScheduler, default_continuum
+
+        continuum = default_continuum(seed=0)
+        for workflow in synthetic_workflows(3, seed=4):
+            schedule = HeftScheduler().schedule(workflow, continuum)
+            assert schedule.makespan > 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            synthetic_workflows(0)
+        with pytest.raises(ValidationError):
+            synthetic_workflows(2, size_range=(5, 3))
+        with pytest.raises(ValidationError):
+            synthetic_workflows(2, pipeline_fraction=1.5)
