@@ -33,6 +33,14 @@ Subcommands
     ``--grid "scheduler=heft,energy;mtbf=50,200;jitter=0.1"`` sets the
     grid axes, ``--json PATH`` dumps the full aggregation, caching and
     ledger options mirror ``replicate``.
+``corpus ingest|query|dedup|stats``
+    Operate a persistent :class:`repro.corpus.store.CorpusStore`:
+    stream BibTeX exports into a SQLite-backed store
+    (``--lenient`` skips unusable entries and reports them,
+    ``--on-collision suffix|skip`` survives citation-key reuse),
+    evaluate boolean queries against its inverted term index, merge
+    near-duplicates with SQL-blocked detection, and print store
+    statistics.  ``--record`` appends the operation to the run ledger.
 ``runs list|show|compare|gc``
     Inspect and gate on the persistent run ledger (``repro.obs``).
     ``replicate --record`` appends a run; ``runs compare`` exits with a
@@ -197,6 +205,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="run-ledger directory (default: $REPRO_RUNS_DIR or "
              "~/.cache/repro/runs)",
     )
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="operate a persistent, indexed bibliographic corpus store",
+        description="Stream BibTeX into a SQLite-backed corpus store, "
+                    "query it through its inverted term index, merge "
+                    "near-duplicates, and inspect its size.",
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    def add_store(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--store", type=Path, required=True, metavar="PATH",
+            help="corpus store database file (created on first ingest)",
+        )
+
+    def add_corpus_record(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--record", action="store_true",
+            help="append this operation (key digests, corpus counters) "
+                 "to the run ledger (implies telemetry recording)",
+        )
+        command.add_argument(
+            "--runs-dir", type=Path, default=None, metavar="DIR",
+            help="run-ledger directory (default: $REPRO_RUNS_DIR or "
+                 "~/.cache/repro/runs)",
+        )
+
+    corpus_ingest = corpus_sub.add_parser(
+        "ingest", help="stream BibTeX files into the store"
+    )
+    add_store(corpus_ingest)
+    corpus_ingest.add_argument(
+        "paths", nargs="+", type=Path, metavar="BIBTEX",
+        help="BibTeX files to ingest, in order",
+    )
+    corpus_ingest.add_argument(
+        "--lenient", action="store_true",
+        help="skip unusable entries (missing title, malformed fields) "
+             "and report them instead of aborting the import",
+    )
+    corpus_ingest.add_argument(
+        "--on-collision", default="error",
+        choices=("error", "suffix", "skip"),
+        help="citation-key collision policy: error (default), suffix "
+             "(store under key-2, key-3, ...), or skip",
+    )
+    corpus_ingest.add_argument(
+        "--batch-size", type=int, default=1000, metavar="N",
+        help="records per committed transaction (default 1000)",
+    )
+    add_corpus_record(corpus_ingest)
+
+    corpus_query = corpus_sub.add_parser(
+        "query", help="evaluate a boolean query against the store index"
+    )
+    add_store(corpus_query)
+    corpus_query.add_argument(
+        "query", help="boolean query, e.g. '(workflow OR pipeline) AND hpc'"
+    )
+    corpus_query.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="matches to print (default 20; 0 = all)",
+    )
+    corpus_query.add_argument(
+        "--keys-only", action="store_true",
+        help="print one citation key per line (no titles, no summary)",
+    )
+
+    corpus_dedup = corpus_sub.add_parser(
+        "dedup", help="merge near-duplicate records in the store"
+    )
+    add_store(corpus_dedup)
+    corpus_dedup.add_argument(
+        "--threshold", type=float, default=0.75, metavar="F",
+        help="minimum title-shingle Jaccard similarity (default 0.75)",
+    )
+    add_corpus_record(corpus_dedup)
+
+    corpus_stats = corpus_sub.add_parser(
+        "stats", help="print store size and index statistics"
+    )
+    add_store(corpus_stats)
 
     runs = sub.add_parser(
         "runs",
@@ -595,6 +686,101 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.corpus.store import CorpusStore
+
+    telemetry = None
+    registry = None
+    if getattr(args, "record", False):
+        from repro.obs import RunRegistry
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        registry = RunRegistry(args.runs_dir, logger=telemetry.log)
+
+    def record_operation(store: CorpusStore, operation: str, summary) -> None:
+        if registry is None:
+            return
+        from repro.obs import build_corpus_record
+
+        record = registry.record(
+            build_corpus_record(
+                store, telemetry=telemetry, operation=operation,
+                summary=summary,
+            )
+        )
+        print(f"recorded run {record.run_id} to {registry.path}")
+
+    if args.corpus_command != "ingest" and not args.store.exists():
+        # Only ingest may create a store; a query/dedup/stats typo must
+        # not silently materialize an empty database and report it.
+        from repro.errors import CorpusStoreError
+
+        raise CorpusStoreError(f"no corpus store at '{args.store}'")
+
+    with CorpusStore(args.store, telemetry=telemetry) as store:
+        if args.corpus_command == "ingest":
+            for path in args.paths:
+                report = store.ingest_bibtex(
+                    path.read_text(encoding="utf-8"),
+                    strict=not args.lenient,
+                    on_collision=args.on_collision,
+                    batch_size=args.batch_size,
+                )
+                line = f"{path}: {report.ingested} ingested"
+                if report.renamed:
+                    line += f", {report.renamed} renamed"
+                if report.skipped:
+                    line += f", {report.skipped} skipped"
+                if report.rejected:
+                    line += f", {len(report.rejected)} rejected"
+                print(line)
+                for entry in report.rejected:
+                    print(f"  rejected {entry.key or '(no key)'}: "
+                          f"{entry.reason}")
+                record_operation(store, "ingest", report.to_dict())
+            print(f"store: {len(store)} records at {args.store}")
+            return 0
+
+        if args.corpus_command == "query":
+            hits = store.search(args.query)
+            shown = hits if args.limit == 0 else hits[: args.limit]
+            if args.keys_only:
+                for pub in shown:
+                    print(pub.key)
+                return 0
+            for pub in shown:
+                year = pub.year if pub.year is not None else "????"
+                print(f"{pub.key:<24} {year}  {pub.title}")
+            suffix = "" if len(shown) == len(hits) else \
+                f" (showing {len(shown)})"
+            print(f"{len(hits)} match(es) in {len(store)} records{suffix}")
+            return 0
+
+        if args.corpus_command == "dedup":
+            before = len(store)
+            summary = store.deduplicate(threshold=args.threshold)
+            print(
+                f"{summary.clusters} cluster(s) merged, "
+                f"{summary.dropped} record(s) dropped "
+                f"({summary.pairs_scored} candidate pairs scored): "
+                f"{before} -> {len(store)} records"
+            )
+            record_operation(store, "dedup", summary.to_dict())
+            return 0
+
+        assert args.corpus_command == "stats"
+        stats = store.stats()
+        print(f"records   {stats['records']}")
+        print(f"terms     {stats['terms']}")
+        print(f"postings  {stats['postings']}")
+        if stats["year_range"] is not None:
+            first, last = stats["year_range"]
+            print(f"years     {first}-{last}")
+        print(f"path      {stats['path']}")
+        return 0
+
+
 def _cmd_runs(args: argparse.Namespace) -> int:
     import json
 
@@ -728,6 +914,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "export": _cmd_export,
     "sweep": _cmd_sweep,
+    "corpus": _cmd_corpus,
     "runs": _cmd_runs,
 }
 

@@ -1,10 +1,30 @@
-"""Bibliographic corpus substrate: records, BibTeX, venues, queries, dedup."""
+"""Bibliographic corpus substrate: records, BibTeX, venues, queries, dedup.
 
-from repro.corpus.bibtex import parse_bibtex, publications_from_bibtex, to_bibtex
-from repro.corpus.corpus import Corpus
-from repro.corpus.dedup import find_duplicates, merge_cluster
+Two containers serve the same corpus API: the in-memory
+:class:`~repro.corpus.corpus.Corpus` for study-scale record sets and the
+SQLite-backed :class:`~repro.corpus.store.CorpusStore` for corpora that
+must stream from disk (million-record multi-database merges).
+"""
+
+from repro.corpus.bibtex import (
+    RejectedEntry,
+    iter_publications_from_bibtex,
+    make_key_if_missing,
+    parse_bibtex,
+    publications_from_bibtex,
+    to_bibtex,
+)
+from repro.corpus.corpus import COLLISION_POLICIES, Corpus, resolve_collision
+from repro.corpus.dedup import (
+    find_duplicates,
+    merge_cluster,
+    pair_similarity,
+    title_shingles,
+    years_compatible,
+)
 from repro.corpus.publication import Publication, make_pub_key, normalize_title
 from repro.corpus.query import Query, parse_query
+from repro.corpus.store import CorpusStore, DedupSummary, IngestReport
 from repro.corpus.trends import (
     TrendFit,
     category_year_matrix,
@@ -15,22 +35,33 @@ from repro.corpus.trends import (
 from repro.corpus.venues import DEFAULT_ALIASES, VenueNormalizer
 
 __all__ = [
+    "COLLISION_POLICIES",
     "Corpus",
+    "CorpusStore",
     "DEFAULT_ALIASES",
+    "DedupSummary",
+    "IngestReport",
     "Publication",
     "Query",
+    "RejectedEntry",
     "TrendFit",
+    "VenueNormalizer",
     "category_year_matrix",
     "cumulative_series",
-    "fit_linear_trend",
-    "yearly_series",
-    "VenueNormalizer",
     "find_duplicates",
+    "fit_linear_trend",
+    "iter_publications_from_bibtex",
+    "make_key_if_missing",
     "make_pub_key",
     "merge_cluster",
     "normalize_title",
+    "pair_similarity",
     "parse_bibtex",
     "parse_query",
     "publications_from_bibtex",
+    "resolve_collision",
+    "title_shingles",
     "to_bibtex",
+    "years_compatible",
+    "yearly_series",
 ]

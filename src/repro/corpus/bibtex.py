@@ -15,12 +15,21 @@ numbers for error reporting (:class:`~repro.errors.BibTeXError`).
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
 
 from repro.corpus.publication import Publication, make_pub_key
-from repro.errors import BibTeXError
+from repro.errors import BibTeXError, ValidationError
 
-__all__ = ["parse_bibtex", "publications_from_bibtex", "to_bibtex"]
+__all__ = [
+    "RejectedEntry",
+    "iter_publications_from_bibtex",
+    "make_key_if_missing",
+    "parse_bibtex",
+    "publications_from_bibtex",
+    "to_bibtex",
+]
 
 _MONTHS = {
     "jan": "January", "feb": "February", "mar": "March", "apr": "April",
@@ -29,30 +38,54 @@ _MONTHS = {
 }
 
 
+#: Bulk-scan fast paths: an ASCII identifier run, a whitespace run, and
+#: the "plain" (non-structural) character runs inside braced/quoted
+#: values.  One regex match replaces a per-character Python loop, which
+#: is what makes million-record exports parse at disk speed.
+_NAME_CHUNK_RE = re.compile(r"[0-9A-Za-z\-_:./+']+")
+_WS_RE = re.compile(r"\s+")
+_BRACED_PLAIN_RE = re.compile(r"[^{}\\]+")
+_QUOTED_PLAIN_RE = re.compile(r'[^{}"\\]+')
+
+
 class _Scanner:
-    """Character scanner with line tracking."""
+    """Character scanner with regex bulk fast paths and line tracking."""
 
     def __init__(self, text: str) -> None:
         self.text = text
         self.pos = 0
-        self.line = 1
+
+    @property
+    def line(self) -> int:
+        """1-based line of the current position.
+
+        Computed on demand (errors are rare) so the hot scanning paths
+        never pay per-character line bookkeeping.
+        """
+        return self.text.count("\n", 0, self.pos) + 1
 
     def eof(self) -> bool:
         return self.pos >= len(self.text)
 
     def peek(self) -> str:
-        return self.text[self.pos] if not self.eof() else ""
+        return self.text[self.pos] if self.pos < len(self.text) else ""
 
     def advance(self) -> str:
         ch = self.text[self.pos]
         self.pos += 1
-        if ch == "\n":
-            self.line += 1
         return ch
 
     def skip_whitespace(self) -> None:
-        while not self.eof() and self.peek().isspace():
-            self.advance()
+        # Regex \s and str.isspace() disagree on a few exotic characters;
+        # the per-char fallback keeps the historical isspace semantics.
+        while True:
+            match = _WS_RE.match(self.text, self.pos)
+            if match:
+                self.pos = match.end()
+            if self.pos < len(self.text) and self.text[self.pos].isspace():
+                self.pos += 1
+                continue
+            break
 
     def expect(self, ch: str) -> None:
         self.skip_whitespace()
@@ -65,10 +98,16 @@ class _Scanner:
         """An identifier: entry type, citation key, field name, or macro."""
         self.skip_whitespace()
         start = self.pos
-        while not self.eof() and (
-            self.peek().isalnum() or self.peek() in "-_:./+'"
-        ):
-            self.advance()
+        # ASCII runs go through the regex; the isalnum fallback keeps
+        # accepting the non-ASCII alphanumerics the char loop accepted.
+        while True:
+            match = _NAME_CHUNK_RE.match(self.text, self.pos)
+            if match:
+                self.pos = match.end()
+            if self.pos < len(self.text) and self.text[self.pos].isalnum():
+                self.pos += 1
+                continue
+            break
         if start == self.pos:
             raise BibTeXError(
                 f"expected a name, found {self.peek()!r}", self.line
@@ -80,45 +119,65 @@ class _Scanner:
         self.expect("{")
         depth = 1
         out: list[str] = []
-        while depth:
-            if self.eof():
+        text = self.text
+        while True:
+            match = _BRACED_PLAIN_RE.match(text, self.pos)
+            if match:
+                out.append(match.group())
+                self.pos = match.end()
+            if self.pos >= len(text):
                 raise BibTeXError("unterminated brace group", self.line)
-            ch = self.advance()
-            if ch == "\\" and not self.eof():
+            ch = text[self.pos]
+            self.pos += 1
+            if ch == "\\":
                 out.append(ch)
-                out.append(self.advance())
+                if self.pos < len(text):
+                    out.append(text[self.pos])
+                    self.pos += 1
                 continue
             if ch == "{":
                 depth += 1
-            elif ch == "}":
+                out.append(ch)
+            else:  # "}"
                 depth -= 1
                 if depth == 0:
-                    break
-            out.append(ch)
-        return "".join(out)
+                    return "".join(out)
+                out.append(ch)
 
     def read_quoted(self) -> str:
         self.expect('"')
         out: list[str] = []
         depth = 0
+        text = self.text
         while True:
-            if self.eof():
+            match = _QUOTED_PLAIN_RE.match(text, self.pos)
+            if match:
+                out.append(match.group())
+                self.pos = match.end()
+            if self.pos >= len(text):
                 raise BibTeXError("unterminated quoted value", self.line)
-            ch = self.advance()
-            if ch == "\\" and not self.eof():
+            ch = text[self.pos]
+            self.pos += 1
+            if ch == "\\":
                 out.append(ch)
-                out.append(self.advance())
+                if self.pos < len(text):
+                    out.append(text[self.pos])
+                    self.pos += 1
                 continue
             if ch == "{":
                 depth += 1
+                out.append(ch)
             elif ch == "}":
                 if depth == 0:
-                    raise BibTeXError("unbalanced brace in quoted value", self.line)
+                    raise BibTeXError(
+                        "unbalanced brace in quoted value", self.line
+                    )
                 depth -= 1
-            elif ch == '"' and depth == 0:
-                break
-            out.append(ch)
-        return "".join(out)
+                out.append(ch)
+            else:  # '"'
+                if depth == 0:
+                    return "".join(out)
+                out.append(ch)
 
 
 def _clean_value(raw: str) -> str:
@@ -164,27 +223,32 @@ def _read_value(scanner: _Scanner, macros: dict[str, str]) -> str:
         return "".join(parts)
 
 
-def parse_bibtex(text: str) -> list[dict[str, str]]:
-    """Parse BibTeX source into entry dicts.
+def parse_bibtex(text: str) -> Iterator[dict[str, str]]:
+    """Parse BibTeX source, yielding entry dicts one at a time.
 
     Each dict carries the special keys ``"__type__"`` (lowercase entry type)
-    and ``"__key__"`` (citation key), plus lowercase field names mapping to
+    and ``"__key__"`` (citation key, possibly empty — see
+    :func:`make_key_if_missing`), plus lowercase field names mapping to
     cleaned values.
+
+    This is a generator: a million-record export streams through in
+    O(one entry) memory, so ingestion cost is bounded by the consumer's
+    batch size, not the corpus size.  Wrap in ``list()`` to materialize.
 
     Raises
     ------
     BibTeXError
-        On malformed input, with the offending line number.
+        On malformed input, with the offending line number (raised lazily,
+        at the point the generator reaches the bad entry).
     """
     scanner = _Scanner(text)
     macros: dict[str, str] = {}
-    entries: list[dict[str, str]] = []
     while True:
         # Skip free text until the next '@'.
-        while not scanner.eof() and scanner.peek() != "@":
-            scanner.advance()
+        at = text.find("@", scanner.pos)
+        scanner.pos = at if at != -1 else len(text)
         if scanner.eof():
-            return entries
+            return
         scanner.advance()  # consume '@'
         entry_type = scanner.read_name().lower()
         if entry_type == "comment":
@@ -205,7 +269,11 @@ def parse_bibtex(text: str) -> list[dict[str, str]]:
             scanner.expect("}")
             continue
 
-        key = scanner.read_name()
+        # Tolerate a blank citation key (`@article{, title = ...}`) —
+        # real multi-database exports produce them; the consumer derives
+        # one via make_key_if_missing.
+        scanner.skip_whitespace()
+        key = "" if scanner.peek() in (",", "}") else scanner.read_name()
         entry: dict[str, str] = {"__type__": entry_type, "__key__": key}
         while True:
             scanner.skip_whitespace()
@@ -220,7 +288,7 @@ def parse_bibtex(text: str) -> list[dict[str, str]]:
             field = scanner.read_name().lower()
             scanner.expect("=")
             entry[field] = _clean_value(_read_value(scanner, macros))
-        entries.append(entry)
+        yield entry
 
 
 def _split_authors(field: str) -> tuple[str, ...]:
@@ -231,49 +299,117 @@ def _split_authors(field: str) -> tuple[str, ...]:
     )
 
 
-def publications_from_bibtex(text: str) -> list[Publication]:
-    """Parse BibTeX and build :class:`Publication` records.
+def _ascii_year(raw: str) -> int | None:
+    """Parse a year field, accepting ASCII digits only.
 
-    Entries without a parsable year keep ``year=None``; entries without a
-    title are rejected (a mapping study cannot screen a titleless record).
+    ``str.isdigit`` is True for unicode digits like ``"²⁰²⁰"`` that
+    ``int()`` then refuses — one exotic record must not abort a
+    million-record ingestion, so the guard requires ASCII digits.
     """
-    publications = []
+    text = raw.strip()
+    if text.isascii() and text.isdigit():
+        return int(text)
+    return None
+
+
+@dataclass(frozen=True, slots=True)
+class RejectedEntry:
+    """One BibTeX entry skipped by non-strict ingestion.
+
+    Attributes
+    ----------
+    key:
+        The entry's citation key (possibly empty).
+    reason:
+        Why the record was rejected (no title, implausible year, ...).
+    """
+
+    key: str
+    reason: str
+
+
+def _publication_from_entry(entry: dict[str, str]) -> Publication:
+    """Build one :class:`Publication` from a parsed entry dict."""
+    title = entry.get("title", "")
+    if not title:
+        raise BibTeXError(f"entry {entry['__key__']!r} has no title")
+    venue = (
+        entry.get("journal")
+        or entry.get("booktitle")
+        or entry.get("howpublished")
+        or entry.get("publisher")
+        or ""
+    )
+    keywords = tuple(
+        k.strip()
+        for k in entry.get("keywords", "").replace(";", ",").split(",")
+        if k.strip()
+    )
+    return Publication(
+        key=make_key_if_missing(entry),
+        title=title,
+        authors=_split_authors(entry.get("author", "")),
+        year=_ascii_year(entry.get("year", "")),
+        venue=venue,
+        abstract=entry.get("abstract", ""),
+        doi=entry.get("doi", ""),
+        url=entry.get("url", ""),
+        keywords=keywords,
+        kind=entry["__type__"],
+        language=entry.get("language") or None,
+    )
+
+
+def iter_publications_from_bibtex(
+    text: str,
+    *,
+    strict: bool = True,
+    rejected: list[RejectedEntry] | None = None,
+) -> Iterator[Publication]:
+    """Parse BibTeX and stream :class:`Publication` records.
+
+    Entries without a parsable (ASCII-digit) year keep ``year=None``;
+    entries with a blank citation key get one derived via
+    :func:`make_key_if_missing`.
+
+    Parameters
+    ----------
+    strict:
+        With the default True, an unusable entry (no title, implausible
+        year) raises immediately.  With ``strict=False`` the bad entry is
+        skipped and ingestion continues — one broken record must not kill
+        a million-record import.
+    rejected:
+        With ``strict=False``, an optional list that collects one
+        :class:`RejectedEntry` (key + reason) per skipped entry, so the
+        caller can report what was dropped.
+    """
     for entry in parse_bibtex(text):
-        title = entry.get("title", "")
-        if not title:
-            raise BibTeXError(f"entry {entry['__key__']!r} has no title")
-        year: int | None = None
-        raw_year = entry.get("year", "")
-        if raw_year.strip().isdigit():
-            year = int(raw_year)
-        venue = (
-            entry.get("journal")
-            or entry.get("booktitle")
-            or entry.get("howpublished")
-            or entry.get("publisher")
-            or ""
-        )
-        keywords = tuple(
-            k.strip()
-            for k in entry.get("keywords", "").replace(";", ",").split(",")
-            if k.strip()
-        )
-        publications.append(
-            Publication(
-                key=entry["__key__"],
-                title=title,
-                authors=_split_authors(entry.get("author", "")),
-                year=year,
-                venue=venue,
-                abstract=entry.get("abstract", ""),
-                doi=entry.get("doi", ""),
-                url=entry.get("url", ""),
-                keywords=keywords,
-                kind=entry["__type__"],
-                language=entry.get("language") or None,
-            )
-        )
-    return publications
+        try:
+            yield _publication_from_entry(entry)
+        except (BibTeXError, ValidationError) as exc:
+            if strict:
+                raise
+            if rejected is not None:
+                rejected.append(
+                    RejectedEntry(key=entry.get("__key__", ""), reason=str(exc))
+                )
+
+
+def publications_from_bibtex(
+    text: str,
+    *,
+    strict: bool = True,
+    rejected: list[RejectedEntry] | None = None,
+) -> list[Publication]:
+    """Parse BibTeX and build :class:`Publication` records (as a list).
+
+    A materializing wrapper over :func:`iter_publications_from_bibtex`;
+    see there for the ``strict``/``rejected`` skip-and-collect contract.
+    """
+    return list(
+        iter_publications_from_bibtex(text, strict=strict, rejected=rejected)
+    )
 
 
 def to_bibtex(publications: Iterable[Publication]) -> str:
@@ -306,10 +442,18 @@ def to_bibtex(publications: Iterable[Publication]) -> str:
 
 
 def make_key_if_missing(entry: dict[str, str]) -> str:
-    """Citation key for an entry, deriving one when absent/blank."""
+    """Citation key for an entry, deriving one when absent/blank.
+
+    The derived key is ``<surname><year><first-title-word>`` via
+    :func:`~repro.corpus.publication.make_pub_key`; the year parse uses
+    the same ASCII-digit guard as ingestion (a unicode-digit year falls
+    back to the ``0000`` placeholder instead of crashing).
+    """
     key = entry.get("__key__", "").strip()
     if key:
         return key
     authors = _split_authors(entry.get("author", ""))
-    year = int(entry["year"]) if entry.get("year", "").isdigit() else None
-    return make_pub_key(authors[0] if authors else "anon", year, entry.get("title", ""))
+    year = _ascii_year(entry.get("year", ""))
+    return make_pub_key(
+        authors[0] if authors else "anon", year, entry.get("title", "")
+    )

@@ -26,7 +26,22 @@ from collections.abc import Sequence
 
 from repro.corpus.publication import Publication
 from repro.errors import CorpusError
-__all__ = ["DuplicateCluster", "find_duplicates", "merge_cluster"]
+
+__all__ = [
+    "BLOCKING_KEYS",
+    "DuplicateCluster",
+    "find_duplicates",
+    "merge_cluster",
+    "pair_similarity",
+    "title_shingles",
+    "validate_dedup_params",
+    "years_compatible",
+]
+
+#: Rare shingles indexed per record by the blocking stage.  Shared with
+#: the SQL-blocked path in :mod:`repro.corpus.store` so both produce the
+#: same candidate pairs.
+BLOCKING_KEYS = 10
 
 
 class _UnionFind:
@@ -53,7 +68,7 @@ class _UnionFind:
             self.rank[ra] += 1
 
 
-def _shingles(normalized_title: str, k: int = 4) -> frozenset[str]:
+def title_shingles(normalized_title: str, k: int = 4) -> frozenset[str]:
     """Character *k*-gram shingles of a normalized title."""
     text = normalized_title.replace(" ", "_")
     if len(text) <= k:
@@ -61,10 +76,46 @@ def _shingles(normalized_title: str, k: int = 4) -> frozenset[str]:
     return frozenset(text[i : i + k] for i in range(len(text) - k + 1))
 
 
-def _years_compatible(a: int | None, b: int | None, slack: int = 1) -> bool:
+def years_compatible(a: int | None, b: int | None, slack: int = 1) -> bool:
+    """Whether two publication years may belong to the same work.
+
+    Missing years are compatible with everything; otherwise the absolute
+    difference must be within *slack* (preprint vs camera-ready).
+    """
     if a is None or b is None:
         return True
     return abs(a - b) <= slack
+
+
+def pair_similarity(
+    sa: frozenset[str], sb: frozenset[str]
+) -> tuple[float, float]:
+    """(Jaccard, containment) similarity of two shingle sets.
+
+    Containment is ``|A∩B| / min(|A|, |B|)`` — the subtitle-truncation
+    detector.  Either set empty yields ``(0.0, 0.0)``.
+    """
+    if not sa or not sb:
+        return 0.0, 0.0
+    intersection = len(sa & sb)
+    return (
+        intersection / len(sa | sb),
+        intersection / min(len(sa), len(sb)),
+    )
+
+
+def validate_dedup_params(
+    threshold: float, containment_threshold: float, shingle_size: int
+) -> None:
+    """Validate shared dedup knobs (raises :class:`CorpusError`)."""
+    if not 0 < threshold <= 1:
+        raise CorpusError(f"threshold must be in (0, 1], got {threshold}")
+    if not 0 < containment_threshold <= 1:
+        raise CorpusError(
+            f"containment_threshold must be in (0, 1], got {containment_threshold}"
+        )
+    if shingle_size < 2:
+        raise CorpusError(f"shingle_size must be >= 2, got {shingle_size}")
 
 
 DuplicateCluster = tuple[Publication, ...]
@@ -102,20 +153,14 @@ def find_duplicates(
         One tuple per duplicate cluster (size >= 2), records in input
         order; singletons are omitted.
     """
-    if not 0 < threshold <= 1:
-        raise CorpusError(f"threshold must be in (0, 1], got {threshold}")
-    if not 0 < containment_threshold <= 1:
-        raise CorpusError(
-            f"containment_threshold must be in (0, 1], got {containment_threshold}"
-        )
-    if shingle_size < 2:
-        raise CorpusError(f"shingle_size must be >= 2, got {shingle_size}")
+    validate_dedup_params(threshold, containment_threshold, shingle_size)
     n = len(publications)
     if n < 2:
         return []
 
     shingle_sets = [
-        _shingles(pub.normalized_title, shingle_size) for pub in publications
+        title_shingles(pub.normalized_title, shingle_size)
+        for pub in publications
     ]
 
     # Blocking: index each record under its rarest shingles, then probe the
@@ -127,9 +172,8 @@ def find_duplicates(
         for shingle in shingles:
             frequency[shingle] = frequency.get(shingle, 0) + 1
     blocks: dict[str, list[int]] = {}
-    blocking_keys = 10  # rare shingles indexed per record
     for i, shingles in enumerate(shingle_sets):
-        rare = sorted(shingles, key=lambda s: (frequency[s], s))[:blocking_keys]
+        rare = sorted(shingles, key=lambda s: (frequency[s], s))[:BLOCKING_KEYS]
         for shingle in rare:
             blocks.setdefault(shingle, []).append(i)
 
@@ -144,16 +188,13 @@ def find_duplicates(
                 if pair in seen_pairs:
                     continue
                 seen_pairs.add(pair)
-                if not _years_compatible(
+                if not years_compatible(
                     publications[i].year, publications[j].year, year_slack
                 ):
                     continue
-                sa, sb = shingle_sets[i], shingle_sets[j]
-                if not sa or not sb:
-                    continue
-                intersection = len(sa & sb)
-                jac = intersection / len(sa | sb)
-                containment = intersection / min(len(sa), len(sb))
+                jac, containment = pair_similarity(
+                    shingle_sets[i], shingle_sets[j]
+                )
                 if jac >= threshold or containment >= containment_threshold:
                     union_find.union(i, j)
 

@@ -2,8 +2,8 @@
 
 Database searches are the entry point of an SMS ("(workflow OR pipeline)
 AND (HPC OR cloud) AND NOT survey").  This module implements a small query
-language with a recursive-descent parser and an evaluator over
-:class:`~repro.corpus.publication.Publication` text:
+language with a recursive-descent parser, an explicit AST, and an
+evaluator over :class:`~repro.corpus.publication.Publication` text:
 
 Grammar::
 
@@ -15,16 +15,34 @@ Grammar::
 
 Terms match whole words case-insensitively; quoted phrases match
 contiguously; ``term*`` performs prefix matching.
+
+The parser builds an AST (:class:`TermNode`, :class:`PhraseNode`,
+:class:`AndNode`, :class:`OrNode`, :class:`NotNode`) that a
+:class:`Query` compiles into matcher closures.  Keeping the AST around —
+rather than compiling straight to closures — is what lets the persistent
+store (:mod:`repro.corpus.store`) plan candidate sets from its inverted
+term index instead of scanning every record.
 """
 
 from __future__ import annotations
 
 import re
 from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from typing import Union
 
 from repro.errors import QueryError
 
-__all__ = ["Query", "parse_query"]
+__all__ = [
+    "Query",
+    "parse_query",
+    "QueryNode",
+    "TermNode",
+    "PhraseNode",
+    "AndNode",
+    "OrNode",
+    "NotNode",
+]
 
 _TOKEN_RE = re.compile(
     r"""\s*(?:
@@ -58,6 +76,59 @@ def _tokenize_query(text: str) -> list[str]:
     return tokens
 
 
+# -- AST ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TermNode:
+    """A single search term, optionally a ``term*`` prefix wildcard.
+
+    Attributes
+    ----------
+    term:
+        The lowercased term text (without the trailing ``*``).
+    prefix:
+        True for ``term*`` prefix matching.
+    """
+
+    term: str
+    prefix: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class PhraseNode:
+    """A quoted phrase that must match contiguously (lowercased)."""
+
+    phrase: str
+
+
+@dataclass(frozen=True, slots=True)
+class NotNode:
+    """Negation of one operand."""
+
+    operand: "QueryNode"
+
+
+@dataclass(frozen=True, slots=True)
+class AndNode:
+    """Conjunction of two or more operands."""
+
+    operands: tuple["QueryNode", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class OrNode:
+    """Disjunction of two or more operands."""
+
+    operands: tuple["QueryNode", ...]
+
+
+QueryNode = Union[TermNode, PhraseNode, NotNode, AndNode, OrNode]
+
+
+# -- parsing -----------------------------------------------------------------
+
+
 class _Parser:
     def __init__(self, tokens: list[str]) -> None:
         self.tokens = tokens
@@ -71,22 +142,22 @@ class _Parser:
         self.pos += 1
         return token
 
-    def parse(self) -> Matcher:
-        matcher = self.parse_or()
+    def parse(self) -> QueryNode:
+        node = self.parse_or()
         if self.peek() is not None:
             raise QueryError(f"unexpected token {self.peek()!r}")
-        return matcher
+        return node
 
-    def parse_or(self) -> Matcher:
+    def parse_or(self) -> QueryNode:
         parts = [self.parse_and()]
         while self.peek() is not None and self.peek().upper() == "OR":
             self.advance()
             parts.append(self.parse_and())
         if len(parts) == 1:
             return parts[0]
-        return lambda text: any(part(text) for part in parts)
+        return OrNode(tuple(parts))
 
-    def parse_and(self) -> Matcher:
+    def parse_and(self) -> QueryNode:
         parts = [self.parse_not()]
         while True:
             token = self.peek()
@@ -97,17 +168,16 @@ class _Parser:
             parts.append(self.parse_not())
         if len(parts) == 1:
             return parts[0]
-        return lambda text: all(part(text) for part in parts)
+        return AndNode(tuple(parts))
 
-    def parse_not(self) -> Matcher:
+    def parse_not(self) -> QueryNode:
         token = self.peek()
         if token is not None and token.upper() == "NOT":
             self.advance()
-            inner = self.parse_not()
-            return lambda text: not inner(text)
+            return NotNode(self.parse_not())
         return self.parse_atom()
 
-    def parse_atom(self) -> Matcher:
+    def parse_atom(self) -> QueryNode:
         token = self.peek()
         if token is None:
             raise QueryError("unexpected end of query")
@@ -125,10 +195,7 @@ class _Parser:
             phrase = token[1:-1].strip().lower()
             if not phrase:
                 raise QueryError("empty phrase")
-            pattern = re.compile(
-                r"\b" + re.escape(phrase).replace(r"\ ", r"\s+") + r"\b"
-            )
-            return lambda text: bool(pattern.search(text))
+            return PhraseNode(phrase)
         if token.upper() in ("AND", "OR", "NOT"):
             raise QueryError(f"operator {token!r} used as a term")
         term = token.lower()
@@ -136,10 +203,36 @@ class _Parser:
             prefix = term[:-1]
             if not prefix:
                 raise QueryError("bare '*' is not a valid term")
-            pattern = re.compile(r"\b" + re.escape(prefix) + r"\w*")
-        else:
-            pattern = re.compile(r"\b" + re.escape(term) + r"\b")
+            return TermNode(prefix, prefix=True)
+        return TermNode(term)
+
+
+# -- compilation -------------------------------------------------------------
+
+
+def _compile(node: QueryNode) -> Matcher:
+    """Compile an AST node into a matcher closure over lowercased text."""
+    if isinstance(node, PhraseNode):
+        pattern = re.compile(
+            r"\b" + re.escape(node.phrase).replace(r"\ ", r"\s+") + r"\b"
+        )
         return lambda text: bool(pattern.search(text))
+    if isinstance(node, TermNode):
+        if node.prefix:
+            pattern = re.compile(r"\b" + re.escape(node.term) + r"\w*")
+        else:
+            pattern = re.compile(r"\b" + re.escape(node.term) + r"\b")
+        return lambda text: bool(pattern.search(text))
+    if isinstance(node, NotNode):
+        inner = _compile(node.operand)
+        return lambda text: not inner(text)
+    if isinstance(node, AndNode):
+        parts = [_compile(part) for part in node.operands]
+        return lambda text: all(part(text) for part in parts)
+    if isinstance(node, OrNode):
+        parts = [_compile(part) for part in node.operands]
+        return lambda text: any(part(text) for part in parts)
+    raise QueryError(f"unknown query node {node!r}")  # pragma: no cover
 
 
 class Query:
@@ -150,6 +243,15 @@ class Query:
     True
     >>> q.matches_text("A survey of workflow systems")
     False
+
+    Attributes
+    ----------
+    source:
+        The original query text.
+    ast:
+        The parsed :data:`QueryNode` tree — index-aware evaluators
+        (:meth:`repro.corpus.store.CorpusStore.search`) walk it to
+        resolve candidate sets without a full scan.
     """
 
     def __init__(self, source: str) -> None:
@@ -159,7 +261,8 @@ class Query:
         tokens = _tokenize_query(source)
         if not tokens:
             raise QueryError("query has no terms")
-        self._matcher = _Parser(tokens).parse()
+        self.ast: QueryNode = _Parser(tokens).parse()
+        self._matcher = _compile(self.ast)
 
     def matches_text(self, text: str) -> bool:
         """Whether the query matches a raw text."""

@@ -19,6 +19,7 @@ __all__ = [
     "ClassificationError",
     "CorpusError",
     "BibTeXError",
+    "CorpusStoreError",
     "QueryError",
     "ScreeningError",
     "AgreementError",
@@ -100,6 +101,10 @@ class BibTeXError(CorpusError):
     def __init__(self, message: str, line: int | None = None) -> None:
         super().__init__(message if line is None else f"line {line}: {message}")
         self.line = line
+
+
+class CorpusStoreError(CorpusError):
+    """A persistent corpus-store misuse (closed handle, schema mismatch)."""
 
 
 class QueryError(CorpusError):

@@ -46,6 +46,7 @@ from repro.obs.record import (
     ArtifactDigest,
     RunRecord,
     StageStats,
+    build_corpus_record,
     build_simulation_record,
     build_study_record,
     build_sweep_record,
@@ -66,6 +67,7 @@ __all__ = [
     "RunRecord",
     "RunRegistry",
     "StageStats",
+    "build_corpus_record",
     "build_simulation_record",
     "build_study_record",
     "build_sweep_record",

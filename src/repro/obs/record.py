@@ -41,6 +41,7 @@ __all__ = [
     "build_study_record",
     "build_simulation_record",
     "build_sweep_record",
+    "build_corpus_record",
 ]
 
 #: Bump when the serialized record layout changes incompatibly.
@@ -63,6 +64,15 @@ _LEDGER_METRICS = (
     "mc.replications",
     "mc.cells_computed",
     "mc.cells_cached",
+    "corpus.records_ingested",
+    "corpus.records_rejected",
+    "corpus.batches_committed",
+    "corpus.query_candidates",
+    "corpus.query_hits",
+    "corpus.query_full_scans",
+    "corpus.dedup_pairs_scored",
+    "corpus.dedup_clusters",
+    "corpus.dedup_dropped",
 )
 
 
@@ -439,6 +449,48 @@ def build_simulation_record(
         metrics=metrics,
         artifacts={"placements": digest_items(placements)},
         meta={str(k): str(v) for k, v in (meta or {}).items()},
+    )
+
+
+def build_corpus_record(
+    store: Any,
+    *,
+    telemetry: Any = None,
+    operation: str = "ingest",
+    summary: Mapping[str, Any] | None = None,
+    kind: str = "corpus-store",
+    meta: Mapping[str, Any] | None = None,
+) -> RunRecord:
+    """A :class:`RunRecord` for one corpus-store operation.
+
+    The digested artifact is the store's ordered key sequence — cheap at
+    any corpus size, yet it pins both membership and insertion order, so
+    the watchdog can tell an ingest that produced different records (or
+    a dedup that merged differently) from an identical re-run.  Counters
+    (``corpus.records_ingested``, ``corpus.dedup_pairs_scored``, ...)
+    ride in from telemetry; *summary* values (an
+    :class:`~repro.corpus.store.IngestReport` or
+    :class:`~repro.corpus.store.DedupSummary` ``to_dict()``) are folded
+    into the metrics so a record is complete even for untraced stores.
+    """
+    keys = list(store.keys)
+    metrics = metrics_of_interest(telemetry)
+    metrics["corpus.records"] = float(len(keys))
+    for name, value in (summary or {}).items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            metrics[f"corpus.{operation}.{name}"] = float(value)
+    return RunRecord(
+        run_id=new_run_id(keys),
+        kind=kind,
+        created_utc=_utc_now(),
+        dataset_version="",
+        config_digest="",
+        wall_s=_run_wall_seconds(telemetry),
+        stages=stage_stats_from_telemetry(telemetry),
+        metrics=metrics,
+        artifacts={"corpus_keys": digest_items(keys)},
+        meta={"operation": operation}
+        | {str(k): str(v) for k, v in (meta or {}).items()},
     )
 
 

@@ -2,31 +2,48 @@
 
 import pytest
 
-from repro.corpus.bibtex import parse_bibtex, publications_from_bibtex, to_bibtex
+from repro.corpus.bibtex import (
+    RejectedEntry,
+    iter_publications_from_bibtex,
+    make_key_if_missing,
+    parse_bibtex,
+    publications_from_bibtex,
+    to_bibtex,
+)
 from repro.corpus.publication import Publication
 from repro.errors import BibTeXError
 
 
 class TestParser:
     def test_basic_entry(self):
-        entries = parse_bibtex(
+        entries = list(parse_bibtex(
             '@article{key1, title = {A Title}, year = {2021}}'
-        )
+        ))
         assert entries == [
             {"__type__": "article", "__key__": "key1",
              "title": "A Title", "year": "2021"}
         ]
 
+    def test_streaming_generator(self):
+        # The parser is lazy: one entry is available before the rest of
+        # the input is consumed, which is what bounds ingestion memory.
+        import types
+
+        stream = parse_bibtex("@misc{a, title={A}}\n@misc{b, title={B}}")
+        assert isinstance(stream, types.GeneratorType)
+        assert next(stream)["__key__"] == "a"
+        assert next(stream)["__key__"] == "b"
+
     def test_quoted_values(self):
-        entries = parse_bibtex('@misc{k, title = "Quoted Title"}')
+        entries = list(parse_bibtex('@misc{k, title = "Quoted Title"}'))
         assert entries[0]["title"] == "Quoted Title"
 
     def test_nested_braces_protected(self):
-        entries = parse_bibtex('@misc{k, title = {{HPC} and {AI} tools}}')
+        entries = list(parse_bibtex('@misc{k, title = {{HPC} and {AI} tools}}'))
         assert entries[0]["title"] == "HPC and AI tools"
 
     def test_bare_number(self):
-        entries = parse_bibtex("@misc{k, title={X}, year = 2020}")
+        entries = list(parse_bibtex("@misc{k, title={X}, year = 2020}"))
         assert entries[0]["year"] == "2020"
 
     def test_string_macro_and_concat(self):
@@ -34,11 +51,11 @@ class TestParser:
         @string{tpds = "IEEE TPDS"}
         @article{k, title = {T}, journal = tpds # " Journal"}
         '''
-        entries = parse_bibtex(source)
+        entries = list(parse_bibtex(source))
         assert entries[0]["journal"] == "IEEE TPDS Journal"
 
     def test_month_macros(self):
-        entries = parse_bibtex("@misc{k, title={X}, month = jan}")
+        entries = list(parse_bibtex("@misc{k, title={X}, month = jan}"))
         assert entries[0]["month"] == "January"
 
     def test_comment_and_preamble_skipped(self):
@@ -48,36 +65,40 @@ class TestParser:
         free text between entries is ignored
         @misc{k, title = {Kept}}
         '''
-        entries = parse_bibtex(source)
+        entries = list(parse_bibtex(source))
         assert len(entries) == 1
 
     def test_trailing_comma_ok(self):
-        entries = parse_bibtex("@misc{k, title = {T},}")
+        entries = list(parse_bibtex("@misc{k, title = {T},}"))
         assert entries[0]["title"] == "T"
 
     def test_field_names_lowercased(self):
-        entries = parse_bibtex("@misc{k, TITLE = {T}}")
+        entries = list(parse_bibtex("@misc{k, TITLE = {T}}"))
         assert entries[0]["title"] == "T"
 
     def test_tex_escapes_cleaned(self):
-        entries = parse_bibtex(r"@misc{k, title = {A \& B 100\%}}")
+        entries = list(parse_bibtex(r"@misc{k, title = {A \& B 100\%}}"))
         assert entries[0]["title"] == "A & B 100%"
 
     def test_empty_input(self):
-        assert parse_bibtex("") == []
+        assert list(parse_bibtex("")) == []
+
+    def test_blank_key_tolerated(self):
+        entries = list(parse_bibtex("@misc{, title = {No Key}}"))
+        assert entries[0]["__key__"] == ""
 
     def test_unterminated_entry_reports_line(self):
         with pytest.raises(BibTeXError) as info:
-            parse_bibtex("@misc{k,\n title = {T}")
+            list(parse_bibtex("@misc{k,\n title = {T}"))
         assert info.value.line is not None
 
     def test_undefined_macro(self):
         with pytest.raises(BibTeXError):
-            parse_bibtex("@misc{k, journal = unknownmacro}")
+            list(parse_bibtex("@misc{k, journal = unknownmacro}"))
 
     def test_unterminated_brace(self):
         with pytest.raises(BibTeXError):
-            parse_bibtex("@misc{k, title = {unclosed")
+            list(parse_bibtex("@misc{k, title = {unclosed"))
 
 
 class TestPublicationsFromBibtex:
@@ -108,6 +129,90 @@ class TestPublicationsFromBibtex:
             "@misc{k, title = {T}, year = {in press}}"
         )
         assert pubs[0].year is None
+
+    def test_unicode_digit_year_kept_none(self):
+        # "²⁰²⁰".isdigit() is True but int() raises — such a year must be
+        # treated as missing, not crash the whole import.
+        pubs = publications_from_bibtex(
+            "@misc{k, title = {T}, year = {²⁰²⁰}}"
+        )
+        assert pubs[0].year is None
+
+    def test_fullwidth_digit_year_kept_none(self):
+        pubs = publications_from_bibtex(
+            "@misc{k, title = {T}, year = {２０２０}}"
+        )
+        assert pubs[0].year is None
+
+    def test_blank_key_derived(self):
+        pubs = publications_from_bibtex(
+            "@article{, title = {Workflow Study}, "
+            "author = {Rossi, Anna}, year = {2021}}"
+        )
+        assert pubs[0].key == "rossi2021workflow"
+
+    def test_lenient_mode_collects_rejects(self):
+        rejected = []
+        pubs = publications_from_bibtex(
+            """
+            @misc{good, title = {Kept}}
+            @misc{notitle, year = {2020}}
+            @misc{second, title = {Also Kept}}
+            """,
+            strict=False,
+            rejected=rejected,
+        )
+        assert [p.key for p in pubs] == ["good", "second"]
+        assert len(rejected) == 1
+        assert isinstance(rejected[0], RejectedEntry)
+        assert rejected[0].key == "notitle"
+        assert "title" in rejected[0].reason
+
+    def test_lenient_mode_rejects_out_of_range_numeric_year(self):
+        # A numeric-but-invalid year fails Publication validation; under
+        # strict=False that is a reject, not an abort.
+        rejected = []
+        pubs = publications_from_bibtex(
+            "@misc{k, title = {T}, year = {123}}",
+            strict=False,
+            rejected=rejected,
+        )
+        assert pubs == []
+        assert rejected[0].key == "k"
+
+    def test_strict_default_raises(self):
+        with pytest.raises(BibTeXError):
+            publications_from_bibtex(
+                "@misc{good, title = {Kept}}\n@misc{notitle, year = {2020}}"
+            )
+
+    def test_iter_variant_streams(self):
+        stream = iter_publications_from_bibtex(
+            "@misc{a, title={A}}\n@misc{b, title={B}}"
+        )
+        assert next(stream).key == "a"
+        assert next(stream).key == "b"
+
+
+class TestMakeKeyIfMissing:
+    def test_existing_key_kept(self):
+        assert make_key_if_missing(
+            {"__key__": "keep", "title": "T"}
+        ) == "keep"
+
+    def test_derived_from_author_year_title(self):
+        entry = {
+            "__key__": "",
+            "author": "Colonnelli, Iacopo and Aldinucci, Marco",
+            "year": "2021",
+            "title": "StreamFlow: cross-breeding",
+        }
+        assert make_key_if_missing(entry) == "colonnelli2021streamflow"
+
+    def test_unicode_digit_year_ignored_in_key(self):
+        entry = {"__key__": "", "author": "Rossi, A.", "year": "²⁰²⁰",
+                 "title": "Workflows"}
+        assert make_key_if_missing(entry) == "rossi0000workflows"
 
 
 class TestRoundTrip:

@@ -373,3 +373,107 @@ class TestRuns:
         with pytest.raises(SystemExit) as info:
             main(["runs"])
         assert info.value.code == 2
+
+
+class TestCorpus:
+    """The persistent corpus-store subcommands."""
+
+    BIB = """
+    @article{k1, title={Workflow engines in the cloud},
+             author={Rossi, Mario}, year={2020}, journal={FGCS}}
+    @article{k2, title={Pipeline scheduling survey},
+             author={Bianchi, Anna}, year={2021}, journal={TPDS}}
+    @article{k1, title={Workflow engines in the cloud!},
+             author={Rossi, Mario}, year={2020}, journal={FGCS}}
+    @misc{notitle, year={2020}}
+    """
+
+    @classmethod
+    def _write_bib(cls, tmp_path):
+        path = tmp_path / "export.bib"
+        path.write_text(cls.BIB, encoding="utf-8")
+        return path
+
+    def test_ingest_query_dedup_stats(self, tmp_path, capsys):
+        bib = self._write_bib(tmp_path)
+        store = tmp_path / "corpus.db"
+        assert main(
+            ["corpus", "ingest", str(bib), "--store", str(store),
+             "--lenient", "--on-collision", "suffix"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 ingested, 1 renamed, 1 rejected" in out
+        assert "rejected notitle" in out
+
+        assert main(
+            ["corpus", "query", "workflow*", "--store", str(store)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "k1" in out and "k1-2" in out
+        assert "2 match(es)" in out
+
+        assert main(["corpus", "dedup", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "1 cluster(s) merged" in out
+        assert "3 -> 2 records" in out
+
+        assert main(["corpus", "stats", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "records   2" in out
+
+    def test_query_keys_only(self, tmp_path, capsys):
+        bib = self._write_bib(tmp_path)
+        store = tmp_path / "corpus.db"
+        main(["corpus", "ingest", str(bib), "--store", str(store),
+              "--lenient", "--on-collision", "suffix"])
+        capsys.readouterr()
+        assert main(
+            ["corpus", "query", "survey", "--store", str(store),
+             "--keys-only"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == "k2"
+
+    def test_strict_ingest_fails_on_bad_entry(self, tmp_path, capsys):
+        bib = self._write_bib(tmp_path)
+        store = tmp_path / "corpus.db"
+        assert main(
+            ["corpus", "ingest", str(bib), "--store", str(store),
+             "--on-collision", "suffix"]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_default_collision_policy_errors(self, tmp_path, capsys):
+        bib = self._write_bib(tmp_path)
+        store = tmp_path / "corpus.db"
+        assert main(
+            ["corpus", "ingest", str(bib), "--store", str(store),
+             "--lenient"]
+        ) == 1
+        assert "duplicate publication key" in capsys.readouterr().err
+
+    def test_record_appends_to_ledger(self, tmp_path, capsys):
+        bib = self._write_bib(tmp_path)
+        store = tmp_path / "corpus.db"
+        runs = tmp_path / "runs"
+        assert main(
+            ["corpus", "ingest", str(bib), "--store", str(store),
+             "--lenient", "--on-collision", "suffix",
+             "--record", "--runs-dir", str(runs)]
+        ) == 0
+        assert "recorded run" in capsys.readouterr().out
+        assert main(["runs", "list", "--runs-dir", str(runs)]) == 0
+        assert "corpus-store" in capsys.readouterr().out
+
+    def test_query_missing_store_errors(self, tmp_path, capsys):
+        # A typo'd --store must not materialize an empty database and
+        # happily report zero matches; only ingest may create the file.
+        missing = tmp_path / "nope" / "corpus.db"
+        assert main(["corpus", "query", "workflow", "--store",
+                     str(missing)]) == 1
+        assert "no corpus store at" in capsys.readouterr().err
+        assert not missing.parent.exists()
+
+    def test_corpus_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["corpus"])
+        assert info.value.code == 2

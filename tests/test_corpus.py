@@ -173,10 +173,16 @@ class TestCorpus:
         corpus = Corpus([_pub("a", "Workflow things"), _pub("b", "Other")])
         assert [p.key for p in corpus.search("workflow")] == ["a"]
 
-    def test_by_year(self):
+    def test_by_year_fills_gap_years(self):
+        # 2021 has no publications but must appear with a zero count — a
+        # trend series with silently missing years distorts Fig-2 plots.
         corpus = Corpus([_pub("a", "T", 2020), _pub("b", "U", 2020),
                          _pub("c", "V", 2022)])
-        assert corpus.by_year().to_dict() == {2020: 2, 2022: 1}
+        assert corpus.by_year().to_dict() == {2020: 2, 2021: 0, 2022: 1}
+
+    def test_by_year_single_year(self):
+        corpus = Corpus([_pub("a", "T", 2020)])
+        assert corpus.by_year().to_dict() == {2020: 1}
 
     def test_by_year_requires_years(self):
         corpus = Corpus([Publication(key="a", title="T")])
@@ -209,3 +215,52 @@ class TestCorpus:
         ])
         table = corpus.by_venue()
         assert table.mode() == "tpds"
+
+
+class TestCollisionPolicies:
+    def test_suffix_disambiguates(self):
+        corpus = Corpus([_pub("a", "First")])
+        key = corpus.add(_pub("a", "Second"), on_collision="suffix")
+        assert key == "a-2"
+        assert corpus["a"].title == "First"
+        assert corpus["a-2"].title == "Second"
+
+    def test_suffix_chains(self):
+        corpus = Corpus([_pub("a", "First")])
+        corpus.add(_pub("a", "Second"), on_collision="suffix")
+        key = corpus.add(_pub("a", "Third"), on_collision="suffix")
+        assert key == "a-3"
+
+    def test_skip_drops_record(self):
+        corpus = Corpus([_pub("a", "First")])
+        assert corpus.add(_pub("a", "Second"), on_collision="skip") is None
+        assert len(corpus) == 1
+        assert corpus["a"].title == "First"
+
+    def test_unknown_policy(self):
+        with pytest.raises(CorpusError):
+            Corpus().add(_pub("a", "T"), on_collision="merge")
+
+    def test_extend_reports_stored_keys(self):
+        corpus = Corpus()
+        stored = corpus.extend(
+            [_pub("a", "First"), _pub("a", "Second"), _pub("b", "Third")],
+            on_collision="suffix",
+        )
+        assert stored == ["a", "a-2", "b"]
+
+    def test_resolve_collision_shared_helper(self):
+        from repro.corpus.corpus import resolve_collision
+
+        assert resolve_collision("x", {"a"}, "error") == "x"
+        assert resolve_collision("a", {"a"}, "skip") is None
+        assert resolve_collision("a", {"a", "a-2"}, "suffix") == "a-3"
+        with pytest.raises(DuplicateEntityError):
+            resolve_collision("a", {"a"}, "error")
+
+    def test_from_bibtex_with_collisions(self):
+        corpus = Corpus.from_bibtex(
+            "@misc{k, title = {One}}\n@misc{k, title = {Two}}",
+            on_collision="suffix",
+        )
+        assert corpus.keys == ("k", "k-2")
