@@ -1,6 +1,13 @@
 """Computing-Continuum substrate: resources, workflows, scheduling, matching."""
 
 from repro.continuum.capabilities import capability_matrix, capability_vector
+from repro.continuum.compile import (
+    CompiledContinuum,
+    CompiledProblem,
+    CompiledWorkflow,
+    ResourceTimeline,
+    compile_problem,
+)
 from repro.continuum.energy import PowerTrace, energy_report, power_trace
 from repro.continuum.failures import FailureTrace, simulate_with_failures
 from repro.continuum.matching import MatchModel, MatchReport
@@ -52,6 +59,9 @@ from repro.continuum.workflow import (
 __all__ = [
     "CellSpec",
     "CellStats",
+    "CompiledContinuum",
+    "CompiledProblem",
+    "CompiledWorkflow",
     "Continuum",
     "EnergyAwareScheduler",
     "ExecutionTrace",
@@ -67,6 +77,7 @@ __all__ = [
     "ReplicationResult",
     "Resource",
     "ResourceKind",
+    "ResourceTimeline",
     "RoundRobinScheduler",
     "RunningStat",
     "Schedule",
@@ -78,6 +89,7 @@ __all__ = [
     "Workflow",
     "capability_matrix",
     "capability_vector",
+    "compile_problem",
     "default_continuum",
     "layered_workflow",
     "random_workflow",

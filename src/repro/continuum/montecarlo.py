@@ -59,6 +59,7 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from repro.continuum.compile import CompiledProblem, compile_problem
 from repro.continuum.resources import Continuum
 from repro.continuum.scheduling import (
     EnergyAwareScheduler,
@@ -136,6 +137,13 @@ class SimulationContext:
     ``Continuum.transfer_time``), feasibility sets, and the
     key-sorted resource ranks that break migrate-policy ties exactly like
     the string comparison in :func:`simulate_with_failures`.
+
+    The pairing-level invariants (duration matrix, transfer table,
+    adjacency, feasibility) now live on
+    :class:`~repro.continuum.compile.CompiledProblem`; pass ``problem=``
+    to share one compilation across every schedule/context of the same
+    workflow × continuum pairing — only the schedule-specific pieces
+    (plan order, planned resources/durations) are rebuilt per context.
     """
 
     __slots__ = (
@@ -153,59 +161,40 @@ class SimulationContext:
         "planned_makespan",
     )
 
-    def __init__(self, schedule: Schedule) -> None:
-        workflow: Workflow = schedule.workflow
-        continuum: Continuum = schedule.continuum
-        task_keys = workflow.task_keys
-        tindex = {key: i for i, key in enumerate(task_keys)}
-        res_keys = continuum.keys
-        rindex = {key: i for i, key in enumerate(res_keys)}
+    def __init__(
+        self, schedule: Schedule, problem: CompiledProblem | None = None
+    ) -> None:
+        if problem is None:
+            problem = compile_problem(schedule.workflow, schedule.continuum)
+        cw, cc = problem.cw, problem.cc
+        tindex = cw.index
+        rindex = cc.index
 
         self.schedule = schedule
-        self.n_tasks = len(task_keys)
-        self.n_resources = len(res_keys)
+        self.n_tasks = cw.n_tasks
+        self.n_resources = cc.n_resources
         #: Plan start order as task indices (a valid topological order —
         #: the schedule validated that successors start after predecessors).
         self.order = [tindex[p.task] for p in schedule.placements]
         self.planned_res = [0] * self.n_tasks
         self.plan_dur = [0.0] * self.n_tasks
-        for key in task_keys:
+        for key in cw.keys:
             placement = schedule[key]
             self.planned_res[tindex[key]] = rindex[placement.resource]
             self.plan_dur[tindex[key]] = placement.duration
 
-        works = np.asarray([t.work for t in workflow], dtype=np.float64)
-        speeds = continuum.speeds
-        #: dur[task][resource] == Resource.execution_time(task.work).
-        self.dur = (works[:, None] / speeds[None, :]).tolist()
-
-        outputs = np.asarray(
-            [t.output_size for t in workflow], dtype=np.float64
-        )
-        lat, bw = continuum.latency, continuum.bandwidth
-        # transfer[task][src][dst] == Continuum.transfer_time(output, src,
-        # dst): the diagonal is free (latency 0, bandwidth inf) and a zero
-        # output costs latency only — the same IEEE division either way.
-        self.transfer = (
-            lat[None, :, :] + outputs[:, None, None] / bw[None, :, :]
-        ).tolist()
-
-        self.preds = [
-            [tindex[p] for p in workflow.predecessors(key)]
-            for key in task_keys
-        ]
-        self.feasible = [
-            [
-                rindex[r.key]
-                for r in continuum
-                if r.supports(workflow[key].requirements)
-            ]
-            for key in task_keys
-        ]
+        # Pairing-level tables, shared via the compiled problem's cached
+        # list views (dur[task][resource] == Resource.execution_time;
+        # transfer[task][src][dst] == Continuum.transfer_time — the
+        # diagonal is free and a zero output costs latency only, the
+        # same IEEE division either way).
+        self.dur = problem.dur_lists()
+        self.transfer = problem.transfer_lists()
+        self.preds = problem.pred_id_lists()
+        self.feasible = problem.feasible_id_lists()
         # simulate_with_failures breaks earliest-finish ties on the
         # resource *key string*; ranks reproduce that order on ints.
-        rank_of = {key: i for i, key in enumerate(sorted(res_keys))}
-        self.res_rank = [rank_of[key] for key in res_keys]
+        self.res_rank = cc.res_rank.tolist()
         self.planned_makespan = schedule.makespan
 
 
@@ -794,13 +783,19 @@ class _CellTask:
 _WORKER_SCHEDULES: list[Schedule] = []
 _WORKER_TASKS: list[_CellTask] = []
 _WORKER_CONTEXTS: dict[int, SimulationContext] = {}
+# One CompiledProblem per workflow × continuum pairing.  The pool ships
+# all schedules as one payload, so schedules of the same workflow
+# unpickle sharing one Workflow/Continuum object and identity keys are
+# stable within a worker.
+_WORKER_PROBLEMS: dict[tuple[int, int], CompiledProblem] = {}
 
 
 def _worker_init(schedules: list[Schedule], tasks: list[_CellTask]) -> None:
-    global _WORKER_SCHEDULES, _WORKER_TASKS, _WORKER_CONTEXTS
+    global _WORKER_SCHEDULES, _WORKER_TASKS, _WORKER_CONTEXTS, _WORKER_PROBLEMS
     _WORKER_SCHEDULES = schedules
     _WORKER_TASKS = tasks
     _WORKER_CONTEXTS = {}
+    _WORKER_PROBLEMS = {}
 
 
 def _worker_chunk(
@@ -815,7 +810,13 @@ def _worker_chunk(
     task = _WORKER_TASKS[task_index]
     context = _WORKER_CONTEXTS.get(task.schedule_index)
     if context is None:
-        context = SimulationContext(_WORKER_SCHEDULES[task.schedule_index])
+        schedule = _WORKER_SCHEDULES[task.schedule_index]
+        pairing = (id(schedule.workflow), id(schedule.continuum))
+        problem = _WORKER_PROBLEMS.get(pairing)
+        if problem is None:
+            problem = compile_problem(schedule.workflow, schedule.continuum)
+            _WORKER_PROBLEMS[pairing] = problem
+        context = SimulationContext(schedule, problem)
         _WORKER_CONTEXTS[task.schedule_index] = context
     migrate = task.policy == "migrate"
     return [
@@ -935,18 +936,28 @@ def _run_sweep(
 
     replications_run = 0
     if misses:
-        # Schedule once per (workflow, scheduler) pair actually needed.
+        # Schedule once per (workflow, scheduler) pair actually needed;
+        # compile each workflow × continuum pairing exactly once and
+        # share it across every scheduler placing on it.
         schedules: list[Schedule] = []
         schedule_index: dict[tuple[str, str], int] = {}
+        problems: dict[str, CompiledProblem] = {}
         for cell in misses:
             pair = (cell.workflow, cell.scheduler)
             if pair not in schedule_index:
                 scheduler = SCHEDULERS[cell.scheduler]()
+                problem = problems.get(cell.workflow)
+                if problem is None:
+                    problem = compile_problem(
+                        workflow_of[cell.workflow], spec.continuum
+                    )
+                    problems[cell.workflow] = problem
                 schedule_index[pair] = len(schedules)
                 schedules.append(
                     scheduler.schedule(
                         workflow_of[cell.workflow], spec.continuum,
                         telemetry=tel if tel.enabled else None,
+                        problem=problem,
                     )
                 )
 

@@ -15,21 +15,44 @@ All schedulers honour task requirements versus resource capabilities and
 return a :class:`Schedule` with per-task timing and the three figures of
 merit: makespan, energy, and carbon.
 
+``schedule()`` runs on the compiled core (:mod:`repro.continuum.compile`):
+task/resource keys are lowered to integer ids once and every hot placement
+quantity — ready times, durations, marginal energies — is an array
+expression, which is what lets 10k-task × 1k-resource fleets schedule in
+seconds.  The original pure-Python implementations are preserved verbatim
+as ``schedule_reference()`` (and ``Schedule.validate_reference()``); the
+compiled paths are **bit-identical** to them — same placements, same
+starts/finishes, same tie-breaks — asserted across a workflow × fleet
+grid by ``tests/test_compile.py`` and speed-gated by
+``benchmarks/test_bench_scheduling.py``.
+
 Every ``schedule()`` accepts an optional ``telemetry=`` keyword: when
 bound, the placement runs inside a ``schedule.<name>`` span and emits a
 ``schedule.finish`` log event (scheduler, task count, makespan).  The
-default is the shared zero-overhead null telemetry.
+default is the shared zero-overhead null telemetry.  An optional
+``problem=`` keyword accepts a precompiled
+:class:`~repro.continuum.compile.CompiledProblem` so callers placing the
+same workflow × continuum pairing repeatedly (sweeps, benchmarks) pay the
+compilation exactly once.
 """
 
 from __future__ import annotations
 
 import functools
-from bisect import insort
 from collections.abc import Mapping
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.continuum.compile import (
+    CompiledProblem,
+    ResourceTimeline,
+    compile_problem,
+    energy_placements,
+    heft_placements,
+    round_robin_placements,
+    upward_rank_array,
+)
 from repro.continuum.resources import Continuum
 from repro.continuum.workflow import Workflow
 from repro.errors import SchedulingError
@@ -42,6 +65,12 @@ __all__ = [
     "EnergyAwareScheduler",
     "RoundRobinScheduler",
 ]
+
+#: Historical name: the timeline lives in the compile module now (both the
+#: compiled kernels and the reference schedulers share it), with a public
+#: ``last_finish``/``tail()`` API replacing the old ``_intervals``
+#: reach-through.
+_ResourceTimeline = ResourceTimeline
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,6 +105,12 @@ class Schedule:
         self.workflow = workflow
         self.continuum = continuum
         self._placements = dict(placements)
+        # The placement map is frozen after construction, so the sorted
+        # view and the makespan are computed once on first access —
+        # validate(), the tracing wrapper, and the simulator all hit them
+        # repeatedly on the same schedule.
+        self._sorted_placements: tuple[TaskPlacement, ...] | None = None
+        self._makespan: float | None = None
 
     def __getitem__(self, task: str) -> TaskPlacement:
         try:
@@ -85,15 +120,19 @@ class Schedule:
 
     @property
     def placements(self) -> tuple[TaskPlacement, ...]:
-        """All placements, ordered by start time (stable on ties)."""
-        return tuple(
-            sorted(self._placements.values(), key=lambda p: (p.start, p.task))
-        )
+        """All placements, ordered by start time (stable on ties); cached."""
+        if self._sorted_placements is None:
+            self._sorted_placements = tuple(
+                sorted(self._placements.values(), key=lambda p: (p.start, p.task))
+            )
+        return self._sorted_placements
 
     @property
     def makespan(self) -> float:
-        """Completion time of the last task."""
-        return max(p.finish for p in self._placements.values())
+        """Completion time of the last task; cached."""
+        if self._makespan is None:
+            self._makespan = max(p.finish for p in self._placements.values())
+        return self._makespan
 
     def busy_energy(self) -> float:
         """Joules consumed executing tasks (busy power × duration)."""
@@ -132,7 +171,7 @@ class Schedule:
             )
         return total
 
-    def validate(self) -> None:
+    def validate(self, *, problem: CompiledProblem | None = None) -> None:
         """Check dependency and exclusivity invariants.
 
         * every task starts at or after every predecessor's finish (plus
@@ -140,6 +179,73 @@ class Schedule:
         * no two tasks overlap on the same resource.
 
         Raises :class:`SchedulingError` on the first violation.
+
+        The checks run as three array expressions (per-task timing, one
+        gather over all edges, consecutive-slot comparison per resource);
+        when a violation is detected the original loop implementation
+        (:meth:`validate_reference`) re-runs to raise the identical
+        first-violation error.  ``problem`` optionally supplies a
+        precompiled :class:`~repro.continuum.compile.CompiledProblem` to
+        skip rebuilding the id maps and adjacency.
+        """
+        eps = 1e-9
+        if problem is None:
+            problem = compile_problem(self.workflow, self.continuum)
+        cw, cc = problem.cw, problem.cc
+
+        n = cw.n_tasks
+        start = np.empty(n, dtype=np.float64)
+        finish = np.empty(n, dtype=np.float64)
+        res = np.empty(n, dtype=np.intp)
+        placements = self._placements
+        rindex = cc.index
+        for i, key in enumerate(cw.keys):
+            p = placements[key]
+            start[i] = p.start
+            finish[i] = p.finish
+            res[i] = rindex[p.resource]
+
+        ok = not bool((start < -eps).any() or (finish < start - eps).any())
+        if ok and cw.pred_ids.size:
+            # One gather over every (pred, task) edge: arrival is
+            # pred_finish + latency + size / bandwidth, IEEE-identical to
+            # Continuum.transfer_time.
+            dst = np.repeat(
+                np.arange(n, dtype=np.intp), np.diff(cw.pred_indptr)
+            )
+            src = cw.pred_ids
+            arrival = finish[src] + (
+                cc.latency[res[src], res[dst]]
+                + cw.output_size[src] / cc.bandwidth[res[src], res[dst]]
+            )
+            ok = not bool((start[dst] + eps < arrival).any())
+        if ok and n > 1:
+            # Per-resource consecutive-slot check, replicating the
+            # reference order: stable sort by (resource, start) keeps
+            # placement-map order on ties, exactly like the per-resource
+            # lists the loop builds.
+            vals = list(placements.values())
+            v_start = np.asarray([p.start for p in vals])
+            v_finish = np.asarray([p.finish for p in vals])
+            v_res = np.asarray([rindex[p.resource] for p in vals])
+            order = np.lexsort((v_start, v_res))
+            s_res = v_res[order]
+            same = s_res[1:] == s_res[:-1]
+            ok = not bool(
+                (v_start[order][1:] + eps < v_finish[order][:-1])[same].any()
+            )
+        if ok:
+            return
+        self.validate_reference()
+        raise SchedulingError(
+            "schedule failed vectorized validation"
+        )  # pragma: no cover - reference raises first
+
+    def validate_reference(self) -> None:
+        """The original loop validator — raises the first violation found.
+
+        Kept as the arbiter for error ordering/messages and as the parity
+        reference for :meth:`validate`.
         """
         eps = 1e-9
         for task_key in self.workflow.task_keys:
@@ -170,25 +276,6 @@ class Schedule:
                     )
 
 
-class _ResourceTimeline:
-    """Occupied intervals on one resource, supporting insertion placement."""
-
-    def __init__(self) -> None:
-        self._intervals: list[tuple[float, float]] = []
-
-    def earliest_slot(self, ready: float, duration: float) -> float:
-        """Earliest start >= *ready* with a free gap of *duration*."""
-        cursor = ready
-        for start, finish in self._intervals:
-            if cursor + duration <= start:
-                break
-            cursor = max(cursor, finish)
-        return cursor
-
-    def reserve(self, start: float, duration: float) -> None:
-        insort(self._intervals, (start, start + duration))
-
-
 def _feasible_resources(workflow: Workflow, continuum: Continuum) -> dict[str, list[str]]:
     feasible: dict[str, list[str]] = {}
     for task in workflow:
@@ -209,17 +296,18 @@ def _traced_schedule(name: str):
     ``None`` (the default) resolves to the null telemetry and takes the
     undecorated fast path; a real :class:`~repro.telemetry.Telemetry`
     traces the placement as a ``schedule.<name>`` span and logs a
-    ``schedule.finish`` event.
+    ``schedule.finish`` event.  Other keywords (``problem=``) pass
+    through to the wrapped method.
     """
 
     def decorate(fn):
         @functools.wraps(fn)
-        def wrapper(self, workflow, continuum, *, telemetry=None):
+        def wrapper(self, workflow, continuum, *, telemetry=None, **kwargs):
             tel = ensure(telemetry)
             if not tel.enabled:
-                return fn(self, workflow, continuum)
+                return fn(self, workflow, continuum, **kwargs)
             with tel.tracer.span(f"schedule.{name}", tasks=len(workflow)) as span:
-                schedule = fn(self, workflow, continuum)
+                schedule = fn(self, workflow, continuum, **kwargs)
                 span.tags.update(makespan=schedule.makespan)
                 tel.log.info(
                     "schedule.finish",
@@ -234,6 +322,27 @@ def _traced_schedule(name: str):
     return decorate
 
 
+def _build_schedule(
+    problem: CompiledProblem,
+    res_of: np.ndarray,
+    start_of: np.ndarray,
+    fin_of: np.ndarray,
+) -> Schedule:
+    """Lift kernel id/time arrays into a validated :class:`Schedule`."""
+    cw = problem.cw
+    res_keys = problem.cc.keys
+    starts = start_of.tolist()
+    finishes = fin_of.tolist()
+    resources = res_of.tolist()
+    placements = {
+        key: TaskPlacement(key, res_keys[resources[i]], starts[i], finishes[i])
+        for i, key in enumerate(cw.keys)
+    }
+    schedule = Schedule(problem.workflow, problem.continuum, placements)
+    schedule.validate(problem=problem)
+    return schedule
+
+
 class HeftScheduler:
     """Heterogeneous Earliest Finish Time list scheduling."""
 
@@ -244,8 +353,16 @@ class HeftScheduler:
         self, workflow: Workflow, continuum: Continuum
     ) -> dict[str, float]:
         """HEFT upward ranks: mean execution + max over successors of
-        (mean communication + successor rank), computed in one backward
-        sweep over the topological order."""
+        (mean communication + successor rank), computed in one vectorized
+        backward sweep (bit-identical to :meth:`upward_ranks_reference`)."""
+        problem = compile_problem(workflow, continuum)
+        ranks = upward_rank_array(problem)
+        return dict(zip(problem.cw.keys, ranks.tolist()))
+
+    def upward_ranks_reference(
+        self, workflow: Workflow, continuum: Continuum
+    ) -> dict[str, float]:
+        """The original per-task rank loop (parity reference)."""
         speeds = continuum.speeds
         mean_speed_inv = float((1.0 / speeds).mean())
         # Mean communication cost per data unit over distinct node pairs.
@@ -270,10 +387,27 @@ class HeftScheduler:
         return ranks
 
     @_traced_schedule("heft")
-    def schedule(self, workflow: Workflow, continuum: Continuum) -> Schedule:
+    def schedule(
+        self,
+        workflow: Workflow,
+        continuum: Continuum,
+        *,
+        problem: CompiledProblem | None = None,
+    ) -> Schedule:
         """Place every task; returns a validated :class:`Schedule`."""
+        if problem is None:
+            problem = compile_problem(workflow, continuum)
+        res_of, start_of, fin_of = heft_placements(
+            problem, insertion=self.insertion
+        )
+        return _build_schedule(problem, res_of, start_of, fin_of)
+
+    def schedule_reference(
+        self, workflow: Workflow, continuum: Continuum
+    ) -> Schedule:
+        """The original pure-Python HEFT (parity/speedup reference)."""
         feasible = _feasible_resources(workflow, continuum)
-        ranks = self.upward_ranks(workflow, continuum)
+        ranks = self.upward_ranks_reference(workflow, continuum)
         order = sorted(workflow.task_keys, key=lambda k: (-ranks[k], k))
 
         timelines = {key: _ResourceTimeline() for key in continuum.keys}
@@ -294,10 +428,7 @@ class HeftScheduler:
                 if self.insertion:
                     start = timelines[node_key].earliest_slot(ready, duration)
                 else:
-                    intervals = timelines[node_key]._intervals
-                    start = max(
-                        ready, intervals[-1][1] if intervals else 0.0
-                    )
+                    start = max(ready, timelines[node_key].last_finish)
                 candidate = TaskPlacement(
                     task_key, node_key, start, start + duration
                 )
@@ -307,7 +438,7 @@ class HeftScheduler:
             timelines[best.resource].reserve(best.start, best.duration)
             placements[task_key] = best
         schedule = Schedule(workflow, continuum, placements)
-        schedule.validate()
+        schedule.validate_reference()
         return schedule
 
 
@@ -327,10 +458,25 @@ class EnergyAwareScheduler:
         self.slack = slack
 
     @_traced_schedule("energy")
-    def schedule(self, workflow: Workflow, continuum: Continuum) -> Schedule:
+    def schedule(
+        self,
+        workflow: Workflow,
+        continuum: Continuum,
+        *,
+        problem: CompiledProblem | None = None,
+    ) -> Schedule:
         """Place every task; returns a validated :class:`Schedule`."""
+        if problem is None:
+            problem = compile_problem(workflow, continuum)
+        res_of, start_of, fin_of = energy_placements(problem, slack=self.slack)
+        return _build_schedule(problem, res_of, start_of, fin_of)
+
+    def schedule_reference(
+        self, workflow: Workflow, continuum: Continuum
+    ) -> Schedule:
+        """The original pure-Python placement (parity reference)."""
         feasible = _feasible_resources(workflow, continuum)
-        ranks = HeftScheduler().upward_ranks(workflow, continuum)
+        ranks = HeftScheduler().upward_ranks_reference(workflow, continuum)
         order = sorted(workflow.task_keys, key=lambda k: (-ranks[k], k))
 
         timelines = {key: _ResourceTimeline() for key in continuum.keys}
@@ -367,7 +513,7 @@ class EnergyAwareScheduler:
             timelines[placement.resource].reserve(placement.start, placement.duration)
             placements[task_key] = placement
         schedule = Schedule(workflow, continuum, placements)
-        schedule.validate()
+        schedule.validate_reference()
         return schedule
 
 
@@ -380,8 +526,23 @@ class RoundRobinScheduler:
     """
 
     @_traced_schedule("round_robin")
-    def schedule(self, workflow: Workflow, continuum: Continuum) -> Schedule:
+    def schedule(
+        self,
+        workflow: Workflow,
+        continuum: Continuum,
+        *,
+        problem: CompiledProblem | None = None,
+    ) -> Schedule:
         """Place every task; returns a validated :class:`Schedule`."""
+        if problem is None:
+            problem = compile_problem(workflow, continuum)
+        res_of, start_of, fin_of = round_robin_placements(problem)
+        return _build_schedule(problem, res_of, start_of, fin_of)
+
+    def schedule_reference(
+        self, workflow: Workflow, continuum: Continuum
+    ) -> Schedule:
+        """The original pure-Python rotation (parity reference)."""
         feasible = _feasible_resources(workflow, continuum)
         keys = continuum.keys
         timelines = {key: _ResourceTimeline() for key in keys}
@@ -410,5 +571,5 @@ class RoundRobinScheduler:
             timelines[node_key].reserve(start, duration)
             placements[task_key] = placement
         schedule = Schedule(workflow, continuum, placements)
-        schedule.validate()
+        schedule.validate_reference()
         return schedule

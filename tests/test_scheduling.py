@@ -138,6 +138,35 @@ class TestScheduleMetrics:
         assert schedule.carbon() == pytest.approx(250.0)
 
 
+class TestScheduleCaching:
+    def test_placements_computed_once(self, workflow, continuum):
+        schedule = HeftScheduler().schedule(workflow, continuum)
+        assert schedule.placements is schedule.placements  # cached tuple
+
+    def test_makespan_computed_once(self, workflow, continuum):
+        schedule = HeftScheduler().schedule(workflow, continuum)
+        first = schedule.makespan
+        assert schedule._makespan == first
+        assert schedule.makespan == first
+
+
+class TestResourceTimelineApi:
+    def test_no_private_intervals_attribute(self):
+        from repro.continuum.scheduling import _ResourceTimeline
+
+        timeline = _ResourceTimeline()
+        assert not hasattr(timeline, "_intervals")
+        timeline.reserve(1.0, 2.0)
+        assert timeline.last_finish == 3.0
+        assert timeline.tail() == 3.0
+
+    def test_append_mode_uses_public_tail(self, workflow, continuum):
+        # insertion=False places each task after the resource's tail;
+        # parity with the insertion path's validity is all we need here.
+        schedule = HeftScheduler(insertion=False).schedule(workflow, continuum)
+        schedule.validate()
+
+
 class TestScheduleValidation:
     def test_missing_placement_detected(self, continuum):
         wf = Workflow("w", [Task("a", 1.0), Task("b", 1.0)])
