@@ -1,0 +1,191 @@
+"""Serve-layer load benchmark: throughput, tail latency, coalescing.
+
+The serve subsystem's contract is numeric, so the bench gates on it:
+
+* **warm throughput** — ≥ 16 concurrent keep-alive clients hammering a
+  memoized ``/study/*`` endpoint must sustain ≥ 500 req/s aggregate
+  with p99 ≤ 50 ms (the stdlib server is GIL-bound; the cache makes
+  each request a dictionary lookup plus JSON serialization);
+* **cold coalescing** — N identical concurrent requests against a cold
+  cache must trigger exactly one underlying study computation
+  (``serve.study.computations`` on ``/metrics``), every caller still
+  receiving a full 200 payload.
+
+Timings aggregate into ``output/BENCH_serve.json`` via the shared
+conftest hook; the throughput/latency numbers of the best round are
+printed through ``report()``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+import urllib.request
+
+from conftest import report
+
+from repro.serve import ServerHandle, build_context
+
+CLIENTS = 16
+REQUESTS_PER_CLIENT = 48
+
+THROUGHPUT_FLOOR_RPS = 500.0
+P99_CEILING_S = 0.050
+
+
+def _get_json(url: str):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def _run_load(host: str, port: int, path: str) -> dict[str, float]:
+    """One load round: CLIENTS keep-alive connections, latencies in s."""
+    start_gun = threading.Event()
+    latencies: list[list[float]] = [[] for _ in range(CLIENTS)]
+    failures: list[str] = []
+
+    def client(slot: int) -> None:
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            start_gun.wait(30.0)
+            for _ in range(REQUESTS_PER_CLIENT):
+                begin = time.perf_counter()
+                connection.request("GET", path)
+                response = connection.getresponse()
+                body = response.read()
+                latencies[slot].append(time.perf_counter() - begin)
+                if response.status != 200 or not body:
+                    failures.append(f"{response.status} on {path}")
+        except Exception as exc:
+            failures.append(repr(exc))
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=client, args=(slot,))
+        for slot in range(CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    start = time.perf_counter()
+    start_gun.set()
+    for thread in threads:
+        thread.join(120.0)
+    elapsed = time.perf_counter() - start
+    assert not failures, failures[:3]
+    flat = sorted(lat for per_client in latencies for lat in per_client)
+    assert len(flat) == CLIENTS * REQUESTS_PER_CLIENT
+    return {
+        "requests": float(len(flat)),
+        "elapsed_s": elapsed,
+        "rps": len(flat) / elapsed,
+        "p50_s": flat[len(flat) // 2],
+        "p99_s": flat[int(len(flat) * 0.99)],
+        "max_s": flat[-1],
+    }
+
+
+def test_warm_study_throughput_and_tail_latency(benchmark):
+    context = build_context(job_workers=1, queue_size=2)
+    rounds: list[dict[str, float]] = []
+    try:
+        with ServerHandle(context, workers=CLIENTS + 8) as handle:
+            # Warm the memoized payloads before measuring.
+            table1 = _get_json(handle.url + "/study/table1")
+            assert table1["rows"]
+
+            def load_round():
+                rounds.append(
+                    _run_load(handle.host, handle.port, "/study/table1")
+                )
+
+            benchmark.pedantic(load_round, rounds=3, iterations=1)
+            snapshot = _get_json(handle.url + "/metrics")
+    finally:
+        context.jobs.close(drain=False)
+
+    best = max(rounds, key=lambda stats: stats["rps"])
+    report(
+        "Serve load: 16 keep-alive clients on warm /study/table1",
+        [
+            f"rounds: {len(rounds)} × {CLIENTS} clients × "
+            f"{REQUESTS_PER_CLIENT} requests",
+            f"best throughput: {best['rps']:.0f} req/s "
+            f"(floor {THROUGHPUT_FLOOR_RPS:.0f})",
+            f"best-round p50: {best['p50_s'] * 1000:.2f} ms, "
+            f"p99: {best['p99_s'] * 1000:.2f} ms "
+            f"(ceiling {P99_CEILING_S * 1000:.0f} ms)",
+            f"server-side study computations: "
+            f"{snapshot['serve.study.computations']['value']:.0f}",
+        ],
+    )
+    assert best["rps"] >= THROUGHPUT_FLOOR_RPS
+    assert best["p99_s"] <= P99_CEILING_S
+    # The load rode the payload cache: the study ran exactly once, at
+    # warm-up, no matter how many requests followed.
+    assert snapshot["serve.study.computations"]["value"] == 1
+    # Every request landed in the per-endpoint latency histogram.
+    server_histogram = snapshot["serve.request_seconds.study_get"]
+    assert server_histogram["count"] >= len(rounds) * CLIENTS * (
+        REQUESTS_PER_CLIENT
+    )
+
+
+def test_cold_burst_coalesces_to_single_computation(benchmark):
+    def cold_burst():
+        context = build_context(job_workers=1, queue_size=2)
+        statuses: list[int] = []
+        try:
+            with ServerHandle(context, workers=CLIENTS + 8) as handle:
+                barrier = threading.Barrier(CLIENTS)
+
+                def client() -> None:
+                    connection = http.client.HTTPConnection(
+                        handle.host, handle.port, timeout=60
+                    )
+                    try:
+                        barrier.wait(30.0)
+                        connection.request("GET", "/study/table2")
+                        response = connection.getresponse()
+                        payload = json.loads(response.read())
+                        if response.status == 200 and payload["rows"]:
+                            statuses.append(response.status)
+                    finally:
+                        connection.close()
+
+                threads = [
+                    threading.Thread(target=client)
+                    for _ in range(CLIENTS)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(120.0)
+                snapshot = _get_json(handle.url + "/metrics")
+        finally:
+            context.jobs.close(drain=False)
+        return statuses, snapshot
+
+    statuses, snapshot = benchmark.pedantic(
+        cold_burst, rounds=2, iterations=1
+    )
+    assert statuses == [200] * CLIENTS
+    # The acceptance gate: N identical concurrent cold requests ran the
+    # study exactly once; everyone else coalesced onto that leader or
+    # hit the payload cache it filled.
+    assert snapshot["serve.study.computations"]["value"] == 1
+    coalesced = snapshot.get("serve.coalesced_waiters", {}).get("value", 0)
+    leaders = snapshot.get("serve.coalesced_leaders", {}).get("value", 0)
+    assert leaders <= 1
+    report(
+        "Serve cold burst: 16 identical concurrent /study/table2",
+        [
+            f"computations: "
+            f"{snapshot['serve.study.computations']['value']:.0f} "
+            f"(16 requests)",
+            f"coalesced followers: {coalesced:.0f}, leaders: {leaders:.0f}",
+            "every request answered 200 with the full payload",
+        ],
+    )

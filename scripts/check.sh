@@ -11,6 +11,8 @@
 #   scripts/check.sh                 # full tier-1 suite
 #   scripts/check.sh --bench         # tier-1 suite + benchmarks/ suite
 #   scripts/check.sh --gate          # suite, then record + regression gate
+#   scripts/check.sh --smoke         # boot `repro serve` on an ephemeral
+#                                    # port, hit /health, shut down clean
 #   scripts/check.sh tests/test_x.py # any pytest selection (repo-relative
 #                                    # or absolute paths both work)
 #
@@ -33,13 +35,37 @@ export PYTHONPATH="${REPO_ROOT}/src${PYTHONPATH:+:${PYTHONPATH}}"
 
 RUN_BENCH=0
 RUN_GATE=0
+RUN_SMOKE=0
 while :; do
     case "${1:-}" in
         --bench) RUN_BENCH=1; shift ;;
         --gate)  RUN_GATE=1; shift ;;
+        --smoke) RUN_SMOKE=1; shift ;;
         *) break ;;
     esac
 done
+
+if [ "${RUN_SMOKE}" -eq 1 ]; then
+    # Serve smoke test: boot the HTTP service on an ephemeral port in-
+    # process, hit /health, and shut down gracefully. Exercises the real
+    # socket path (worker pool, keep-alive, graceful close) end to end.
+    python - <<'SMOKE'
+import json
+import sys
+import urllib.request
+
+from repro.serve import ServerHandle, build_context
+
+ctx = build_context(job_workers=1, queue_size=2)
+with ServerHandle(ctx, workers=4) as handle:
+    with urllib.request.urlopen(handle.url + "/health", timeout=10) as r:
+        payload = json.loads(r.read())
+assert payload["status"] == "ok", payload
+print(f"serve smoke: /health ok on {handle.url}, graceful shutdown clean")
+sys.exit(0)
+SMOKE
+    exit 0
+fi
 
 if [ "$#" -eq 0 ]; then
     set -- "${REPO_ROOT}/tests"

@@ -206,6 +206,60 @@ def build_parser() -> argparse.ArgumentParser:
              "~/.cache/repro/runs)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve study artifacts, corpus queries, and sweep jobs "
+             "over HTTP",
+        description="Start the stdlib-only JSON service: memoized "
+                    "/study/* artifacts, /corpus/* queries against a "
+                    "corpus store, async POST /sweeps jobs, and "
+                    "/metrics self-measurement. Ctrl-C shuts down "
+                    "gracefully, draining queued jobs.",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8000, metavar="N",
+        help="bind port (default 8000; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=16, metavar="W",
+        help="HTTP worker threads (default 16); connections beyond the "
+             "pool's backlog are shed with a 503",
+    )
+    serve.add_argument(
+        "--job-workers", type=int, default=2, metavar="W",
+        help="sweep-job worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=8, metavar="N",
+        help="max queued sweep jobs before POST /sweeps answers 429 "
+             "(default 8)",
+    )
+    serve.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="persist the artifact cache (study payloads, sweep cells) "
+             "to this directory; default is memory-only",
+    )
+    serve.add_argument(
+        "--store", type=Path, default=None, metavar="PATH",
+        help="corpus store database behind the /corpus/* endpoints "
+             "(omit to serve without a corpus)",
+    )
+    serve.add_argument(
+        "--record", action="store_true",
+        help="append every completed sweep job to the run ledger, "
+             "exactly like `repro sweep --record`",
+    )
+    serve.add_argument(
+        "--runs-dir", type=Path, default=None, metavar="DIR",
+        help="run-ledger directory (default: $REPRO_RUNS_DIR or "
+             "~/.cache/repro/runs)",
+    )
+    serve.add_argument("--seed", type=int, default=2023,
+                       help="study seed for the /study/* endpoints")
+
     corpus = sub.add_parser(
         "corpus",
         help="operate a persistent, indexed bibliographic corpus store",
@@ -580,56 +634,10 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_grid(text: str) -> dict[str, tuple]:
-    """Parse a ``--grid`` axis spec into SweepSpec keyword values."""
-    from repro.errors import MonteCarloError
-
-    axes: dict[str, tuple] = {
-        "schedulers": ("heft",),
-        "mtbfs": (None,),
-        "jitters": (0.0,),
-        "policies": ("restart",),
-    }
-    plural = {
-        "scheduler": "schedulers",
-        "mtbf": "mtbfs",
-        "jitter": "jitters",
-        "policy": "policies",
-    }
-    for entry in filter(None, (part.strip() for part in text.split(";"))):
-        key, sep, raw = entry.partition("=")
-        key = key.strip().lower()
-        if not sep or key not in plural:
-            raise MonteCarloError(
-                f"bad --grid entry {entry!r}; expected "
-                "scheduler=.../mtbf=.../jitter=.../policy=..."
-            )
-        values = [v.strip() for v in raw.split(",") if v.strip()]
-        if not values:
-            raise MonteCarloError(f"--grid axis {key!r} has no values")
-        if key in ("mtbf", "jitter"):
-            try:
-                axes[plural[key]] = tuple(
-                    None if key == "mtbf" and v.lower() == "none" else float(v)
-                    for v in values
-                )
-            except ValueError:
-                raise MonteCarloError(
-                    f"--grid axis {key!r} needs numeric values, got {raw!r}"
-                ) from None
-        else:
-            axes[plural[key]] = tuple(values)
-    return axes
-
-
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.continuum import SweepSpec, default_continuum, run_sweep
-    from repro.data import synthetic_workflows
-    from repro.errors import MonteCarloError
+    from repro.continuum import build_sweep_spec, run_sweep
     from repro.pipeline import ArtifactCache
 
-    if args.fleet < 1:
-        raise MonteCarloError("--fleet must be >= 1")
     telemetry = None
     registry = None
     if args.record:
@@ -642,12 +650,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not args.no_cache:
         cache = ArtifactCache(args.cache_dir, telemetry=telemetry)
 
-    spec = SweepSpec(
-        workflows=synthetic_workflows(args.fleet, seed=args.seed),
-        continuum=default_continuum(seed=args.seed),
+    # The same spec builder POST /sweeps uses, so an HTTP sweep and a
+    # CLI sweep with the same arguments are bit-identical.
+    spec = build_sweep_spec(
+        grid=args.grid,
+        fleet=args.fleet,
         replications=args.replications,
         seed=args.seed,
-        **_parse_grid(args.grid),
     )
     result = run_sweep(
         spec, workers=args.workers, cache=cache,
@@ -683,6 +692,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if registry is not None:
         newest = registry.last(1)[0]
         print(f"recorded run {newest.run_id} to {registry.path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServerHandle, build_context, serve_forever
+
+    ctx = build_context(
+        cache_dir=args.cache_dir,
+        runs_dir=args.runs_dir,
+        record=args.record,
+        store_path=args.store,
+        seed=args.seed,
+        job_workers=args.job_workers,
+        queue_size=args.queue_size,
+    )
+    if args.port == 0:
+        # Ephemeral port: print where we landed before blocking.
+        handle = ServerHandle(
+            ctx, host=args.host, port=0, workers=args.workers
+        )
+        print(f"serving on {handle.url} (Ctrl-C to stop)", flush=True)
+        try:
+            import time as _time
+
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            handle.close()
+        return 0
+    print(
+        f"serving on http://{args.host}:{args.port} (Ctrl-C to stop)",
+        flush=True,
+    )
+    serve_forever(
+        ctx, host=args.host, port=args.port, workers=args.workers
+    )
     return 0
 
 
@@ -914,6 +961,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "export": _cmd_export,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
     "corpus": _cmd_corpus,
     "runs": _cmd_runs,
 }

@@ -21,6 +21,8 @@ from repro.continuum.montecarlo import (
     SimulationContext,
     SweepResult,
     SweepSpec,
+    build_sweep_spec,
+    parse_grid,
     replicate_once,
     run_sweep,
 )
@@ -87,10 +89,12 @@ __all__ = [
     "Task",
     "TaskPlacement",
     "Workflow",
+    "build_sweep_spec",
     "capability_matrix",
     "capability_vector",
     "compile_problem",
     "default_continuum",
+    "parse_grid",
     "layered_workflow",
     "random_workflow",
     "requirement_matrix",

@@ -86,6 +86,8 @@ __all__ = [
     "SweepSpec",
     "SweepResult",
     "run_sweep",
+    "parse_grid",
+    "build_sweep_spec",
 ]
 
 #: Bump when the replay semantics or the aggregation layout change —
@@ -706,6 +708,88 @@ class SweepResult:
             "cached": list(self.cached),
             "n_replications_run": self.n_replications_run,
         }
+
+
+# -- request construction ---------------------------------------------------------
+
+
+def parse_grid(text: str) -> dict[str, tuple]:
+    """Parse a grid axis spec into :class:`SweepSpec` keyword values.
+
+    The format is shared by ``repro sweep --grid`` and the serve layer's
+    ``POST /sweeps`` body: ``"key=v1,v2;key=v1"`` with keys ``scheduler``
+    (heft|energy|round_robin), ``mtbf`` (floats or ``none``), ``jitter``
+    (floats), and ``policy`` (restart|migrate); omitted axes keep the
+    single-cell defaults.
+
+    >>> parse_grid("scheduler=heft,energy;mtbf=50")["schedulers"]
+    ('heft', 'energy')
+    """
+    axes: dict[str, tuple] = {
+        "schedulers": ("heft",),
+        "mtbfs": (None,),
+        "jitters": (0.0,),
+        "policies": ("restart",),
+    }
+    plural = {
+        "scheduler": "schedulers",
+        "mtbf": "mtbfs",
+        "jitter": "jitters",
+        "policy": "policies",
+    }
+    for entry in filter(None, (part.strip() for part in text.split(";"))):
+        key, sep, raw = entry.partition("=")
+        key = key.strip().lower()
+        if not sep or key not in plural:
+            raise MonteCarloError(
+                f"bad grid entry {entry!r}; expected "
+                "scheduler=.../mtbf=.../jitter=.../policy=..."
+            )
+        values = [v.strip() for v in raw.split(",") if v.strip()]
+        if not values:
+            raise MonteCarloError(f"grid axis {key!r} has no values")
+        if key in ("mtbf", "jitter"):
+            try:
+                axes[plural[key]] = tuple(
+                    None if key == "mtbf" and v.lower() == "none" else float(v)
+                    for v in values
+                )
+            except ValueError:
+                raise MonteCarloError(
+                    f"grid axis {key!r} needs numeric values, got {raw!r}"
+                ) from None
+        else:
+            axes[plural[key]] = tuple(values)
+    return axes
+
+
+def build_sweep_spec(
+    *,
+    grid: str = "scheduler=heft",
+    fleet: int = 3,
+    replications: int = 100,
+    seed: int = 0,
+) -> SweepSpec:
+    """The canonical :class:`SweepSpec` for a sweep *request*.
+
+    Both front doors — ``repro sweep`` and the serve layer's
+    ``POST /sweeps`` — build their spec through this one function, so an
+    HTTP-submitted sweep is *bit-identical* (same fleet, same continuum,
+    same per-cell entropy, hence the same cache keys and ledger record)
+    to the CLI sweep with the same arguments.
+    """
+    from repro.continuum.resources import default_continuum
+    from repro.data import synthetic_workflows
+
+    if fleet < 1:
+        raise MonteCarloError("fleet must be >= 1")
+    return SweepSpec(
+        workflows=synthetic_workflows(fleet, seed=seed),
+        continuum=default_continuum(seed=seed),
+        replications=replications,
+        seed=seed,
+        **parse_grid(grid),
+    )
 
 
 # -- fingerprints and cache keys -------------------------------------------------

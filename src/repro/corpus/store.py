@@ -190,6 +190,12 @@ class CorpusStore:
     telemetry:
         Optional :class:`repro.telemetry.Telemetry`; ingest/search/dedup
         phases emit spans and ``corpus.*`` counters through it.
+    threadsafe:
+        Allow the connection to be used from threads other than the one
+        that opened it (``check_same_thread=False``).  The store itself
+        does NOT serialize access — callers sharing one store across
+        threads must hold their own lock around every call (the serve
+        layer does exactly that).
 
     Examples
     --------
@@ -206,13 +212,15 @@ class CorpusStore:
         path: str | Path | None = None,
         *,
         telemetry: Any = None,
+        threadsafe: bool = False,
     ) -> None:
         self.path = Path(path) if path is not None else None
         self._telemetry = ensure(telemetry)
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
         self._db: sqlite3.Connection | None = sqlite3.connect(
-            str(self.path) if self.path is not None else ":memory:"
+            str(self.path) if self.path is not None else ":memory:",
+            check_same_thread=not threadsafe,
         )
         if self.path is not None:
             self._db.execute("PRAGMA journal_mode=WAL")
@@ -578,12 +586,21 @@ class CorpusStore:
     def by_venue(
         self, normalizer: VenueNormalizer | None = None
     ) -> FrequencyTable:
-        """Publication counts per (normalized) venue, most frequent first."""
+        """Publication counts per (normalized) venue, most frequent first.
+
+        Aggregation happens in SQL (``GROUP BY venue``), so only the
+        distinct raw venue strings — not every publication row — cross
+        into Python; the normalizer then folds raw spellings together.
+        Identical to :meth:`repro.corpus.corpus.Corpus.by_venue` on the
+        same records.
+        """
         normalizer = normalizer or VenueNormalizer()
         counts: dict[str, int] = {}
-        for (venue,) in self.db.execute("SELECT venue FROM pubs ORDER BY id"):
+        for venue, count in self.db.execute(
+            "SELECT venue, COUNT(*) FROM pubs GROUP BY venue"
+        ):
             name = normalizer.normalize(venue) or "(unknown)"
-            counts[name] = counts.get(name, 0) + 1
+            counts[name] = counts.get(name, 0) + count
         if not counts:
             raise CorpusError("corpus store is empty")
         ordered = dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))

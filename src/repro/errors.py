@@ -40,6 +40,9 @@ __all__ = [
     "CacheError",
     "TelemetryError",
     "LedgerError",
+    "ServeError",
+    "JobQueueFullError",
+    "UnknownJobError",
 ]
 
 
@@ -190,3 +193,18 @@ class LedgerError(ReproError):
     registry skips it with a warning (mirroring the corrupt-artifact
     recovery in :mod:`repro.pipeline.cache`), so a torn write can never
     take the whole run history down."""
+
+
+class ServeError(ReproError):
+    """Base class for :mod:`repro.serve` HTTP-service errors."""
+
+
+class JobQueueFullError(ServeError):
+    """The bounded sweep-job queue rejected a submission (HTTP 429).
+
+    Backpressure is a feature: the service sheds load instead of
+    accepting unbounded work it cannot finish."""
+
+
+class UnknownJobError(ServeError, KeyError):
+    """A job id was not found in the job queue (HTTP 404)."""

@@ -1,0 +1,92 @@
+"""Single-flight request coalescing for identical concurrent work.
+
+When N requests for the same content-addressed key arrive together and
+the artifact is cold, running the computation N times wastes N-1 runs of
+identical work — the results are bit-identical by construction (the
+pipeline and sweep engines are deterministic for a given key).
+:class:`SingleFlight` elects the first caller per key as the *leader*;
+it runs the computation while *followers* park on an event and share the
+leader's result (or its exception).  Keys come from
+:func:`repro.pipeline.cache.stable_digest`, so "identical request" means
+"identical canonical payload", not "same URL string".
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+__all__ = ["SingleFlight"]
+
+
+class _Call:
+    """In-flight computation shared by a leader and its followers."""
+
+    __slots__ = ("event", "result", "error", "waiters")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.waiters = 0
+
+
+class SingleFlight:
+    """Coalesce concurrent calls for the same key into one execution.
+
+    Examples
+    --------
+    >>> flight = SingleFlight()
+    >>> calls = []
+    >>> def compute():
+    ...     calls.append(1)
+    ...     return 42
+    >>> flight.do("answer", compute)
+    (42, True)
+    >>> len(calls)
+    1
+
+    The second element of the returned pair is ``True`` for the leader
+    (the call that actually executed *fn*) and ``False`` for followers
+    that received a shared result.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._calls: dict[str, _Call] = {}
+
+    def do(self, key: str, fn: Callable[[], Any]) -> tuple[Any, bool]:
+        """Run *fn* once per concurrent burst of *key*; share the result.
+
+        Returns ``(result, is_leader)``.  If the leader raises, every
+        follower of that burst re-raises the same exception; the key is
+        released either way, so a later burst retries fresh.
+        """
+        with self._lock:
+            call = self._calls.get(key)
+            leader = call is None
+            if leader:
+                call = _Call()
+                self._calls[key] = call
+            else:
+                call.waiters += 1
+        if not leader:
+            call.event.wait()
+            if call.error is not None:
+                raise call.error
+            return call.result, False
+        try:
+            call.result = fn()
+        except BaseException as exc:
+            call.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._calls.pop(key, None)
+            call.event.set()
+        return call.result, True
+
+    def in_flight(self) -> int:
+        """Number of keys currently executing (mostly for tests)."""
+        with self._lock:
+            return len(self._calls)

@@ -58,10 +58,12 @@ from repro.telemetry.log import (
 )
 from repro.telemetry.metrics import (
     Counter,
+    DEFAULT_LATENCY_BUCKETS,
     Gauge,
     Histogram,
     MetricsRegistry,
     PIPELINE_METRICS,
+    log_spaced_bounds,
 )
 from repro.telemetry.profile import (
     StageProfile,
@@ -74,6 +76,7 @@ from repro.telemetry.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
     "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
     "LOG_LEVELS",
@@ -95,6 +98,7 @@ __all__ = [
     "chrome_trace",
     "ensure",
     "load_chrome_trace",
+    "log_spaced_bounds",
     "profile_report",
     "render_trace",
     "span_events",

@@ -35,13 +35,50 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
     "PIPELINE_METRICS",
+    "log_spaced_bounds",
 ]
 
 #: Default histogram buckets for durations in seconds: 1 ms … 30 s.
 DEFAULT_SECONDS_BUCKETS = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0,
 )
+
+
+def log_spaced_bounds(
+    lo: float, hi: float, count: int
+) -> tuple[float, ...]:
+    """*count* geometrically spaced histogram bucket bounds in ``[lo, hi]``.
+
+    The fixed :data:`DEFAULT_SECONDS_BUCKETS` start at 1 ms, so every
+    warm-cache request latency (tens of microseconds) collapses into the
+    lowest bucket and the bucket view of the distribution degenerates to
+    a single bar.  Log-spaced bounds keep constant *relative* resolution
+    across scales, which is what latency distributions need.
+
+    >>> bounds = log_spaced_bounds(1e-4, 10.0, 6)
+    >>> len(bounds), bounds[0], bounds[-1]
+    (6, 0.0001, 10.0)
+    """
+    if count < 2:
+        raise TelemetryError(
+            f"log_spaced_bounds needs count >= 2, got {count}"
+        )
+    if not (lo > 0 and hi > lo):
+        raise TelemetryError(
+            f"log_spaced_bounds needs 0 < lo < hi, got lo={lo}, hi={hi}"
+        )
+    ratio = hi / lo
+    bounds = [lo * ratio ** (i / (count - 1)) for i in range(count)]
+    bounds[0], bounds[-1] = lo, hi  # exact endpoints, no float drift
+    return tuple(bounds)
+
+
+#: Default buckets for request latencies: 10 µs … 10 s, log-spaced, so
+#: sub-millisecond warm-cache responses spread over many buckets instead
+#: of collapsing into the first one.
+DEFAULT_LATENCY_BUCKETS = log_spaced_bounds(1e-5, 10.0, 25)
 
 #: The metrics :meth:`MetricsRegistry.for_pipeline` pre-registers, with
 #: the instrument kind each name maps to.
@@ -237,8 +274,58 @@ class Histogram:
             return float(result)
         return [float(v) for v in result]
 
+    def percentile_estimate(self, q: float | Sequence[float]) -> Any:
+        """Bucket-interpolated percentile estimate over ALL observations.
+
+        :meth:`percentile` is exact but answers from the raw-sample
+        reservoir, which stops growing after *max_samples* observations —
+        on a hot path (the serve layer's request histograms) the exact
+        percentiles would silently describe only the run's first
+        observations.  This estimator interpolates within the bucket
+        counts instead, which cover every observation; resolution is the
+        bucket width, so pair it with :func:`log_spaced_bounds` for
+        latency-scale accuracy.
+        """
+        if isinstance(q, (int, float)):
+            return self._estimate_one(float(q))
+        return [self._estimate_one(float(value)) for value in q]
+
+    def _estimate_one(self, q: float) -> float:
+        if not 0.0 <= q <= 100.0:
+            raise TelemetryError(
+                f"percentile must be in [0, 100], got {q}"
+            )
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total = self._count
+            observed_max = self._max
+        if total == 0:
+            raise TelemetryError(
+                f"histogram {self.name!r} has no observations"
+            )
+        # Bucket i spans (edges[i], edges[i+1]]; the first bucket opens
+        # at 0 for duration-style bounds, and the overflow bucket closes
+        # at the observed maximum.
+        first_lo = 0.0 if self.bounds[0] > 0 else self.bounds[0]
+        edges = [first_lo, *self.bounds, max(observed_max, self.bounds[-1])]
+        target = q / 100.0 * total
+        cumulative = 0.0
+        for index, count in enumerate(counts):
+            if cumulative + count >= target and count:
+                lo, hi = edges[index], edges[index + 1]
+                fraction = (target - cumulative) / count
+                return lo + (hi - lo) * min(max(fraction, 0.0), 1.0)
+            cumulative += count
+        return float(observed_max)
+
     def summary(self) -> dict[str, Any]:
-        """Snapshot with count/mean/max and p50/p90/p99 when non-empty."""
+        """Snapshot with count/mean/max and p50/p90/p99 when non-empty.
+
+        Percentiles are exact while every observation still fits the
+        raw-sample reservoir; once the reservoir has overflowed they
+        switch to the bucket-interpolated :meth:`percentile_estimate`,
+        which keeps covering the full stream.
+        """
         summary: dict[str, Any] = {
             "kind": self.kind,
             "count": self._count,
@@ -248,7 +335,10 @@ class Histogram:
             "buckets": self.bucket_counts(),
         }
         if self._count:
-            p50, p90, p99 = self.percentile([50, 90, 99])
+            if self._count > len(self._samples):
+                p50, p90, p99 = self.percentile_estimate([50, 90, 99])
+            else:
+                p50, p90, p99 = self.percentile([50, 90, 99])
             summary.update({"p50": p50, "p90": p90, "p99": p99})
         return summary
 

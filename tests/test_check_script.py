@@ -45,3 +45,25 @@ def test_check_script_runs_from_foreign_cwd(tmp_path):
 def test_check_script_is_executable():
     assert CHECK_SH.exists()
     assert os.access(CHECK_SH, os.X_OK), "scripts/check.sh must be chmod +x"
+
+
+@pytest.mark.skipif(shutil.which("bash") is None, reason="bash unavailable")
+def test_check_script_smoke_boots_and_drains_server(tmp_path):
+    """``--smoke`` boots the HTTP service on an ephemeral port, hits
+    /health over a real socket, and exits 0 after a graceful shutdown —
+    from a foreign cwd, like everything else the script does."""
+    env = {k: v for k, v in os.environ.items() if k != "PYTHONPATH"}
+    result = subprocess.run(
+        ["bash", str(CHECK_SH), "--smoke"],
+        capture_output=True,
+        text=True,
+        cwd=tmp_path,
+        env=env,
+        timeout=120,
+    )
+    assert result.returncode == 0, (
+        f"check.sh --smoke failed:\n{result.stdout[-2000:]}"
+        f"\n{result.stderr[-2000:]}"
+    )
+    assert "/health ok" in result.stdout
+    assert "graceful shutdown clean" in result.stdout

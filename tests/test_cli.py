@@ -218,7 +218,7 @@ class TestSweep:
 
     def test_bad_grid_errors_exit_1(self, capsys):
         assert main(["sweep", "--grid", "flux=9", "--no-cache"]) == 1
-        assert "bad --grid entry" in capsys.readouterr().err
+        assert "bad grid entry" in capsys.readouterr().err
         assert main(["sweep", "--grid", "mtbf=fast", "--no-cache"]) == 1
         assert "numeric" in capsys.readouterr().err
         assert main(["sweep", "--grid", "scheduler=alien",
@@ -227,7 +227,7 @@ class TestSweep:
 
     def test_bad_fleet_errors_exit_1(self, capsys):
         assert main(["sweep", "--fleet", "0", "--no-cache"]) == 1
-        assert "--fleet" in capsys.readouterr().err
+        assert "fleet" in capsys.readouterr().err
 
 
 class TestRuns:

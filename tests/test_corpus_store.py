@@ -257,6 +257,29 @@ class TestGrouping:
         with pytest.raises(CorpusError):
             CorpusStore().by_venue()
 
+    def test_by_venue_sql_groups_then_normalizer_folds(self):
+        # Distinct raw spellings share one canonical venue: the SQL
+        # GROUP BY sees them as separate rows, the normalizer must fold
+        # them afterwards — identical to the in-memory path.
+        pubs = [
+            _pub("a", "T1", venue="Future Generation Computer Systems"),
+            _pub("b", "T2", venue="FGCS"),
+            _pub("c", "T3", venue="Future generation computer systems "),
+            _pub("d", "T4", venue=""),
+            _pub("e", "T5"),
+        ]
+        store = _filled(pubs)
+        corpus = Corpus(pubs)
+        table = store.by_venue()
+        assert table.to_dict() == corpus.by_venue().to_dict()
+        raw_venues = {
+            row[0]
+            for row in store.db.execute("SELECT DISTINCT venue FROM pubs")
+        }
+        # More raw spellings than table rows proves folding happened
+        # after (not instead of) the SQL aggregation.
+        assert len(raw_venues) > len(table.labels)
+
     def test_year_range(self):
         store = _filled([_pub("a", "T", 2005), _pub("b", "U", 2021)])
         assert store.year_range() == (2005, 2021)

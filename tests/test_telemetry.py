@@ -220,6 +220,90 @@ class TestMetrics:
         assert counter.value == 8000
 
 
+class TestLatencyBuckets:
+    """Log-spaced bounds and bucket-interpolated percentile estimates —
+    what keeps the serve layer's latency histograms honest at sub-ms
+    scales and under reservoir overflow."""
+
+    def test_log_spaced_bounds_shape(self):
+        from repro.telemetry import log_spaced_bounds
+
+        bounds = log_spaced_bounds(1e-4, 10.0, 6)
+        assert len(bounds) == 6
+        assert bounds[0] == 1e-4
+        assert bounds[-1] == 10.0
+        # Geometric spacing: constant ratio between adjacent bounds.
+        ratios = [b2 / b1 for b1, b2 in zip(bounds, bounds[1:])]
+        assert all(r == pytest.approx(ratios[0]) for r in ratios)
+        assert all(b2 > b1 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_log_spaced_bounds_validation(self):
+        from repro.telemetry import log_spaced_bounds
+
+        with pytest.raises(TelemetryError):
+            log_spaced_bounds(0.0, 1.0, 5)
+        with pytest.raises(TelemetryError):
+            log_spaced_bounds(1.0, 0.5, 5)
+        with pytest.raises(TelemetryError):
+            log_spaced_bounds(0.1, 1.0, 1)
+
+    def test_default_latency_buckets_resolve_sub_ms(self):
+        from repro.telemetry import DEFAULT_LATENCY_BUCKETS
+
+        histogram = MetricsRegistry().histogram(
+            "fast", bounds=DEFAULT_LATENCY_BUCKETS
+        )
+        # With the old linear default (coarsest bound 0.01s) every one
+        # of these would land in the same first bucket.
+        for value in (20e-6, 90e-6, 400e-6, 2e-3):
+            histogram.observe(value)
+        occupied = [
+            label
+            for label, count in histogram.bucket_counts().items()
+            if count
+        ]
+        assert len(occupied) == 4
+
+    def test_percentile_estimate_tracks_full_stream(self):
+        histogram = MetricsRegistry().histogram(
+            "hot", bounds=tuple((i + 1) / 100 for i in range(100))
+        )
+        histogram._max_samples = 50  # force reservoir overflow
+        for i in range(1000):
+            histogram.observe(((i * 7919) % 1000 + 0.5) / 1000)
+        assert len(histogram._samples) == 50
+        # Exact percentiles describe only the first 50 observations;
+        # the estimate interpolates the buckets, covering all 1000.
+        assert histogram.percentile_estimate(50) == pytest.approx(
+            0.5, abs=0.02
+        )
+        p50, p99 = histogram.percentile_estimate([50, 99])
+        assert p99 == pytest.approx(0.99, abs=0.02)
+        assert p50 < p99
+
+    def test_percentile_estimate_validation(self):
+        histogram = MetricsRegistry().histogram("empty-est")
+        with pytest.raises(TelemetryError):
+            histogram.percentile_estimate(50)
+        histogram.observe(0.1)
+        with pytest.raises(TelemetryError):
+            histogram.percentile_estimate(101)
+
+    def test_summary_switches_to_estimate_on_overflow(self):
+        histogram = MetricsRegistry().histogram(
+            "switch", bounds=(0.1, 0.2, 0.4, 0.8)
+        )
+        histogram._max_samples = 4
+        for value in (0.05, 0.15, 0.3, 0.6):
+            histogram.observe(value)
+        exact = histogram.summary()
+        assert exact["p50"] == histogram.percentile(50)
+        histogram.observe(0.7)  # overflows the 4-sample reservoir
+        estimated = histogram.summary()
+        assert estimated["count"] == 5
+        assert estimated["p50"] == histogram.percentile_estimate(50)
+
+
 class TestTelemetryFacade:
     def test_ensure_normalizes_none(self):
         assert ensure(None) is NULL_TELEMETRY
