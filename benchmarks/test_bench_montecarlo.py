@@ -172,3 +172,117 @@ def test_bench_warm_cache_zero_simulations(benchmark, tmp_path):
             f"speedup: {cold_s / warm_s:6.1f}x",
         ],
     )
+
+
+def test_bench_adaptive_sequential_stopping(benchmark):
+    """Acceptance: on the EXPERIMENTS.md reference grid (3 schedulers ×
+    3 MTBFs, 200-replication cap) adaptive sequential stopping executes
+    ≤ 50% of the fixed-replication simulation count while every cell
+    meets ``target_ci``, on cells bit-identical to the serial run."""
+    import math
+
+    from repro.continuum.montecarlo import parse_grid
+    from repro.data import synthetic_workflows
+
+    base = dict(
+        workflows=synthetic_workflows(1, seed=0),
+        continuum=default_continuum(seed=0),
+        seed=0,
+        chunk_size=20,
+        **parse_grid("scheduler=heft,energy,round_robin;mtbf=20,50,200"),
+    )
+    fixed = SweepSpec(replications=200, **base)
+    adaptive = SweepSpec(replications=200, target_ci=0.02, **base)
+
+    start = time.perf_counter()
+    fixed_result = run_sweep(fixed, workers=2)
+    fixed_s = time.perf_counter() - start
+
+    result = benchmark.pedantic(
+        lambda: run_sweep(adaptive, workers=2), rounds=1, iterations=1
+    )
+    start = time.perf_counter()
+    run_sweep(adaptive, workers=2)
+    adaptive_s = time.perf_counter() - start
+
+    assert fixed_result.n_replications_run == 1800
+    assert result.n_replications_budget == 1800
+    fraction = result.n_replications_run / result.n_replications_budget
+    # Every cell met the stopping rule (or ran to the cap).
+    met = 0
+    for stats in result.cells:
+        summary = stats.metrics[adaptive.primary_metric]
+        half = 1.96 * summary.std / math.sqrt(summary.count)
+        if stats.replications < adaptive.replication_cap:
+            assert half <= adaptive.target_ci * abs(summary.mean) * 1.0001
+            met += 1
+    # Bit-identical to the serial adaptive run.
+    serial = run_sweep(adaptive, workers=0)
+    assert serial.to_dict() == result.to_dict()
+
+    report(
+        "Monte-Carlo — adaptive sequential stopping "
+        "(reference grid: 3 schedulers × 3 MTBFs, cap 200)",
+        [
+            f"fixed:    {fixed_s * 1e3:9.1f} ms "
+            f"({fixed_result.n_replications_run} simulations)",
+            f"adaptive: {adaptive_s * 1e3:9.1f} ms "
+            f"({result.n_replications_run} simulations, "
+            f"{result.n_replications_saved} saved, "
+            f"{fraction:.1%} of budget)",
+            f"cells stopped early: {met}/{len(result.cells)} "
+            "(all met target_ci=0.02; bit-identical at any worker count)",
+        ],
+    )
+    assert fraction <= 0.5, (
+        f"adaptive sweep ran {fraction:.1%} of the fixed budget (> 50%)"
+    )
+
+
+def test_bench_quantile_sketch_merge_exact(benchmark):
+    """Acceptance: merging per-shard `QuantileSketch` states is exact —
+    the merged sketch equals the single-stream sketch — and quantile
+    estimates stay within the alpha error bound at 100k samples."""
+    from repro.continuum import QuantileSketch
+
+    ALPHA = 0.01
+    N = 100_000
+    SHARDS = 8
+    rng = np.random.default_rng(55)
+    values = rng.lognormal(1.0, 1.0, size=N)
+
+    def build_and_merge():
+        whole = QuantileSketch(ALPHA)
+        shards = [QuantileSketch(ALPHA) for _ in range(SHARDS)]
+        for index, value in enumerate(values):
+            whole.add(float(value))
+            shards[index % SHARDS].add(float(value))
+        merged = shards[0]
+        for shard in shards[1:]:
+            merged.merge(shard)
+        return whole, merged
+
+    start = time.perf_counter()
+    whole, merged = build_and_merge()
+    build_s = time.perf_counter() - start
+    benchmark.pedantic(
+        lambda: merged.copy().merge(whole), rounds=3, iterations=1
+    )
+
+    assert merged == whole  # exact: not approximately equal
+    worst = 0.0
+    for q in (0.01, 0.1, 0.5, 0.9, 0.99, 0.999):
+        exact = float(np.quantile(values, q))
+        error = abs(merged.quantile(q) - exact) / exact
+        worst = max(worst, error)
+        assert error <= 2 * ALPHA
+    report(
+        f"Monte-Carlo — mergeable quantile sketch ({N} samples, "
+        f"{SHARDS} shards, alpha={ALPHA})",
+        [
+            f"build+merge: {build_s * 1e3:9.1f} ms "
+            f"({len(merged.to_dict()['pos'])} buckets)",
+            f"merged == single-stream: exact "
+            f"(worst quantile error {worst:.4%} ≤ {2 * ALPHA:.0%} bound)",
+        ],
+    )

@@ -178,6 +178,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="Monte-Carlo replications per grid cell (default 100)",
     )
     sweep.add_argument(
+        "--target-ci", type=float, default=None, metavar="CI",
+        help="adaptive mode: stop each cell once the 95%% confidence "
+             "half-width of its mean makespan is within CI (relative, "
+             "e.g. 0.02 = 2%%) instead of running a fixed count; noisy "
+             "cells run up to --max-replications",
+    )
+    sweep.add_argument(
+        "--max-replications", type=int, default=None, metavar="R",
+        help="replication cap per cell in adaptive mode "
+             "(default: --replications; requires --target-ci)",
+    )
+    sweep.add_argument(
         "--workers", type=int, default=0, metavar="W",
         help="worker processes (default 0 = serial; same results either way)",
     )
@@ -657,6 +669,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         fleet=args.fleet,
         replications=args.replications,
         seed=args.seed,
+        target_ci=args.target_ci,
+        max_replications=args.max_replications,
     )
     result = run_sweep(
         spec, workers=args.workers, cache=cache,
@@ -675,11 +689,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{makespan.p99:>9.3f} {stats.metrics['slowdown'].mean:>9.3f} "
             f"{stats.metrics['retries'].mean:>8.2f}"
         )
-    print(
-        f"{len(result.cells)} cell(s) × {spec.replications} replication(s): "
-        f"{len(result.computed)} computed, {len(result.cached)} from cache "
-        f"({result.n_replications_run} simulations run)"
-    )
+    if spec.adaptive:
+        print(
+            f"{len(result.cells)} cell(s), adaptive to target-ci "
+            f"{spec.target_ci:g} (cap {spec.replication_cap}): "
+            f"{len(result.computed)} computed, {len(result.cached)} from "
+            f"cache ({result.n_replications_run} simulations run, "
+            f"{result.n_replications_saved} saved)"
+        )
+    else:
+        print(
+            f"{len(result.cells)} cell(s) × {spec.replications} replication(s): "
+            f"{len(result.computed)} computed, {len(result.cached)} from cache "
+            f"({result.n_replications_run} simulations run)"
+        )
     if args.json is not None:
         import json
 

@@ -12,10 +12,12 @@ from repro.continuum.energy import PowerTrace, energy_report, power_trace
 from repro.continuum.failures import FailureTrace, simulate_with_failures
 from repro.continuum.matching import MatchModel, MatchReport
 from repro.continuum.montecarlo import (
+    CellAggregate,
     CellSpec,
     CellStats,
     FixedHistogram,
     MetricSummary,
+    QuantileSketch,
     ReplicationResult,
     RunningStat,
     SimulationContext,
@@ -59,6 +61,7 @@ from repro.continuum.workflow import (
 )
 
 __all__ = [
+    "CellAggregate",
     "CellSpec",
     "CellStats",
     "CompiledContinuum",
@@ -74,6 +77,7 @@ __all__ = [
     "MatchReport",
     "MetricSummary",
     "PowerTrace",
+    "QuantileSketch",
     "energy_report",
     "power_trace",
     "ReplicationResult",

@@ -18,21 +18,35 @@ This module is the batched engine, in four layers:
    the feasibility sets the migrate policy scans.  One replication then
    runs on flat lists of floats and ints.  The replay is *bit-identical*
    to the one-shot simulators (see the determinism contract below).
-2. **Process parallelism** — :func:`run_sweep` fans replication chunks out
-   over a ``ProcessPoolExecutor`` (the pure-Python replay loop is
-   GIL-bound, so threads cannot scale it).  Workers receive the schedules
-   once (pool initializer), build contexts lazily, and return raw
-   per-replication metric tuples.
-3. **Streaming aggregation** — the parent folds replications into
-   :class:`RunningStat` (Welford mean/variance, min/max) and
-   :class:`FixedHistogram` (fixed-bucket counts with interpolated
-   p50/p90/p99) accumulators per grid cell, so memory stays O(buckets) —
-   constant in the replication count.
-4. **Integration** — grid cells are content-addressed: an
+2. **Work-stealing process parallelism** — :func:`run_sweep` feeds a
+   shared round queue to a ``ProcessPoolExecutor`` (the pure-Python
+   replay loop is GIL-bound, so threads cannot scale it).  Workers
+   receive the schedules once (pool initializer), build contexts lazily,
+   and return raw per-replication metric tuples; the parent dispatches
+   the next pending round to whichever worker frees up, so a cell that
+   finishes (or stops) early releases its worker to the slow cells
+   instead of idling behind a static chunk assignment.
+3. **Adaptive replication (sequential stopping)** — with
+   ``SweepSpec.target_ci`` set, each cell runs replication *rounds*
+   (``chunk_size`` replications each) only until the 95% confidence
+   half-width of its primary metric's mean falls to ``target_ci``
+   relative to that mean, capped at ``max_replications``.  Low-variance
+   cells stop after one round; only genuinely noisy cells spend the full
+   budget — a large reduction in simulations at equal statistical
+   precision (gated in ``benchmarks/test_bench_montecarlo.py``).
+4. **Streaming, mergeable aggregation** — the parent folds replications
+   into :class:`RunningStat` (Welford mean/variance, min/max) and
+   :class:`~repro.stats.sketch.QuantileSketch` (log-bucket quantile
+   sketch with an *exact, associative* merge) accumulators per grid
+   cell (:class:`CellAggregate`), so memory stays O(buckets) — constant
+   in the replication count — and partial aggregates from independent
+   processes or hosts combine deterministically.
+5. **Integration** — grid cells are content-addressed: an
    :class:`~repro.pipeline.cache.ArtifactCache` hit skips every
    simulation of an already-computed cell; telemetry spans/counters and
    optional :class:`~repro.obs.RunRegistry` recording ride along; the
-   ``repro sweep`` CLI command drives the whole thing.
+   ``repro sweep`` CLI command and the serve layer's ``POST /sweeps``
+   drive the whole thing through one spec builder.
 
 Determinism contract
 --------------------
@@ -41,8 +55,17 @@ Replication ``j`` of a grid cell draws from a dedicated
 identity)`` — NOT from a shared stream — so results are bit-identical
 regardless of worker count, chunk size, serial fallback, or which other
 cells share the grid, and the first ``R`` replications of a larger run
-reproduce a smaller run exactly.  The parent merges chunk results in
-replication order, which pins the floating-point fold order.  Against the
+reproduce a smaller run exactly.  The parent merges round results in
+replication order per cell — out-of-order completions are buffered until
+their predecessors fold — which pins the floating-point fold order no
+matter which worker ran which round, in what order rounds completed, or
+how the round queue was drained (see ``steal_seed``).  Sequential
+stopping preserves the guarantee because stop decisions are evaluated
+only at fully-folded round boundaries, on statistics that are themselves
+bit-identical across execution placements; the round size
+(``chunk_size``) is therefore part of an adaptive cell's identity, while
+for fixed-replication sweeps chunking still can never change results.
+Against the
 one-shot simulators, one replication with generator ``g`` reproduces
 ``simulate_with_failures(schedule, ..., rng=g)`` bit-for-bit when
 ``jitter == 0``, and ``simulate_schedule(schedule, jitter=j, rng=g)``
@@ -53,9 +76,10 @@ stream exactly like the equivalent scalar sequence).
 from __future__ import annotations
 
 import math
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -69,17 +93,21 @@ from repro.continuum.scheduling import (
 )
 from repro.continuum.workflow import Workflow
 from repro.errors import ContinuumError, MonteCarloError
+from repro.stats.sketch import QuantileSketch
 from repro.telemetry import ensure
 
 __all__ = [
     "ENGINE_VERSION",
     "SCHEDULERS",
     "METRIC_NAMES",
+    "SKETCH_ALPHA",
     "ReplicationResult",
     "SimulationContext",
     "replicate_once",
     "RunningStat",
     "FixedHistogram",
+    "QuantileSketch",
+    "CellAggregate",
     "MetricSummary",
     "CellSpec",
     "CellStats",
@@ -92,8 +120,17 @@ __all__ = [
 
 #: Bump when the replay semantics or the aggregation layout change —
 #: part of every cell's cache key, so stale cached cells can never leak
-#: into a sweep computed by a newer engine.
-ENGINE_VERSION = "1"
+#: into a sweep computed by a newer engine.  "2": quantile sketches
+#: replaced fixed-bucket histograms in the cell aggregate, and the
+#: replication plan (fixed count vs adaptive stopping) joined the key.
+ENGINE_VERSION = "2"
+
+#: Relative-accuracy guarantee of every cell's quantile sketches.
+SKETCH_ALPHA = 0.01
+
+#: Normal-approximation z for the 95% confidence half-width the
+#: sequential-stopping rule targets.
+_CI_Z = 1.959963984540054
 
 #: Scheduler registry the sweep grid selects from by name.
 SCHEDULERS: dict[str, Any] = {
@@ -405,6 +442,56 @@ class RunningStat:
     def std(self) -> float:
         return math.sqrt(self.variance)
 
+    def merge(self, other: "RunningStat") -> "RunningStat":
+        """Fold another accumulator in (Chan et al. parallel update).
+
+        For combining partial aggregates from independent processes or
+        hosts.  The merged moments are deterministic for a given merge
+        tree but — unlike the quantile sketches — not bit-identical to a
+        value-by-value fold; that is why :func:`run_sweep` itself folds
+        raw replications in replication order and reserves ``merge`` for
+        cross-host combination.
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
+    def to_dict(self) -> dict[str, float | int]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "m2": self._m2,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunningStat":
+        stat = cls()
+        stat.count = int(payload["count"])
+        stat.mean = float(payload["mean"])
+        stat._m2 = float(payload["m2"])
+        if stat.count:
+            stat.min = float(payload["min"])
+            stat.max = float(payload["max"])
+        return stat
+
 
 class FixedHistogram:
     """Fixed-bucket histogram with interpolated quantiles, O(buckets) memory.
@@ -414,9 +501,18 @@ class FixedHistogram:
     moments live in the paired :class:`RunningStat`.  Buckets are linear
     or geometric; counts are integers, so the histogram is trivially
     order-independent.
+
+    Clamp semantics: an out-of-range value is *counted* in the nearest
+    edge bucket (``clamped_low``/``clamped_high`` track how many), and a
+    quantile target whose rank falls within that clamped mass answers
+    with the exact edge value, never an interpolated point inside the
+    edge bucket.  Without this, a histogram whose mass saturates the
+    overflow bucket would spread identical out-of-range values across
+    the bucket's span (p50 ≠ p99 for a constant stream), making
+    sketch-vs-histogram comparisons unstable.
     """
 
-    __slots__ = ("edges", "counts", "_log")
+    __slots__ = ("edges", "counts", "_log", "clamped_low", "clamped_high")
 
     def __init__(
         self, lo: float, hi: float, n_buckets: int, *, log: bool = False
@@ -433,13 +529,18 @@ class FixedHistogram:
         else:
             self.edges = np.linspace(lo, hi, n_buckets + 1)
         self.counts = np.zeros(n_buckets, dtype=np.int64)
+        self.clamped_low = 0
+        self.clamped_high = 0
 
     def add(self, value: float) -> None:
         index = int(np.searchsorted(self.edges, value, side="right")) - 1
         if index < 0:
             index = 0
+            self.clamped_low += 1
         elif index >= self.counts.size:
             index = self.counts.size - 1
+            if value > self.edges[-1]:
+                self.clamped_high += 1
         self.counts[index] += 1
 
     @property
@@ -447,13 +548,23 @@ class FixedHistogram:
         return int(self.counts.sum())
 
     def quantile(self, q: float) -> float:
-        """Linear-interpolated quantile estimate from the bucket counts."""
+        """Linear-interpolated quantile estimate from the bucket counts.
+
+        Targets that land within clamped out-of-range mass return the
+        exact range edge (see the class docstring).
+        """
         if not 0.0 <= q <= 1.0:
             raise MonteCarloError(f"quantile must be in [0, 1], got {q}")
         total = self.count
         if total == 0:
             raise MonteCarloError("quantile of an empty histogram")
         target = q * total
+        # Ranks inside the clamped tails are known exactly: every such
+        # observation sits at (or beyond) the range edge.
+        if self.clamped_low and target <= self.clamped_low:
+            return float(self.edges[0])
+        if self.clamped_high and target >= total - self.clamped_high:
+            return float(self.edges[-1])
         cumulative = np.cumsum(self.counts)
         index = int(np.searchsorted(cumulative, target, side="left"))
         if index >= self.counts.size:
@@ -504,45 +615,86 @@ class MetricSummary:
         )
 
 
-class _CellAggregate:
-    """Streams one cell's replications into stats + histograms."""
+class CellAggregate:
+    """Streams one cell's replications into mergeable stats + sketches.
 
-    def __init__(self, planned_makespan: float) -> None:
+    One :class:`RunningStat` (exact moments) and one
+    :class:`~repro.stats.sketch.QuantileSketch` (quantiles within
+    :data:`SKETCH_ALPHA` relative error) per metric.  Unlike the
+    fixed-bucket histograms this replaces, the sketches need no a-priori
+    value range and their :meth:`merge` is *exact*: combining partial
+    aggregates from independent processes or hosts yields the same
+    sketch state as one aggregate fed every replication — the foundation
+    for distributing sweeps beyond one parent process.
+
+    ``to_dict``/``from_dict`` round-trip the full state through JSON so
+    a partial aggregate is shippable between hosts.
+    """
+
+    __slots__ = ("stats", "sketches")
+
+    def __init__(self) -> None:
         self.stats = {name: RunningStat() for name in METRIC_NAMES}
-        span = max(planned_makespan, 1e-12)
-        self.histograms = {
-            # Slowdown >= 1 under pure failures; jitter can shrink it, so
-            # the geometric range opens well below 1.
-            "slowdown": FixedHistogram(0.25, 256.0, 128, log=True),
-            "makespan": FixedHistogram(
-                0.25 * span, 256.0 * span, 128, log=True
-            ),
-            "retries": FixedHistogram(0.0, 256.0, 256),
-            "migrations": FixedHistogram(0.0, 256.0, 256),
-            "lost_work": FixedHistogram(0.0, 64.0 * span, 256),
+        self.sketches = {
+            name: QuantileSketch(SKETCH_ALPHA) for name in METRIC_NAMES
         }
 
     def add(self, values: tuple[float, float, int, int, float]) -> None:
         for name, value in zip(METRIC_NAMES, values):
             self.stats[name].add(value)
-            self.histograms[name].add(value)
+            self.sketches[name].add(value)
+
+    def merge(self, other: "CellAggregate") -> "CellAggregate":
+        """Fold another cell aggregate in (sketch merge is exact)."""
+        for name in METRIC_NAMES:
+            self.stats[name].merge(other.stats[name])
+            self.sketches[name].merge(other.sketches[name])
+        return self
 
     def summaries(self) -> dict[str, MetricSummary]:
         out: dict[str, MetricSummary] = {}
         for name in METRIC_NAMES:
             stat = self.stats[name]
-            histogram = self.histograms[name]
+            sketch = self.sketches[name]
             out[name] = MetricSummary(
                 count=stat.count,
                 mean=stat.mean,
                 std=stat.std,
                 min=stat.min,
                 max=stat.max,
-                p50=histogram.quantile(0.50),
-                p90=histogram.quantile(0.90),
-                p99=histogram.quantile(0.99),
+                p50=sketch.quantile(0.50),
+                p90=sketch.quantile(0.90),
+                p99=sketch.quantile(0.99),
             )
         return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "stats": {
+                name: self.stats[name].to_dict() for name in METRIC_NAMES
+            },
+            "sketches": {
+                name: self.sketches[name].to_dict() for name in METRIC_NAMES
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CellAggregate":
+        aggregate = cls()
+        try:
+            aggregate.stats = {
+                name: RunningStat.from_dict(payload["stats"][name])
+                for name in METRIC_NAMES
+            }
+            aggregate.sketches = {
+                name: QuantileSketch.from_dict(payload["sketches"][name])
+                for name in METRIC_NAMES
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MonteCarloError(
+                f"malformed cell aggregate payload: {exc}"
+            ) from None
+        return aggregate
 
 
 # -- grid cells ----------------------------------------------------------------
@@ -625,9 +777,23 @@ class SweepSpec:
     """A full Monte-Carlo experiment grid.
 
     The grid is the cross product ``workflows × schedulers × mtbfs ×
-    jitters × policies``; every cell runs ``replications`` seeded
-    replications.  ``chunk_size`` shapes the parallel fan-out only — it
-    can never change results (see the module determinism contract).
+    jitters × policies``.  Replication sizing has two modes:
+
+    * **fixed** (``target_ci is None``, the default): every cell runs
+      exactly ``replications`` seeded replications, and ``chunk_size``
+      shapes the parallel fan-out only — it can never change results
+      (see the module determinism contract).
+    * **adaptive** (``target_ci`` set): every cell runs rounds of
+      ``chunk_size`` replications until the 95% confidence half-width
+      of its ``primary_metric`` mean is at most ``target_ci`` *relative
+      to that mean* (``1.96·s/√n ≤ target_ci·|mean|``), capped at
+      ``max_replications`` (default: ``replications``).  Stop checks
+      happen at round boundaries, so in this mode ``chunk_size`` is part
+      of a cell's identity (and cache key); results remain bit-identical
+      across worker counts and queue orders.
+
+    ``max_replications`` without ``target_ci`` is rejected — a fixed
+    sweep sizes itself with ``replications`` alone.
     """
 
     workflows: tuple[Workflow, ...]
@@ -641,6 +807,9 @@ class SweepSpec:
     replications: int = 100
     seed: int = 0
     chunk_size: int = 64
+    target_ci: float | None = None
+    max_replications: int | None = None
+    primary_metric: str = "makespan"
 
     def __post_init__(self) -> None:
         if not self.workflows:
@@ -662,6 +831,25 @@ class SweepSpec:
             raise MonteCarloError("replications must be >= 1")
         if self.chunk_size < 1:
             raise MonteCarloError("chunk_size must be >= 1")
+        if self.primary_metric not in METRIC_NAMES:
+            raise MonteCarloError(
+                f"unknown primary_metric {self.primary_metric!r}; "
+                f"choose from {METRIC_NAMES}"
+            )
+        if self.target_ci is not None:
+            if not (math.isfinite(self.target_ci) and self.target_ci > 0):
+                raise MonteCarloError(
+                    f"target_ci must be a finite value > 0, "
+                    f"got {self.target_ci}"
+                )
+        if self.max_replications is not None:
+            if self.target_ci is None:
+                raise MonteCarloError(
+                    "max_replications requires target_ci (a fixed sweep "
+                    "sizes itself with replications)"
+                )
+            if self.max_replications < 1:
+                raise MonteCarloError("max_replications must be >= 1")
         for mtbf in self.mtbfs:
             for jitter in self.jitters:
                 for policy in self.policies:
@@ -670,6 +858,30 @@ class SweepSpec:
                         policy=policy, jitter=jitter,
                         max_attempts=self.max_attempts,
                     )
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether this sweep sizes replications by sequential stopping."""
+        return self.target_ci is not None
+
+    @property
+    def replication_cap(self) -> int:
+        """Per-cell replication ceiling (fixed count in fixed mode)."""
+        if self.adaptive and self.max_replications is not None:
+            return self.max_replications
+        return self.replications
+
+    def replication_plan(self) -> dict[str, Any]:
+        """The replication-sizing identity (part of every cell cache key)."""
+        if not self.adaptive:
+            return {"mode": "fixed", "replications": self.replications}
+        return {
+            "mode": "adaptive",
+            "target_ci": self.target_ci,
+            "max_replications": self.replication_cap,
+            "round_size": self.chunk_size,
+            "primary_metric": self.primary_metric,
+        }
 
     def cells(self) -> tuple[CellSpec, ...]:
         """The grid cells in deterministic enumeration order."""
@@ -693,12 +905,21 @@ class SweepResult:
     ``computed``/``cached`` partition the grid's cell ids by whether
     their replications ran in this call or came from the artifact cache;
     ``n_replications_run`` counts the simulations actually executed.
+    ``n_replications_budget`` is what a fixed sweep at the replication
+    cap would have executed for the same computed cells — the difference
+    is the adaptive engine's savings (zero by construction in fixed
+    mode, where run == budget).
     """
 
     cells: tuple[CellStats, ...]
     computed: tuple[str, ...]
     cached: tuple[str, ...]
     n_replications_run: int
+    n_replications_budget: int = 0
+
+    @property
+    def n_replications_saved(self) -> int:
+        return self.n_replications_budget - self.n_replications_run
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -707,6 +928,7 @@ class SweepResult:
             "computed": list(self.computed),
             "cached": list(self.cached),
             "n_replications_run": self.n_replications_run,
+            "n_replications_budget": self.n_replications_budget,
         }
 
 
@@ -769,6 +991,8 @@ def build_sweep_spec(
     fleet: int = 3,
     replications: int = 100,
     seed: int = 0,
+    target_ci: float | None = None,
+    max_replications: int | None = None,
 ) -> SweepSpec:
     """The canonical :class:`SweepSpec` for a sweep *request*.
 
@@ -776,7 +1000,10 @@ def build_sweep_spec(
     ``POST /sweeps`` — build their spec through this one function, so an
     HTTP-submitted sweep is *bit-identical* (same fleet, same continuum,
     same per-cell entropy, hence the same cache keys and ledger record)
-    to the CLI sweep with the same arguments.
+    to the CLI sweep with the same arguments.  ``target_ci`` switches
+    the sweep to adaptive sequential stopping (``max_replications``
+    caps it; default: ``replications``) — invalid combinations raise
+    :class:`~repro.errors.MonteCarloError` here, before any work runs.
     """
     from repro.continuum.resources import default_continuum
     from repro.data import synthetic_workflows
@@ -788,6 +1015,8 @@ def build_sweep_spec(
         continuum=default_continuum(seed=seed),
         replications=replications,
         seed=seed,
+        target_ci=target_ci,
+        max_replications=max_replications,
         **parse_grid(grid),
     )
 
@@ -922,6 +1151,7 @@ def run_sweep(
     cache=None,
     telemetry=None,
     registry=None,
+    steal_seed: int | None = None,
 ) -> SweepResult:
     """Run the full Monte-Carlo grid of *spec*.
 
@@ -936,17 +1166,23 @@ def run_sweep(
     cache:
         Optional :class:`~repro.pipeline.cache.ArtifactCache`.  Grid
         cells are content-addressed (engine version, seed, workflow and
-        continuum fingerprints, cell condition, replication count): a hit
+        continuum fingerprints, cell condition, replication plan): a hit
         skips every simulation of that cell.
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry`; when bound the
         sweep is traced (``sweep`` span with per-scheduler ``schedule.*``
-        child spans), counted (``mc.replications``, ``mc.cells_computed``,
+        child spans), counted (``mc.replications``, ``mc.rounds``,
+        ``mc.replications_saved``, ``mc.cells_computed``,
         ``mc.cells_cached``), and logged (``sweep.finish``).
     registry:
         Optional :class:`~repro.obs.RunRegistry`; when given, the sweep
         appends a ``mc-sweep`` :class:`~repro.obs.RunRecord` (cell
         digests, replication counters) to the run ledger.
+    steal_seed:
+        Optional seed that *shuffles* the order rounds are taken off the
+        shared work queue — a chaos knob for exercising the determinism
+        contract (results are bit-identical for any value, which the
+        test suite asserts), never needed for normal runs.
 
     Returns
     -------
@@ -957,15 +1193,16 @@ def run_sweep(
         raise MonteCarloError("workers must be >= 0")
     tel = ensure(telemetry)
     if not tel.enabled:
-        return _run_sweep(spec, workers, cache, tel, registry)
+        return _run_sweep(spec, workers, cache, tel, registry, steal_seed)
     cells = spec.cells()
     with tel.tracer.span(
         "sweep",
         cells=len(cells),
-        replications=spec.replications,
+        replications=spec.replication_cap,
         workers=workers,
+        adaptive=spec.adaptive,
     ) as span:
-        result = _run_sweep(spec, workers, cache, tel, registry)
+        result = _run_sweep(spec, workers, cache, tel, registry, steal_seed)
         span.tags.update(
             computed=len(result.computed),
             cached=len(result.cached),
@@ -981,7 +1218,7 @@ def run_sweep(
 
 
 def _run_sweep(
-    spec: SweepSpec, workers: int, cache, tel, registry
+    spec: SweepSpec, workers: int, cache, tel, registry, steal_seed
 ) -> SweepResult:
     from repro.pipeline.cache import stable_digest
 
@@ -992,16 +1229,20 @@ def _run_sweep(
     }
     continuum_fp = _continuum_fingerprint(spec.continuum)
 
-    # Content-addressed cache lookup per cell.
+    # Content-addressed cache lookup per cell.  The key pairs the cell's
+    # stream identity with the replication *plan*: a fixed count, or the
+    # adaptive stopping rule (whose round size shapes where stop checks
+    # happen, hence the result).
     identities = {
         cell.cell_id: _cell_identity(spec, cell, fingerprints, continuum_fp)
         for cell in cells
     }
+    replication_plan = spec.replication_plan()
     cache_keys = {
         cell.cell_id: stable_digest(
             "montecarlo-cell",
             identities[cell.cell_id],
-            spec.replications,
+            replication_plan,
         )
         for cell in cells
     }
@@ -1057,57 +1298,63 @@ def _run_sweep(
             )
             for cell in misses
         ]
-        # Chunked fan-out: (task, start, count) triples in deterministic
-        # order; the merge below folds chunk results back in replication
-        # order per cell, so chunking never shows in the numbers.
-        chunks: list[tuple[int, int, int]] = []
-        for task_index in range(len(tasks)):
-            for start in range(0, spec.replications, spec.chunk_size):
-                count = min(spec.chunk_size, spec.replications - start)
-                chunks.append((task_index, start, count))
+        progresses = [
+            _CellProgress(
+                cell=cell,
+                planned=schedules[
+                    schedule_index[(cell.workflow, cell.scheduler)]
+                ].makespan,
+                cap=spec.replication_cap,
+            )
+            for cell in misses
+        ]
+        rounds_run = _execute_cells(
+            spec, schedules, tasks, progresses, workers, steal_seed
+        )
 
-        if workers > 1:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_worker_init,
-                initargs=(schedules, tasks),
-            ) as pool:
-                chunk_results = pool.map(_worker_chunk, chunks)
-                aggregates = _fold(misses, schedules, schedule_index,
-                                   chunks, chunk_results)
-        else:
-            _worker_init(schedules, tasks)
-            chunk_results = map(_worker_chunk, chunks)
-            aggregates = _fold(misses, schedules, schedule_index,
-                               chunks, chunk_results)
-
-        for cell in misses:
-            aggregate, planned = aggregates[cell.cell_id]
+        for cell, progress in zip(misses, progresses):
             stats = CellStats(
                 cell=cell,
-                replications=spec.replications,
-                planned_makespan=planned,
-                metrics=aggregate.summaries(),
+                replications=progress.folded,
+                planned_makespan=progress.planned,
+                metrics=progress.aggregate.summaries(),
             )
             stats_of[cell.cell_id] = stats
-            replications_run += spec.replications
+            replications_run += progress.folded
             if cache is not None:
                 cache.store(cache_keys[cell.cell_id], stats.to_dict())
 
+    budget = spec.replication_cap * len(misses)
     result = SweepResult(
         cells=tuple(stats_of[cell.cell_id] for cell in cells),
         computed=tuple(cell.cell_id for cell in misses),
         cached=tuple(cached_ids),
         n_replications_run=replications_run,
+        n_replications_budget=budget,
     )
     if tel.enabled:
         metrics = tel.metrics
         metrics.counter("mc.replications").inc(replications_run)
         metrics.counter("mc.cells_computed").inc(len(result.computed))
         metrics.counter("mc.cells_cached").inc(len(result.cached))
+        if misses:
+            metrics.counter("mc.rounds").inc(rounds_run)
+        if spec.adaptive:
+            metrics.counter("mc.replications_saved").inc(
+                result.n_replications_saved
+            )
     if registry is not None:
         from repro.obs import build_sweep_record
 
+        meta: dict[str, Any] = {
+            "seed": spec.seed,
+            "replications": spec.replications,
+            "workers": workers,
+        }
+        if spec.adaptive:
+            meta["target_ci"] = spec.target_ci
+            meta["max_replications"] = spec.replication_cap
+            meta["primary_metric"] = spec.primary_metric
         registry.record(
             build_sweep_record(
                 result,
@@ -1115,37 +1362,146 @@ def _run_sweep(
                 config_digest=stable_digest(
                     sorted(cache_keys.values())
                 ),
-                meta={
-                    "seed": spec.seed,
-                    "replications": spec.replications,
-                    "workers": workers,
-                },
+                meta=meta,
             )
         )
     return result
 
 
-def _fold(
-    misses: Sequence[CellSpec],
-    schedules: Sequence[Schedule],
-    schedule_index: Mapping[tuple[str, str], int],
-    chunks: Sequence[tuple[int, int, int]],
-    chunk_results,
-) -> dict[str, tuple[_CellAggregate, float]]:
-    """Merge chunk results into per-cell aggregates, in replication order.
+# -- the work-stealing round dispatcher --------------------------------------------
 
-    ``chunk_results`` arrives in submission order (``Executor.map``
-    preserves it), and chunks were submitted cell-major / start-minor,
-    so simply folding in arrival order reproduces the serial fold.
+
+class _CellProgress:
+    """Parent-side fold state for one computed grid cell.
+
+    ``folded`` counts the replications merged into the aggregate so far —
+    always a prefix of the cell's replication stream.  Rounds that
+    complete out of order wait in ``buffer`` (keyed by start index) until
+    every predecessor has folded, which pins the floating-point fold
+    order no matter which worker ran which round.
     """
-    aggregates: dict[str, tuple[_CellAggregate, float]] = {}
-    for cell in misses:
-        planned = schedules[
-            schedule_index[(cell.workflow, cell.scheduler)]
-        ].makespan
-        aggregates[cell.cell_id] = (_CellAggregate(planned), planned)
-    for (task_index, _, _), values in zip(chunks, chunk_results):
-        aggregate, _ = aggregates[misses[task_index].cell_id]
-        for row in values:
-            aggregate.add(row)
-    return aggregates
+
+    __slots__ = ("cell", "planned", "cap", "aggregate", "folded",
+                 "buffer", "done", "rounds")
+
+    def __init__(self, cell: CellSpec, planned: float, cap: int) -> None:
+        self.cell = cell
+        self.planned = planned
+        self.cap = cap
+        self.aggregate = CellAggregate()
+        self.folded = 0
+        self.buffer: dict[int, list[tuple[float, float, int, int, float]]] = {}
+        self.done = False
+        self.rounds = 0
+
+
+def _stop_met(spec: SweepSpec, aggregate: CellAggregate) -> bool:
+    """The sequential-stopping rule, checked at round boundaries only.
+
+    Stop once the normal-approximation 95% confidence half-width of the
+    primary metric's mean is within ``target_ci`` of the mean's
+    magnitude.  A zero-variance cell (e.g. no failures, no jitter) stops
+    after its first round; a zero-mean cell stops only when its variance
+    is also zero, since no relative precision is otherwise attainable
+    before the cap.
+    """
+    stat = aggregate.stats[spec.primary_metric]
+    if stat.count < 2:
+        return False
+    half_width = _CI_Z * stat.std / math.sqrt(stat.count)
+    return half_width <= spec.target_ci * abs(stat.mean)
+
+
+def _execute_cells(
+    spec: SweepSpec,
+    schedules: list[Schedule],
+    tasks: list[_CellTask],
+    progresses: list[_CellProgress],
+    workers: int,
+    steal_seed: int | None,
+) -> int:
+    """Drain every cell's replication rounds through one shared queue.
+
+    Fixed mode enqueues the whole plan upfront, round-major, so the early
+    rounds of every cell reach the pool first.  Adaptive mode keeps
+    exactly one round outstanding per cell: the next round joins the
+    queue only after its predecessor folds and :func:`_stop_met` says
+    continue — which is what makes stopping decisions independent of
+    worker count and queue order.  Workers pull whatever round is next
+    (no static assignment), so a cell that stops early frees its worker
+    for the slow cells.  Returns the number of rounds executed.
+    """
+    chunk = spec.chunk_size
+    pending: deque[tuple[int, int, int]] = deque()
+    if spec.adaptive:
+        for task_index, progress in enumerate(progresses):
+            pending.append((task_index, 0, min(chunk, progress.cap)))
+    else:
+        for start in range(0, spec.replication_cap, chunk):
+            for task_index, progress in enumerate(progresses):
+                if start < progress.cap:
+                    pending.append(
+                        (task_index, start, min(chunk, progress.cap - start))
+                    )
+    steal_rng = (
+        np.random.default_rng(steal_seed) if steal_seed is not None else None
+    )
+    rounds_run = 0
+
+    def receive(
+        task_index: int,
+        start: int,
+        values: list[tuple[float, float, int, int, float]],
+    ) -> None:
+        nonlocal rounds_run
+        progress = progresses[task_index]
+        progress.buffer[start] = values
+        while progress.folded in progress.buffer:
+            rows = progress.buffer.pop(progress.folded)
+            for row in rows:
+                progress.aggregate.add(row)
+            progress.folded += len(rows)
+            progress.rounds += 1
+            rounds_run += 1
+            if progress.folded >= progress.cap:
+                progress.done = True
+            elif spec.adaptive:
+                if _stop_met(spec, progress.aggregate):
+                    progress.done = True
+                else:
+                    pending.append((
+                        task_index,
+                        progress.folded,
+                        min(chunk, progress.cap - progress.folded),
+                    ))
+
+    def take() -> tuple[int, int, int]:
+        if steal_rng is None or len(pending) == 1:
+            return pending.popleft()
+        index = int(steal_rng.integers(len(pending)))
+        item = pending[index]
+        del pending[index]
+        return item
+
+    if workers > 1:
+        in_flight: dict[Any, tuple[int, int, int]] = {}
+        limit = workers * 2
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(schedules, tasks),
+        ) as pool:
+            while pending or in_flight:
+                while pending and len(in_flight) < limit:
+                    item = take()
+                    in_flight[pool.submit(_worker_chunk, item)] = item
+                finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    task_index, start, _ = in_flight.pop(future)
+                    receive(task_index, start, future.result())
+    else:
+        _worker_init(schedules, tasks)
+        while pending:
+            item = take()
+            receive(item[0], item[1], _worker_chunk(item))
+    return rounds_run

@@ -62,8 +62,15 @@ _LEDGER_METRICS = (
     "sim.retries",
     "sim.migrations",
     "mc.replications",
+    "mc.rounds",
+    "mc.replications_saved",
     "mc.cells_computed",
     "mc.cells_cached",
+    "stat.draws",
+    "stat.rounds",
+    "stat.draws_saved",
+    "stat.tasks_computed",
+    "stat.tasks_cached",
     "corpus.records_ingested",
     "corpus.records_rejected",
     "corpus.batches_committed",
@@ -518,6 +525,14 @@ def build_sweep_record(
     metrics["mc.cells_computed"] = float(len(result.computed))
     metrics["mc.cells_cached"] = float(len(result.cached))
     metrics["mc.replications"] = float(result.n_replications_run)
+    # Adaptive engines carry a fixed-equivalent budget; record the
+    # savings so the ledger shows what sequential stopping bought.
+    budget = getattr(result, "n_replications_budget", 0)
+    if budget:
+        metrics["mc.replications_budget"] = float(budget)
+        metrics["mc.replications_saved"] = float(
+            budget - result.n_replications_run
+        )
     return RunRecord(
         run_id=new_run_id(config_digest or cell_rows),
         kind=kind,

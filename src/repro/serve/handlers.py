@@ -289,6 +289,12 @@ _SWEEP_FIELDS = {
     "replications": (int, 100),
     "seed": (int, 0),
     "workers": (int, 0),
+    # Adaptive sequential stopping: both default to None (fixed mode).
+    # Invalid combinations (max_replications without target_ci, a
+    # non-positive target_ci) are rejected by build_sweep_spec while the
+    # client is still on the line — a 400, never a failed job.
+    "target_ci": (float, None),
+    "max_replications": (int, None),
 }
 
 
@@ -306,7 +312,14 @@ def _sweep_payload(body: Any) -> dict[str, Any]:
     payload: dict[str, Any] = {}
     for name, (kind, default) in _SWEEP_FIELDS.items():
         value = body.get(name, default)
-        if kind is int and isinstance(value, bool) or not isinstance(
+        if value is None and default is None:
+            payload[name] = None
+            continue
+        if kind is float and isinstance(value, int) and not isinstance(
+            value, bool
+        ):
+            value = float(value)
+        if (kind is not str and isinstance(value, bool)) or not isinstance(
             value, kind
         ):
             raise MonteCarloError(
@@ -334,6 +347,8 @@ def run_sweep_job(job: Job, ctx: ServeContext) -> dict[str, Any]:
         fleet=payload["fleet"],
         replications=payload["replications"],
         seed=payload["seed"],
+        target_ci=payload.get("target_ci"),
+        max_replications=payload.get("max_replications"),
     )
     result = run_sweep(
         spec,
@@ -360,12 +375,15 @@ def sweeps_post(
 
     payload = _sweep_payload(body)
     # Validate the whole spec now, while the client is still on the
-    # line: a bad grid must be a 400 here, not a failed job later.
+    # line: a bad grid or adaptive combination must be a 400 here, not
+    # a failed job later.
     build_sweep_spec(
         grid=payload["grid"],
         fleet=payload["fleet"],
         replications=payload["replications"],
         seed=payload["seed"],
+        target_ci=payload["target_ci"],
+        max_replications=payload["max_replications"],
     )
     job = ctx.jobs.submit(payload)
     return 202, job.to_dict()

@@ -30,10 +30,32 @@ from repro.stats.inference import (
     permutation_tvd_test,
     total_variation_distance,
 )
+from repro.stats.sketch import QuantileSketch
+from repro.stats.fanout import (
+    StatCell,
+    StatSpec,
+    StatSweepResult,
+    StatTask,
+    adaptive_bootstrap_share_ci,
+    adaptive_permutation_mean_test,
+    adaptive_permutation_tvd_test,
+    run_stat_sweep,
+    share_ci_tasks,
+)
 
 __all__ = [
     "FrequencyTable",
+    "QuantileSketch",
+    "StatCell",
+    "StatSpec",
+    "StatSweepResult",
+    "StatTask",
     "TestResult",
+    "adaptive_bootstrap_share_ci",
+    "adaptive_permutation_mean_test",
+    "adaptive_permutation_tvd_test",
+    "run_stat_sweep",
+    "share_ci_tasks",
     "align_tables",
     "bootstrap_share_ci",
     "chi_square_gof",

@@ -1,0 +1,703 @@
+"""Adaptive fan-out for randomized inference: the sweep engine for stats.
+
+The inference routines in :mod:`repro.stats.inference` are one-shot: a
+caller picks ``n_resamples``/``n_permutations`` upfront and pays for all
+of them, whether the Monte-Carlo error collapsed after 500 draws or
+never reached a usable level.  The study's sensitivity analyses (seed ×
+parameter ablations over the Table 1/2 shares and the Fig. 2–4
+distributions) ask the same question for *dozens* of estimates at once —
+exactly the shape :mod:`repro.continuum.montecarlo` solves for grid
+cells.  This module is that engine, re-specialized for statistics:
+
+* **tasks instead of cells** — a :class:`StatTask` names one randomized
+  estimate: a bootstrap CI for a category share, or a permutation
+  p-value (total-variation or difference-of-means);
+* **sequential stopping** — each task runs draw *rounds* until the
+  Monte-Carlo standard error of its estimate reaches
+  :attr:`StatSpec.target_se` (binomial s.e. for p-values, resample
+  s.e. for bootstrap shares), capped at the draw budget.  Rounds draw
+  from per-round ``SeedSequence`` children of a content-addressed task
+  entropy, so a task's draw stream is identical whether it stops early
+  or runs to the cap;
+* **caching + ledger** — tasks are content-addressed for
+  :class:`~repro.pipeline.cache.ArtifactCache` hits, and a
+  :class:`~repro.obs.RunRegistry` gets a ``stat-sweep`` record through
+  the same :func:`~repro.obs.build_sweep_record` path as mc-sweeps
+  (:class:`StatSweepResult` exposes the same counters).
+
+Unlike the continuum engine there is no process pool: every round is one
+vectorized NumPy call (multinomial / hypergeometric / permuted-matrix),
+so the parent process is already saturated by BLAS-free array work and
+fan-out overhead would dominate.  The determinism contract is the same —
+rounds fold in order, so results are independent of how many tasks share
+the sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import StatsError
+from repro.stats.frequency import FrequencyTable
+from repro.stats.inference import total_variation_distance
+from repro.telemetry import ensure
+
+__all__ = [
+    "STAT_ENGINE_VERSION",
+    "STAT_KINDS",
+    "StatTask",
+    "StatSpec",
+    "StatCell",
+    "StatSweepResult",
+    "run_stat_sweep",
+    "share_ci_tasks",
+    "adaptive_bootstrap_share_ci",
+    "adaptive_permutation_tvd_test",
+    "adaptive_permutation_mean_test",
+]
+
+#: Bump when draw semantics or the result layout change (cache-key part).
+STAT_ENGINE_VERSION = "1"
+
+#: Task kinds the engine knows how to draw rounds for.
+STAT_KINDS = ("bootstrap_share", "permutation_tvd", "permutation_mean")
+
+#: z for the 95% interval reported alongside permutation p-values.
+_CI_Z = 1.959963984540054
+
+
+def _counts_tuple(counts: Any, name: str) -> tuple[int, ...]:
+    if isinstance(counts, FrequencyTable):
+        counts = counts.values
+    values = tuple(int(v) for v in np.asarray(counts).ravel())
+    if len(values) < 2:
+        raise StatsError(f"{name} needs >= 2 categories")
+    if any(v < 0 for v in values):
+        raise StatsError(f"{name} must be non-negative")
+    if sum(values) <= 0:
+        raise StatsError(f"{name} must not be all zero")
+    return values
+
+
+def _sample_tuple(sample: Any, name: str) -> tuple[float, ...]:
+    values = tuple(float(v) for v in np.asarray(sample, dtype=np.float64).ravel())
+    if len(values) < 2:
+        raise StatsError(f"{name} needs >= 2 observations")
+    if not all(math.isfinite(v) for v in values):
+        raise StatsError(f"{name} must be finite")
+    return values
+
+
+@dataclass(frozen=True)
+class StatTask:
+    """One randomized estimate to drive through the fan-out.
+
+    ``kind`` selects the draw routine; the data fields it needs are
+    kind-specific (``counts``/``label_index``/``confidence`` for
+    ``bootstrap_share``; ``a``/``b`` for the permutation tests — counts
+    for ``permutation_tvd``, continuous samples for
+    ``permutation_mean``).  Data is stored as plain tuples so a task is
+    hashable and content-addressable.
+    """
+
+    name: str
+    kind: str
+    counts: tuple[int, ...] | None = None
+    label_index: int = 0
+    confidence: float = 0.95
+    a: tuple[float, ...] | None = None
+    b: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise StatsError("stat task needs a name")
+        if self.kind not in STAT_KINDS:
+            raise StatsError(
+                f"unknown stat task kind {self.kind!r}; "
+                f"choose from {STAT_KINDS}"
+            )
+        if self.kind == "bootstrap_share":
+            if self.counts is None:
+                raise StatsError("bootstrap_share needs counts")
+            counts = _counts_tuple(self.counts, "counts")
+            object.__setattr__(self, "counts", counts)
+            if not 0 <= self.label_index < len(counts):
+                raise StatsError(
+                    f"label_index {self.label_index} out of range"
+                )
+            if not 0 < self.confidence < 1:
+                raise StatsError("confidence must be in (0, 1)")
+        else:
+            if self.a is None or self.b is None:
+                raise StatsError(f"{self.kind} needs samples a and b")
+            if self.kind == "permutation_tvd":
+                a = tuple(float(v) for v in _counts_tuple(self.a, "a"))
+                b = tuple(float(v) for v in _counts_tuple(self.b, "b"))
+                if len(a) != len(b):
+                    raise StatsError(
+                        "both count vectors need the same categories"
+                    )
+            else:
+                a = _sample_tuple(self.a, "a")
+                b = _sample_tuple(self.b, "b")
+            object.__setattr__(self, "a", a)
+            object.__setattr__(self, "b", b)
+
+    def identity(self) -> dict[str, Any]:
+        """Everything that pins this task's draw streams and estimate."""
+        payload: dict[str, Any] = {"kind": self.kind}
+        if self.kind == "bootstrap_share":
+            payload["counts"] = list(self.counts)
+            payload["label_index"] = self.label_index
+            payload["confidence"] = self.confidence
+        else:
+            payload["a"] = list(self.a)
+            payload["b"] = list(self.b)
+        return payload
+
+
+@dataclass(frozen=True)
+class StatSpec:
+    """A batch of stat tasks plus the shared draw plan.
+
+    Mirrors :class:`~repro.continuum.montecarlo.SweepSpec`: fixed mode
+    (``target_se is None``) runs exactly ``draws`` Monte-Carlo draws per
+    task; adaptive mode runs rounds of ``round_size`` draws until the
+    estimate's Monte-Carlo standard error is at most ``target_se``,
+    capped at ``max_draws`` (default: ``draws``).
+    """
+
+    tasks: tuple[StatTask, ...]
+    seed: int = 0
+    draws: int = 10_000
+    round_size: int = 1_000
+    target_se: float | None = None
+    max_draws: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise StatsError("stat sweep needs at least one task")
+        names = [task.name for task in self.tasks]
+        if len(set(names)) != len(names):
+            raise StatsError("stat task names must be unique in a sweep")
+        if self.draws < 100:
+            raise StatsError("draws must be >= 100")
+        if self.round_size < 100:
+            raise StatsError("round_size must be >= 100")
+        if self.target_se is not None and not (
+            math.isfinite(self.target_se) and self.target_se > 0
+        ):
+            raise StatsError(
+                f"target_se must be a finite value > 0, got {self.target_se}"
+            )
+        if self.max_draws is not None:
+            if self.target_se is None:
+                raise StatsError(
+                    "max_draws requires target_se (a fixed sweep sizes "
+                    "itself with draws)"
+                )
+            if self.max_draws < 100:
+                raise StatsError("max_draws must be >= 100")
+
+    @property
+    def adaptive(self) -> bool:
+        return self.target_se is not None
+
+    @property
+    def draw_cap(self) -> int:
+        if self.adaptive and self.max_draws is not None:
+            return self.max_draws
+        return self.draws
+
+    def draw_plan(self) -> dict[str, Any]:
+        """The draw-sizing identity (part of every task cache key)."""
+        if not self.adaptive:
+            return {"mode": "fixed", "draws": self.draws}
+        return {
+            "mode": "adaptive",
+            "target_se": self.target_se,
+            "max_draws": self.draw_cap,
+            "round_size": self.round_size,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class StatCell:
+    """Aggregated outcome of one stat task (the engine's "cell")."""
+
+    name: str
+    kind: str
+    draws: int
+    se: float
+    estimate: dict[str, float]
+
+    @property
+    def cell_id(self) -> str:
+        return f"{self.kind}|{self.name}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "cell_id": self.cell_id,
+            "draws": self.draws,
+            "se": self.se,
+            "estimate": dict(self.estimate),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "StatCell":
+        try:
+            return cls(
+                name=str(payload["name"]),
+                kind=str(payload["kind"]),
+                draws=int(payload["draws"]),
+                se=float(payload["se"]),
+                estimate={
+                    str(key): float(value)
+                    for key, value in payload["estimate"].items()
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StatsError(f"malformed stat cell payload: {exc}") from None
+
+
+@dataclass(frozen=True)
+class StatSweepResult:
+    """Outcome of :func:`run_stat_sweep`.
+
+    Attribute-compatible with the Monte-Carlo
+    :class:`~repro.continuum.montecarlo.SweepResult` where the ledger
+    cares (``cells``/``computed``/``cached``/``n_replications_run``/
+    ``n_replications_budget``), so
+    :func:`~repro.obs.build_sweep_record` digests it unchanged.
+    """
+
+    cells: tuple[StatCell, ...]
+    computed: tuple[str, ...]
+    cached: tuple[str, ...]
+    n_replications_run: int
+    n_replications_budget: int = 0
+
+    @property
+    def n_replications_saved(self) -> int:
+        return self.n_replications_budget - self.n_replications_run
+
+    def __getitem__(self, name: str) -> StatCell:
+        for cell in self.cells:
+            if cell.name == name:
+                return cell
+        raise KeyError(name)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "engine_version": STAT_ENGINE_VERSION,
+            "cells": [cell.to_dict() for cell in self.cells],
+            "computed": list(self.computed),
+            "cached": list(self.cached),
+            "n_replications_run": self.n_replications_run,
+            "n_replications_budget": self.n_replications_budget,
+        }
+
+
+# -- per-kind draw rounds ----------------------------------------------------------
+
+
+class _TaskState:
+    """Streaming accumulation of one task's draw rounds."""
+
+    __slots__ = ("task", "draws", "rounds", "chunks", "exceed", "observed")
+
+    def __init__(self, task: StatTask) -> None:
+        self.task = task
+        self.draws = 0
+        self.rounds = 0
+        self.chunks: list[np.ndarray] = []   # bootstrap share resamples
+        self.exceed = 0                      # permutation exceedances
+        self.observed = 0.0
+
+        if task.kind == "permutation_tvd":
+            self.observed = total_variation_distance(task.a, task.b)
+        elif task.kind == "permutation_mean":
+            a = np.asarray(task.a)
+            b = np.asarray(task.b)
+            self.observed = float(b.mean() - a.mean())
+
+
+def _run_round(state: _TaskState, rng: np.random.Generator, size: int) -> None:
+    """Draw *size* Monte-Carlo samples for one task, vectorized."""
+    task = state.task
+    if task.kind == "bootstrap_share":
+        counts = np.asarray(task.counts, dtype=np.float64)
+        n = int(counts.sum())
+        resamples = rng.multinomial(n, counts / n, size=size)
+        state.chunks.append(resamples[:, task.label_index] / n)
+    elif task.kind == "permutation_tvd":
+        va = np.asarray(task.a, dtype=np.float64)
+        vb = np.asarray(task.b, dtype=np.float64)
+        pooled = (va + vb).astype(np.int64)
+        na = int(va.sum())
+        drawn = rng.multivariate_hypergeometric(pooled, na, size=size)
+        rest = pooled[None, :] - drawn
+        pa = drawn / na
+        pb = rest / rest.sum(axis=1, keepdims=True)
+        tvd = 0.5 * np.abs(pa - pb).sum(axis=1)
+        state.exceed += int((tvd >= state.observed - 1e-12).sum())
+    else:  # permutation_mean
+        va = np.asarray(task.a, dtype=np.float64)
+        vb = np.asarray(task.b, dtype=np.float64)
+        pooled = np.concatenate([va, vb])
+        if np.ptp(pooled) == 0.0:
+            # No variability: every permuted delta is 0 == |observed|.
+            state.exceed += size
+        else:
+            idx = rng.permuted(
+                np.tile(np.arange(pooled.size), (size, 1)), axis=1
+            )
+            shuffled = pooled[idx]
+            mean_a = shuffled[:, : va.size].mean(axis=1)
+            mean_b = shuffled[:, va.size:].mean(axis=1)
+            deltas = np.abs(mean_b - mean_a)
+            state.exceed += int(
+                (deltas >= abs(state.observed) - 1e-15).sum()
+            )
+    state.draws += size
+    state.rounds += 1
+
+
+def _standard_error(state: _TaskState) -> float:
+    """Monte-Carlo standard error of the task's estimate so far.
+
+    Binomial s.e. of the p-value for permutation tests (with the
+    add-one-smoothed p, so a zero-exceedance round still reports a
+    nonzero, shrinking error), resample s.e. of the share for bootstrap
+    tasks.  Both shrink as ``1/sqrt(draws)`` — the stopping rule's
+    contract.
+    """
+    if state.task.kind == "bootstrap_share":
+        shares = np.concatenate(state.chunks)
+        if shares.size < 2:
+            return math.inf
+        return float(shares.std(ddof=1) / math.sqrt(shares.size))
+    p = (1.0 + state.exceed) / (state.draws + 1.0)
+    return math.sqrt(p * (1.0 - p) / state.draws)
+
+
+def _finish(state: _TaskState) -> StatCell:
+    task = state.task
+    if task.kind == "bootstrap_share":
+        shares = np.concatenate(state.chunks)
+        counts = task.counts
+        alpha = (1.0 - task.confidence) / 2.0
+        low, high = np.quantile(shares, [alpha, 1.0 - alpha])
+        estimate = {
+            "share": counts[task.label_index] / sum(counts),
+            "low": float(low),
+            "high": float(high),
+        }
+    else:
+        p_value = (1.0 + state.exceed) / (state.draws + 1.0)
+        estimate = {"statistic": state.observed, "p_value": p_value}
+    return StatCell(
+        name=task.name,
+        kind=task.kind,
+        draws=state.draws,
+        se=_standard_error(state),
+        estimate=estimate,
+    )
+
+
+# -- the sweep driver --------------------------------------------------------------
+
+
+def _task_entropy(identity: Mapping[str, Any]) -> int:
+    from repro.pipeline.cache import stable_digest
+
+    return int(stable_digest(identity)[:32], 16)
+
+
+def _round_rng(entropy: int, round_index: int) -> np.random.Generator:
+    """The dedicated generator for draw round *round_index* of a task."""
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy, spawn_key=(round_index,))
+    )
+
+
+def run_stat_sweep(
+    spec: StatSpec,
+    *,
+    cache=None,
+    telemetry=None,
+    registry=None,
+) -> StatSweepResult:
+    """Run every task of *spec*, adaptively sized, cached, and recorded.
+
+    Tasks are content-addressed (engine version, seed, task data, draw
+    plan): an :class:`~repro.pipeline.cache.ArtifactCache` hit skips all
+    of a task's draws.  With a bound telemetry the sweep is traced
+    (``stat_sweep`` span) and counted (``stat.draws``, ``stat.rounds``,
+    ``stat.draws_saved``, ``stat.tasks_computed``, ``stat.tasks_cached``);
+    a :class:`~repro.obs.RunRegistry` receives a ``stat-sweep`` ledger
+    record built by the same :func:`~repro.obs.build_sweep_record` that
+    digests mc-sweeps.
+    """
+    tel = ensure(telemetry)
+    if not tel.enabled:
+        return _run_stat_sweep(spec, cache, tel, registry)
+    with tel.tracer.span(
+        "stat_sweep",
+        tasks=len(spec.tasks),
+        draws=spec.draw_cap,
+        adaptive=spec.adaptive,
+    ) as span:
+        result = _run_stat_sweep(spec, cache, tel, registry)
+        span.tags.update(
+            computed=len(result.computed),
+            cached=len(result.cached),
+        )
+        tel.log.info(
+            "stat_sweep.finish",
+            tasks=len(result.cells),
+            computed=len(result.computed),
+            cached=len(result.cached),
+            draws_run=result.n_replications_run,
+        )
+    return result
+
+
+def _run_stat_sweep(spec: StatSpec, cache, tel, registry) -> StatSweepResult:
+    from repro.pipeline.cache import stable_digest
+
+    plan = spec.draw_plan()
+    # Entropy is plan-free: a task's draw stream depends only on what it
+    # estimates (and the sweep seed), so a run that stops early folds a
+    # bit-identical prefix of the capped run's stream.  The cache key
+    # adds the plan on top — a different stopping rule is a different
+    # experiment even though it shares the stream.
+    identities = {
+        task.name: {
+            "engine": STAT_ENGINE_VERSION,
+            "seed": spec.seed,
+            "task": task.identity(),
+        }
+        for task in spec.tasks
+    }
+    cache_keys = {
+        task.name: stable_digest(
+            "stat-task", {**identities[task.name], "plan": plan}
+        )
+        for task in spec.tasks
+    }
+
+    cells: dict[str, StatCell] = {}
+    cached_ids: list[str] = []
+    misses: list[StatTask] = []
+    for task in spec.tasks:
+        payload = cache.get(cache_keys[task.name]) if cache is not None else None
+        if payload is not None:
+            cells[task.name] = StatCell.from_dict(payload)
+            cached_ids.append(cells[task.name].cell_id)
+        else:
+            misses.append(task)
+
+    draws_run = 0
+    rounds_run = 0
+    for task in misses:
+        entropy = _task_entropy(identities[task.name])
+        state = _TaskState(task)
+        cap = spec.draw_cap
+        while state.draws < cap:
+            size = min(spec.round_size, cap - state.draws)
+            _run_round(state, _round_rng(entropy, state.rounds), size)
+            if spec.adaptive and _standard_error(state) <= spec.target_se:
+                break
+        cell = _finish(state)
+        cells[task.name] = cell
+        draws_run += state.draws
+        rounds_run += state.rounds
+        if cache is not None:
+            cache.store(cache_keys[task.name], cell.to_dict())
+
+    budget = spec.draw_cap * len(misses)
+    result = StatSweepResult(
+        cells=tuple(cells[task.name] for task in spec.tasks),
+        computed=tuple(cells[task.name].cell_id for task in misses),
+        cached=tuple(cached_ids),
+        n_replications_run=draws_run,
+        n_replications_budget=budget,
+    )
+    if tel.enabled:
+        metrics = tel.metrics
+        metrics.counter("stat.draws").inc(draws_run)
+        metrics.counter("stat.tasks_computed").inc(len(result.computed))
+        metrics.counter("stat.tasks_cached").inc(len(result.cached))
+        if misses:
+            metrics.counter("stat.rounds").inc(rounds_run)
+        if spec.adaptive:
+            metrics.counter("stat.draws_saved").inc(
+                result.n_replications_saved
+            )
+    if registry is not None:
+        from repro.obs import build_sweep_record
+
+        meta: dict[str, Any] = {"seed": spec.seed, "draws": spec.draws}
+        if spec.adaptive:
+            meta["target_se"] = spec.target_se
+            meta["max_draws"] = spec.draw_cap
+        registry.record(
+            build_sweep_record(
+                result,
+                telemetry=tel if tel.enabled else None,
+                config_digest=stable_digest(sorted(cache_keys.values())),
+                kind="stat-sweep",
+                meta=meta,
+            )
+        )
+    return result
+
+
+# -- front doors -------------------------------------------------------------------
+
+
+def share_ci_tasks(
+    table: FrequencyTable,
+    *,
+    prefix: str = "share",
+    confidence: float = 0.95,
+) -> tuple[StatTask, ...]:
+    """One ``bootstrap_share`` task per label of a frequency table.
+
+    The study's Fig. 2/4 share sensitivity in one call:
+    ``run_stat_sweep(StatSpec(tasks=share_ci_tasks(votes), ...))``.
+    """
+    counts = tuple(int(v) for v in table.values)
+    return tuple(
+        StatTask(
+            name=f"{prefix}:{label}",
+            kind="bootstrap_share",
+            counts=counts,
+            label_index=index,
+            confidence=confidence,
+        )
+        for index, label in enumerate(table.labels)
+    )
+
+
+def _single(
+    task: StatTask,
+    *,
+    seed: int,
+    target_se: float | None,
+    max_draws: int | None,
+    draws: int,
+    round_size: int,
+    cache,
+    telemetry,
+    registry,
+) -> StatCell:
+    spec = StatSpec(
+        tasks=(task,),
+        seed=seed,
+        draws=draws,
+        round_size=round_size,
+        target_se=target_se,
+        max_draws=max_draws,
+    )
+    return run_stat_sweep(
+        spec, cache=cache, telemetry=telemetry, registry=registry
+    ).cells[0]
+
+
+def adaptive_bootstrap_share_ci(
+    counts,
+    label_index: int,
+    *,
+    target_se: float = 1e-3,
+    max_draws: int = 50_000,
+    confidence: float = 0.95,
+    seed: int = 0,
+    round_size: int = 1_000,
+    cache=None,
+    telemetry=None,
+    registry=None,
+) -> StatCell:
+    """Adaptive percentile-bootstrap CI for one category's share.
+
+    Drop-in upgrade of :func:`repro.stats.inference.bootstrap_share_ci`
+    through the fan-out engine: draws stop once the resample standard
+    error reaches *target_se*.  Returns the full :class:`StatCell`
+    (``estimate["low"]``/``estimate["high"]`` are the interval).
+    """
+    task = StatTask(
+        name=f"bootstrap_share:{label_index}",
+        kind="bootstrap_share",
+        counts=_counts_tuple(counts, "counts"),
+        label_index=label_index,
+        confidence=confidence,
+    )
+    return _single(
+        task, seed=seed, target_se=target_se, max_draws=max_draws,
+        draws=max_draws, round_size=round_size,
+        cache=cache, telemetry=telemetry, registry=registry,
+    )
+
+
+def adaptive_permutation_tvd_test(
+    a,
+    b,
+    *,
+    target_se: float = 5e-3,
+    max_draws: int = 50_000,
+    seed: int = 0,
+    round_size: int = 1_000,
+    cache=None,
+    telemetry=None,
+    registry=None,
+) -> StatCell:
+    """Adaptive total-variation permutation test (see
+    :func:`repro.stats.inference.permutation_tvd_test`); permutations
+    stop once the p-value's binomial standard error reaches
+    *target_se*."""
+    task = StatTask(
+        name="permutation_tvd",
+        kind="permutation_tvd",
+        a=_counts_tuple(a, "a"),
+        b=_counts_tuple(b, "b"),
+    )
+    return _single(
+        task, seed=seed, target_se=target_se, max_draws=max_draws,
+        draws=max_draws, round_size=round_size,
+        cache=cache, telemetry=telemetry, registry=registry,
+    )
+
+
+def adaptive_permutation_mean_test(
+    a,
+    b,
+    *,
+    target_se: float = 5e-3,
+    max_draws: int = 50_000,
+    seed: int = 0,
+    round_size: int = 1_000,
+    cache=None,
+    telemetry=None,
+    registry=None,
+) -> StatCell:
+    """Adaptive difference-of-means permutation test (see
+    :func:`repro.stats.inference.permutation_mean_test`); same stopping
+    rule as :func:`adaptive_permutation_tvd_test`."""
+    task = StatTask(
+        name="permutation_mean",
+        kind="permutation_mean",
+        a=_sample_tuple(a, "a"),
+        b=_sample_tuple(b, "b"),
+    )
+    return _single(
+        task, seed=seed, target_se=target_se, max_draws=max_draws,
+        draws=max_draws, round_size=round_size,
+        cache=cache, telemetry=telemetry, registry=registry,
+    )

@@ -229,6 +229,42 @@ class TestSweep:
         assert main(["sweep", "--fleet", "0", "--no-cache"]) == 1
         assert "fleet" in capsys.readouterr().err
 
+    def test_adaptive_flags_print_savings(self, capsys):
+        assert main(
+            ["sweep", "--fleet", "1", "--replications", "200",
+             "--grid", "mtbf=40", "--seed", "3", "--no-cache",
+             "--target-ci", "0.1", "--max-replications", "200"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "adaptive to target-ci 0.1 (cap 200)" in out
+        # A loose target stops the cell at the first 64-replication
+        # round, well under the cap.
+        assert "64 simulations run, 136 saved" in out
+
+    def test_adaptive_json_includes_budget(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "sweep.json"
+        assert main(
+            ["sweep", "--fleet", "1", "--replications", "200",
+             "--grid", "mtbf=40", "--json", str(target), "--no-cache",
+             "--target-ci", "0.1"]
+        ) == 0
+        payload = json.loads(target.read_text())
+        assert payload["n_replications_budget"] == 200
+        assert payload["n_replications_run"] < 200
+
+    def test_bad_adaptive_flags_exit_1(self, capsys):
+        assert main(
+            ["sweep", "--fleet", "1", "--no-cache",
+             "--max-replications", "50"]
+        ) == 1
+        assert "target" in capsys.readouterr().err.lower()
+        assert main(
+            ["sweep", "--fleet", "1", "--no-cache", "--target-ci", "-1"]
+        ) == 1
+        assert "target_ci" in capsys.readouterr().err
+
 
 class TestRuns:
     """The run-ledger subcommands and their exit-code contract

@@ -447,3 +447,440 @@ class TestContinuumSerialization:
         del bad["resources"]
         with pytest.raises(SerializationError):
             continuum_from_dict(bad)
+
+
+# -- mergeable aggregation (engine v2) ----------------------------------------
+
+
+class TestQuantileSketch:
+    """The sketch behind every cell's quantiles: alpha-bounded error and
+    an exact, associative merge (the distribution-ready guarantee)."""
+
+    def test_error_bound_at_scale(self):
+        from repro.continuum import QuantileSketch
+
+        rng = np.random.default_rng(9)
+        values = rng.lognormal(1.0, 1.2, size=20_000)
+        sketch = QuantileSketch(0.01)
+        for v in values:
+            sketch.add(float(v))
+        assert sketch.count == values.size
+        for q in (0.01, 0.1, 0.5, 0.9, 0.99, 0.999):
+            exact = float(np.quantile(values, q))
+            # alpha-relative against a true sample value at the rank;
+            # 2*alpha absorbs np.quantile's interpolation between
+            # neighboring order statistics.
+            assert abs(sketch.quantile(q) - exact) <= 2 * 0.01 * exact
+
+    def test_signed_and_zero_values(self):
+        from repro.continuum import QuantileSketch
+
+        sketch = QuantileSketch(0.01)
+        for v in (-100.0, -1.0, 0.0, 0.0, 1.0, 100.0):
+            sketch.add(v)
+        assert sketch.count == 6
+        assert sketch.quantile(0.0) == pytest.approx(-100.0, rel=0.01)
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.quantile(1.0) == pytest.approx(100.0, rel=0.01)
+
+    def test_merge_exactness_on_random_split(self):
+        from repro.continuum import QuantileSketch
+
+        rng = np.random.default_rng(11)
+        values = rng.normal(0.0, 50.0, size=5000)
+        whole = QuantileSketch(0.01)
+        parts = [QuantileSketch(0.01) for _ in range(7)]
+        owners = rng.integers(0, 7, size=values.size)
+        for v, owner in zip(values, owners):
+            whole.add(float(v))
+            parts[owner].add(float(v))
+        merged = parts[0]
+        for part in parts[1:]:
+            merged.merge(part)
+        assert merged == whole
+        assert merged.to_dict() == whole.to_dict()
+
+    def test_round_trip_and_canonical_payload(self):
+        from repro.continuum import QuantileSketch
+
+        sketch = QuantileSketch(0.01)
+        for v in (0.5, -3.0, 0.0, 42.0, 0.5):
+            sketch.add(v)
+        clone = QuantileSketch.from_dict(sketch.to_dict())
+        assert clone == sketch
+        assert clone.to_dict() == sketch.to_dict()
+
+    def test_validation(self):
+        from repro.continuum import QuantileSketch
+        from repro.errors import StatsError
+
+        with pytest.raises(StatsError):
+            QuantileSketch(0.0)
+        with pytest.raises(StatsError):
+            QuantileSketch(1.0)
+        sketch = QuantileSketch(0.01)
+        with pytest.raises(StatsError):
+            sketch.add(float("nan"))
+        with pytest.raises(StatsError):
+            sketch.add(float("inf"))
+        with pytest.raises(StatsError):
+            sketch.add(1.0, weight=0)
+        with pytest.raises(StatsError):
+            sketch.quantile(0.5)  # empty
+        sketch.add(1.0)
+        with pytest.raises(StatsError):
+            sketch.quantile(1.5)
+        other = QuantileSketch(0.02)
+        with pytest.raises(StatsError):
+            sketch.merge(other)
+
+    def test_refuses_to_collapse_past_max_buckets(self):
+        from repro.continuum import QuantileSketch
+        from repro.errors import StatsError
+
+        sketch = QuantileSketch(0.5, max_buckets=4)
+        with pytest.raises(StatsError):
+            for exponent in range(32):
+                sketch.add(10.0 ** exponent)
+
+
+class TestQuantileSketchProperties:
+    """Merge is exact: merge-of-parts equals the single-stream state for
+    ANY split and ANY grouping — the property distribution relies on."""
+
+    values_strategy = __import__("hypothesis").strategies.lists(
+        __import__("hypothesis").strategies.floats(
+            allow_nan=False, allow_infinity=False,
+            min_value=-1e12, max_value=1e12,
+        ),
+        max_size=120,
+    )
+
+    @staticmethod
+    def _sketch_of(values):
+        from repro.continuum import QuantileSketch
+
+        sketch = QuantileSketch(0.02)
+        for v in values:
+            sketch.add(v)
+        return sketch
+
+    def test_merge_of_parts_equals_single_stream(self):
+        from hypothesis import given
+        from hypothesis import strategies as st
+
+        @given(values=self.values_strategy, split=st.integers(0, 120))
+        def check(values, split):
+            split = min(split, len(values))
+            merged = self._sketch_of(values[:split]).merge(
+                self._sketch_of(values[split:])
+            )
+            assert merged == self._sketch_of(values)
+
+        check()
+
+    def test_merge_associative_and_commutative(self):
+        from hypothesis import given
+
+        @given(
+            a=self.values_strategy,
+            b=self.values_strategy,
+            c=self.values_strategy,
+        )
+        def check(a, b, c):
+            sa, sb, sc = map(self._sketch_of, (a, b, c))
+            left = sa.copy().merge(sb).merge(sc)
+            right = sa.copy().merge(sb.copy().merge(sc))
+            flipped = sc.copy().merge(sb).merge(sa)
+            assert left == right == flipped
+
+        check()
+
+
+class TestRunningStatMerge:
+    def test_merge_matches_full_stream_moments(self):
+        rng = np.random.default_rng(13)
+        values = rng.lognormal(0.0, 1.0, size=700)
+        merged = RunningStat()
+        for chunk in np.array_split(values, 5):
+            part = RunningStat()
+            for v in chunk:
+                part.add(float(v))
+            merged.merge(part)
+        assert merged.count == values.size
+        assert merged.mean == pytest.approx(values.mean(), rel=1e-12)
+        assert merged.variance == pytest.approx(values.var(ddof=1), rel=1e-10)
+        assert merged.min == values.min()
+        assert merged.max == values.max()
+
+    def test_merge_with_empty_is_identity(self):
+        stat = RunningStat()
+        stat.add(3.0)
+        stat.add(5.0)
+        before = stat.to_dict()
+        stat.merge(RunningStat())
+        assert stat.to_dict() == before
+        fresh = RunningStat()
+        fresh.merge(stat)
+        assert fresh.to_dict() == before
+
+    def test_round_trip(self):
+        stat = RunningStat()
+        for v in (1.0, 2.0, 7.5):
+            stat.add(v)
+        clone = RunningStat.from_dict(stat.to_dict())
+        assert clone.to_dict() == stat.to_dict()
+        assert clone.variance == stat.variance
+
+
+class TestFixedHistogramClampEdges:
+    """Out-of-range mass answers quantiles with the exact range edge —
+    a constant out-of-range stream must not spread across a bucket."""
+
+    def test_all_mass_in_overflow_returns_edge(self):
+        hist = FixedHistogram(0.0, 10.0, 10)
+        for _ in range(100):
+            hist.add(50.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 10.0
+
+    def test_all_mass_in_underflow_returns_edge(self):
+        hist = FixedHistogram(0.0, 10.0, 10)
+        for _ in range(100):
+            hist.add(-5.0)
+        for q in (0.0, 0.5, 1.0):
+            assert hist.quantile(q) == 0.0
+
+    def test_mixed_mass_keeps_interior_interpolation(self):
+        hist = FixedHistogram(0.0, 10.0, 10)
+        for v in (1.5, 2.5, 3.5, 4.5):
+            hist.add(v)
+        hist.add(99.0)  # one clamped-high observation
+        assert hist.clamped_high == 1
+        assert hist.quantile(1.0) == 10.0  # inside the clamped tail
+        assert 0.0 < hist.quantile(0.4) < 10.0
+
+    def test_in_range_values_do_not_count_as_clamped(self):
+        hist = FixedHistogram(0.0, 10.0, 10)
+        hist.add(0.0)
+        hist.add(10.0)
+        assert hist.clamped_low == 0
+        assert hist.clamped_high == 0
+
+
+class TestCellAggregate:
+    @staticmethod
+    def _rows(seed, n):
+        rng = np.random.default_rng(seed)
+        return [
+            (
+                float(rng.lognormal(3.0, 0.4)),
+                float(rng.lognormal(0.1, 0.05)),
+                int(rng.integers(0, 5)),
+                int(rng.integers(0, 3)),
+                float(rng.exponential(2.0)),
+            )
+            for _ in range(n)
+        ]
+
+    def test_merge_of_parts_equals_single_stream(self):
+        from repro.continuum import CellAggregate
+
+        rows = self._rows(17, 400)
+        whole = CellAggregate()
+        for row in rows:
+            whole.add(row)
+        first, second = CellAggregate(), CellAggregate()
+        for row in rows[:123]:
+            first.add(row)
+        for row in rows[123:]:
+            second.add(row)
+        first.merge(second)
+        # Sketch states are exactly equal; moments agree to float noise.
+        assert {
+            name: sk.to_dict() for name, sk in first.sketches.items()
+        } == {name: sk.to_dict() for name, sk in whole.sketches.items()}
+        for name in whole.stats:
+            assert first.stats[name].count == whole.stats[name].count
+            assert first.stats[name].mean == pytest.approx(
+                whole.stats[name].mean, rel=1e-12
+            )
+
+    def test_round_trip(self):
+        from repro.continuum import CellAggregate
+
+        aggregate = CellAggregate()
+        for row in self._rows(19, 50):
+            aggregate.add(row)
+        clone = CellAggregate.from_dict(aggregate.to_dict())
+        assert clone.to_dict() == aggregate.to_dict()
+        assert clone.summaries() == aggregate.summaries()
+
+    def test_malformed_payload_rejected(self):
+        from repro.continuum import CellAggregate
+
+        with pytest.raises(MonteCarloError):
+            CellAggregate.from_dict({"stats": {}})
+
+
+# -- adaptive sequential stopping ---------------------------------------------
+
+
+class TestAdaptiveSpecValidation:
+    def test_max_replications_requires_target_ci(self, workflow, continuum):
+        with pytest.raises(MonteCarloError):
+            SweepSpec(workflows=(workflow,), continuum=continuum,
+                      max_replications=50)
+
+    def test_target_ci_must_be_positive_finite(self, workflow, continuum):
+        for bad in (0.0, -0.1, float("nan"), float("inf")):
+            with pytest.raises(MonteCarloError):
+                SweepSpec(workflows=(workflow,), continuum=continuum,
+                          target_ci=bad)
+
+    def test_unknown_primary_metric(self, workflow, continuum):
+        with pytest.raises(MonteCarloError):
+            SweepSpec(workflows=(workflow,), continuum=continuum,
+                      target_ci=0.05, primary_metric="vibes")
+
+    def test_replication_plan_modes(self, workflow, continuum):
+        fixed = SweepSpec(workflows=(workflow,), continuum=continuum,
+                          replications=30)
+        assert not fixed.adaptive
+        assert fixed.replication_cap == 30
+        assert fixed.replication_plan()["mode"] == "fixed"
+        adaptive = SweepSpec(workflows=(workflow,), continuum=continuum,
+                             replications=30, target_ci=0.05,
+                             max_replications=90, chunk_size=10)
+        assert adaptive.adaptive
+        assert adaptive.replication_cap == 90
+        plan = adaptive.replication_plan()
+        assert plan["mode"] == "adaptive"
+        assert plan["round_size"] == 10
+        defaulted = SweepSpec(workflows=(workflow,), continuum=continuum,
+                              replications=30, target_ci=0.05)
+        assert defaulted.replication_cap == 30
+
+
+class TestAdaptiveSweep:
+    @pytest.fixture(scope="class")
+    def spec(self, workflow, continuum):
+        return SweepSpec(
+            workflows=(workflow,), continuum=continuum,
+            schedulers=("heft", "round_robin"), mtbfs=(None, 40.0),
+            jitters=(0.1,), policies=("restart",),
+            replications=80, seed=5, chunk_size=8,
+            target_ci=0.03, max_replications=80,
+        )
+
+    def test_bit_identical_across_workers_and_steal_orders(self, spec):
+        reference = run_sweep(spec, workers=0).to_dict()
+        for workers in (1, 2, 4):
+            assert run_sweep(spec, workers=workers).to_dict() == reference
+        for steal_seed in (0, 1, 99):
+            assert (
+                run_sweep(spec, workers=2, steal_seed=steal_seed).to_dict()
+                == reference
+            )
+            assert (
+                run_sweep(spec, workers=0, steal_seed=steal_seed).to_dict()
+                == reference
+            )
+
+    def test_every_stopped_cell_met_the_target(self, spec):
+        import math
+
+        result = run_sweep(spec)
+        assert any(c.replications < spec.replication_cap for c in result.cells)
+        for stats in result.cells:
+            assert stats.replications <= spec.replication_cap
+            assert stats.replications % spec.chunk_size == 0
+            summary = stats.metrics[spec.primary_metric]
+            if stats.replications < spec.replication_cap:
+                half = 1.96 * summary.std / math.sqrt(summary.count)
+                assert half <= spec.target_ci * abs(summary.mean) * 1.0001
+
+    def test_savings_are_reported(self, spec):
+        result = run_sweep(spec)
+        assert result.n_replications_budget == spec.replication_cap * len(
+            result.cells
+        )
+        assert 0 < result.n_replications_run < result.n_replications_budget
+        assert result.n_replications_saved == (
+            result.n_replications_budget - result.n_replications_run
+        )
+
+    def test_adaptive_prefix_matches_fixed_run(self, spec, workflow,
+                                               continuum):
+        """A cell that stopped at n replications aggregated exactly the
+        first n draws of the fixed-mode stream (same entropy reuse)."""
+        adaptive = {c.cell.cell_id: c for c in run_sweep(spec).cells}
+        for cell_id, stats in adaptive.items():
+            fixed = SweepSpec(
+                workflows=(workflow,), continuum=continuum,
+                schedulers=(stats.cell.scheduler,),
+                mtbfs=(stats.cell.mtbf,), jitters=(stats.cell.jitter,),
+                policies=(stats.cell.policy,),
+                replications=stats.replications, seed=spec.seed,
+            )
+            fixed_stats = run_sweep(fixed).cells[0]
+            assert fixed_stats.metrics == stats.metrics
+
+    def test_adaptive_cache_round_trip(self, spec):
+        cache = ArtifactCache()
+        cold = run_sweep(spec, cache=cache)
+        warm = run_sweep(spec, cache=cache)
+        assert warm.n_replications_run == 0
+        assert len(warm.cached) == len(spec.cells())
+        assert warm.to_dict()["cells"] == cold.to_dict()["cells"]
+
+    def test_round_size_is_part_of_adaptive_identity(self, spec):
+        """Adaptive stop checks happen at round boundaries, so a different
+        chunk_size is a different experiment — it must miss the cache."""
+        cache = ArtifactCache()
+        run_sweep(spec, cache=cache)
+        rechunked = SweepSpec(
+            workflows=spec.workflows, continuum=spec.continuum,
+            schedulers=spec.schedulers, mtbfs=spec.mtbfs,
+            jitters=spec.jitters, policies=spec.policies,
+            replications=spec.replications, seed=spec.seed, chunk_size=16,
+            target_ci=spec.target_ci, max_replications=spec.max_replications,
+        )
+        result = run_sweep(rechunked, cache=cache)
+        assert result.n_replications_run > 0
+
+    def test_impossible_target_runs_to_cap(self, workflow, continuum):
+        spec = SweepSpec(
+            workflows=(workflow,), continuum=continuum,
+            schedulers=("round_robin",), mtbfs=(40.0,), jitters=(0.2,),
+            policies=("restart",), replications=24, seed=5, chunk_size=8,
+            target_ci=1e-9,
+        )
+        result = run_sweep(spec)
+        assert result.cells[0].replications == 24
+        assert result.n_replications_run == result.n_replications_budget
+
+    def test_zero_variance_cell_stops_after_one_round(self, workflow,
+                                                      continuum):
+        spec = SweepSpec(
+            workflows=(workflow,), continuum=continuum,
+            schedulers=("heft",), mtbfs=(None,), jitters=(0.0,),
+            policies=("restart",), replications=64, seed=5, chunk_size=8,
+            target_ci=0.05,
+        )
+        result = run_sweep(spec)
+        assert result.cells[0].replications == 8
+
+    def test_telemetry_counts_savings(self, spec):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        result = run_sweep(spec, telemetry=telemetry)
+        snapshot = telemetry.metrics.snapshot()
+        assert snapshot["mc.replications"]["value"] == (
+            result.n_replications_run
+        )
+        assert snapshot["mc.replications_saved"]["value"] == (
+            result.n_replications_saved
+        )
+        assert snapshot["mc.rounds"]["value"] > 0

@@ -806,3 +806,59 @@ class TestBuildContext:
             assert result["n_replications_run"] == 3
         finally:
             context.jobs.close(drain=False)
+
+
+class TestAdaptiveSweepEndpoint:
+    """POST /sweeps with the sequential-stopping knobs (target_ci /
+    max_replications): invalid combos are client errors (400), valid
+    ones run the adaptive engine and report the savings."""
+
+    def test_invalid_adaptive_combos_400(self, app):
+        for body in (
+            {"max_replications": 50},            # needs target_ci
+            {"target_ci": 0.0},                  # must be > 0
+            {"target_ci": -0.1},
+            {"target_ci": "tight"},              # wrong type
+            {"target_ci": True},                 # bool is not a float
+            {"target_ci": 0.05, "max_replications": 0},
+            {"target_ci": 0.05, "max_replications": 1.5},
+            {"target_ci": 0.05, "primary_metric": "vibes"},
+        ):
+            status, payload = dispatch(app, "POST", "/sweeps", body)
+            assert status == 400, body
+            assert "error" in payload
+
+    def test_adaptive_job_runs_and_reports_savings(self, app):
+        from repro.continuum import build_sweep_spec, run_sweep
+
+        # The default round size is 64, so a loose target lets every
+        # cell stop after its first round while the cap stays at 200.
+        body = {
+            "grid": "scheduler=heft,round_robin",
+            "fleet": 2,
+            "replications": 200,
+            "seed": 7,
+            "target_ci": 0.1,
+            "max_replications": 200,
+            "workers": 0,
+        }
+        status, job = dispatch(app, "POST", "/sweeps", body)
+        assert status == 202
+        assert wait_until(
+            lambda: dispatch(app, "GET", "/jobs/" + job["job"])[1]["state"]
+            in ("done", "failed"),
+            timeout=120.0,
+            interval=0.1,
+        )
+        _, finished = dispatch(app, "GET", "/jobs/" + job["job"])
+        assert finished["state"] == "done"
+        direct = run_sweep(
+            build_sweep_spec(
+                grid=body["grid"], fleet=2, replications=200,
+                seed=7, target_ci=0.1, max_replications=200,
+            )
+        ).to_dict()
+        assert finished["result"] == direct
+        result = finished["result"]
+        assert result["n_replications_budget"] == 200 * len(result["cells"])
+        assert result["n_replications_run"] < result["n_replications_budget"]
